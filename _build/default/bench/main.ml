@@ -1,0 +1,484 @@
+(* The experiment harness: regenerates every evaluation artifact of the
+   paper (see DESIGN.md section 4 and EXPERIMENTS.md).
+
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe e3 micro   # a selection
+
+   E1  Figure 13 convergence latency (2n + 3c)
+   E2  the latency formula p*n + (p+1)*c (section VIII-C)
+   E3  SIP comparison (section IX-B, Figure 14)
+   E4  model checking the 12 path models (section VIII-A)
+   E5  Figure 2 vs Figure 3: erroneous vs compositional control
+   E6  media clipping: relaxed vs eager synchronization (section VI-A)
+   E7  concurrent modifies: idempotent vs transactional (section VI-C)
+   E8  extension: hold/resume semantics over SIP (section XI)
+   micro  Bechamel micro-benchmarks of the core machinery *)
+
+open Mediactl_types
+open Mediactl_core
+open Mediactl_runtime
+open Mediactl_apps
+
+let paper_n = 34.0
+let paper_c = 20.0
+
+let header title =
+  Format.printf "@.============================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "============================================================@."
+
+let settle net = fst (Netsys.run net)
+
+let transmits_toward r owner net =
+  match Netsys.slot net r with
+  | Some slot -> (
+    Mediactl_protocol.Slot.tx_enabled slot
+    &&
+    match slot.Mediactl_protocol.Slot.remote_desc with
+    | Some d -> fst (Descriptor.id d) = owner
+    | None -> false)
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* E1: Figure 13                                                       *)
+
+let fig13_latency ~n ~c =
+  let net = settle (Prepaid.build ()) in
+  let net = settle (fst (Prepaid.snapshot1 net)) in
+  let net = settle (fst (Prepaid.snapshot2 net)) in
+  let net = settle (fst (Prepaid.snapshot3 net)) in
+  let sim = Timed.create ~n ~c net in
+  let a_tx = ref nan and c_tx = ref nan in
+  Timed.when_true sim (transmits_toward Prepaid.a_slot "C") (fun t -> a_tx := t);
+  Timed.when_true sim (transmits_toward Prepaid.c_slot "A") (fun t -> c_tx := t);
+  Timed.apply sim Prepaid.snapshot4_pc;
+  Timed.apply sim Prepaid.snapshot4_pbx;
+  let _ = Timed.run sim in
+  Float.max !a_tx !c_tx
+
+let e1 () =
+  header "E1  Figure 13: concurrent PBX/PC relink converges in 2n + 3c";
+  Format.printf "%8s %8s %12s %12s@." "n (ms)" "c (ms)" "measured" "2n+3c";
+  List.iter
+    (fun (n, c) ->
+      let measured = fig13_latency ~n ~c in
+      Format.printf "%8.0f %8.0f %12.1f %12.1f%s@." n c measured
+        ((2.0 *. n) +. (3.0 *. c))
+        (if abs_float (measured -. ((2.0 *. n) +. (3.0 *. c))) < 1e-6 then "" else "  MISMATCH"))
+    [ (paper_n, paper_c); (10.0, 5.0); (50.0, 20.0); (100.0, 1.0); (1.0, 100.0) ];
+  Format.printf "paper reports 128 ms at n=34, c=20.@."
+
+(* ------------------------------------------------------------------ *)
+(* E2: the latency formula                                             *)
+
+let e2 () =
+  header "E2  Latency formula: p*n + (p+1)*c after the last flowlink starts";
+  Format.printf "%7s %4s %4s %12s %12s@." "boxes" "j" "p" "measured" "formula";
+  List.iter
+    (fun boxes ->
+      List.iter
+        (fun j ->
+          let net, _ = Netsys.run (Relink.build ~boxes ~j) in
+          let sim = Timed.create ~n:paper_n ~c:paper_c net in
+          let done_at = ref nan in
+          Timed.when_true sim
+            (fun net -> Relink.left_transmits net && Relink.right_transmits net)
+            (fun t -> done_at := t);
+          Timed.apply sim (Relink.relink ~j);
+          let _ = Timed.run sim in
+          let p = Relink.hops ~boxes ~j in
+          let formula = Relink.formula ~p ~n:paper_n ~c:paper_c in
+          Format.printf "%7d %4d %4d %12.1f %12.1f%s@." boxes j p !done_at formula
+            (if abs_float (!done_at -. formula) < 1e-6 then "" else "  MISMATCH"))
+        (List.init boxes (fun i -> i + 1)))
+    [ 1; 2; 3; 4; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: SIP comparison                                                  *)
+
+let e3 () =
+  header "E3  SIP third-party call control vs our protocol (section IX-B)";
+  let ours = fig13_latency ~n:paper_n ~c:paper_c in
+  let common = Mediactl_sip.Scenario.fig14_common ~n:paper_n ~c:paper_c () in
+  let seeds = List.init 25 (fun i -> 100 + i) in
+  let races =
+    List.map
+      (fun seed -> Mediactl_sip.Scenario.fig14_race ~seed ~n:paper_n ~c:paper_c ())
+      seeds
+  in
+  let stats = Mediactl_sim.Stats.create () in
+  List.iter (fun (o : Mediactl_sip.Scenario.outcome) -> Mediactl_sim.Stats.add stats o.latency) races;
+  Format.printf "%-34s %10s %10s %8s@." "scenario" "latency" "messages" "glares";
+  Format.printf "%-34s %8.0fms %10d %8d@." "ours (Figure 13, concurrent)" ours 12 0;
+  Format.printf "%-34s %8.0fms %10d %8d@." "SIP common case (no contention)"
+    common.Mediactl_sip.Scenario.latency common.Mediactl_sip.Scenario.messages
+    common.Mediactl_sip.Scenario.glares;
+  Format.printf "%-34s %8.0fms %10d %8d   (mean of %d seeds; min %.0f, max %.0f)@."
+    "SIP with invite race (Figure 14)"
+    (Mediactl_sim.Stats.mean stats)
+    (List.fold_left (fun acc (o : Mediactl_sip.Scenario.outcome) -> acc + o.messages) 0 races
+     / List.length races)
+    (List.fold_left (fun acc (o : Mediactl_sip.Scenario.outcome) -> acc + o.glares) 0 races
+     / List.length races)
+    (List.length races)
+    (Mediactl_sim.Stats.min stats) (Mediactl_sim.Stats.max stats);
+  Format.printf "@.paper's analysis (n=34, c=20):@.";
+  Format.printf "  ours                 2n +  3c      = %6.0f ms@." ((2.0 *. paper_n) +. (3.0 *. paper_c));
+  Format.printf "  SIP common case      7n +  7c      = %6.0f ms@."
+    (Mediactl_sip.Scenario.common_formula ~n:paper_n ~c:paper_c);
+  Format.printf "  SIP with race       10n + 11c + d  = %6.0f ms (d = 3 s expected)@."
+    (Mediactl_sip.Scenario.race_formula ~n:paper_n ~c:paper_c ~d:3000.0);
+  Format.printf "@.delay sources SIP adds (paper section IX-B):@.";
+  Format.printf "  (1) soliciting a fresh offer (no caching):   2n + 2c = %4.0f ms@."
+    ((2.0 *. paper_n) +. (2.0 *. paper_c));
+  Format.printf "  (2) failing and retrying under contention:   3n + 4c + d@.";
+  Format.printf "  (3) sequential rather than parallel describe: 3n + 2c = %4.0f ms@."
+    ((3.0 *. paper_n) +. (2.0 *. paper_c));
+  Format.printf "@.shape check: SIP common/ours = %.1fx (paper: 378/128 = 3.0x); race mean/ours = %.0fx@."
+    (common.Mediactl_sip.Scenario.latency /. ours)
+    (Mediactl_sim.Stats.mean stats /. ours)
+
+(* ------------------------------------------------------------------ *)
+(* E4: model checking                                                  *)
+
+let e4 () =
+  header "E4  Model checking the 12 path models (section VIII-A)";
+  Format.printf "(chaos phase: 1 nondeterministic action per goal object; 1 mute change per endpoint)@.";
+  let reports = Mediactl_mc.Check.run_standard ~max_states:4_000_000 ~chaos:1 ~modifies:1 () in
+  List.iter (fun r -> Format.printf "%a@." Mediactl_mc.Check.pp_report r) reports;
+  let all_passed = List.for_all Mediactl_mc.Check.passed reports in
+  Format.printf "@.all 12 models: %s@." (if all_passed then "safety + specification HOLD" else "FAILURES");
+  (* Resource growth when a flowlink is added (the paper saw x300 memory
+     and x1000 time in Spin; the shape is a multiplicative blowup). *)
+  let pairs =
+    List.filteri (fun i _ -> i < 6) reports
+    |> List.mapi (fun i r0 -> (r0, List.nth reports (i + 6)))
+  in
+  Format.printf "@.%-24s %10s %12s %10s %10s@." "adding one flowlink:" "states" "states(fl)"
+    "growth" "time x";
+  List.iter
+    (fun ((r0 : Mediactl_mc.Check.report), (r1 : Mediactl_mc.Check.report)) ->
+      Format.printf "%-24s %10d %12d %9.1fx %9.1fx@."
+        (Mediactl_mc.Path_model.config_name r0.Mediactl_mc.Check.config)
+        r0.Mediactl_mc.Check.states r1.Mediactl_mc.Check.states
+        (float_of_int r1.Mediactl_mc.Check.states /. float_of_int r0.Mediactl_mc.Check.states)
+        (r1.Mediactl_mc.Check.time_s /. Float.max 1e-4 r0.Mediactl_mc.Check.time_s))
+    pairs;
+  (* The section VIII-B segment lemma: path segments under arbitrary
+     environments, the building block of an inductive proof over paths
+     of any length.  This is the check the paper projected at ~900 GB /
+     300 hours in Spin for two flowlinks. *)
+  Format.printf "@.segment lemma (section VIII-B): interior flowlinks vs arbitrary environments@.";
+  List.iter
+    (fun (flowlinks, chaos) ->
+      let r = Mediactl_mc.Check.run_segment ~max_states:4_000_000 ~flowlinks ~chaos () in
+      Format.printf "  flowlinks=%d chaos=%d: %a@." flowlinks chaos Mediactl_mc.Check.pp_report r)
+    [ (1, 1); (1, 2); (2, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: Figure 2 vs Figure 3                                            *)
+
+let show_edges edges =
+  if edges = [] then "(silence)"
+  else String.concat ", " (List.map (fun (a, b) -> a ^ "->" ^ b) edges)
+
+let e5 () =
+  header "E5  Erroneous (Figure 2) vs compositional (Figure 3) media control";
+  Format.printf "%-12s %-34s %-34s@." "snapshot" "uncoordinated servers" "with the primitives";
+  let naive = ref (Naive.initial ()) in
+  let net = ref (settle (Prepaid.build ())) in
+  let compositional = [ Prepaid.snapshot1; Prepaid.snapshot2; Prepaid.snapshot3 ] in
+  List.iteri
+    (fun i step ->
+      let snap = i + 1 in
+      if snap > 1 then naive := Naive.snapshot !naive snap;
+      net := settle (fst (step !net));
+      Format.printf "%-12d %-34s %-34s@." snap
+        (show_edges (Naive.flows !naive))
+        (show_edges (Prepaid.flows !net)))
+    compositional;
+  naive := Naive.snapshot !naive 4;
+  let net4, _ = Prepaid.snapshot4_pc !net in
+  let net4, _ = Prepaid.snapshot4_pbx net4 in
+  let net4 = settle net4 in
+  Format.printf "%-12d %-34s %-34s@." 4 (show_edges (Naive.flows !naive))
+    (show_edges (Prepaid.flows net4));
+  Format.printf "@.anomalies under uncoordinated control (paper section II-A):@.";
+  List.iter (fun a -> Format.printf "  - %s@." a) (Naive.anomalies !naive);
+  Format.printf "wasted transmissions: %s@." (show_edges (Naive.wasted !naive));
+  Format.printf "anomalies under compositional control: none (flows match Figure 3 exactly)@."
+
+(* ------------------------------------------------------------------ *)
+(* E6: clipping                                                        *)
+
+let e6 () =
+  header "E6  Media clipping at channel setup: relaxed vs eager listening";
+  Format.printf "(open/hold path with one flowlink; packets every 20 ms; n=%.0f, c=%.0f)@.@."
+    paper_n paper_c;
+  (* Establish a channel under the timed driver, recording when the
+     opener starts transmitting and when the acceptor becomes ready
+     under each synchronization discipline. *)
+  let net = List.fold_left Netsys.add_box Netsys.empty [ "L"; "S"; "R" ] in
+  let net = Netsys.connect net ~chan:"ls" ~initiator:"L" ~acceptor:"S" () in
+  let net = Netsys.connect net ~chan:"sr" ~initiator:"S" ~acceptor:"R" () in
+  let net, _ =
+    Netsys.bind_hold net (Netsys.slot_ref ~box:"R" ~chan:"sr" ())
+      (Local.endpoint ~owner:"R" (Address.v "10.0.0.2" 5000) [ Codec.G711 ])
+  in
+  let net, _ =
+    Netsys.bind_link net ~box:"S" ~id:"fl" { Netsys.chan = "ls"; tun = 0 }
+      { Netsys.chan = "sr"; tun = 0 }
+  in
+  let sim = Timed.create ~n:paper_n ~c:paper_c net in
+  let sender_tx = ref nan and relaxed_ready = ref nan and eager_ready = ref nan in
+  let l_ref = Netsys.slot_ref ~box:"L" ~chan:"ls" () in
+  let r_ref = Netsys.slot_ref ~box:"R" ~chan:"sr" () in
+  let slot_pred r pred net =
+    match Netsys.slot net r with
+    | Some slot -> pred slot
+    | None -> false
+  in
+  Timed.when_true sim (slot_pred l_ref Mediactl_protocol.Slot.tx_enabled) (fun t -> sender_tx := t);
+  Timed.when_true sim (slot_pred r_ref Mediactl_protocol.Slot.rx_enabled) (fun t ->
+      relaxed_ready := t);
+  Timed.when_true sim (slot_pred r_ref Mediactl_protocol.Slot.is_flowing) (fun t ->
+      eager_ready := t);
+  Timed.apply sim (fun net ->
+      Netsys.bind_open net l_ref
+        (Local.endpoint ~owner:"L" (Address.v "10.0.0.1" 5000) [ Codec.G711 ])
+        Medium.Audio);
+  let _ = Timed.run sim in
+  Format.printf "sender may transmit at %.0f ms; receiver ready: relaxed %.0f ms, eager %.0f ms@.@."
+    !sender_tx !relaxed_ready !eager_ready;
+  Format.printf "%14s %18s %18s@." "media transit" "clipped (relaxed)" "clipped (eager)";
+  List.iter
+    (fun transit ->
+      let packets =
+        Mediactl_media.Rtp.generate ~start:!sender_tx ~stop:(!sender_tx +. 2000.0) ~interval:20.0
+          Codec.G711
+      in
+      let relaxed = Mediactl_media.Rtp.account packets ~transit ~ready_at:!relaxed_ready in
+      let eager = Mediactl_media.Rtp.account packets ~transit ~ready_at:!eager_ready in
+      Format.printf "%11.0f ms %18d %18d@." transit relaxed.Mediactl_media.Rtp.clipped
+        eager.Mediactl_media.Rtp.clipped)
+    [ 0.0; 5.0; 10.0; 20.0; 40.0; 80.0 ];
+  Format.printf "@.relaxed sync loses the packets in flight before the selector lands;@.";
+  Format.printf "eager listening (paper footnote 5) eliminates clipping entirely.@."
+
+(* ------------------------------------------------------------------ *)
+(* E7: concurrent modifies                                             *)
+
+let e7 () =
+  header "E7  Concurrent modifies: idempotent describes vs SIP transactions";
+  (* Ours: two endpoints on one tunnel, both change mute at t=0. *)
+  let net = List.fold_left Netsys.add_box Netsys.empty [ "L"; "R" ] in
+  let net = Netsys.connect net ~chan:"c" ~initiator:"L" ~acceptor:"R" () in
+  let net, _ =
+    Netsys.bind_hold net (Netsys.slot_ref ~box:"R" ~chan:"c" ())
+      (Local.endpoint ~owner:"R" (Address.v "10.0.0.2" 5000) [ Codec.G711 ])
+  in
+  let net, _ =
+    Netsys.bind_open net (Netsys.slot_ref ~box:"L" ~chan:"c" ())
+      (Local.endpoint ~owner:"L" (Address.v "10.0.0.1" 5000) [ Codec.G711 ])
+      Medium.Audio
+  in
+  let net = settle net in
+  let sim = Timed.create ~n:paper_n ~c:paper_c net in
+  let signals = ref 0 in
+  let done_at = ref nan in
+  let l_ref = Netsys.slot_ref ~box:"L" ~chan:"c" () in
+  let r_ref = Netsys.slot_ref ~box:"R" ~chan:"c" () in
+  Timed.when_true sim
+    (fun net ->
+      match Netsys.slot net l_ref, Netsys.slot net r_ref with
+      | Some l, Some r ->
+        (* Both modifies have taken effect end to end: nobody receives. *)
+        Semantics.both_flowing ~left:l ~right:r
+        && (not (Mediactl_protocol.Slot.rx_enabled l))
+        && not (Mediactl_protocol.Slot.rx_enabled r)
+      | _ -> false)
+    (fun t -> done_at := t);
+  Timed.apply sim (fun net ->
+      let net, s1 = Netsys.modify net l_ref Mute.out_only in
+      let net, s2 = Netsys.modify net r_ref Mute.out_only in
+      signals := List.length s1 + List.length s2;
+      (net, s1 @ s2));
+  let _ = Timed.run sim in
+  Format.printf "%-42s %10s %10s %8s@." "protocol" "latency" "messages" "glares";
+  Format.printf "%-42s %8.0fms %10d %8d@." "ours: both ends mute concurrently" !done_at
+    (!signals + 2) 0;
+  (* SIP: re-INVITE glare, averaged over seeds. *)
+  let seeds = List.init 25 (fun i -> 300 + i) in
+  let outcomes =
+    List.map (fun seed -> Mediactl_sip.Scenario.glare_modify ~seed ~n:paper_n ~c:paper_c ()) seeds
+  in
+  let stats = Mediactl_sim.Stats.create () in
+  List.iter
+    (fun (o : Mediactl_sip.Scenario.outcome) -> Mediactl_sim.Stats.add stats o.latency)
+    outcomes;
+  Format.printf "%-42s %8.0fms %10d %8d   (mean of %d seeds)@."
+    "SIP: crossing re-INVITEs glare and retry"
+    (Mediactl_sim.Stats.mean stats)
+    (List.fold_left (fun a (o : Mediactl_sip.Scenario.outcome) -> a + o.messages) 0 outcomes
+     / List.length outcomes)
+    (List.fold_left (fun a (o : Mediactl_sip.Scenario.outcome) -> a + o.glares) 0 outcomes
+     / List.length outcomes)
+    (List.length seeds);
+  Format.printf "@.describe/select signals in opposite directions do not constrain each other@.";
+  Format.printf "(paper section VI-C): no serialization, no failed exchanges, no back-off.@."
+
+(* ------------------------------------------------------------------ *)
+(* E8: hold/resume over SIP (the section-XI extension)                 *)
+
+let e8 () =
+  header "E8  Extension: the specification's hold semantics over SIP (section XI)";
+  (* Ours: an established A-SRV-C path; the server swaps the flowlink
+     for two holdslots, then relinks. *)
+  let net = List.fold_left Netsys.add_box Netsys.empty [ "A"; "SRV"; "C" ] in
+  let net = Netsys.connect net ~chan:"a" ~initiator:"A" ~acceptor:"SRV" () in
+  let net = Netsys.connect net ~chan:"c" ~initiator:"SRV" ~acceptor:"C" () in
+  let local_a = Local.endpoint ~owner:"A" (Address.v "10.0.0.1" 5000) [ Codec.G711 ] in
+  let local_c = Local.endpoint ~owner:"C" (Address.v "10.0.0.3" 5000) [ Codec.G711 ] in
+  let keyed chan = { Netsys.chan; tun = 0 } in
+  let net, _ = Netsys.bind_hold net (Netsys.slot_ref ~box:"C" ~chan:"c" ()) local_c in
+  let net, _ = Netsys.bind_link net ~box:"SRV" ~id:"call" (keyed "a") (keyed "c") in
+  let net, _ =
+    Netsys.bind_open net (Netsys.slot_ref ~box:"A" ~chan:"a" ()) local_a Medium.Audio
+  in
+  let net = settle net in
+  let silent net =
+    match Netsys.slot net (Netsys.slot_ref ~box:"A" ~chan:"a" ()),
+          Netsys.slot net (Netsys.slot_ref ~box:"C" ~chan:"c" ()) with
+    | Some a, Some c ->
+      (not (Mediactl_protocol.Slot.rx_enabled a)) && not (Mediactl_protocol.Slot.rx_enabled c)
+    | _ -> false
+  in
+  let flowing net =
+    match Netsys.slot net (Netsys.slot_ref ~box:"A" ~chan:"a" ()),
+          Netsys.slot net (Netsys.slot_ref ~box:"C" ~chan:"c" ()) with
+    | Some a, Some c ->
+      Mediactl_protocol.Slot.rx_enabled a && Mediactl_protocol.Slot.rx_enabled c
+    | _ -> false
+  in
+  let sim = Timed.create ~n:paper_n ~c:paper_c net in
+  let held_at = ref nan in
+  Timed.when_true sim silent (fun t -> held_at := t);
+  let hold_face = Local.server ~owner:"SRV.hold" in
+  Timed.apply sim (fun net -> Netsys.bind_hold net (Netsys.slot_ref ~box:"SRV" ~chan:"a" ()) hold_face);
+  Timed.apply sim (fun net -> Netsys.bind_hold net (Netsys.slot_ref ~box:"SRV" ~chan:"c" ()) hold_face);
+  let _ = Timed.run sim in
+  let hold_start = Timed.now sim in
+  let resumed_at = ref nan in
+  Timed.when_true sim flowing (fun t -> resumed_at := t -. hold_start);
+  Timed.apply sim (fun net -> Netsys.bind_link net ~box:"SRV" ~id:"call" (keyed "a") (keyed "c"));
+  let _ = Timed.run sim in
+  (* Over SIP. *)
+  let sip_hold, sip_resume = Mediactl_sip.Scenario.hold_resume ~n:paper_n ~c:paper_c () in
+  Format.printf "%-28s %14s %14s@." "operation" "ours" "over SIP";
+  Format.printf "%-28s %12.0fms %12.0fms@." "hold both parties" !held_at
+    sip_hold.Mediactl_sip.Scenario.latency;
+  Format.printf "%-28s %12.0fms %12.0fms@." "resume" !resumed_at
+    sip_resume.Mediactl_sip.Scenario.latency;
+  Format.printf "@.SIP holds cheaply (two concurrent transactions) but resuming pays the@.";
+  Format.printf "solicitation penalty: answers are relative and offers cannot be cached,@.";
+  Format.printf "while our flowlink resumes from cached descriptors (paper section IX-B).@."
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let local_a = Local.endpoint ~owner:"A" (Address.v "10.0.0.1" 5000) [ Codec.G711 ] in
+  let local_b = Local.endpoint ~owner:"B" (Address.v "10.0.0.2" 5000) [ Codec.G711 ] in
+  let open_hold flowlinks () =
+    match
+      Chain.create ~left:(Chain.Open_spec (local_a, Medium.Audio)) ~flowlinks
+        ~right:(Chain.Hold_spec local_b) ()
+    with
+    | Ok chain -> ignore (Chain.run chain)
+    | Error _ -> assert false
+  in
+  let slot_handshake () =
+    let desc_b = Local.descriptor local_b in
+    let s = Mediactl_protocol.Slot.create ~label:"a" Mediactl_protocol.Slot.Channel_initiator in
+    match Mediactl_protocol.Slot.send_open s Medium.Audio (Local.descriptor local_a) with
+    | Ok (s, _) -> (
+      match Mediactl_protocol.Slot.receive s (Signal.Oack desc_b) with
+      | Ok (s, _, _) ->
+        ignore (Mediactl_protocol.Slot.send_select s (Local.selector_for local_a desc_b))
+      | Error _ -> assert false)
+    | Error _ -> assert false
+  in
+  let mc_small () =
+    ignore
+      (Mediactl_mc.Check.run
+         {
+           Mediactl_mc.Path_model.left = Semantics.Open_end;
+           right = Semantics.Close_end;
+           flowlinks = 0;
+           chaos = 0;
+           modifies = 0;
+           environment_ends = false;
+         })
+  in
+  let prepaid_replay () =
+    let net = settle (Prepaid.build ()) in
+    let net = settle (fst (Prepaid.snapshot1 net)) in
+    let net = settle (fst (Prepaid.snapshot2 net)) in
+    ignore (settle (fst (Prepaid.snapshot3 net)))
+  in
+  let tests =
+    [
+      Test.make ~name:"slot open/oack/select" (Staged.stage slot_handshake);
+      Test.make ~name:"chain settle (0 flowlinks)" (Staged.stage (open_hold 0));
+      Test.make ~name:"chain settle (2 flowlinks)" (Staged.stage (open_hold 2));
+      Test.make ~name:"model-check open/close path" (Staged.stage mc_small);
+      Test.make ~name:"prepaid snapshots 0-3" (Staged.stage prepaid_replay);
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  Format.printf "%-32s %16s@." "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            let pretty =
+              if est > 1_000_000.0 then Printf.sprintf "%10.2f ms" (est /. 1_000_000.0)
+              else if est > 1_000.0 then Printf.sprintf "%10.2f us" (est /. 1_000.0)
+              else Printf.sprintf "%10.0f ns" est
+            in
+            Format.printf "%-32s %16s@." name pretty
+          | Some _ | None -> Format.printf "%-32s %16s@." name "(no estimate)")
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
+    ("e8", e8); ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Format.printf "unknown experiment %S; available: %s@." name
+          (String.concat ", " (List.map fst experiments)))
+    requested

@@ -1,0 +1,1 @@
+bin/mediactl_check.ml: Arg Check Cmd Cmdliner Format List Mediactl_core Mediactl_mc Path_model Printf Semantics Term

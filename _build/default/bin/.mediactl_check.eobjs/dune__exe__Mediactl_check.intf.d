@@ -1,0 +1,1 @@
+bin/mediactl_check.mli:

@@ -1,0 +1,1 @@
+bin/mediactl_sim.ml: Arg Cmd Cmdliner Format List Mediactl_apps Mediactl_protocol Mediactl_runtime Mediactl_sip Mediactl_types Netsys Prepaid Relink String Term Timed

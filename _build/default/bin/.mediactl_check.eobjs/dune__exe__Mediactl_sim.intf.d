@@ -1,0 +1,1 @@
+bin/mediactl_sim.mli:

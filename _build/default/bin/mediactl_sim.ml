@@ -1,0 +1,111 @@
+(* mediactl_sim: run named scenarios under the timed simulator.
+
+   Examples:
+     mediactl_sim prepaid
+     mediactl_sim fig13 --n 34 --c 20
+     mediactl_sim relink --boxes 5 --j 3
+     mediactl_sim sip --seed 42
+*)
+
+open Cmdliner
+open Mediactl_runtime
+open Mediactl_apps
+
+let print_edges prefix edges =
+  Format.printf "%-28s %s@." prefix
+    (if edges = [] then "(silence)"
+     else String.concat ", " (List.map (fun (a, b) -> a ^ "->" ^ b) edges))
+
+let settle net = fst (Netsys.run net)
+
+let run_prepaid () =
+  let net = settle (Prepaid.build ()) in
+  print_edges "initial:" (Prepaid.flows net);
+  let net = settle (fst (Prepaid.snapshot1 net)) in
+  print_edges "snapshot 1:" (Prepaid.flows net);
+  let net = settle (fst (Prepaid.snapshot2 net)) in
+  print_edges "snapshot 2:" (Prepaid.flows net);
+  let net = settle (fst (Prepaid.snapshot3 net)) in
+  print_edges "snapshot 3:" (Prepaid.flows net);
+  let net, _ = Prepaid.snapshot4_pc net in
+  let net, _ = Prepaid.snapshot4_pbx net in
+  print_edges "snapshot 4:" (Prepaid.flows (settle net));
+  0
+
+let run_fig13 n c =
+  let net = settle (Prepaid.build ()) in
+  let net = settle (fst (Prepaid.snapshot1 net)) in
+  let net = settle (fst (Prepaid.snapshot2 net)) in
+  let net = settle (fst (Prepaid.snapshot3 net)) in
+  let sim = Timed.create ~n ~c net in
+  let a_tx = ref nan and c_tx = ref nan in
+  let transmits r owner net =
+    match Netsys.slot net r with
+    | Some slot -> (
+      Mediactl_protocol.Slot.tx_enabled slot
+      &&
+      match slot.Mediactl_protocol.Slot.remote_desc with
+      | Some d -> fst (Mediactl_types.Descriptor.id d) = owner
+      | None -> false)
+    | None -> false
+  in
+  Timed.when_true sim (transmits Prepaid.a_slot "C") (fun t -> a_tx := t);
+  Timed.when_true sim (transmits Prepaid.c_slot "A") (fun t -> c_tx := t);
+  Timed.apply sim Prepaid.snapshot4_pc;
+  Timed.apply sim Prepaid.snapshot4_pbx;
+  let _ = Timed.run sim in
+  Format.printf "A transmits toward C at %.1f ms; C toward A at %.1f ms (2n+3c = %.1f)@.@." !a_tx
+    !c_tx ((2.0 *. n) +. (3.0 *. c));
+  Format.printf "message-sequence chart:@.%a" Timed.pp_trace sim;
+  0
+
+let run_relink n c boxes j =
+  let net, _ = Netsys.run (Relink.build ~boxes ~j) in
+  let sim = Timed.create ~n ~c net in
+  let done_at = ref nan in
+  Timed.when_true sim
+    (fun net -> Relink.left_transmits net && Relink.right_transmits net)
+    (fun t -> done_at := t);
+  Timed.apply sim (Relink.relink ~j);
+  let _ = Timed.run sim in
+  let p = Relink.hops ~boxes ~j in
+  Format.printf "boxes=%d j=%d p=%d: measured %.1f ms, formula p*n+(p+1)*c = %.1f ms@." boxes j p
+    !done_at
+    (Relink.formula ~p ~n ~c);
+  0
+
+let run_sip seed n c =
+  let show name o = Format.printf "%-18s %a@." name Mediactl_sip.Scenario.pp_outcome o in
+  show "common case:" (Mediactl_sip.Scenario.fig14_common ~seed ~n ~c ());
+  show "race (fig 14):" (Mediactl_sip.Scenario.fig14_race ~seed ~n ~c ());
+  show "glare on modify:" (Mediactl_sip.Scenario.glare_modify ~seed ~n ~c ());
+  Format.printf "formulas: common 7n+7c = %.0f; race 10n+11c+d(3s) = %.0f; ours 2n+3c = %.0f@."
+    (Mediactl_sip.Scenario.common_formula ~n ~c)
+    (Mediactl_sip.Scenario.race_formula ~n ~c ~d:3000.0)
+    ((2.0 *. n) +. (3.0 *. c));
+  0
+
+let scenario =
+  Arg.(required & pos 0 (some (enum [ ("prepaid", `Prepaid); ("fig13", `Fig13); ("relink", `Relink); ("sip", `Sip) ])) None
+       & info [] ~docv:"SCENARIO" ~doc:"One of: prepaid, fig13, relink, sip.")
+
+let n_arg = Arg.(value & opt float 34.0 & info [ "n" ] ~doc:"Network latency (ms).")
+let c_arg = Arg.(value & opt float 20.0 & info [ "c" ] ~doc:"Box compute time (ms).")
+let boxes_arg = Arg.(value & opt int 4 & info [ "boxes" ] ~doc:"Interior boxes (relink).")
+let j_arg = Arg.(value & opt int 2 & info [ "at" ] ~doc:"Relinking box index (relink).")
+let seed_arg = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Random seed (sip).")
+
+let run scenario n c boxes j seed =
+  match scenario with
+  | `Prepaid -> run_prepaid ()
+  | `Fig13 -> run_fig13 n c
+  | `Relink -> run_relink n c boxes j
+  | `Sip -> run_sip seed n c
+
+let cmd =
+  let doc = "run compositional media-control scenarios under the timed simulator" in
+  Cmd.v
+    (Cmd.info "mediactl_sim" ~doc)
+    Term.(const run $ scenario $ n_arg $ c_arg $ boxes_arg $ j_arg $ seed_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/click_to_dial_demo.mli:

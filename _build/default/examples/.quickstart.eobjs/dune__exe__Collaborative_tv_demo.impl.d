@@ -1,0 +1,1 @@
+examples/collaborative_tv_demo.ml: Collab_tv Format List Mediactl_apps Mediactl_media Mediactl_runtime Mediactl_types Netsys Paths String

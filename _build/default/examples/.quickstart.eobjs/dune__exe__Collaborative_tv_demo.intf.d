@@ -1,0 +1,1 @@
+examples/collaborative_tv_demo.mli:

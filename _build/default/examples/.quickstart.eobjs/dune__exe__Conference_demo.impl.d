@@ -1,0 +1,1 @@
+examples/conference_demo.ml: Address Codec Conference Format List Local Mediactl_apps Mediactl_core Mediactl_runtime Mediactl_types Netsys Printf String

@@ -1,0 +1,1 @@
+examples/prepaid_card.ml: Format List Mediactl_apps Mediactl_protocol Mediactl_runtime Mediactl_types Naive Netsys Prepaid String Timed

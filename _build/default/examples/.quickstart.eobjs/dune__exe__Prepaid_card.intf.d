@@ -1,0 +1,1 @@
+examples/prepaid_card.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Address Codec Format List Local Mediactl_core Mediactl_media Mediactl_runtime Mediactl_types Medium Mute Netsys Paths Semantics String

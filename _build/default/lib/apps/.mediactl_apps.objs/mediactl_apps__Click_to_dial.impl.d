@@ -1,0 +1,1 @@
+lib/apps/click_to_dial.ml: Local Mediactl_core Mediactl_runtime Mediactl_types Medium Meta Program

@@ -1,0 +1,1 @@
+lib/apps/click_to_dial.mli: Mediactl_runtime Program

@@ -1,0 +1,1 @@
+lib/apps/collab_tv.ml: Address Codec List Local Mediactl_core Mediactl_media Mediactl_runtime Mediactl_types Medium Mute Netsys Paths Printf

@@ -1,0 +1,1 @@
+lib/apps/collab_tv.mli: Mediactl_runtime Netsys

@@ -1,0 +1,1 @@
+lib/apps/conference.ml: Address Codec List Local Mediactl_core Mediactl_media Mediactl_runtime Mediactl_types Medium Netsys Paths

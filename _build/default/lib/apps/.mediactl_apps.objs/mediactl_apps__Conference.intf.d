@@ -1,0 +1,1 @@
+lib/apps/conference.mli: Local Mediactl_core Mediactl_runtime Netsys

@@ -1,0 +1,1 @@
+lib/apps/naive.mli:

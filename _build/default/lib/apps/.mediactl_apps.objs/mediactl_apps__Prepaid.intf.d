@@ -1,0 +1,1 @@
+lib/apps/prepaid.mli: Local Mediactl_core Mediactl_runtime Netsys

@@ -1,0 +1,1 @@
+lib/apps/relink.ml: Address Codec Descriptor Fun List Local Mediactl_core Mediactl_protocol Mediactl_runtime Mediactl_types Medium Netsys Printf String

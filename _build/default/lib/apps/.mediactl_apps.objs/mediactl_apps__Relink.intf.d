@@ -1,0 +1,1 @@
+lib/apps/relink.mli: Mediactl_runtime Netsys

@@ -1,0 +1,117 @@
+open Mediactl_types
+open Mediactl_core
+open Mediactl_runtime
+
+let chan_one = "one"
+let chan_two = "two"
+let chan_tone = "tone"
+
+let program ~box ~caller_device ~callee_device ~tone_server ~no_answer_timeout =
+  let open Program in
+  {
+    box;
+    face = Local.server ~owner:box;
+    launch_actions =
+      [
+        Create_channel { chan = chan_one; toward = caller_device; tunnels = 1 };
+        Set_timer { timer = "answer"; after = no_answer_timeout };
+      ];
+    initial = "oneCall";
+    states =
+      [
+        {
+          s_name = "oneCall";
+          annotations = [ Ann_open (chan_one, Medium.Audio) ];
+          transitions =
+            [
+              {
+                guard = Is_flowing chan_one;
+                actions = [ Create_channel { chan = chan_two; toward = callee_device; tunnels = 1 } ];
+                target = Some "twoCalls";
+              };
+              {
+                guard = On_timeout "answer";
+                actions = [ Destroy_channel chan_one ];
+                target = None;
+              };
+            ];
+        };
+        {
+          s_name = "twoCalls";
+          annotations = [ Ann_open (chan_one, Medium.Audio); Ann_open (chan_two, Medium.Audio) ];
+          transitions =
+            [
+              {
+                guard = On_meta (chan_two, Meta.Unavailable);
+                actions =
+                  [
+                    Destroy_channel chan_two;
+                    Create_channel { chan = chan_tone; toward = tone_server; tunnels = 1 };
+                  ];
+                target = Some "busyTone";
+              };
+              {
+                guard = On_meta (chan_two, Meta.Available);
+                actions = [ Create_channel { chan = chan_tone; toward = tone_server; tunnels = 1 } ];
+                target = Some "ringback";
+              };
+              {
+                guard = On_meta (chan_one, Meta.Teardown);
+                actions = [ Destroy_channel chan_one; Destroy_channel chan_two ];
+                target = None;
+              };
+            ];
+        };
+        {
+          s_name = "busyTone";
+          annotations = [ Ann_link (chan_one, chan_tone) ];
+          transitions =
+            [
+              {
+                guard = On_meta (chan_one, Meta.Teardown);
+                actions = [ Destroy_channel chan_one; Destroy_channel chan_tone ];
+                target = None;
+              };
+            ];
+        };
+        {
+          s_name = "ringback";
+          annotations = [ Ann_link (chan_one, chan_tone); Ann_open (chan_two, Medium.Audio) ];
+          transitions =
+            [
+              {
+                guard = Is_flowing chan_two;
+                actions = [ Destroy_channel chan_tone ];
+                target = Some "connected";
+              };
+              {
+                guard = On_meta (chan_one, Meta.Teardown);
+                actions =
+                  [
+                    Destroy_channel chan_one;
+                    Destroy_channel chan_two;
+                    Destroy_channel chan_tone;
+                  ];
+                target = None;
+              };
+            ];
+        };
+        {
+          s_name = "connected";
+          annotations = [ Ann_link (chan_one, chan_two) ];
+          transitions =
+            [
+              {
+                guard = On_meta (chan_one, Meta.Teardown);
+                actions = [ Destroy_channel chan_one; Destroy_channel chan_two ];
+                target = None;
+              };
+              {
+                guard = On_meta (chan_two, Meta.Teardown);
+                actions = [ Destroy_channel chan_one; Destroy_channel chan_two ];
+                target = None;
+              };
+            ];
+        };
+      ];
+  }

@@ -1,0 +1,29 @@
+(** The Click-to-Dial box program of paper Figure 6.
+
+    A user browsing a Web site clicks a click-to-dial link.  The box
+    creates a signaling channel [one] toward the user's own IP telephone
+    and tries to open an audio channel ([openSlot]).  Once the user
+    answers ([isFlowing]), it creates channel [two] toward the clicked
+    address.  If that device is unavailable, it plays a busy tone from a
+    tone-generator resource over channel [tone] ([flowLink(one, tone)]);
+    if available, it plays ringback the same way while continuing to open
+    channel [two]; when the callee answers it drops the tone resource and
+    links the two calls ([flowLink(one, two)]). *)
+
+open Mediactl_runtime
+
+val program :
+  box:string ->
+  caller_device:string ->
+  callee_device:string ->
+  tone_server:string ->
+  no_answer_timeout:float ->
+  Program.t
+(** The Figure-6 program, parameterized by the device box names. *)
+
+(** Observable program states, for tests: ["oneCall"], ["twoCalls"],
+    ["busyTone"], ["ringback"], ["connected"]. *)
+
+val chan_one : string
+val chan_two : string
+val chan_tone : string

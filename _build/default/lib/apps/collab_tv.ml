@@ -1,0 +1,119 @@
+open Mediactl_types
+open Mediactl_core
+open Mediactl_runtime
+
+let tunnel_roles =
+  [
+    (0, "video for TV A (high quality)");
+    (1, "English audio for TV A");
+    (2, "video for laptop C (low quality)");
+    (3, "English audio for laptop C");
+    (4, "French audio for headphones B");
+  ]
+
+(* The movie server is the source of every stream: it opens all the
+   media channels.  Receiving devices accept with their own codec
+   capabilities: the TV decodes high-quality video, the laptop only
+   low-quality. *)
+let movie_local tun =
+  let codecs =
+    match tun with
+    | 0 | 2 -> [ Codec.H264; Codec.H263; Codec.H261 ]
+    | _ -> [ Codec.G711; Codec.G726 ]
+  in
+  (* A movie source only sends: inward media stays muted. *)
+  Local.endpoint' ~mute:Mute.in_only
+    ~owner:(Printf.sprintf "movie.%d" tun)
+    (Address.v "10.1.0.1" (7000 + tun))
+    codecs
+
+let tv_video = Local.endpoint ~owner:"tvA.video" (Address.v "10.1.0.2" 7100) [ Codec.H264; Codec.H263 ]
+let tv_audio = Local.endpoint ~owner:"tvA.audio" (Address.v "10.1.0.2" 7102) [ Codec.G711 ]
+let lap_video = Local.endpoint ~owner:"lapC.video" (Address.v "10.1.0.3" 7200) [ Codec.H261 ]
+let lap_audio = Local.endpoint ~owner:"lapC.audio" (Address.v "10.1.0.3" 7202) [ Codec.G726 ]
+let head_audio = Local.endpoint ~owner:"headB" (Address.v "10.1.0.4" 7300) [ Codec.G711 ]
+
+let sref box chan tun = Netsys.slot_ref ~box ~chan ~tun ()
+let skey chan tun = { Netsys.chan; tun }
+
+let medium_of_tun tun = if tun = 0 || tun = 2 then Medium.Video else Medium.Audio
+
+let build () =
+  let net =
+    List.fold_left Netsys.add_box Netsys.empty [ "movie"; "cbA"; "cbC"; "tvA"; "headB"; "lapC" ]
+  in
+  let net = Netsys.connect net ~chan:"mv" ~tunnels:5 ~initiator:"movie" ~acceptor:"cbA" () in
+  let net = Netsys.connect net ~chan:"cc" ~tunnels:2 ~initiator:"cbA" ~acceptor:"cbC" () in
+  let net = Netsys.connect net ~chan:"tv" ~tunnels:2 ~initiator:"cbA" ~acceptor:"tvA" () in
+  let net = Netsys.connect net ~chan:"hp" ~tunnels:1 ~initiator:"cbA" ~acceptor:"headB" () in
+  let net = Netsys.connect net ~chan:"lp" ~tunnels:2 ~initiator:"cbC" ~acceptor:"lapC" () in
+  (* Devices answer. *)
+  let net, _ = Netsys.bind_hold net (sref "tvA" "tv" 0) tv_video in
+  let net, _ = Netsys.bind_hold net (sref "tvA" "tv" 1) tv_audio in
+  let net, _ = Netsys.bind_hold net (sref "lapC" "lp" 0) lap_video in
+  let net, _ = Netsys.bind_hold net (sref "lapC" "lp" 1) lap_audio in
+  let net, _ = Netsys.bind_hold net (sref "headB" "hp" 0) head_audio in
+  (* Control boxes splice the paths. *)
+  let net, _ = Netsys.bind_link net ~box:"cbA" ~id:"a-video" (skey "mv" 0) (skey "tv" 0) in
+  let net, _ = Netsys.bind_link net ~box:"cbA" ~id:"a-audio" (skey "mv" 1) (skey "tv" 1) in
+  let net, _ = Netsys.bind_link net ~box:"cbA" ~id:"c-video" (skey "mv" 2) (skey "cc" 0) in
+  let net, _ = Netsys.bind_link net ~box:"cbA" ~id:"c-audio" (skey "mv" 3) (skey "cc" 1) in
+  let net, _ = Netsys.bind_link net ~box:"cbA" ~id:"b-audio" (skey "mv" 4) (skey "hp" 0) in
+  let net, _ = Netsys.bind_link net ~box:"cbC" ~id:"c-video" (skey "cc" 0) (skey "lp" 0) in
+  let net, _ = Netsys.bind_link net ~box:"cbC" ~id:"c-audio" (skey "cc" 1) (skey "lp" 1) in
+  (* The movie server starts all five streams. *)
+  List.fold_left
+    (fun net tun ->
+      fst (Netsys.bind_open net (sref "movie" "mv" tun) (movie_local tun) (medium_of_tun tun)))
+    net [ 0; 1; 2; 3; 4 ]
+
+let modify_all_movie_slots mute net =
+  List.fold_left
+    (fun (net, sends) (key, _) ->
+      let net, more = Netsys.modify net { Netsys.box = "movie"; key } mute in
+      (net, sends @ more))
+    (net, []) (Netsys.slots_of_box net "movie")
+
+(* Pausing stops the sending direction at the source; the channels stay
+   up so play resumes instantly. *)
+let pause net = modify_all_movie_slots Mute.both net
+let play net = modify_all_movie_slots Mute.in_only net
+
+let daughter_leaves net =
+  let net = Netsys.disconnect net ~chan:"cc" in
+  (* The daughter's two tunnels on the shared movie channel are no
+     longer used: both ends close them. *)
+  let net, s0 =
+    List.fold_left
+      (fun (net, sends) (box, tun) ->
+        let net, more = Netsys.bind_close net (sref box "mv" tun) in
+        (net, sends @ more))
+      (net, [])
+      [ ("cbA", 2); ("cbA", 3); ("movie", 2); ("movie", 3) ]
+  in
+  ignore s0;
+  let net = Netsys.connect net ~chan:"mv2" ~tunnels:2 ~initiator:"cbC" ~acceptor:"movie" () in
+  let net, s1 = Netsys.bind_link net ~box:"cbC" ~id:"c-video" (skey "mv2" 0) (skey "lp" 0) in
+  let net, s2 = Netsys.bind_link net ~box:"cbC" ~id:"c-audio" (skey "mv2" 1) (skey "lp" 1) in
+  (* The movie server opens the daughter's new streams at her own time
+     pointer. *)
+  let net, s3 =
+    Netsys.bind_open net (sref "movie" "mv2" 0)
+      (Local.endpoint' ~mute:Mute.in_only ~owner:"movie2.0" (Address.v "10.1.0.1" 7010)
+         [ Codec.H264; Codec.H261 ])
+      Medium.Video
+  in
+  let net, s4 =
+    Netsys.bind_open net (sref "movie" "mv2" 1)
+      (Local.endpoint' ~mute:Mute.in_only ~owner:"movie2.1" (Address.v "10.1.0.1" 7011)
+         [ Codec.G711; Codec.G726 ])
+      Medium.Audio
+  in
+  (net, s1 @ s2 @ s3 @ s4)
+
+let flows net = Mediactl_media.Flow.edges (Paths.flows net)
+
+let expected_flows_together =
+  [ ("movie", "tvA"); ("movie", "lapC"); ("movie", "headB") ]
+
+let expected_flows_apart = expected_flows_together

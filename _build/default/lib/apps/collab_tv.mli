@@ -1,0 +1,42 @@
+(** Collaborative television (paper Figure 8).
+
+    A family-room television A and a daughter's laptop C share a movie:
+    both see the same movie at the same time point.  The collaborative
+    control box for A holds a signaling channel to the movie server with
+    five active tunnels — video and English audio for each of the two
+    video devices (which use different codecs and qualities), plus a
+    French audio channel for a friend's headphones B.  Signaling paths
+    from all three devices go through A's control box, so pause/play
+    commands mediated by it affect all five media channels.
+
+    When the daughter leaves the collaboration, C's control box gets its
+    own signaling channel to the movie server (same movie, different time
+    pointer); the channel between the two control boxes disappears. *)
+
+open Mediactl_runtime
+
+val tunnel_roles : (int * string) list
+(** What each of the five tunnels of the movie channel carries. *)
+
+val build : unit -> Netsys.t
+(** Boxes: [movie], [cbA], [cbC], [tvA], [headB], [lapC]; channel [mv]
+    (movie—cbA, 5 tunnels), [cc] (cbA—cbC, 2 tunnels), [tv] (cbA—tvA, 2
+    tunnels), [hp] (cbA—headB, 1 tunnel), [lp] (cbC—lapC, 2 tunnels).
+    Run to quiescence to start all five streams. *)
+
+val pause : Netsys.t -> Netsys.t * Netsys.send list
+(** The movie server stops sending on all five channels (mute out),
+    mediated by cbA's control of the movie channel. *)
+
+val play : Netsys.t -> Netsys.t * Netsys.send list
+
+val daughter_leaves : Netsys.t -> Netsys.t * Netsys.send list
+(** Tear down the cbA—cbC collaboration channel and give cbC its own
+    channel [mv2] to the movie server with a different time pointer. *)
+
+val flows : Netsys.t -> (string * string) list
+
+val expected_flows_together : (string * string) list
+(** Who streams to whom while the collaboration is active. *)
+
+val expected_flows_apart : (string * string) list

@@ -1,0 +1,90 @@
+open Mediactl_types
+open Mediactl_core
+open Mediactl_runtime
+
+type policy =
+  | Open_floor
+  | Business of string list
+  | Emergency of { calltaker : string; caller : string; responder : string }
+  | Whisper of { trainee : string; customer : string; coach : string }
+
+let mixing_matrix policy ~participants =
+  let row listener =
+    let others = List.filter (fun p -> p <> listener) participants in
+    let heard =
+      match policy with
+      | Open_floor -> List.map (fun p -> (p, 1.0)) others
+      | Business muted ->
+        List.filter_map
+          (fun p -> if List.mem p muted then None else Some (p, 1.0))
+          others
+      | Emergency { calltaker; caller; responder = _ } ->
+        if listener = caller then
+          (* The caller must not hear the emergency personnel talking
+             among themselves. *)
+          List.filter_map (fun p -> if p = calltaker then Some (p, 1.0) else None) others
+        else List.map (fun p -> (p, 1.0)) others
+      | Whisper { trainee; customer; coach } ->
+        if listener = customer then
+          (* The customer must not hear the coach. *)
+          List.filter_map (fun p -> if p = coach then None else Some (p, 1.0)) others
+        else if listener = trainee then
+          (* The trainee hears a whispered version of the coach. *)
+          List.map (fun p -> (p, if p = coach then 0.3 else 1.0)) others
+        else List.map (fun p -> (p, 1.0)) others
+    in
+    (listener, heard)
+  in
+  List.map row participants
+
+let user_chan user = user ^ "-conf"
+let bridge_chan user = "conf-bridge-" ^ user
+
+let bridge_local user port =
+  Local.endpoint ~owner:("bridge." ^ user) (Address.v "10.0.9.1" port) [ Codec.G711; Codec.G726 ]
+
+let link_id user = "leg-" ^ user
+
+let key chan = (Netsys.slot_ref ~box:"conf" ~chan ()).Netsys.key
+
+let build ~users =
+  let net = Netsys.add_box (Netsys.add_box Netsys.empty "conf") "bridge" in
+  let net = List.fold_left (fun net (u, _) -> Netsys.add_box net u) net users in
+  let net, _port =
+    List.fold_left
+      (fun (net, port) (u, local) ->
+        let net = Netsys.connect net ~chan:(user_chan u) ~initiator:u ~acceptor:"conf" () in
+        let net = Netsys.connect net ~chan:(bridge_chan u) ~initiator:"conf" ~acceptor:"bridge" () in
+        (* The bridge answers each leg as a media endpoint. *)
+        let net, _ =
+          Netsys.bind_hold net
+            (Netsys.slot_ref ~box:"bridge" ~chan:(bridge_chan u) ())
+            (bridge_local u port)
+        in
+        (* The server links the user's tunnel to the bridge's. *)
+        let net, _ =
+          Netsys.bind_link net ~box:"conf" ~id:(link_id u) (key (user_chan u))
+            (key (bridge_chan u))
+        in
+        (* The user dials in. *)
+        let net, _ =
+          Netsys.bind_open net (Netsys.slot_ref ~box:u ~chan:(user_chan u) ()) local Medium.Audio
+        in
+        (net, port + 2))
+      (net, 6000) users
+  in
+  net
+
+let full_mute ~user net =
+  let server = Local.server ~owner:("conf." ^ user) in
+  let net, s1 = Netsys.bind_hold net (Netsys.slot_ref ~box:"conf" ~chan:(user_chan user) ()) server in
+  let net, s2 =
+    Netsys.bind_hold net (Netsys.slot_ref ~box:"conf" ~chan:(bridge_chan user) ()) server
+  in
+  (net, s1 @ s2)
+
+let unmute ~user net =
+  Netsys.bind_link net ~box:"conf" ~id:(link_id user) (key (user_chan user))
+    (key (bridge_chan user))
+
+let flows net = Mediactl_media.Flow.edges (Paths.flows net)

@@ -1,0 +1,45 @@
+(** Audio conferencing (paper Figure 7).
+
+    A conference server (an application server) flowlinks the tunnel from
+    each user device to a tunnel leading to a conference bridge (a media
+    resource performing audio mixing).  Toward the bridge each audio
+    channel carries one user's voice; away from the bridge it carries the
+    mix of all the other users.
+
+    Full muting of a user is done with the signaling primitives: the
+    server temporarily replaces the user's flowlink by two holdslots.
+    Partial muting cannot be expressed by the four primitives; it is
+    achieved in the bridge, which the server instructs through
+    standardized meta-signals — represented here as mixing matrices. *)
+
+open Mediactl_core
+open Mediactl_runtime
+
+(** Partial-muting policies from the paper's examples. *)
+type policy =
+  | Open_floor  (** everyone hears everyone else *)
+  | Business of string list
+      (** inputs of the listed (non-speaking) participants are dropped *)
+  | Emergency of { calltaker : string; caller : string; responder : string }
+      (** the caller is heard but hears only the calltaker *)
+  | Whisper of { trainee : string; customer : string; coach : string }
+      (** the coach is heard only by the trainee, at a whisper *)
+
+val mixing_matrix : policy -> participants:string list -> (string * (string * float) list) list
+(** [(listener, [(speaker, gain); ...])] rows: which inputs the bridge
+    mixes into the stream toward each listener, with what gain. *)
+
+val build : users:(string * Local.t) list -> Netsys.t
+(** Boxes [conf] and [bridge] plus one box per user; for user [u],
+    channel [u-conf] links to channel [conf-bridge-u] inside the server.
+    Running the result to quiescence establishes every leg. *)
+
+val full_mute : user:string -> Netsys.t -> Netsys.t * Netsys.send list
+(** Replace the user's flowlink by two holdslots (paper: full muting). *)
+
+val unmute : user:string -> Netsys.t -> Netsys.t * Netsys.send list
+(** Restore the flowlink. *)
+
+val user_chan : string -> string
+val bridge_chan : string -> string
+val flows : Netsys.t -> (string * string) list

@@ -1,0 +1,100 @@
+type endpoint = { name : string; send_to : string option; expect_from : string option }
+
+type t = { eps : endpoint list }
+
+let set t name f =
+  { eps = List.map (fun e -> if e.name = name then f e else e) t.eps }
+
+(* The commands of the protocol-independent narrative: "send media to X",
+   "expect media from X", "stop sending".  Uncoordinated servers forward
+   them untouched, so they land directly on the endpoints. *)
+let send_to t name target = set t name (fun e -> { e with send_to = Some target })
+let expect_from t name source = set t name (fun e -> { e with expect_from = Some source })
+let stop_sending t name = set t name (fun e -> { e with send_to = None })
+
+let initial () =
+  {
+    eps =
+      [
+        (* Snapshot 1: A talking to C; B on hold (A stopped sending to
+           B, but B was never told anything new — it still sends toward
+           A, which at this point still expects A's own switch). *)
+        { name = "A"; send_to = Some "C"; expect_from = Some "C" };
+        { name = "B"; send_to = Some "A"; expect_from = None };
+        { name = "C"; send_to = Some "A"; expect_from = Some "A" };
+        { name = "V"; send_to = None; expect_from = None };
+      ];
+  }
+
+let snapshot t = function
+  | 1 -> t
+  | 2 ->
+    (* Funds exhausted: PC tells A to stop sending, tells C to send to
+       V, and V to send to C.  The do-not-send to A passes through the
+       PBX, which forwards it blindly. *)
+    let t = stop_sending t "A" in
+    let t = send_to t "C" "V" in
+    let t = expect_from t "C" "V" in
+    let t = send_to t "V" "C" in
+    let t = expect_from t "V" "C" in
+    t
+  | 3 ->
+    (* A switches back to B: the PBX tells A to send to B, B to send to
+       A, and C to stop sending.  That last command passes through PC,
+       which forwards it untouched to C — leaving V without input. *)
+    let t = send_to t "A" "B" in
+    let t = expect_from t "A" "B" in
+    let t = send_to t "B" "A" in
+    let t = expect_from t "B" "A" in
+    let t = stop_sending t "C" in
+    t
+  | 4 ->
+    (* V verified the funds: PC tells A to send to C, C to send to A,
+       and V to stop sending.  The command to A is forwarded blindly by
+       the PBX: A is switched without its permission, and B keeps
+       transmitting to an endpoint that now discards its packets. *)
+    let t = send_to t "A" "C" in
+    let t = expect_from t "A" "C" in
+    let t = send_to t "C" "A" in
+    let t = expect_from t "C" "A" in
+    let t = stop_sending t "V" in
+    t
+  | n -> invalid_arg (Printf.sprintf "Naive.snapshot: no snapshot %d" n)
+
+let endpoints t = t.eps
+
+let find t name = List.find (fun e -> e.name = name) t.eps
+
+let flows t =
+  List.filter_map
+    (fun e ->
+      match e.send_to with
+      | Some target when (find t target).expect_from = Some e.name -> Some (e.name, target)
+      | Some _ | None -> None)
+    t.eps
+  |> List.sort_uniq compare
+
+let wasted t =
+  List.filter_map
+    (fun e ->
+      match e.send_to with
+      | Some target when (find t target).expect_from <> Some e.name -> Some (e.name, target)
+      | Some _ | None -> None)
+    t.eps
+  |> List.sort_uniq compare
+
+let anomalies t =
+  let fl = flows t in
+  let ws = wasted t in
+  let one_way_cv =
+    (List.mem ("V", "C") fl && not (List.mem ("C", "V") fl))
+    || (List.mem ("C", "V") fl && not (List.mem ("V", "C") fl))
+  in
+  List.concat
+    [
+      (if one_way_cv then [ "the C-V channel is one-way: V lost its audio input" ] else []);
+      (if (find t "A").expect_from = Some "C" && List.mem ("B", "A") ws then
+         [ "A was switched to C without its permission while B still transmits to it" ]
+       else []);
+      List.map (fun (x, y) -> Printf.sprintf "%s transmits to %s, which discards the packets" x y) ws;
+    ]

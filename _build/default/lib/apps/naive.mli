@@ -1,0 +1,44 @@
+(** The {e erroneous} media control of paper Figure 2: application
+    servers that are not coordinated, acting as if media signals concern
+    media endpoints only, and therefore forwarding all media signals they
+    receive untouched.
+
+    The model is deliberately simple — a command-level reconstruction of
+    Figure 2's narrative.  Each endpoint keeps the last {e send-to} and
+    {e expect-from} commands it obeyed; a server issues commands to the
+    endpoints it serves and blindly forwards commands addressed through
+    it.  Replaying the four snapshots exhibits the three anomalies the
+    paper describes:
+
+    {ol
+    {- after Snapshot 3, V is left without audio input from C (the
+       C—V channel has become one-way);}
+    {- after Snapshot 4, A is switched from B to C without A's
+       permission (the PBX forwarded PC's command blindly);}
+    {- after Snapshot 4, B is left transmitting to an endpoint that
+       discards the packets.}} *)
+
+type endpoint = { name : string; send_to : string option; expect_from : string option }
+
+type t
+
+val initial : unit -> t
+(** A talking to B (after A answered C's prepaid call this becomes
+    snapshot 1); endpoints A, B, C, V. *)
+
+val snapshot : t -> int -> t
+(** Apply the command sequence of the given Figure-2 snapshot (1-4). *)
+
+val endpoints : t -> endpoint list
+
+val flows : t -> (string * string) list
+(** Directed flows that actually deliver media: X sends to Y and Y
+    expects media from X. *)
+
+val wasted : t -> (string * string) list
+(** Transmissions into the void: X sends to Y but Y does not expect
+    media from X (the receiver throws the packets away). *)
+
+val anomalies : t -> string list
+(** Human-readable descriptions of the Figure-2 anomalies present in the
+    current state. *)

@@ -1,0 +1,37 @@
+(** A parametric relinking laboratory for the latency analysis of paper
+    section VIII-C.
+
+    The latency of providing media flow from a signaling path is measured
+    from the moment the {e last} flowlink in the path is initialized; the
+    paper derives the average signaling delay
+
+    {v p·n + (p+1)·c v}
+
+    where [p] is the number of hops between the last flowlink and its
+    farther endpoint.
+
+    [build ~boxes ~j] makes a path [L — B1 — … — Bk — R] in which every
+    interior box except [Bj] has a flowlink and [Bj] holds its two slots;
+    both halves are live (L and R are openslots, so each half flows up to
+    [Bj]).  Applying {!relink} at [Bj] completes the path; the farther
+    endpoint is [max j (k + 1 - j)] hops away. *)
+
+open Mediactl_runtime
+
+val build : boxes:int -> j:int -> Netsys.t
+(** Requires [1 <= j <= boxes].  Run to quiescence before relinking. *)
+
+val relink : j:int -> Netsys.t -> Netsys.t * Netsys.send list
+(** Box [Bj] replaces its two holdslots by a flowlink. *)
+
+val left_transmits : Netsys.t -> bool
+(** The left endpoint can transmit toward the right endpoint (its
+    current peer descriptor is owned by R). *)
+
+val right_transmits : Netsys.t -> bool
+
+val hops : boxes:int -> j:int -> int
+(** [p]: hops between Bj and its farther endpoint. *)
+
+val formula : p:int -> n:float -> c:float -> float
+(** [p·n + (p+1)·c]. *)

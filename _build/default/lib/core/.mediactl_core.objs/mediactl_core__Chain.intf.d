@@ -1,0 +1,1 @@
+lib/core/chain.mli: Format Goal_error Local Mediactl_protocol Mediactl_types Medium Mute Semantics Slot Slot_state

@@ -1,0 +1,1 @@
+lib/core/close_slot.ml: Format Goal_error List Mediactl_protocol Mediactl_types Result Signal Slot

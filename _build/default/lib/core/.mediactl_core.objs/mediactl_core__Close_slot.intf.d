@@ -1,0 +1,1 @@
+lib/core/close_slot.mli: Format Goal_error Mediactl_protocol Mediactl_types Signal Slot

@@ -1,0 +1,1 @@
+lib/core/endpoint.ml: Goal_error List Local Mediactl_protocol Mediactl_types Medium Option React Result Signal Slot

@@ -1,0 +1,1 @@
+lib/core/endpoint.mli: Goal_error Local Mediactl_protocol Mediactl_types Medium Mute Signal Slot

@@ -1,0 +1,1 @@
+lib/core/flow_link.ml: Format Goal_error List Mediactl_protocol Mediactl_types Medium Result Selector Signal Slot

@@ -1,0 +1,1 @@
+lib/core/goal_error.ml: Format Mediactl_protocol

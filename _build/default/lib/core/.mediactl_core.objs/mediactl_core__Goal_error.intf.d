@@ -1,0 +1,1 @@
+lib/core/goal_error.mli: Format Mediactl_protocol

@@ -1,0 +1,1 @@
+lib/core/hold_slot.ml: Format Goal_error List Local Mediactl_protocol Mediactl_types React Result Signal Slot

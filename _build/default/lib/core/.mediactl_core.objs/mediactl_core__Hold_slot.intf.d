@@ -1,0 +1,1 @@
+lib/core/hold_slot.mli: Format Goal_error Local Mediactl_protocol Mediactl_types Mute Signal Slot

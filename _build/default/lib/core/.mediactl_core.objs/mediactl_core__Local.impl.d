@@ -1,0 +1,1 @@
+lib/core/local.ml: Address Codec Descriptor Format Mediactl_types Mute Option Selector

@@ -1,0 +1,1 @@
+lib/core/local.mli: Address Codec Descriptor Format Mediactl_types Mute Selector

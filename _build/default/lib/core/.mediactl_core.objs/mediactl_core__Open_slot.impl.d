@@ -1,0 +1,1 @@
+lib/core/open_slot.ml: Format Goal_error List Local Mediactl_protocol Mediactl_types Medium React Result Signal Slot

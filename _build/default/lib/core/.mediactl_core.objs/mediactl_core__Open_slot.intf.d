@@ -1,0 +1,1 @@
+lib/core/open_slot.mli: Format Goal_error Local Mediactl_protocol Mediactl_types Medium Mute Signal Slot

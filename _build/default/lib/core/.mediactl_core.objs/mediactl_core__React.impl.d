@@ -1,0 +1,1 @@
+lib/core/react.ml: Goal_error Local Mediactl_protocol Result Slot

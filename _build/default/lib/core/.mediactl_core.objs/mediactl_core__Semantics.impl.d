@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Bool Descriptor Format Mediactl_protocol Mediactl_types Medium Mute Selector Slot

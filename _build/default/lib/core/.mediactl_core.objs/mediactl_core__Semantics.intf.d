@@ -1,0 +1,1 @@
+lib/core/semantics.mli: Format Mediactl_protocol Mediactl_types Mute Slot

@@ -1,0 +1,339 @@
+open Mediactl_types
+open Mediactl_protocol
+open Mediactl_signaling
+
+type end_spec =
+  | Open_spec of Local.t * Medium.t
+  | Close_spec
+  | Hold_spec of Local.t
+
+let end_kind = function
+  | Open_spec _ -> Semantics.Open_end
+  | Close_spec -> Semantics.Close_end
+  | Hold_spec _ -> Semantics.Hold_end
+
+type end_ = Lend | Rend
+
+type direction = Rightward | Leftward
+
+let pp_direction ppf = function
+  | Rightward -> Format.pp_print_string ppf "->"
+  | Leftward -> Format.pp_print_string ppf "<-"
+
+type node_goal =
+  | G_open of Open_slot.t
+  | G_close of Close_slot.t
+  | G_hold of Hold_slot.t
+
+type endpoint = { goal : node_goal; slot : Slot.t }
+
+type link = { fl : Flow_link.t; lslot : Slot.t; rslot : Slot.t }
+
+(* [left_is_a] records which tunnel end is the channel-initiator (A)
+   end; the node holding A wins open races. *)
+type oriented_tunnel = { q : Tunnel.t; left_is_a : bool }
+
+type t = {
+  left : endpoint;
+  links : link list;
+  tuns : oriented_tunnel list;  (* length = List.length links + 1 *)
+  right : endpoint;
+}
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Tunnel plumbing                                                     *)
+
+let nth_tun t i = List.nth t.tuns i
+
+let set_tun t i q =
+  { t with tuns = List.mapi (fun j ot -> if j = i then { ot with q } else ot) t.tuns }
+
+let send_from_left t i signal =
+  let ot = nth_tun t i in
+  let from = if ot.left_is_a then Tunnel.A else Tunnel.B in
+  set_tun t i (Tunnel.send ~from signal ot.q)
+
+let send_from_right t i signal =
+  let ot = nth_tun t i in
+  let from = if ot.left_is_a then Tunnel.B else Tunnel.A in
+  set_tun t i (Tunnel.send ~from signal ot.q)
+
+let receive_at_right t i =
+  let ot = nth_tun t i in
+  let at = if ot.left_is_a then Tunnel.B else Tunnel.A in
+  match Tunnel.receive ~at ot.q with
+  | None -> None
+  | Some (signal, q) -> Some (signal, set_tun t i q)
+
+let receive_at_left t i =
+  let ot = nth_tun t i in
+  let at = if ot.left_is_a then Tunnel.A else Tunnel.B in
+  match Tunnel.receive ~at ot.q with
+  | None -> None
+  | Some (signal, q) -> Some (signal, set_tun t i q)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint goal dispatch                                              *)
+
+let endpoint_start spec slot =
+  match spec with
+  | Open_spec (local, m) ->
+    let* o = Open_slot.start local m slot in
+    Ok ({ goal = G_open o.Open_slot.goal; slot = o.Open_slot.slot }, o.Open_slot.out)
+  | Close_spec ->
+    let* o = Close_slot.start slot in
+    Ok ({ goal = G_close o.Close_slot.goal; slot = o.Close_slot.slot }, o.Close_slot.out)
+  | Hold_spec local ->
+    let* o = Hold_slot.start local slot in
+    Ok ({ goal = G_hold o.Hold_slot.goal; slot = o.Hold_slot.slot }, o.Hold_slot.out)
+
+let endpoint_signal ep signal =
+  match ep.goal with
+  | G_open g ->
+    let* o = Open_slot.on_signal g ep.slot signal in
+    Ok ({ goal = G_open o.Open_slot.goal; slot = o.Open_slot.slot }, o.Open_slot.out)
+  | G_close g ->
+    let* o = Close_slot.on_signal g ep.slot signal in
+    Ok ({ goal = G_close o.Close_slot.goal; slot = o.Close_slot.slot }, o.Close_slot.out)
+  | G_hold g ->
+    let* o = Hold_slot.on_signal g ep.slot signal in
+    Ok ({ goal = G_hold o.Hold_slot.goal; slot = o.Hold_slot.slot }, o.Hold_slot.out)
+
+let endpoint_modify ep mute =
+  match ep.goal with
+  | G_open g ->
+    let* o = Open_slot.modify g ep.slot mute in
+    Ok ({ goal = G_open o.Open_slot.goal; slot = o.Open_slot.slot }, o.Open_slot.out)
+  | G_hold g ->
+    let* o = Hold_slot.modify g ep.slot mute in
+    Ok ({ goal = G_hold o.Hold_slot.goal; slot = o.Hold_slot.slot }, o.Hold_slot.out)
+  | G_close _ -> Error (Goal_error.precondition "modify on a closeslot end")
+
+let endpoint_kind ep =
+  match ep.goal with
+  | G_open _ -> Semantics.Open_end
+  | G_close _ -> Semantics.Close_end
+  | G_hold _ -> Semantics.Hold_end
+
+let endpoint_mute ep =
+  match ep.goal with
+  | G_open g -> Some (Open_slot.local g).Local.mute
+  | G_hold g -> Some (Hold_slot.local g).Local.mute
+  | G_close _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Link plumbing                                                       *)
+
+let nth_link t j = List.nth t.links j
+
+let set_link t j link =
+  { t with links = List.mapi (fun k old -> if k = j then link else old) t.links }
+
+(* Route a flowlink emission: side Left goes out on tunnel [j] (where
+   the link is the right-hand node), side Right on tunnel [j+1]. *)
+let route_link_emissions t j out =
+  List.fold_left
+    (fun t (side, signal) ->
+      match side with
+      | Flow_link.Left -> send_from_right t j signal
+      | Flow_link.Right -> send_from_left t (j + 1) signal)
+    t out
+
+let link_signal t j side signal =
+  let link = nth_link t j in
+  let* o = Flow_link.on_signal link.fl ~left:link.lslot ~right:link.rslot side signal in
+  let link =
+    { fl = o.Flow_link.goal; lslot = o.Flow_link.left; rslot = o.Flow_link.right }
+  in
+  let t = set_link t j link in
+  Ok (route_link_emissions t j o.Flow_link.out)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let create ?initiator_left ~left ~flowlinks ~right () =
+  if flowlinks < 0 then invalid_arg "Chain.create: negative flowlink count";
+  let n_tunnels = flowlinks + 1 in
+  let orientation =
+    match initiator_left with
+    | None -> List.init n_tunnels (fun _ -> true)
+    | Some l ->
+      if List.length l <> n_tunnels then
+        invalid_arg "Chain.create: initiator_left length must be flowlinks + 1";
+      l
+  in
+  let role_left i = if List.nth orientation i then Slot.Channel_initiator else Slot.Channel_acceptor in
+  let role_right i = if List.nth orientation i then Slot.Channel_acceptor else Slot.Channel_initiator in
+  let tuns = List.map (fun left_is_a -> { q = Tunnel.empty; left_is_a }) orientation in
+  let* left_ep, left_out =
+    endpoint_start left (Slot.create ~label:"L" (role_left 0))
+  in
+  let* right_ep, right_out =
+    endpoint_start right (Slot.create ~label:"R" (role_right (n_tunnels - 1)))
+  in
+  let* links =
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        let lslot = Slot.create ~label:(Printf.sprintf "fl%d.l" j) (role_right j) in
+        let rslot = Slot.create ~label:(Printf.sprintf "fl%d.r" j) (role_left (j + 1)) in
+        let* o = Flow_link.start lslot rslot in
+        (* Fresh slots are closed, so a starting flowlink emits nothing. *)
+        if o.Flow_link.out <> [] then
+          Error (Goal_error.precondition "flowlink emitted on closed slots")
+        else
+          Ok
+            (acc
+            @ [ { fl = o.Flow_link.goal; lslot = o.Flow_link.left; rslot = o.Flow_link.right } ]))
+      (Ok [])
+      (List.init flowlinks Fun.id)
+  in
+  let t = { left = left_ep; links; tuns; right = right_ep } in
+  let t = List.fold_left (fun t s -> send_from_left t 0 s) t left_out in
+  let t = List.fold_left (fun t s -> send_from_right t (n_tunnels - 1) s) t right_out in
+  Ok t
+
+(* ------------------------------------------------------------------ *)
+(* Observations                                                        *)
+
+let flowlink_count t = List.length t.links
+let tunnel_count t = List.length t.tuns
+let left_slot t = t.left.slot
+let right_slot t = t.right.slot
+
+let slot_states t =
+  (t.left.slot.Slot.state
+  :: List.concat_map (fun l -> [ l.lslot.Slot.state; l.rslot.Slot.state ]) t.links)
+  @ [ t.right.slot.Slot.state ]
+
+let left_kind t = endpoint_kind t.left
+let right_kind t = endpoint_kind t.right
+let spec t = Semantics.spec_of (left_kind t) (right_kind t)
+
+let both_closed t = Semantics.both_closed ~left:t.left.slot ~right:t.right.slot
+let both_flowing t = Semantics.both_flowing ~left:t.left.slot ~right:t.right.slot
+
+let left_mute t = endpoint_mute t.left
+let right_mute t = endpoint_mute t.right
+
+let enabled_agrees t =
+  match left_mute t, right_mute t with
+  | Some left_mute, Some right_mute ->
+    (not (both_flowing t))
+    || Semantics.enabled_agrees ~left_mute ~right_mute ~left:t.left.slot ~right:t.right.slot
+  | (Some _ | None), _ -> true
+
+let quiescent t = List.for_all (fun ot -> Tunnel.is_empty ot.q) t.tuns
+
+let signals_in_flight t =
+  List.fold_left (fun acc ot -> acc + Tunnel.in_flight ot.q) 0 t.tuns
+
+let final_states_clean t =
+  let clean = function
+    | Slot_state.Closed | Slot_state.Flowing -> true
+    | Slot_state.Opening | Slot_state.Opened | Slot_state.Closing -> false
+  in
+  List.for_all clean (slot_states t)
+
+(* ------------------------------------------------------------------ *)
+(* Transitions                                                         *)
+
+let deliverable t =
+  List.concat
+    (List.mapi
+       (fun i ot ->
+         let toward_right =
+           if Tunnel.pending ~toward:(if ot.left_is_a then Tunnel.B else Tunnel.A) ot.q <> []
+           then [ (i, Rightward) ]
+           else []
+         in
+         let toward_left =
+           if Tunnel.pending ~toward:(if ot.left_is_a then Tunnel.A else Tunnel.B) ot.q <> []
+           then [ (i, Leftward) ]
+           else []
+         in
+         toward_right @ toward_left)
+       t.tuns)
+
+let deliver t i direction =
+  let n_links = List.length t.links in
+  match direction with
+  | Rightward -> (
+    match receive_at_right t i with
+    | None -> None
+    | Some (signal, t) ->
+      if i = n_links then
+        (* The rightmost tunnel feeds the right endpoint. *)
+        Some
+          (let* ep, out = endpoint_signal t.right signal in
+           let t = { t with right = ep } in
+           Ok (List.fold_left (fun t s -> send_from_right t i s) t out))
+      else
+        (* Tunnel [i] feeds the left slot of link [i]. *)
+        Some (link_signal t i Flow_link.Left signal))
+  | Leftward -> (
+    match receive_at_left t i with
+    | None -> None
+    | Some (signal, t) ->
+      if i = 0 then
+        Some
+          (let* ep, out = endpoint_signal t.left signal in
+           let t = { t with left = ep } in
+           Ok (List.fold_left (fun t s -> send_from_left t i s) t out))
+      else
+        (* Tunnel [i] feeds the right slot of link [i - 1]. *)
+        Some (link_signal t (i - 1) Flow_link.Right signal))
+
+let modify t which mute =
+  match which with
+  | Lend ->
+    let* ep, out = endpoint_modify t.left mute in
+    let t = { t with left = ep } in
+    Ok (List.fold_left (fun t s -> send_from_left t 0 s) t out)
+  | Rend ->
+    let* ep, out = endpoint_modify t.right mute in
+    let t = { t with right = ep } in
+    Ok (List.fold_left (fun t s -> send_from_right t (tunnel_count t - 1) s) t out)
+
+let reprogram t which spec =
+  match which with
+  | Lend ->
+    let* ep, out = endpoint_start spec t.left.slot in
+    let t = { t with left = ep } in
+    Ok (List.fold_left (fun t s -> send_from_left t 0 s) t out)
+  | Rend ->
+    let* ep, out = endpoint_start spec t.right.slot in
+    let t = { t with right = ep } in
+    Ok (List.fold_left (fun t s -> send_from_right t (tunnel_count t - 1) s) t out)
+
+let run ?(max_steps = 10_000) t =
+  let rec loop t steps =
+    if steps >= max_steps then Ok (t, false)
+    else
+      match deliverable t with
+      | [] -> Ok (t, true)
+      | (i, direction) :: _ -> (
+        match deliver t i direction with
+        | None -> Ok (t, true)  (* unreachable: deliverable said non-empty *)
+        | Some result ->
+          let* t = result in
+          loop t (steps + 1))
+  in
+  loop t 0
+
+let equal (a : t) (b : t) = a = b
+let hash (t : t) = Hashtbl.hash t
+
+let pp ppf t =
+  let pp_link ppf l =
+    Format.fprintf ppf "[%a %a %a]" Slot.pp l.lslot Flow_link.pp l.fl Slot.pp l.rslot
+  in
+  Format.fprintf ppf "@[<v>chain %a .. %a@ left: %a@ links: %a@ tunnels: %a@]"
+    Semantics.pp_end_kind (left_kind t) Semantics.pp_end_kind (right_kind t) Slot.pp
+    t.left.slot
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_link)
+    t.links
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf ot -> Tunnel.pp ppf ot.q))
+    t.tuns

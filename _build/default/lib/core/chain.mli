@@ -1,0 +1,99 @@
+(** An executable signaling path: a maximal chain of tunnels and
+    flowlinks with a goal object controlling each end (paper section
+    III-A, Figure 4).
+
+    The chain is a pure transition system.  Its states are the goal
+    objects, slots, and tunnel contents; its transitions deliver one
+    signal from a tunnel to the adjacent node, change an endpoint's mute
+    flags, or reprogram an endpoint with a different goal.  Purity means
+    the very same goal-object code is executed by the discrete-event
+    simulator and explored exhaustively by the model checker. *)
+
+open Mediactl_types
+open Mediactl_protocol
+
+(** How a path end is programmed. *)
+type end_spec =
+  | Open_spec of Local.t * Medium.t
+  | Close_spec
+  | Hold_spec of Local.t
+
+val end_kind : end_spec -> Semantics.end_kind
+
+(** Identifies a path end. *)
+type end_ = Lend | Rend
+
+(** Which way a delivered signal is travelling. *)
+type direction = Rightward | Leftward
+
+val pp_direction : Format.formatter -> direction -> unit
+
+type t
+
+val create :
+  ?initiator_left:bool list ->
+  left:end_spec -> flowlinks:int -> right:end_spec -> unit ->
+  (t, Goal_error.t) result
+(** [create ~left ~flowlinks ~right ()] builds a path with [flowlinks]
+    interior flowlinks (hence [flowlinks + 1] tunnels) and starts every
+    goal object.  [initiator_left] says, per tunnel, whether its left
+    node initiated the underlying signaling channel (and so wins open
+    races); it defaults to all [true]. *)
+
+(** {2 Observations} *)
+
+val flowlink_count : t -> int
+val tunnel_count : t -> int
+val left_slot : t -> Slot.t
+val right_slot : t -> Slot.t
+val slot_states : t -> Slot_state.t list
+(** Every slot on the path, left to right. *)
+
+val left_kind : t -> Semantics.end_kind
+val right_kind : t -> Semantics.end_kind
+val spec : t -> Semantics.spec
+
+val both_closed : t -> bool
+val both_flowing : t -> bool
+val enabled_agrees : t -> bool
+(** The section-V enabledness equations at the path ends; vacuously true
+    when an end has no mute flags (closeslot). *)
+
+val left_mute : t -> Mute.t option
+val right_mute : t -> Mute.t option
+
+val quiescent : t -> bool
+(** No signal in flight in any tunnel. *)
+
+val signals_in_flight : t -> int
+
+val final_states_clean : t -> bool
+(** The safety condition checked in quiescent states (paper section
+    VIII-A): every slot on the path is closed or flowing. *)
+
+(** {2 Transitions} *)
+
+val deliverable : t -> (int * direction) list
+(** Tunnels with a pending signal, as [(tunnel index, direction)]. *)
+
+val deliver : t -> int -> direction -> (t, Goal_error.t) result option
+(** Deliver the oldest signal on that tunnel in that direction to the
+    adjacent node; [None] when the queue is empty. *)
+
+val modify : t -> end_ -> Mute.t -> (t, Goal_error.t) result
+(** Change the mute flags chosen at a path end (a [modify] event of the
+    user interface).  Fails on a closeslot end. *)
+
+val reprogram : t -> end_ -> end_spec -> (t, Goal_error.t) result
+(** Replace the goal object controlling a path end, as a box program does
+    when it changes state.  [Open_spec] requires the slot to be closed
+    (the openslot precondition). *)
+
+val run : ?max_steps:int -> t -> (t * bool, Goal_error.t) result
+(** Deterministic scheduler: repeatedly deliver the first deliverable
+    signal until quiescence or [max_steps] (default 10_000) deliveries.
+    Returns the final chain and whether it is quiescent. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

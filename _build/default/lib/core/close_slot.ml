@@ -1,0 +1,48 @@
+open Mediactl_types
+open Mediactl_protocol
+
+type t = unit
+
+type outcome = { goal : t; slot : Slot.t; out : Signal.t list }
+
+let ( let* ) = Result.bind
+let slot_op r = Result.map_error Goal_error.of_slot r
+
+let start slot =
+  if Slot.is_live slot then
+    let* slot, signal = slot_op (Slot.send_close slot) in
+    Ok { goal = (); slot; out = [ signal ] }
+  else Ok { goal = (); slot; out = [] }
+
+let react (slot, out) note =
+  match note with
+  | Slot.Opened_by_peer ->
+    (* Reject immediately. *)
+    let* slot, signal = slot_op (Slot.send_close slot) in
+    Ok (slot, out @ [ signal ])
+  | Slot.Accepted_by_peer ->
+    (* An oack answering an open inherited from a previous goal arrived
+       before our close was sent; close the now-flowing channel. *)
+    let* slot, signal = slot_op (Slot.send_close slot) in
+    Ok (slot, out @ [ signal ])
+  | Slot.New_descriptor | Slot.New_selector ->
+    (* Only reachable when the slot was inherited flowing and our close
+       is about to be sent or crossed these; nothing to answer. *)
+    Ok (slot, out)
+  | Slot.Closed_by_peer | Slot.Close_confirmed | Slot.Race_won | Slot.Race_lost
+  | Slot.Dropped _ ->
+    Ok (slot, out)
+
+let on_signal () slot signal =
+  let* slot, auto, notes = slot_op (Slot.receive slot signal) in
+  let* slot, out =
+    List.fold_left
+      (fun acc note ->
+        let* acc = acc in
+        react acc note)
+      (Ok (slot, auto))
+      notes
+  in
+  Ok { goal = (); slot; out }
+
+let pp ppf () = Format.pp_print_string ppf "closeSlot"

@@ -1,0 +1,22 @@
+(** The [closeSlot] goal: get the controlled slot to the [closed] state
+    and keep it there (paper section IV-A).
+
+    A closeslot emits [close] signals, never [open] or [oack].  Once its
+    slot is closed, any [open] from the peer is rejected immediately (the
+    [close] signal subsumes reject).  A closeslot can gain control of a
+    slot in any state. *)
+
+open Mediactl_protocol
+open Mediactl_types
+
+type t
+
+type outcome = { goal : t; slot : Slot.t; out : Signal.t list }
+
+val start : Slot.t -> (outcome, Goal_error.t) result
+(** Gain control of a slot in any state; closes it immediately when it is
+    live. *)
+
+val on_signal : t -> Slot.t -> Signal.t -> (outcome, Goal_error.t) result
+
+val pp : Format.formatter -> t -> unit

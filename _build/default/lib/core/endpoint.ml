@@ -1,0 +1,89 @@
+open Mediactl_types
+open Mediactl_protocol
+
+type decision = Accept | Reject | Ring
+
+type indication = Ui_opened of Medium.t | Ui_accepted | Ui_closed | Ui_modified
+
+type t = { local : Local.t; policy : Medium.t -> decision; ringing : bool }
+
+type outcome = { ep : t; slot : Slot.t; out : Signal.t list; ui : indication list }
+
+let ( let* ) = Result.bind
+let slot_op r = Result.map_error Goal_error.of_slot r
+
+let create local ~policy = { local; policy; ringing = false }
+
+let local t = t.local
+let ringing t = t.ringing
+
+let open_ t slot medium =
+  if not (Slot.is_closed slot) then
+    Error (Goal_error.precondition "open: the slot is not closed")
+  else
+    let* slot, signal = slot_op (Slot.send_open slot medium (Local.descriptor t.local)) in
+    Ok { ep = t; slot; out = [ signal ]; ui = [] }
+
+let accept t slot =
+  if not t.ringing then Error (Goal_error.precondition "accept: nothing is ringing")
+  else
+    let* slot, out = React.accept t.local slot in
+    Ok { ep = { t with ringing = false }; slot; out; ui = [] }
+
+let reject t slot =
+  if not t.ringing then Error (Goal_error.precondition "reject: nothing is ringing")
+  else
+    let* slot, signal = slot_op (Slot.send_close slot) in
+    Ok { ep = { t with ringing = false }; slot; out = [ signal ]; ui = [] }
+
+let close t slot =
+  let* slot, signal = slot_op (Slot.send_close slot) in
+  Ok { ep = { t with ringing = false }; slot; out = [ signal ]; ui = [] }
+
+let modify t slot mute =
+  let local = Local.modify t.local mute in
+  let t = { t with local } in
+  if Slot.is_flowing slot then
+    let* slot, out = React.re_describe local slot in
+    Ok { ep = t; slot; out; ui = [] }
+  else Ok { ep = t; slot; out = []; ui = [] }
+
+let react t (slot, out, ui) note =
+  match note with
+  | Slot.Opened_by_peer -> (
+    let medium = Option.value slot.Slot.medium ~default:Medium.Audio in
+    let ui = ui @ [ Ui_opened medium ] in
+    match t.policy medium with
+    | Accept ->
+      let* slot, signals = React.accept t.local slot in
+      Ok (t, slot, out @ signals, ui)
+    | Reject ->
+      let* slot, signal = slot_op (Slot.send_close slot) in
+      Ok (t, slot, out @ [ signal ], ui)
+    | Ring -> Ok ({ t with ringing = true }, slot, out, ui))
+  | Slot.Accepted_by_peer ->
+    let* slot, signals = React.answer t.local slot in
+    Ok (t, slot, out @ signals, ui @ [ Ui_accepted ])
+  | Slot.New_descriptor ->
+    let* slot, signals = React.answer t.local slot in
+    Ok (t, slot, out @ signals, ui @ [ Ui_modified ])
+  | Slot.Closed_by_peer -> Ok ({ t with ringing = false }, slot, out, ui @ [ Ui_closed ])
+  | Slot.Close_confirmed -> Ok (t, slot, out, ui @ [ Ui_closed ])
+  | Slot.Race_lost ->
+    (* Our open crossed theirs and lost: we are now being offered the
+       channel and the policy decides again (the [Opened_by_peer] that
+       accompanies this note drives that). *)
+    Ok (t, slot, out, ui)
+  | Slot.Race_won | Slot.New_selector | Slot.Dropped _ -> Ok (t, slot, out, ui)
+
+let on_signal t slot signal =
+  let* slot, auto, notes = slot_op (Slot.receive slot signal) in
+  let* t, slot, out, ui =
+    List.fold_left
+      (fun acc note ->
+        let* t, slot, out, ui = acc in
+        react t (slot, out, ui) note)
+      (Ok (t, slot, auto, []))
+      notes
+  in
+  Ok { ep = t; slot; out; ui }

@@ -1,0 +1,67 @@
+(** A genuine media endpoint implementing the user interface of paper
+    Figure 5 directly over the protocol.
+
+    The paper's section V notes that media endpoints {e could} be
+    programmed with the state-oriented goal primitives, but that
+    implementing the events of Figure 5 directly is the natural style for
+    devices.  This module is that direct implementation: the user chooses
+    [!open], [!accept], [!reject], [!close], and [!modify]; the other end
+    of the channel produces [?opened], [?accepted], [?closed], and
+    [?modified] indications.  Unlike a holdslot, an endpoint can defer or
+    refuse an offered channel — the freedom the user interface grants.
+
+    The slot machine underneath translates the interface to the protocol
+    exactly as section VI-C describes: accepts become [oack]s, modifies
+    become [describe]/[select] pairs, and rejects become [close]s. *)
+
+open Mediactl_types
+open Mediactl_protocol
+
+(** What the user wants done with an offered channel. *)
+type decision =
+  | Accept  (** answer immediately *)
+  | Reject  (** decline immediately *)
+  | Ring  (** leave it pending until {!accept} or {!reject} is called *)
+
+(** Indications surfaced to the user, mirroring the [?]-events of
+    Figure 5. *)
+type indication =
+  | Ui_opened of Medium.t  (** the far end requests a channel *)
+  | Ui_accepted  (** our open was accepted *)
+  | Ui_closed  (** the channel closed (or our open was rejected) *)
+  | Ui_modified  (** the far end changed its media description *)
+
+type t
+
+type outcome = { ep : t; slot : Slot.t; out : Signal.t list; ui : indication list }
+
+val create : Local.t -> policy:(Medium.t -> decision) -> t
+(** An idle endpoint; [policy] decides what happens when the far end
+    opens a channel toward it. *)
+
+val local : t -> Local.t
+val ringing : t -> bool
+(** True while an offered channel awaits {!accept}/{!reject}. *)
+
+(** {2 User choices (the [!]-events)} *)
+
+val open_ : t -> Slot.t -> Medium.t -> (outcome, Goal_error.t) result
+(** [!open]: request a channel; the slot must be closed. *)
+
+val accept : t -> Slot.t -> (outcome, Goal_error.t) result
+(** [!accept] a ringing channel. *)
+
+val reject : t -> Slot.t -> (outcome, Goal_error.t) result
+(** [!reject] a ringing channel. *)
+
+val close : t -> Slot.t -> (outcome, Goal_error.t) result
+(** [!close] the channel in any live state. *)
+
+val modify : t -> Slot.t -> Mute.t -> (outcome, Goal_error.t) result
+(** [!modify]: change the mute flags; re-describes when flowing. *)
+
+(** {2 The channel's other end} *)
+
+val on_signal : t -> Slot.t -> Signal.t -> (outcome, Goal_error.t) result
+(** Process a signal from the tunnel, producing protocol replies and user
+    indications. *)

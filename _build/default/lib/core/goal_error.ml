@@ -1,0 +1,12 @@
+type t =
+  | Protocol of Mediactl_protocol.Slot.error
+  | Precondition of string
+
+let of_slot e = Protocol e
+let precondition s = Precondition s
+
+let pp ppf = function
+  | Protocol e -> Format.fprintf ppf "protocol error: %a" Mediactl_protocol.Slot.pp_error e
+  | Precondition s -> Format.fprintf ppf "precondition violated: %s" s
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,16 @@
+(** Errors raised by goal objects.
+
+    A [Protocol] error wraps an illegal slot transition — these indicate
+    implementation bugs and are what the model checker proves unreachable.
+    A [Precondition] error reports misuse of a primitive by a box program
+    (for example annotating [openSlot(s,m)] on a slot that is not
+    closed). *)
+
+type t =
+  | Protocol of Mediactl_protocol.Slot.error
+  | Precondition of string
+
+val of_slot : Mediactl_protocol.Slot.error -> t
+val precondition : string -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

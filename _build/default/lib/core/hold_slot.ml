@@ -1,0 +1,72 @@
+open Mediactl_types
+open Mediactl_protocol
+
+type t = { local : Local.t }
+
+type outcome = { goal : t; slot : Slot.t; out : Signal.t list }
+
+let ( let* ) = Result.bind
+
+let local t = t.local
+
+let start local slot =
+  let t = { local } in
+  if Slot.is_opened slot then
+    (* The channel was already requested: accept it right away. *)
+    let* slot, out = React.accept local slot in
+    Ok { goal = t; slot; out }
+  else if Slot.is_flowing slot then
+    (* Adopting a flowing channel: impose this goal's own media face.
+       In an application server the face is noMedia in both directions,
+       which is how a holdslot taking over from a flowlink silences the
+       far endpoint (putting it "on hold"). *)
+    let* slot, out = React.re_describe local slot in
+    Ok { goal = t; slot; out }
+  else
+    (* Closed: wait for the other end.  Opening (inherited from a
+       previous openslot): an oack or close will arrive and be handled.
+       Closing: wait for the closeack. *)
+    Ok { goal = t; slot; out = [] }
+
+let react t (slot, out) note =
+  match note with
+  | Slot.Opened_by_peer ->
+    let* slot, signals = React.accept t.local slot in
+    Ok (slot, out @ signals)
+  | Slot.Accepted_by_peer ->
+    (* An open inherited from a previous openslot was accepted. *)
+    let* slot, signals = React.answer t.local slot in
+    Ok (slot, out @ signals)
+  | Slot.New_descriptor ->
+    let* slot, signals = React.answer t.local slot in
+    Ok (slot, out @ signals)
+  | Slot.Closed_by_peer ->
+    (* Stay closed until the other end asks to open again. *)
+    Ok (slot, out)
+  | Slot.Race_won | Slot.Race_lost | Slot.New_selector | Slot.Close_confirmed
+  | Slot.Dropped _ ->
+    Ok (slot, out)
+
+let on_signal t slot signal =
+  let* slot, auto, notes =
+    Result.map_error Goal_error.of_slot (Slot.receive slot signal)
+  in
+  let* slot, out =
+    List.fold_left
+      (fun acc note ->
+        let* acc = acc in
+        react t acc note)
+      (Ok (slot, auto))
+      notes
+  in
+  Ok { goal = t; slot; out }
+
+let modify t slot mute =
+  let local = Local.modify t.local mute in
+  let t = { local } in
+  if Slot.is_flowing slot then
+    let* slot, out = React.re_describe local slot in
+    Ok { goal = t; slot; out }
+  else Ok { goal = t; slot; out = [] }
+
+let pp ppf t = Format.fprintf ppf "holdSlot(%a)" Local.pp t.local

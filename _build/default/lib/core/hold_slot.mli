@@ -1,0 +1,26 @@
+(** The [holdSlot] goal: accept a media channel and get it to the
+    [flowing] state, but only if the channel is requested by the other end
+    of the signaling path (paper section IV-A).
+
+    A holdslot emits [oack] signals, never [open] or [close].  If the
+    other end closes the channel, it remains closed until the other end
+    asks to open it again.  A holdslot can gain control of a slot in any
+    state. *)
+
+open Mediactl_types
+open Mediactl_protocol
+
+type t
+
+type outcome = { goal : t; slot : Slot.t; out : Signal.t list }
+
+val start : Local.t -> Slot.t -> (outcome, Goal_error.t) result
+(** Gain control of a slot in any state; accepts immediately when the
+    slot is already [opened]. *)
+
+val on_signal : t -> Slot.t -> Signal.t -> (outcome, Goal_error.t) result
+
+val modify : t -> Slot.t -> Mute.t -> (outcome, Goal_error.t) result
+
+val local : t -> Local.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+open Mediactl_types
+open Mediactl_protocol
+
+type t = { local : Local.t; want : Medium.t }
+
+type outcome = { goal : t; slot : Slot.t; out : Signal.t list }
+
+let ( let* ) = Result.bind
+let slot_op r = Result.map_error Goal_error.of_slot r
+
+let local t = t.local
+let medium t = t.want
+
+let open_now t slot =
+  let* slot, signal = slot_op (Slot.send_open slot t.want (Local.descriptor t.local)) in
+  Ok { goal = t; slot; out = [ signal ] }
+
+let start local want slot =
+  if not (Slot.is_closed slot) then
+    Error (Goal_error.precondition "openSlot requires a closed slot")
+  else open_now { local; want } slot
+
+let assume local want slot =
+  let t = { local; want } in
+  if Slot.is_closed slot then open_now t slot
+  else if Slot.is_opened slot then
+    let* slot, out = React.accept local slot in
+    Ok { goal = t; slot; out }
+  else if Slot.is_flowing slot then
+    (* Adopting a flowing channel: re-describe so the channel reflects
+       this goal's own media face rather than the previous goal's. *)
+    let* slot, out = React.re_describe local slot in
+    Ok { goal = t; slot; out }
+  else
+    (* Opening: an oack or reject is on its way.  Closing: wait for the
+       closeack, then reopen. *)
+    Ok { goal = t; slot; out = [] }
+
+(* One received signal can produce several notes (a lost race is both
+   [Race_lost] and [Opened_by_peer]); fold the reactions over them. *)
+let react t (slot, out) note =
+  match note with
+  | Slot.Opened_by_peer ->
+    (* Accepting the peer's open is the fastest road to flowing. *)
+    let* slot, signals = React.accept t.local slot in
+    Ok (slot, out @ signals)
+  | Slot.Accepted_by_peer ->
+    (* Our open was oacked: answer the acceptor's descriptor. *)
+    let* slot, signals = React.answer t.local slot in
+    Ok (slot, out @ signals)
+  | Slot.Closed_by_peer ->
+    (* A reject (or a close of a flowing channel): open again.  The
+       openslot takes every opportunity to push toward flowing.  When the
+       peer's close crossed a close inherited from a previous goal, the
+       slot is still closing; the reopen then waits for the closeack
+       (handled at [Close_confirmed]). *)
+    if Slot.is_closed slot then
+      let* slot, signal = slot_op (Slot.send_open slot t.want (Local.descriptor t.local)) in
+      Ok (slot, out @ [ signal ])
+    else Ok (slot, out)
+  | Slot.New_descriptor ->
+    (* The receiver of a descriptor must respond with a selector. *)
+    let* slot, signals = React.answer t.local slot in
+    Ok (slot, out @ signals)
+  | Slot.Close_confirmed ->
+    (* Only reachable when the slot was inherited in the closing state:
+       once the close completes, push toward flowing again. *)
+    let* slot, signal = slot_op (Slot.send_open slot t.want (Local.descriptor t.local)) in
+    Ok (slot, out @ [ signal ])
+  | Slot.Race_won | Slot.Race_lost | Slot.New_selector | Slot.Dropped _ -> Ok (slot, out)
+
+let on_signal t slot signal =
+  let* slot, auto, notes = slot_op (Slot.receive slot signal) in
+  let* slot, out = List.fold_left
+      (fun acc note ->
+        let* acc = acc in
+        react t acc note)
+      (Ok (slot, auto))
+      notes
+  in
+  Ok { goal = t; slot; out }
+
+let modify t slot mute =
+  let local = Local.modify t.local mute in
+  let t = { t with local } in
+  if Slot.is_flowing slot then
+    let* slot, out = React.re_describe local slot in
+    Ok { goal = t; slot; out }
+  else Ok { goal = t; slot; out = [] }
+
+let pp ppf t = Format.fprintf ppf "openSlot(%a, %a)" Local.pp t.local Medium.pp t.want

@@ -1,0 +1,45 @@
+(** The [openSlot] goal: open a media channel and get it to the [flowing]
+    state, taking every possible opportunity to push toward flow (paper
+    section IV-A).
+
+    An openslot emits [open] and [oack] signals, never [close].  If it
+    sends [open] and receives a reject ([close]), it sends [open] again.
+    If its open races with an open from the peer and it is on the
+    channel-acceptor side, it backs off and becomes the acceptor instead
+    (paper footnote 6).
+
+    Precondition: the controlled slot must be [closed] when the goal
+    object gains control — the only goal primitive with a state
+    precondition. *)
+
+open Mediactl_types
+open Mediactl_protocol
+
+type t
+
+type outcome = { goal : t; slot : Slot.t; out : Signal.t list }
+(** The updated goal object and slot, plus signals to put in the tunnel,
+    in order. *)
+
+val start : Local.t -> Medium.t -> Slot.t -> (outcome, Goal_error.t) result
+(** Gain control of a closed slot and immediately send [open]. *)
+
+val assume : Local.t -> Medium.t -> Slot.t -> (outcome, Goal_error.t) result
+(** Gain control of a slot in {e any} state and push it toward flowing
+    from that point: open it when closed, accept when opened, and
+    otherwise wait for the in-flight signals.  This is the behaviour the
+    paper's verification models give an openslot whose goal phase begins
+    in an arbitrary state; box programs should normally use {!start},
+    which enforces the [closed] precondition of the [openSlot]
+    annotation. *)
+
+val on_signal : t -> Slot.t -> Signal.t -> (outcome, Goal_error.t) result
+(** React to a signal from the tunnel. *)
+
+val modify : t -> Slot.t -> Mute.t -> (outcome, Goal_error.t) result
+(** The user changes mute flags: when flowing, re-describe and re-select;
+    otherwise the change takes effect at the next open. *)
+
+val local : t -> Local.t
+val medium : t -> Medium.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(* Internal helpers shared by the endpoint-acting goal objects
+   (openslot and holdslot): the standard protocol reactions of a media
+   endpoint, parameterized by its local media face. *)
+
+open Mediactl_protocol
+
+let ( let* ) = Result.bind
+
+let slot_op r = Result.map_error Goal_error.of_slot r
+
+let remote_desc slot =
+  match slot.Slot.remote_desc with
+  | Some d -> Ok d
+  | None -> Error (Goal_error.precondition "no remote descriptor cached")
+
+(* Answer the peer's current descriptor with a selector. *)
+let answer local slot =
+  let* desc = remote_desc slot in
+  let sel = Local.selector_for local desc in
+  let* slot, signal = slot_op (Slot.send_select slot sel) in
+  Ok (slot, [ signal ])
+
+(* Accept a received open: oack with our descriptor, then select
+   answering the opener's descriptor (paper Figure 9: !oack / !select). *)
+let accept local slot =
+  let* desc = remote_desc slot in
+  let* slot, oack = slot_op (Slot.send_oack slot (Local.descriptor local)) in
+  let sel = Local.selector_for local desc in
+  let* slot, select = slot_op (Slot.send_select slot sel) in
+  Ok (slot, [ oack; select ])
+
+(* The user changed mute flags while the channel is flowing: advertise
+   the new descriptor and re-select against the peer's current
+   descriptor so that both directions reflect the new flags. *)
+let re_describe local slot =
+  let* slot, describe = slot_op (Slot.send_describe slot (Local.descriptor local)) in
+  let* desc = remote_desc slot in
+  let sel = Local.selector_for local desc in
+  let* slot, select = slot_op (Slot.send_select slot sel) in
+  Ok (slot, [ describe; select ])

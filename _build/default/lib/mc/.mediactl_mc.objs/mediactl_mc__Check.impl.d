@@ -1,0 +1,1 @@
+lib/mc/check.ml: Array Explorer Format List Mediactl_core Option Path_model Printf Semantics String Temporal Unix

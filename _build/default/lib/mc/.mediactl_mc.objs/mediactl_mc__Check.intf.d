@@ -1,0 +1,1 @@
+lib/mc/check.mli: Format Mediactl_core Path_model Semantics

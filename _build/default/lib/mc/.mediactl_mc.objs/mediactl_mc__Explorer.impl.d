@@ -1,0 +1,1 @@
+lib/mc/explorer.ml: Array Format Hashtbl List Marshal Queue

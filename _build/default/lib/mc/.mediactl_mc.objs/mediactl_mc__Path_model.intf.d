@@ -1,0 +1,1 @@
+lib/mc/path_model.mli: Format Mediactl_core Semantics

@@ -1,0 +1,1 @@
+lib/mc/temporal.ml: Array Format List Mediactl_core Scc

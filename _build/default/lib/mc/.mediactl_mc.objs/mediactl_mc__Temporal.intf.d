@@ -1,0 +1,1 @@
+lib/mc/temporal.mli: Format Mediactl_core

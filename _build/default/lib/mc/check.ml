@@ -1,0 +1,181 @@
+open Mediactl_core
+
+module E = Explorer.Make (struct
+  type state = Path_model.state
+  type label = Path_model.label
+
+  let successors = Path_model.successors
+  let pp_label = Path_model.pp_label
+  let pp_state = Path_model.pp_state
+end)
+
+type safety = Safe | Unsafe of string
+
+type spec_result = Spec_holds | Spec_violated of string | Inconclusive of string
+
+type report = {
+  config : Path_model.config;
+  spec : Semantics.spec;
+  states : int;
+  transitions : int;
+  terminals : int;
+  time_s : float;
+  capped : bool;
+  safety : safety;
+  spec_result : spec_result;
+  counterexample : string list;
+      (* a shortest trace of transition labels into the witness state,
+         empty when everything holds *)
+}
+
+(* Environment ends may abandon mid-protocol, so segment checking only
+   demands freedom from protocol errors. *)
+let check_segment_safety graph =
+  let n = Array.length graph.E.states in
+  let rec scan id =
+    if id >= n then Safe
+    else
+      match Path_model.error graph.E.states.(id) with
+      | Some msg -> Unsafe (Printf.sprintf "state %d: %s" id msg)
+      | None -> scan (id + 1)
+  in
+  scan 0
+
+let check_safety graph =
+  let n = Array.length graph.E.states in
+  let rec scan id =
+    if id >= n then Safe
+    else
+      let state = graph.E.states.(id) in
+      match Path_model.error state with
+      | Some msg -> Unsafe (Printf.sprintf "state %d: %s" id msg)
+      | None ->
+        if graph.E.succs.(id) = [] && not (Path_model.clean state) then
+          Unsafe (Printf.sprintf "state %d: terminal state with a half-open slot" id)
+        else if graph.E.succs.(id) = [] && not (Path_model.all_settled state) then
+          Unsafe (Printf.sprintf "state %d: terminal state inside a chaos phase" id)
+        else scan (id + 1)
+  in
+  scan 0
+
+(* A human-readable shortest trace from the initial state into [witness]. *)
+let trace_to graph witness =
+  E.path_to graph witness
+  |> List.filter_map (fun (label, id) ->
+         Option.map
+           (fun label ->
+             Format.asprintf "%a  =>  %a" Path_model.pp_label label Path_model.pp_state
+               graph.E.states.(id))
+           label)
+
+let witness_of_safety graph = function
+  | Safe -> None
+  | Unsafe msg -> (
+    (* The message starts with "state <id>: ...". *)
+    match String.split_on_char ' ' msg with
+    | _ :: id :: _ -> int_of_string_opt (String.sub id 0 (String.length id - 1))
+    | _ -> None)
+  |> fun o -> Option.map (trace_to graph) o
+
+let run ?max_states config =
+  let t0 = Unix.gettimeofday () in
+  let graph = E.explore ?max_states (Path_model.initial config) in
+  let spec = Path_model.spec config in
+  let succs = Array.map (List.map snd) graph.E.succs in
+  let safety =
+    if graph.E.capped then Safe
+    else if config.Path_model.environment_ends then check_segment_safety graph
+    else check_safety graph
+  in
+  let spec_result =
+    if graph.E.capped then Inconclusive "state space capped"
+    else if config.Path_model.environment_ends then Spec_holds
+      (* segment mode: only the safety lemma is meaningful — path
+         specifications quantify over goal-controlled ends *)
+    else
+      let both_closed id = Path_model.both_closed graph.E.states.(id) in
+      let both_flowing id = Path_model.both_flowing graph.E.states.(id) in
+      match Temporal.check spec ~succs ~both_closed ~both_flowing with
+      | Temporal.Holds -> Spec_holds
+      | Temporal.Violated { witness; reason } ->
+        Spec_violated
+          (Format.asprintf "%s; witness %d: %a" reason witness Path_model.pp_state
+             graph.E.states.(witness))
+  in
+  let terminals = List.length (E.deadlocks graph) in
+  let counterexample =
+    match witness_of_safety graph safety with
+    | Some trace -> trace
+    | None -> (
+      match spec_result with
+      | Spec_violated _ -> (
+        (* Re-run the temporal check just to recover the witness id. *)
+        let both_closed id = Path_model.both_closed graph.E.states.(id) in
+        let both_flowing id = Path_model.both_flowing graph.E.states.(id) in
+        match Temporal.check spec ~succs ~both_closed ~both_flowing with
+        | Temporal.Violated { witness; _ } -> trace_to graph witness
+        | Temporal.Holds -> [])
+      | Spec_holds | Inconclusive _ -> [])
+  in
+  {
+    config;
+    spec;
+    states = Array.length graph.E.states;
+    transitions = graph.E.transition_count;
+    terminals;
+    time_s = Unix.gettimeofday () -. t0;
+    capped = graph.E.capped;
+    safety;
+    spec_result;
+    counterexample;
+  }
+
+let passed r =
+  match r.safety, r.spec_result with
+  | Safe, Spec_holds -> true
+  | (Safe | Unsafe _), _ -> false
+
+let pp_report ppf r =
+  let safety =
+    match r.safety with
+    | Safe -> "safe"
+    | Unsafe msg -> "UNSAFE: " ^ msg
+  in
+  let spec_result =
+    match r.spec_result with
+    | Spec_holds -> "holds"
+    | Spec_violated msg -> "VIOLATED: " ^ msg
+    | Inconclusive msg -> "inconclusive: " ^ msg
+  in
+  if r.config.Path_model.environment_ends then
+    Format.fprintf ppf "%-34s %9d states %10d trans %6.2fs  safety:%s  (segment: safety lemma only)"
+      (Path_model.config_name r.config)
+      r.states r.transitions r.time_s safety
+  else
+    Format.fprintf ppf "%-34s %9d states %10d trans %6.2fs  safety:%s  %s: %s"
+      (Path_model.config_name r.config)
+      r.states r.transitions r.time_s safety
+      (Semantics.spec_to_string r.spec)
+      spec_result
+
+let run_standard ?max_states ~chaos ~modifies () =
+  List.map (run ?max_states) (Path_model.standard_configs ~chaos ~modifies)
+
+let run_segment ?max_states ~flowlinks ~chaos () =
+  run ?max_states
+    {
+      Path_model.left = Mediactl_core.Semantics.Hold_end;  (* unused in env mode *)
+      right = Mediactl_core.Semantics.Hold_end;
+      flowlinks;
+      chaos;
+      modifies = 0;
+      environment_ends = true;
+    }
+
+let pp_counterexample ppf r =
+  match r.counterexample with
+  | [] -> Format.pp_print_string ppf "(no counterexample)"
+  | steps ->
+    Format.fprintf ppf "@[<v>counterexample (%d steps):@ %a@]" (List.length steps)
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string)
+      steps

@@ -1,0 +1,49 @@
+(** One-call verification of a path configuration: explore the model,
+    run the safety checks, and decide the temporal specification — the
+    two checks the paper performs on each of its 12 models (section
+    VIII-A). *)
+
+open Mediactl_core
+
+type safety = Safe | Unsafe of string
+
+type spec_result =
+  | Spec_holds
+  | Spec_violated of string
+  | Inconclusive of string  (** exploration was capped *)
+
+type report = {
+  config : Path_model.config;
+  spec : Semantics.spec;
+  states : int;
+  transitions : int;
+  terminals : int;
+  time_s : float;
+  capped : bool;
+  safety : safety;
+  spec_result : spec_result;
+  counterexample : string list;
+      (** a shortest trace of transition labels into the witness state;
+          empty when safety and the specification both hold *)
+}
+
+val run : ?max_states:int -> Path_model.config -> report
+
+val passed : report -> bool
+(** Safety holds and the specification holds. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val pp_counterexample : Format.formatter -> report -> unit
+(** Render the counterexample trace, one labelled step per line. *)
+
+val run_standard : ?max_states:int -> chaos:int -> modifies:int -> unit -> report list
+(** Check all 12 standard models. *)
+
+val run_segment : ?max_states:int -> flowlinks:int -> chaos:int -> unit -> report
+(** The segment lemma of paper section VIII-B: a contiguous piece of a
+    signaling path — [flowlinks] interior flowlinks with arbitrary
+    protocol-legal environments at the cut points — is free of protocol
+    errors under every environment behaviour of up to [chaos] actions per
+    cut point.  This is the building block the paper proposes for an
+    inductive proof over paths of any length. *)

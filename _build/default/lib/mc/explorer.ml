@@ -1,0 +1,109 @@
+module type SYSTEM = sig
+  type state
+  type label
+
+  val successors : state -> (label * state) list
+  val pp_label : Format.formatter -> label -> unit
+  val pp_state : Format.formatter -> state -> unit
+end
+
+module Make (S : SYSTEM) = struct
+  type graph = {
+    states : S.state array;
+    succs : (S.label * int) list array;
+    transition_count : int;
+    capped : bool;
+  }
+
+  let explore ?(max_states = 1_000_000) initial =
+    (* Canonicalize states by their marshalled bytes: hashing one flat
+       string is much faster than deep polymorphic hashing of the state
+       record, and equality cannot produce false positives. *)
+    let ids : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+    let states : S.state array ref = ref (Array.make 1024 initial) in
+    let succs_tbl : (int, (S.label * int) list) Hashtbl.t = Hashtbl.create 4096 in
+    let count = ref 0 in
+    let transition_count = ref 0 in
+    let capped = ref false in
+    let ensure_capacity n =
+      if n >= Array.length !states then begin
+        let bigger = Array.make (2 * Array.length !states) (!states).(0) in
+        Array.blit !states 0 bigger 0 (Array.length !states);
+        states := bigger
+      end
+    in
+    let intern state =
+      let key = Marshal.to_string state [] in
+      match Hashtbl.find_opt ids key with
+      | Some id -> (id, false)
+      | None ->
+        let id = !count in
+        incr count;
+        ensure_capacity id;
+        (!states).(id) <- state;
+        Hashtbl.add ids key id;
+        (id, true)
+    in
+    let queue = Queue.create () in
+    let id0, _ = intern initial in
+    Queue.add id0 queue;
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      if !count >= max_states then capped := true
+      else begin
+        let state = (!states).(id) in
+        let outgoing =
+          List.map
+            (fun (label, state') ->
+              let id', fresh = intern state' in
+              if fresh then Queue.add id' queue;
+              incr transition_count;
+              (label, id'))
+            (S.successors state)
+        in
+        Hashtbl.replace succs_tbl id outgoing
+      end
+    done;
+    let n = !count in
+    let states = Array.sub !states 0 n in
+    let succs =
+      Array.init n (fun id ->
+          match Hashtbl.find_opt succs_tbl id with
+          | Some l -> l
+          | None -> [])
+    in
+    { states; succs; transition_count = !transition_count; capped = !capped }
+
+  let deadlocks graph =
+    let result = ref [] in
+    Array.iteri (fun id outgoing -> if outgoing = [] then result := id :: !result) graph.succs;
+    List.rev !result
+
+  let path_to graph target =
+    (* BFS from 0 recording parents. *)
+    let n = Array.length graph.states in
+    let parent = Array.make n None in
+    let visited = Array.make n false in
+    visited.(0) <- true;
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    let found = ref (target = 0) in
+    while (not !found) && not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      List.iter
+        (fun (label, id') ->
+          if not visited.(id') then begin
+            visited.(id') <- true;
+            parent.(id') <- Some (label, id);
+            if id' = target then found := true;
+            Queue.add id' queue
+          end)
+        graph.succs.(id)
+    done;
+    let rec build id acc =
+      match parent.(id) with
+      | None -> (None, id) :: acc
+      | Some (label, from) -> build from ((Some label, id) :: acc)
+    in
+    if !found then build target [] else []
+end

@@ -1,0 +1,39 @@
+(** Explicit-state exploration of a finite transition system.
+
+    The states must be pure data: the explorer canonicalizes them with
+    structural equality and hashing, exactly as Spin does for Promela
+    state vectors (paper section VIII-A).  Exploration is breadth-first
+    so that witness states found by the temporal checks are shallow. *)
+
+module type SYSTEM = sig
+  type state
+  type label
+
+  val successors : state -> (label * state) list
+  (** All transitions enabled in a state.  An empty list means the state
+      is terminal: infinite runs stutter there. *)
+
+  val pp_label : Format.formatter -> label -> unit
+  val pp_state : Format.formatter -> state -> unit
+end
+
+module Make (S : SYSTEM) : sig
+  type graph = {
+    states : S.state array;  (** index = state id; id 0 is the initial state *)
+    succs : (S.label * int) list array;
+    transition_count : int;
+    capped : bool;  (** true when [max_states] was hit — results are partial *)
+  }
+
+  val explore : ?max_states:int -> S.state -> graph
+  (** Breadth-first reachability from the given initial state.  Default
+      [max_states] is 1_000_000. *)
+
+  val deadlocks : graph -> int list
+  (** Ids of states with no successors. *)
+
+  val path_to : graph -> int -> (S.label option * int) list
+  (** A shortest path from the initial state to the given id, as
+      [(label leading into state, state id)] pairs; the first element is
+      [(None, 0)]. *)
+end

@@ -1,0 +1,474 @@
+open Mediactl_types
+open Mediactl_protocol
+open Mediactl_signaling
+open Mediactl_core
+
+type config = {
+  left : Semantics.end_kind;
+  right : Semantics.end_kind;
+  flowlinks : int;
+  chaos : int;
+  modifies : int;
+  environment_ends : bool;
+}
+
+let kind_name = function
+  | Semantics.Open_end -> "openslot"
+  | Semantics.Close_end -> "closeslot"
+  | Semantics.Hold_end -> "holdslot"
+
+let config_name c =
+  let links = String.concat "" (List.init c.flowlinks (fun _ -> "fl--")) in
+  if c.environment_ends then Printf.sprintf "env--%senv" links
+  else Printf.sprintf "%s--%s%s" (kind_name c.left) links (kind_name c.right)
+
+let spec c = Semantics.spec_of c.left c.right
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+
+type end_phase =
+  | Chaos of int
+  | Goal_open of Open_slot.t
+  | Goal_close of Close_slot.t
+  | Goal_hold of Hold_slot.t
+
+type endpoint = {
+  phase : end_phase;
+  slot : Slot.t;
+  local : Local.t;
+  kind : Semantics.end_kind;
+  modifies_left : int;
+  environment : bool;  (* never leaves the chaos phase (segment lemma) *)
+}
+
+type link_phase = L_chaos of int | L_goal of Flow_link.t
+
+type link = { lphase : link_phase; lslot : Slot.t; rslot : Slot.t; llocal : Local.t }
+
+type state = {
+  left : endpoint;
+  links : link list;
+  tuns : Tunnel.t list;  (* left end of every tunnel is the A (initiator) end *)
+  right : endpoint;
+  err : string option;
+}
+
+let error s = s.err
+
+let medium = Medium.Audio
+
+let endpoint_local which =
+  let owner, host, port = if which then ("L", "10.0.0.1", 5000) else ("R", "10.0.0.2", 5002) in
+  Local.endpoint ~owner (Address.v host port) [ Codec.G711; Codec.G726 ]
+
+let initial c =
+  let left =
+    {
+      phase = Chaos c.chaos;
+      slot = Slot.create ~label:"L" Slot.Channel_initiator;
+      local = endpoint_local true;
+      kind = c.left;
+      modifies_left = c.modifies;
+      environment = c.environment_ends;
+    }
+  in
+  let right =
+    {
+      phase = Chaos c.chaos;
+      slot = Slot.create ~label:"R" Slot.Channel_acceptor;
+      local = endpoint_local false;
+      kind = c.right;
+      modifies_left = c.modifies;
+      environment = c.environment_ends;
+    }
+  in
+  let links =
+    List.init c.flowlinks (fun j ->
+        {
+          lphase = L_chaos c.chaos;
+          lslot = Slot.create ~label:(Printf.sprintf "fl%d.l" j) Slot.Channel_acceptor;
+          rslot = Slot.create ~label:(Printf.sprintf "fl%d.r" j) Slot.Channel_initiator;
+          llocal = Local.server ~owner:(Printf.sprintf "FL%d" j);
+        })
+  in
+  let tuns = List.init (c.flowlinks + 1) (fun _ -> Tunnel.empty) in
+  { left; links; tuns; right; err = None }
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+
+let both_closed s = Semantics.both_closed ~left:s.left.slot ~right:s.right.slot
+let both_flowing s = Semantics.both_flowing ~left:s.left.slot ~right:s.right.slot
+
+let settled_end e =
+  match e.phase with
+  | Chaos _ -> e.environment  (* an environment end never settles *)
+  | Goal_open _ | Goal_close _ | Goal_hold _ -> true
+
+let settled_link l =
+  match l.lphase with
+  | L_chaos _ -> false
+  | L_goal _ -> true
+
+let all_settled s =
+  settled_end s.left && settled_end s.right && List.for_all settled_link s.links
+
+let all_slots s =
+  (s.left.slot :: List.concat_map (fun l -> [ l.lslot; l.rslot ]) s.links) @ [ s.right.slot ]
+
+let clean s =
+  List.for_all (fun slot -> Slot.is_closed slot || Slot.is_flowing slot) (all_slots s)
+
+(* ------------------------------------------------------------------ *)
+(* Labels                                                              *)
+
+type direction = Rightward | Leftward
+
+type which_end = L | R
+
+type label =
+  | Deliver of int * direction
+  | Switch_end of which_end
+  | Switch_link of int
+  | Chaos_end of which_end * string
+  | Chaos_link of int * Flow_link.side * string
+  | Modify of which_end * Mute.t
+
+let pp_label ppf = function
+  | Deliver (i, Rightward) -> Format.fprintf ppf "deliver t%d ->" i
+  | Deliver (i, Leftward) -> Format.fprintf ppf "deliver t%d <-" i
+  | Switch_end L -> Format.pp_print_string ppf "switch L"
+  | Switch_end R -> Format.pp_print_string ppf "switch R"
+  | Switch_link j -> Format.fprintf ppf "switch fl%d" j
+  | Chaos_end (L, a) -> Format.fprintf ppf "chaos L %s" a
+  | Chaos_end (R, a) -> Format.fprintf ppf "chaos R %s" a
+  | Chaos_link (j, side, a) -> Format.fprintf ppf "chaos fl%d.%a %s" j Flow_link.pp_side side a
+  | Modify (L, m) -> Format.fprintf ppf "modify L %a" Mute.pp m
+  | Modify (R, m) -> Format.fprintf ppf "modify R %a" Mute.pp m
+
+let pp_state ppf s =
+  let pp_slot ppf slot = Slot_state.pp ppf slot.Slot.state in
+  Format.fprintf ppf "[%a | %a | %a]%s" pp_slot s.left.slot
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf l -> Format.fprintf ppf "(%a %a)" pp_slot l.lslot pp_slot l.rslot))
+    s.links pp_slot s.right.slot
+    (match s.err with None -> "" | Some e -> " ERROR:" ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Tunnel plumbing (all tunnels have their A end on the left)          *)
+
+let set_tun s i q =
+  { s with tuns = List.mapi (fun j old -> if j = i then q else old) s.tuns }
+
+let send_from_left s i signal = set_tun s i (Tunnel.send ~from:Tunnel.A signal (List.nth s.tuns i))
+let send_from_right s i signal = set_tun s i (Tunnel.send ~from:Tunnel.B signal (List.nth s.tuns i))
+
+let set_link s j link =
+  { s with links = List.mapi (fun k old -> if k = j then link else old) s.links }
+
+let route_link_out s j out =
+  List.fold_left
+    (fun s (side, signal) ->
+      match side with
+      | Flow_link.Left -> send_from_right s j signal
+      | Flow_link.Right -> send_from_left s (j + 1) signal)
+    s out
+
+let fail s msg = { s with err = Some msg }
+
+let of_result s f = function
+  | Ok x -> f x
+  | Error e -> fail s (Goal_error.to_string e)
+
+let of_slot_result s f = function
+  | Ok x -> f x
+  | Error e -> fail s (Slot.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint behaviour                                                  *)
+
+let last_tunnel s = List.length s.tuns - 1
+
+let endpoint_emit s which out =
+  match which with
+  | L -> List.fold_left (fun s signal -> send_from_left s 0 signal) s out
+  | R -> List.fold_left (fun s signal -> send_from_right s (last_tunnel s) signal) s out
+
+let get_end s = function
+  | L -> s.left
+  | R -> s.right
+
+let set_end s which e =
+  match which with
+  | L -> { s with left = e }
+  | R -> { s with right = e }
+
+let endpoint_receive s which signal =
+  let e = get_end s which in
+  match e.phase with
+  | Chaos _ ->
+    (* In the chaos phase the slot updates but the object does not
+       react; protocol-automatic replies (closeack) still go out. *)
+    of_slot_result s
+      (fun (slot, auto, _notes) ->
+        endpoint_emit (set_end s which { e with slot }) which auto)
+      (Slot.receive e.slot signal)
+  | Goal_open g ->
+    of_result s
+      (fun (o : Open_slot.outcome) ->
+        endpoint_emit
+          (set_end s which { e with phase = Goal_open o.Open_slot.goal; slot = o.Open_slot.slot })
+          which o.Open_slot.out)
+      (Open_slot.on_signal g e.slot signal)
+  | Goal_close g ->
+    of_result s
+      (fun (o : Close_slot.outcome) ->
+        endpoint_emit
+          (set_end s which { e with phase = Goal_close o.Close_slot.goal; slot = o.Close_slot.slot })
+          which o.Close_slot.out)
+      (Close_slot.on_signal g e.slot signal)
+  | Goal_hold g ->
+    of_result s
+      (fun (o : Hold_slot.outcome) ->
+        endpoint_emit
+          (set_end s which { e with phase = Goal_hold o.Hold_slot.goal; slot = o.Hold_slot.slot })
+          which o.Hold_slot.out)
+      (Hold_slot.on_signal g e.slot signal)
+
+let switch_end s which =
+  let e = get_end s which in
+  match e.kind with
+  | Semantics.Open_end ->
+    of_result s
+      (fun (o : Open_slot.outcome) ->
+        endpoint_emit
+          (set_end s which { e with phase = Goal_open o.Open_slot.goal; slot = o.Open_slot.slot })
+          which o.Open_slot.out)
+      (Open_slot.assume e.local medium e.slot)
+  | Semantics.Close_end ->
+    of_result s
+      (fun (o : Close_slot.outcome) ->
+        endpoint_emit
+          (set_end s which { e with phase = Goal_close o.Close_slot.goal; slot = o.Close_slot.slot })
+          which o.Close_slot.out)
+      (Close_slot.start e.slot)
+  | Semantics.Hold_end ->
+    of_result s
+      (fun (o : Hold_slot.outcome) ->
+        endpoint_emit
+          (set_end s which { e with phase = Goal_hold o.Hold_slot.goal; slot = o.Hold_slot.slot })
+          which o.Hold_slot.out)
+      (Hold_slot.start e.local e.slot)
+
+let modify_end s which mute =
+  let e = get_end s which in
+  let budgeted e = { e with modifies_left = e.modifies_left - 1 } in
+  match e.phase with
+  | Goal_open g ->
+    of_result s
+      (fun (o : Open_slot.outcome) ->
+        endpoint_emit
+          (set_end s which
+             (budgeted { e with phase = Goal_open o.Open_slot.goal; slot = o.Open_slot.slot }))
+          which o.Open_slot.out)
+      (Open_slot.modify g e.slot mute)
+  | Goal_hold g ->
+    of_result s
+      (fun (o : Hold_slot.outcome) ->
+        endpoint_emit
+          (set_end s which
+             (budgeted { e with phase = Goal_hold o.Hold_slot.goal; slot = o.Hold_slot.slot }))
+          which o.Hold_slot.out)
+      (Hold_slot.modify g e.slot mute)
+  | Chaos _ | Goal_close _ -> s
+
+(* The protocol-legal spontaneous sends available to a chaotic slot. *)
+let chaos_actions local slot =
+  match slot.Slot.state with
+  | Slot_state.Closed -> [ ("open", fun () -> Slot.send_open slot medium (Local.descriptor local)) ]
+  | Slot_state.Opening -> [ ("close", fun () -> Slot.send_close slot) ]
+  | Slot_state.Opened ->
+    [
+      ("oack", fun () -> Slot.send_oack slot (Local.descriptor local));
+      ("close", fun () -> Slot.send_close slot);
+    ]
+  | Slot_state.Flowing ->
+    let base =
+      [
+        ("describe", fun () -> Slot.send_describe slot (Local.descriptor local));
+        ("close", fun () -> Slot.send_close slot);
+      ]
+    in
+    (match slot.Slot.remote_desc with
+    | Some desc ->
+      ("select", fun () -> Slot.send_select slot (Local.selector_for local desc)) :: base
+    | None -> base)
+  | Slot_state.Closing -> []
+
+(* ------------------------------------------------------------------ *)
+(* Link behaviour                                                      *)
+
+let link_receive s j side signal =
+  let link = List.nth s.links j in
+  match link.lphase with
+  | L_chaos _ ->
+    let slot = match side with Flow_link.Left -> link.lslot | Flow_link.Right -> link.rslot in
+    of_slot_result s
+      (fun (slot, auto, _notes) ->
+        let link =
+          match side with
+          | Flow_link.Left -> { link with lslot = slot }
+          | Flow_link.Right -> { link with rslot = slot }
+        in
+        route_link_out (set_link s j link) j (List.map (fun sg -> (side, sg)) auto))
+      (Slot.receive slot signal)
+  | L_goal fl ->
+    of_result s
+      (fun (o : Flow_link.outcome) ->
+        let link =
+          { link with lphase = L_goal o.Flow_link.goal; lslot = o.Flow_link.left; rslot = o.Flow_link.right }
+        in
+        route_link_out (set_link s j link) j o.Flow_link.out)
+      (Flow_link.on_signal fl ~left:link.lslot ~right:link.rslot side signal)
+
+let switch_link s j =
+  let link = List.nth s.links j in
+  of_result s
+    (fun (o : Flow_link.outcome) ->
+      let link =
+        { link with lphase = L_goal o.Flow_link.goal; lslot = o.Flow_link.left; rslot = o.Flow_link.right }
+      in
+      route_link_out (set_link s j link) j o.Flow_link.out)
+    (Flow_link.start link.lslot link.rslot)
+
+(* ------------------------------------------------------------------ *)
+(* Delivery                                                            *)
+
+let deliver s i direction =
+  let n_links = List.length s.links in
+  match direction with
+  | Rightward -> (
+    match Tunnel.receive ~at:Tunnel.B (List.nth s.tuns i) with
+    | None -> None
+    | Some (signal, q) ->
+      let s = set_tun s i q in
+      if i = n_links then Some (endpoint_receive s R signal)
+      else Some (link_receive s i Flow_link.Left signal))
+  | Leftward -> (
+    match Tunnel.receive ~at:Tunnel.A (List.nth s.tuns i) with
+    | None -> None
+    | Some (signal, q) ->
+      let s = set_tun s i q in
+      if i = 0 then Some (endpoint_receive s L signal)
+      else Some (link_receive s (i - 1) Flow_link.Right signal))
+
+(* ------------------------------------------------------------------ *)
+(* Successor relation                                                  *)
+
+let mute_choices = [ Mute.none; Mute.both; Mute.in_only; Mute.out_only ]
+
+let successors s =
+  match s.err with
+  | Some _ -> []
+  | None ->
+    let deliveries =
+      List.concat
+        (List.mapi
+           (fun i q ->
+             let rightward =
+               if Tunnel.pending ~toward:Tunnel.B q <> [] then
+                 [ (Deliver (i, Rightward), deliver s i Rightward) ]
+               else []
+             in
+             let leftward =
+               if Tunnel.pending ~toward:Tunnel.A q <> [] then
+                 [ (Deliver (i, Leftward), deliver s i Leftward) ]
+               else []
+             in
+             rightward @ leftward)
+           s.tuns)
+      |> List.filter_map (fun (label, r) ->
+             match r with
+             | Some s' -> Some (label, s')
+             | None -> None)
+    in
+    let end_moves which =
+      let e = get_end s which in
+      match e.phase with
+      | Chaos budget ->
+        let switch =
+          if e.environment then [] else [ (Switch_end which, switch_end s which) ]
+        in
+        let chaos =
+          if budget <= 0 then []
+          else
+            List.map
+              (fun (name, act) ->
+                let s' =
+                  of_slot_result s
+                    (fun (slot, signal) ->
+                      let e' = { e with phase = Chaos (budget - 1); slot } in
+                      endpoint_emit (set_end s which e') which [ signal ])
+                    (act ())
+                in
+                (Chaos_end (which, name), s'))
+              (chaos_actions e.local e.slot)
+        in
+        switch @ chaos
+      | Goal_open _ | Goal_hold _ ->
+        if e.modifies_left <= 0 then []
+        else
+          List.filter_map
+            (fun mute ->
+              if Mute.equal mute e.local.Local.mute then None
+              else Some (Modify (which, mute), modify_end s which mute))
+            mute_choices
+      | Goal_close _ -> []
+    in
+    let link_moves j =
+      let link = List.nth s.links j in
+      match link.lphase with
+      | L_chaos budget ->
+        let switch = [ (Switch_link j, switch_link s j) ] in
+        let chaos_on side slot =
+          if budget <= 0 then []
+          else
+            List.map
+              (fun (name, act) ->
+                let s' =
+                  of_slot_result s
+                    (fun (slot', signal) ->
+                      let link' =
+                        let link = { link with lphase = L_chaos (budget - 1) } in
+                        match side with
+                        | Flow_link.Left -> { link with lslot = slot' }
+                        | Flow_link.Right -> { link with rslot = slot' }
+                      in
+                      route_link_out (set_link s j link') j [ (side, signal) ])
+                    (act ())
+                in
+                (Chaos_link (j, side, name), s'))
+              (chaos_actions link.llocal slot)
+        in
+        switch @ chaos_on Flow_link.Left link.lslot @ chaos_on Flow_link.Right link.rslot
+      | L_goal _ -> []
+    in
+    deliveries @ end_moves L @ end_moves R
+    @ List.concat (List.init (List.length s.links) link_moves)
+
+let standard_configs ~chaos ~modifies =
+  let kinds = [ Semantics.Open_end; Semantics.Close_end; Semantics.Hold_end ] in
+  let pairs =
+    (* Six unordered pairs. *)
+    List.concat_map
+      (fun a -> List.filter_map (fun b -> if compare a b <= 0 then Some (a, b) else None) kinds)
+      kinds
+  in
+  List.concat_map
+    (fun flowlinks ->
+      List.map
+        (fun (left, right) ->
+          { left; right; flowlinks; chaos; modifies; environment_ends = false })
+        pairs)
+    [ 0; 1 ]

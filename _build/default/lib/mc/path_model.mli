@@ -1,0 +1,64 @@
+(** The verification models of paper section VIII-A: one signaling path
+    per model, with a goal object controlling every slot.
+
+    Exactly as in the paper's Promela models, each goal object has two
+    phases.  In its initial {e chaos} phase the slots it controls behave
+    nondeterministically — any protocol-legal signal may be sent — and at
+    a nondeterministically chosen point the object switches permanently
+    to its goal behaviour, from whatever state the slots are in by then.
+    Model checking therefore covers traces in which the goal objects
+    begin their real work in all reachable combinations of slot and
+    tunnel states.
+
+    Users at media endpoints additionally have bounded freedom to change
+    their mute flags ([modify] events).  Both freedoms are budgeted so
+    the state space stays finite; the budgets are parameters. *)
+
+open Mediactl_core
+
+type config = {
+  left : Semantics.end_kind;
+  right : Semantics.end_kind;
+  flowlinks : int;
+  chaos : int;  (** chaos actions available to each goal object *)
+  modifies : int;  (** mute changes available to each endpoint *)
+  environment_ends : bool;
+      (** segment-lemma mode (paper section VIII-B): the path ends are
+          pure environments — arbitrary protocol-legal actors that never
+          settle into a goal — so the model checks the interior flowlinks
+          against {e any} surrounding behaviour *)
+}
+
+val config_name : config -> string
+(** E.g. ["openslot--fl--holdslot"]. *)
+
+val spec : config -> Semantics.spec
+
+type state
+
+val initial : config -> state
+
+val error : state -> string option
+(** A protocol or precondition error reached along the way — reachable
+    errors are safety violations. *)
+
+val both_closed : state -> bool
+val both_flowing : state -> bool
+
+val all_settled : state -> bool
+(** Every goal object has left its chaos phase. *)
+
+val clean : state -> bool
+(** Every slot on the path is closed or flowing (the paper's final-state
+    safety condition). *)
+
+type label
+
+val pp_label : Format.formatter -> label -> unit
+val pp_state : Format.formatter -> state -> unit
+
+val successors : state -> (label * state) list
+
+val standard_configs : chaos:int -> modifies:int -> config list
+(** The paper's 12 models: all six endpoint-goal combinations, with zero
+    and one flowlink. *)

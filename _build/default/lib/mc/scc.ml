@@ -1,0 +1,77 @@
+type t = { component : int array; count : int; cyclic : bool array }
+
+(* Iterative Tarjan: an explicit stack of (vertex, next-successor-index)
+   frames avoids overflowing the OCaml stack on million-state graphs. *)
+let compute ~succs =
+  let n = Array.length succs in
+  let succs_arr = Array.map Array.of_list succs in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Stack.create () in
+  let component = Array.make n (-1) in
+  let comp_count = ref 0 in
+  let comp_sizes = ref [] in
+  let next_index = ref 0 in
+  let frames = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      Stack.push (root, 0) frames;
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      Stack.push root stack;
+      on_stack.(root) <- true;
+      while not (Stack.is_empty frames) do
+        let v, i = Stack.pop frames in
+        if i < Array.length succs_arr.(v) then begin
+          Stack.push (v, i + 1) frames;
+          let w = succs_arr.(v).(i) in
+          if index.(w) = -1 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            Stack.push w stack;
+            on_stack.(w) <- true;
+            Stack.push (w, 0) frames
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          (* All successors processed: maybe pop a component, then
+             propagate the lowlink to the parent frame. *)
+          if lowlink.(v) = index.(v) then begin
+            let size = ref 0 in
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              component.(w) <- !comp_count;
+              incr size;
+              if w = v then continue := false
+            done;
+            comp_sizes := !size :: !comp_sizes;
+            incr comp_count
+          end;
+          match Stack.top_opt frames with
+          | Some (parent, _) -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | None -> ()
+        end
+      done
+    end
+  done;
+  let count = !comp_count in
+  let sizes = Array.make count 0 in
+  List.iteri
+    (fun i size -> sizes.(count - 1 - i) <- size)
+    !comp_sizes;
+  let cyclic = Array.make count false in
+  Array.iteri (fun c size -> if size > 1 then cyclic.(c) <- true) sizes;
+  (* Self-loops make even singleton components cyclic. *)
+  Array.iteri
+    (fun v outgoing ->
+      if Array.exists (fun w -> w = v) outgoing then cyclic.(component.(v)) <- true)
+    succs_arr;
+  { component; count; cyclic }
+
+let on_cycle t v = t.cyclic.(t.component.(v))

@@ -1,0 +1,17 @@
+(** Strongly connected components via an iterative Tarjan algorithm.
+
+    Used by the temporal checks: a state lies on a cycle exactly when it
+    belongs to a non-trivial SCC or carries a self-loop. *)
+
+type t = {
+  component : int array;  (** component id per state *)
+  count : int;  (** number of components *)
+  cyclic : bool array;
+      (** per component: contains a cycle (more than one state, or a
+          self-loop) *)
+}
+
+val compute : succs:int list array -> t
+
+val on_cycle : t -> int -> bool
+(** [on_cycle t v] is true when state [v] lies on some cycle. *)

@@ -1,0 +1,43 @@
+(** Checks of the path specifications of paper section V over an explored
+    state graph.
+
+    The formulas are restricted forms of LTL that admit direct
+    graph-theoretic decision procedures — no Büchi product is needed:
+
+    {ul
+    {- [◇□ p] fails iff some reachable cycle contains a [¬p] state, or a
+       terminal (stuttering) state violates [p];}
+    {- [□◇ p] fails iff some reachable cycle lies entirely inside [¬p],
+       or a terminal state violates [p];}
+    {- [(◇□ p) ∨ (□◇ q)] fails iff some reachable cycle avoids [q]
+       entirely while touching [¬p], or a terminal state violates both
+       [p] and [q].}}
+
+    A terminal state (no successors) is treated as stuttering forever, the
+    usual convention for finite maximal runs. *)
+
+type verdict =
+  | Holds
+  | Violated of { witness : int; reason : string }
+      (** [witness] is a state id on the offending cycle or the offending
+          terminal state. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val eventually_always : succs:int list array -> p:(int -> bool) -> verdict
+(** [◇□ p] over all runs from state 0. *)
+
+val always_eventually : succs:int list array -> p:(int -> bool) -> verdict
+(** [□◇ p]. *)
+
+val stabilize_or_recur :
+  succs:int list array -> stable:(int -> bool) -> recur:(int -> bool) -> verdict
+(** [(◇□ stable) ∨ (□◇ recur)], the hold/hold disjunction. *)
+
+val check :
+  Mediactl_core.Semantics.spec ->
+  succs:int list array ->
+  both_closed:(int -> bool) ->
+  both_flowing:(int -> bool) ->
+  verdict
+(** Dispatch a path specification to the right decision procedure. *)

@@ -1,0 +1,1 @@
+lib/media/flow.ml: Codec Format List Mediactl_protocol Mediactl_types Medium Slot

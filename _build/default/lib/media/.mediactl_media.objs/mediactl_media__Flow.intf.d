@@ -1,0 +1,1 @@
+lib/media/flow.mli: Codec Format Mediactl_protocol Mediactl_types Medium Slot

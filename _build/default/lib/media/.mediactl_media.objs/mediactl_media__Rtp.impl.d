@@ -1,0 +1,1 @@
+lib/media/rtp.ml: Codec Format List Mediactl_types

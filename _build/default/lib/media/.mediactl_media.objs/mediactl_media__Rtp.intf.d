@@ -1,0 +1,1 @@
+lib/media/rtp.mli: Codec Format Mediactl_types

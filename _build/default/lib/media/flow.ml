@@ -1,0 +1,57 @@
+open Mediactl_types
+open Mediactl_protocol
+
+type direction = { flows : bool; codec : Codec.t option }
+
+type t = {
+  a : string;
+  b : string;
+  medium : Medium.t option;
+  a_to_b : direction;
+  b_to_a : direction;
+}
+
+let direction ~tx ~rx =
+  (* The sender transmits with its selected codec; the receiver must be
+     expecting that same selector.  Both conditions are per-slot
+     observations; agreement on the codec follows because the selector
+     travelling end-to-end is the same record. *)
+  let flows = Slot.tx_enabled tx && Slot.rx_enabled rx in
+  { flows; codec = (if flows then Slot.tx_codec tx else None) }
+
+let between ~a slot_a ~b slot_b =
+  {
+    a;
+    b;
+    medium = slot_a.Slot.medium;
+    a_to_b = direction ~tx:slot_a ~rx:slot_b;
+    b_to_a = direction ~tx:slot_b ~rx:slot_a;
+  }
+
+let directed t =
+  let dir from_ to_ d acc =
+    match d.flows, d.codec with
+    | true, Some c -> (from_, to_, c) :: acc
+    | true, None | false, _ -> acc
+  in
+  dir t.a t.b t.a_to_b (dir t.b t.a t.b_to_a [])
+
+let two_way t = t.a_to_b.flows && t.b_to_a.flows
+let one_way t = t.a_to_b.flows <> t.b_to_a.flows
+let silent t = (not t.a_to_b.flows) && not t.b_to_a.flows
+
+let pp ppf t =
+  let arrow =
+    if two_way t then "<==>"
+    else if t.a_to_b.flows then "===>"
+    else if t.b_to_a.flows then "<==="
+    else "-/-"
+  in
+  Format.fprintf ppf "%s %s %s" t.a arrow t.b
+
+let edges snapshot =
+  snapshot
+  |> List.concat_map (fun t -> List.map (fun (x, y, _) -> (x, y)) (directed t))
+  |> List.sort_uniq compare
+
+let same_edges snapshot expected = edges snapshot = List.sort_uniq compare expected

@@ -1,0 +1,47 @@
+(** Media-flow snapshots: who is actually sending packets to whom.
+
+    A media channel exists between the two endpoints of a signaling path;
+    media flows in a direction only when the sender has committed to a
+    real codec (it sent a fresh selector) and the receiver is set up for
+    it (it received that selector answering its own current descriptor).
+    These are precisely the [tx_enabled]/[rx_enabled] observations of the
+    slot machine, evaluated at the two path endpoints.
+
+    Snapshots are how the repository compares the erroneous media control
+    of the paper's Figure 2 against the correct control of Figure 3: each
+    snapshot is a set of directed flows between named endpoints. *)
+
+open Mediactl_types
+open Mediactl_protocol
+
+(** One direction of a media channel. *)
+type direction = { flows : bool; codec : Codec.t option }
+
+type t = {
+  a : string;
+  b : string;
+  medium : Medium.t option;
+  a_to_b : direction;
+  b_to_a : direction;
+}
+
+val between : a:string -> Slot.t -> b:string -> Slot.t -> t
+(** Evaluate the flow over a path whose left endpoint slot belongs to [a]
+    and right endpoint slot to [b]. *)
+
+val directed : t -> (string * string * Codec.t) list
+(** The directed flows as [(sender, receiver, codec)] triples. *)
+
+val two_way : t -> bool
+val one_way : t -> bool
+val silent : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Snapshot comparison} *)
+
+val edges : t list -> (string * string) list
+(** All directed sender→receiver pairs of a snapshot, sorted. *)
+
+val same_edges : t list -> (string * string) list -> bool
+(** Does the snapshot contain exactly these directed flows? *)

@@ -1,0 +1,1 @@
+lib/protocol/slot.ml: Descriptor Format Mediactl_types Medium Option Selector Signal Slot_state

@@ -1,0 +1,1 @@
+lib/protocol/slot.mli: Codec Descriptor Format Mediactl_types Medium Selector Signal Slot_state

@@ -1,0 +1,1 @@
+lib/protocol/slot_state.mli: Format

@@ -1,0 +1,21 @@
+type t = Closed | Opening | Opened | Flowing | Closing
+
+let is_live = function
+  | Opening | Opened | Flowing -> true
+  | Closed | Closing -> false
+
+let is_dead s = not (is_live s)
+
+let all = [ Closed; Opening; Opened; Flowing; Closing ]
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string = function
+  | Closed -> "closed"
+  | Opening -> "opening"
+  | Opened -> "opened"
+  | Flowing -> "flowing"
+  | Closing -> "closing"
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,1 @@
+lib/runtime/device.ml: List Mediactl_types Meta Netsys Timed

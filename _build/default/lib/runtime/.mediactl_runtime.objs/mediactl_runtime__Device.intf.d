@@ -1,0 +1,1 @@
+lib/runtime/device.mli: Local Mediactl_core Timed

@@ -1,0 +1,1 @@
+lib/runtime/netsys.mli: Close_slot Flow_link Format Hold_slot Local Mediactl_core Mediactl_protocol Mediactl_types Medium Meta Mute Open_slot Signal Slot

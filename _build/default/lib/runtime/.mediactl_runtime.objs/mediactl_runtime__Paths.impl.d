@@ -1,0 +1,1 @@
+lib/runtime/paths.ml: Flow_link Format List Mediactl_core Mediactl_media Netsys Option Semantics

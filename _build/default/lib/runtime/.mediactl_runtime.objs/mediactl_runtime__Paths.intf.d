@@ -1,0 +1,1 @@
+lib/runtime/paths.mli: Format Mediactl_core Mediactl_media Netsys Semantics

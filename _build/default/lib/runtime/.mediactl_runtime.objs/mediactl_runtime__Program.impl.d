@@ -1,0 +1,1 @@
+lib/runtime/program.ml: List Local Mediactl_core Mediactl_protocol Mediactl_types Medium Meta Netsys Option Printf Slot String Timed

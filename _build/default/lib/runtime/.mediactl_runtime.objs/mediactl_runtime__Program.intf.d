@@ -1,0 +1,1 @@
+lib/runtime/program.mli: Local Mediactl_core Mediactl_types Medium Meta Timed

@@ -1,0 +1,1 @@
+lib/runtime/timed.ml: Engine Float Format List Mediactl_sim Mediactl_types Meta Netsys

@@ -1,0 +1,1 @@
+lib/runtime/timed.mli: Format Mediactl_types Meta Netsys

@@ -1,0 +1,435 @@
+open Mediactl_types
+open Mediactl_protocol
+open Mediactl_signaling
+open Mediactl_core
+
+type slot_key = { chan : string; tun : int }
+type slot_ref = { box : string; key : slot_key }
+
+let slot_ref ~box ~chan ?(tun = 0) () = { box; key = { chan; tun } }
+
+type send = { s_chan : string; s_tun : int; to_ : string }
+
+type binding =
+  | Open_b of Open_slot.t
+  | Close_b of Close_slot.t
+  | Hold_b of Hold_slot.t
+  | Link_b of string * Flow_link.side
+  | Unbound
+
+type box = {
+  slots : (slot_key * Slot.t) list;
+  bindings : (slot_key * binding) list;
+  links : (string * (Flow_link.t * slot_key * slot_key)) list;
+}
+
+type t = {
+  boxes : (string * box) list;
+  chans : (string * Channel.t) list;
+  error : string option;
+}
+
+let empty = { boxes = []; chans = []; error = None }
+
+let err t = t.error
+let fail t msg = { t with error = Some (match t.error with None -> msg | Some e -> e) }
+
+let assoc_replace key value l = (key, value) :: List.remove_assoc key l
+
+let find_box t name = List.assoc_opt name t.boxes
+
+let set_box t name box = { t with boxes = assoc_replace name box t.boxes }
+
+let find_chan t name = List.assoc_opt name t.chans
+
+let set_chan t name chan = { t with chans = assoc_replace name chan t.chans }
+
+let add_box t name =
+  if t.error <> None then t
+  else if List.mem_assoc name t.boxes then fail t (Printf.sprintf "box %s already exists" name)
+  else set_box t name { slots = []; bindings = []; links = [] }
+
+let connect t ~chan ?(tunnels = 1) ~initiator ~acceptor () =
+  if t.error <> None then t
+  else if find_chan t chan <> None then fail t (Printf.sprintf "channel %s already exists" chan)
+  else
+    match find_box t initiator, find_box t acceptor with
+    | None, _ -> fail t (Printf.sprintf "unknown box %s" initiator)
+    | _, None -> fail t (Printf.sprintf "unknown box %s" acceptor)
+    | Some ibox, Some abox ->
+      let channel = Channel.create ~tunnels ~initiator ~acceptor () in
+      let add_slots box role prefix =
+        let extra =
+          List.init tunnels (fun tun ->
+              ( { chan; tun },
+                Slot.create ~label:(Printf.sprintf "%s.%s.%d" prefix chan tun) role ))
+        in
+        {
+          box with
+          slots = box.slots @ extra;
+          bindings = box.bindings @ List.map (fun (k, _) -> (k, Unbound)) extra;
+        }
+      in
+      let t = set_chan t chan channel in
+      let t = set_box t initiator (add_slots ibox Slot.Channel_initiator initiator) in
+      set_box t acceptor (add_slots abox Slot.Channel_acceptor acceptor)
+
+let slot t { box; key } =
+  Option.bind (find_box t box) (fun b -> List.assoc_opt key b.slots)
+
+let binding t { box; key } =
+  Option.bind (find_box t box) (fun b -> List.assoc_opt key b.bindings)
+
+let slots_of_box t name =
+  match find_box t name with
+  | None -> []
+  | Some b -> b.slots
+
+let boxes t = List.rev_map fst t.boxes
+let channels t = List.rev_map fst t.chans
+let has_channel t name = find_chan t name <> None
+
+let peer_of_chan t ~chan ~box =
+  match find_chan t chan with
+  | None -> None
+  | Some channel ->
+    if Channel.initiator channel = box then Some (Channel.acceptor channel)
+    else if Channel.acceptor channel = box then Some (Channel.initiator channel)
+    else None
+
+(* Dissolve the flowlink named [id] in [box]; both member slots become
+   unbound. *)
+let dissolve_link box id =
+  match List.assoc_opt id box.links with
+  | None -> box
+  | Some (_, k1, k2) ->
+    {
+      box with
+      links = List.remove_assoc id box.links;
+      bindings =
+        List.map
+          (fun (k, b) -> if k = k1 || k = k2 then (k, Unbound) else (k, b))
+          box.bindings;
+    }
+
+let release_slot box key =
+  match List.assoc_opt key box.bindings with
+  | Some (Link_b (id, _)) -> dissolve_link box id
+  | Some (Open_b _ | Close_b _ | Hold_b _ | Unbound) | None ->
+    { box with bindings = assoc_replace key Unbound box.bindings }
+
+let disconnect t ~chan =
+  if t.error <> None then t
+  else
+    match find_chan t chan with
+    | None -> fail t (Printf.sprintf "unknown channel %s" chan)
+    | Some channel ->
+      let strip t box_name =
+        match find_box t box_name with
+        | None -> t
+        | Some box ->
+          (* Release links touching this channel first, then drop the
+             slots themselves. *)
+          let box =
+            List.fold_left
+              (fun box (id, (_, k1, k2)) ->
+                if k1.chan = chan || k2.chan = chan then dissolve_link box id else box)
+              box box.links
+          in
+          let keep (k, _) = k.chan <> chan in
+          set_box t box_name
+            { box with slots = List.filter keep box.slots; bindings = List.filter keep box.bindings }
+      in
+      let t = strip t (Channel.initiator channel) in
+      let t = strip t (Channel.acceptor channel) in
+      { t with chans = List.remove_assoc chan t.chans }
+
+(* ------------------------------------------------------------------ *)
+(* Emission routing                                                    *)
+
+let emit_signals t box_name key signals =
+  List.fold_left
+    (fun (t, sends) signal ->
+      match t.error, find_chan t key.chan with
+      | Some _, _ -> (t, sends)
+      | None, None -> (fail t (Printf.sprintf "unknown channel %s" key.chan), sends)
+      | None, Some channel ->
+        let channel = Channel.send_signal channel ~from_box:box_name ~tunnel:key.tun signal in
+        let t = set_chan t key.chan channel in
+        (t, sends @ [ { s_chan = key.chan; s_tun = key.tun; to_ = Channel.peer_of channel box_name } ]))
+    (t, []) signals
+
+let with_slot box key slot = { box with slots = assoc_replace key slot box.slots }
+
+let with_binding box key b = { box with bindings = assoc_replace key b box.bindings }
+
+(* ------------------------------------------------------------------ *)
+(* Binding operations                                                  *)
+
+let of_goal_result t f = function
+  | Ok x -> f x
+  | Error e -> (fail t (Goal_error.to_string e), [])
+
+let bind_endpoint t { box = box_name; key } start =
+  if t.error <> None then (t, [])
+  else
+    match find_box t box_name with
+    | None -> (fail t (Printf.sprintf "unknown box %s" box_name), [])
+    | Some box -> (
+      match List.assoc_opt key box.slots with
+      | None -> (fail t (Printf.sprintf "no slot %s.%d in %s" key.chan key.tun box_name), [])
+      | Some slot ->
+        let box = release_slot box key in
+        of_goal_result t
+          (fun (b, slot, out) ->
+            let box = with_binding (with_slot box key slot) key b in
+            emit_signals (set_box t box_name box) box_name key out)
+          (start slot))
+
+let bind_open t r local medium =
+  bind_endpoint t r (fun slot ->
+      Result.map
+        (fun (o : Open_slot.outcome) -> (Open_b o.Open_slot.goal, o.Open_slot.slot, o.Open_slot.out))
+        (Open_slot.start local medium slot))
+
+let bind_open_any t r local medium =
+  bind_endpoint t r (fun slot ->
+      Result.map
+        (fun (o : Open_slot.outcome) -> (Open_b o.Open_slot.goal, o.Open_slot.slot, o.Open_slot.out))
+        (Open_slot.assume local medium slot))
+
+let bind_close t r =
+  bind_endpoint t r (fun slot ->
+      Result.map
+        (fun (o : Close_slot.outcome) ->
+          (Close_b o.Close_slot.goal, o.Close_slot.slot, o.Close_slot.out))
+        (Close_slot.start slot))
+
+let bind_hold t r local =
+  bind_endpoint t r (fun slot ->
+      Result.map
+        (fun (o : Hold_slot.outcome) -> (Hold_b o.Hold_slot.goal, o.Hold_slot.slot, o.Hold_slot.out))
+        (Hold_slot.start local slot))
+
+let route_link_emissions t box_name k1 k2 out =
+  List.fold_left
+    (fun (t, sends) (side, signal) ->
+      let key = match side with Flow_link.Left -> k1 | Flow_link.Right -> k2 in
+      let t, more = emit_signals t box_name key [ signal ] in
+      (t, sends @ more))
+    (t, []) out
+
+let bind_link t ~box:box_name ~id k1 k2 =
+  if t.error <> None then (t, [])
+  else
+    match find_box t box_name with
+    | None -> (fail t (Printf.sprintf "unknown box %s" box_name), [])
+    | Some box -> (
+      if k1 = k2 then (fail t "flowlink needs two distinct slots", [])
+      else
+        match List.assoc_opt k1 box.slots, List.assoc_opt k2 box.slots with
+        | None, _ | _, None -> (fail t (Printf.sprintf "missing slot for link %s" id), [])
+        | Some s1, Some s2 ->
+          (* Release the member slots first: rebinding may reuse the
+             name of the link being dissolved. *)
+          let box = release_slot (release_slot box k1) k2 in
+          if List.mem_assoc id box.links then
+            (fail t (Printf.sprintf "link %s already exists in %s" id box_name), [])
+          else
+          of_goal_result t
+            (fun (o : Flow_link.outcome) ->
+              let box = with_slot (with_slot box k1 o.Flow_link.left) k2 o.Flow_link.right in
+              let box =
+                with_binding
+                  (with_binding box k1 (Link_b (id, Flow_link.Left)))
+                  k2
+                  (Link_b (id, Flow_link.Right))
+              in
+              let box =
+                { box with links = (id, (o.Flow_link.goal, k1, k2)) :: box.links }
+              in
+              route_link_emissions (set_box t box_name box) box_name k1 k2 o.Flow_link.out)
+            (Flow_link.start s1 s2))
+
+let unbind t { box = box_name; key } =
+  if t.error <> None then t
+  else
+    match find_box t box_name with
+    | None -> fail t (Printf.sprintf "unknown box %s" box_name)
+    | Some box -> set_box t box_name (release_slot box key)
+
+let modify t ({ box = box_name; key } as r) mute =
+  if t.error <> None then (t, [])
+  else
+    match find_box t box_name, slot t r, binding t r with
+    | None, _, _ | _, None, _ | _, _, None ->
+      (fail t (Printf.sprintf "modify: no slot %s.%d in %s" key.chan key.tun box_name), [])
+    | Some box, Some slot, Some (Open_b g) ->
+      of_goal_result t
+        (fun (o : Open_slot.outcome) ->
+          let box = with_binding (with_slot box key o.Open_slot.slot) key (Open_b o.Open_slot.goal) in
+          emit_signals (set_box t box_name box) box_name key o.Open_slot.out)
+        (Open_slot.modify g slot mute)
+    | Some box, Some slot, Some (Hold_b g) ->
+      of_goal_result t
+        (fun (o : Hold_slot.outcome) ->
+          let box = with_binding (with_slot box key o.Hold_slot.slot) key (Hold_b o.Hold_slot.goal) in
+          emit_signals (set_box t box_name box) box_name key o.Hold_slot.out)
+        (Hold_slot.modify g slot mute)
+    | Some _, Some _, Some (Close_b _ | Link_b _ | Unbound) ->
+      (fail t "modify: slot is not endpoint-bound", [])
+
+(* ------------------------------------------------------------------ *)
+(* Meta-signals                                                        *)
+
+let send_meta t ~chan ~from meta =
+  if t.error <> None then t
+  else
+    match find_chan t chan with
+    | None -> fail t (Printf.sprintf "unknown channel %s" chan)
+    | Some channel -> set_chan t chan (Channel.send_meta channel ~from_box:from meta)
+
+let take_meta t ~chan ~at =
+  match t.error, find_chan t chan with
+  | Some _, _ | None, None -> None
+  | None, Some channel -> (
+    match Channel.receive_meta channel ~at_box:at with
+    | None -> None
+    | Some (meta, channel) -> Some (meta, set_chan t chan channel))
+
+(* ------------------------------------------------------------------ *)
+(* Delivery                                                            *)
+
+let deliverables t =
+  List.concat_map
+    (fun (name, channel) ->
+      List.concat_map
+        (fun tun ->
+          let pending_at box_name =
+            let at = Channel.end_of channel box_name in
+            Tunnel.pending ~toward:at (Channel.tunnel channel tun) <> []
+          in
+          let one box_name =
+            if pending_at box_name then [ { s_chan = name; s_tun = tun; to_ = box_name } ]
+            else []
+          in
+          one (Channel.initiator channel) @ one (Channel.acceptor channel))
+        (List.init (Channel.tunnel_count channel) Fun.id))
+    (List.rev t.chans)
+
+let dispatch_signal t box_name key signal =
+  match find_box t box_name with
+  | None -> (fail t (Printf.sprintf "unknown box %s" box_name), [])
+  | Some box -> (
+    match List.assoc_opt key box.bindings with
+    | None ->
+      ( fail t
+          (Printf.sprintf "signal %s arrived at unknown slot %s.%d of %s" (Signal.name signal)
+             key.chan key.tun box_name),
+        [] )
+    | Some Unbound -> (
+      (* No goal object controls the slot yet (the box program has not
+         decided, or a device user has not answered): the slot tracks
+         protocol state passively; only protocol-automatic replies go
+         out. *)
+      match List.assoc_opt key box.slots with
+      | None -> (fail t "missing slot", [])
+      | Some slot -> (
+        match Slot.receive slot signal with
+        | Error e -> (fail t (Slot.error_to_string e), [])
+        | Ok (slot, auto, _notes) ->
+          emit_signals (set_box t box_name (with_slot box key slot)) box_name key auto))
+    | Some (Open_b g) -> (
+      match List.assoc_opt key box.slots with
+      | None -> (fail t "missing slot", [])
+      | Some slot ->
+        of_goal_result t
+          (fun (o : Open_slot.outcome) ->
+            let box = with_binding (with_slot box key o.Open_slot.slot) key (Open_b o.Open_slot.goal) in
+            emit_signals (set_box t box_name box) box_name key o.Open_slot.out)
+          (Open_slot.on_signal g slot signal))
+    | Some (Close_b g) -> (
+      match List.assoc_opt key box.slots with
+      | None -> (fail t "missing slot", [])
+      | Some slot ->
+        of_goal_result t
+          (fun (o : Close_slot.outcome) ->
+            let box =
+              with_binding (with_slot box key o.Close_slot.slot) key (Close_b o.Close_slot.goal)
+            in
+            emit_signals (set_box t box_name box) box_name key o.Close_slot.out)
+          (Close_slot.on_signal g slot signal))
+    | Some (Hold_b g) -> (
+      match List.assoc_opt key box.slots with
+      | None -> (fail t "missing slot", [])
+      | Some slot ->
+        of_goal_result t
+          (fun (o : Hold_slot.outcome) ->
+            let box = with_binding (with_slot box key o.Hold_slot.slot) key (Hold_b o.Hold_slot.goal) in
+            emit_signals (set_box t box_name box) box_name key o.Hold_slot.out)
+          (Hold_slot.on_signal g slot signal))
+    | Some (Link_b (id, side)) -> (
+      match List.assoc_opt id box.links with
+      | None -> (fail t (Printf.sprintf "dangling link %s" id), [])
+      | Some (fl, k1, k2) -> (
+        match List.assoc_opt k1 box.slots, List.assoc_opt k2 box.slots with
+        | None, _ | _, None -> (fail t "missing link slot", [])
+        | Some s1, Some s2 ->
+          of_goal_result t
+            (fun (o : Flow_link.outcome) ->
+              let box = with_slot (with_slot box k1 o.Flow_link.left) k2 o.Flow_link.right in
+              let box =
+                { box with links = assoc_replace id (o.Flow_link.goal, k1, k2) box.links }
+              in
+              route_link_emissions (set_box t box_name box) box_name k1 k2 o.Flow_link.out)
+            (Flow_link.on_signal fl ~left:s1 ~right:s2 side signal))))
+
+let deliver t { s_chan; s_tun; to_ } =
+  if t.error <> None then None
+  else
+    match find_chan t s_chan with
+    | None -> None
+    | Some channel -> (
+      match Channel.receive_signal channel ~at_box:to_ ~tunnel:s_tun with
+      | None -> None
+      | Some (signal, channel) ->
+        let t = set_chan t s_chan channel in
+        Some (dispatch_signal t to_ { chan = s_chan; tun = s_tun } signal))
+
+let peek_signal t ~chan ~tun ~at =
+  match find_chan t chan with
+  | None -> None
+  | Some channel ->
+    let end_ = Channel.end_of channel at in
+    Tunnel.peek ~at:end_ (Channel.tunnel channel tun)
+
+let quiescent t =
+  List.for_all
+    (fun (_, channel) ->
+      List.for_all
+        (fun tun -> Tunnel.is_empty (Channel.tunnel channel tun))
+        (List.init (Channel.tunnel_count channel) Fun.id))
+    t.chans
+
+let run ?(max_steps = 100_000) t =
+  let rec loop t steps =
+    if t.error <> None then (t, false)
+    else if steps >= max_steps then (t, false)
+    else
+      match deliverables t with
+      | [] -> (t, true)
+      | send :: _ -> (
+        match deliver t send with
+        | None -> (t, true)
+        | Some (t, _) -> loop t (steps + 1))
+  in
+  loop t 0
+
+let find_link t ~box ~id =
+  Option.bind (find_box t box) (fun b ->
+      Option.map (fun (fl, k1, k2) -> (fl, k1, k2)) (List.assoc_opt id b.links))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>net{%d boxes, %d channels%s}@]" (List.length t.boxes)
+    (List.length t.chans)
+    (match t.error with None -> "" | Some e -> "; ERROR " ^ e)

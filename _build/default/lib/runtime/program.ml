@@ -1,0 +1,207 @@
+open Mediactl_types
+open Mediactl_core
+open Mediactl_protocol
+
+type annotation =
+  | Ann_open of string * Medium.t
+  | Ann_close of string
+  | Ann_hold of string
+  | Ann_link of string * string
+
+type guard =
+  | Is_flowing of string
+  | Is_closed of string
+  | On_meta of string * Meta.t
+  | On_timeout of string
+
+type action =
+  | Create_channel of { chan : string; toward : string; tunnels : int }
+  | Destroy_channel of string
+  | Set_timer of { timer : string; after : float }
+  | Send_meta of { chan : string; meta : Meta.t }
+
+type transition = { guard : guard; actions : action list; target : string option }
+
+type state_def = {
+  s_name : string;
+  annotations : annotation list;
+  transitions : transition list;
+}
+
+type t = {
+  box : string;
+  face : Local.t;
+  launch_actions : action list;
+  initial : string;
+  states : state_def list;
+}
+
+let slot_of_annotation = function
+  | Ann_open (s, _) | Ann_close s | Ann_hold s -> [ s ]
+  | Ann_link (s1, s2) -> [ s1; s2 ]
+
+let validate t =
+  let state_names = List.map (fun s -> s.s_name) t.states in
+  let exists name = List.mem name state_names in
+  if not (exists t.initial) then Error (Printf.sprintf "unknown initial state %s" t.initial)
+  else
+    let check_state acc st =
+      match acc with
+      | Error _ as e -> e
+      | Ok () ->
+        let slots = List.concat_map slot_of_annotation st.annotations in
+        let dup =
+          List.find_opt (fun s -> List.length (List.filter (String.equal s) slots) > 1) slots
+        in
+        (match dup with
+        | Some s -> Error (Printf.sprintf "slot %s annotated twice in state %s" s st.s_name)
+        | None ->
+          let bad_target =
+            List.find_opt
+              (fun tr -> match tr.target with Some n -> not (exists n) | None -> false)
+              st.transitions
+          in
+          (match bad_target with
+          | Some { target = Some n; _ } ->
+            Error (Printf.sprintf "unknown target state %s in %s" n st.s_name)
+          | Some _ | None -> Ok ()))
+    in
+    List.fold_left check_state (Ok ()) t.states
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+type running = {
+  program : t;
+  timed : Timed.t;
+  mutable state : string option;
+  mutable timer_gen : (string * int) list;  (* current generation per timer *)
+  mutable fired : string list;  (* expired timers not yet consumed *)
+  mutable metas : (string * Meta.t) list;  (* arrived, not yet consumed *)
+  mutable entered : (float * string) list;
+}
+
+let current_state r = r.state
+let trace r = List.rev r.entered
+
+let state_def r name = List.find_opt (fun s -> s.s_name = name) r.program.states
+
+let slot_ref r chan = Netsys.slot_ref ~box:r.program.box ~chan ()
+
+let apply_annotation r ann =
+  let key chan = (slot_ref r chan).Netsys.key in
+  match ann with
+  | Ann_open (chan, medium) ->
+    Timed.apply r.timed (fun net -> Netsys.bind_open net (slot_ref r chan) r.program.face medium)
+  | Ann_close chan -> Timed.apply r.timed (fun net -> Netsys.bind_close net (slot_ref r chan))
+  | Ann_hold chan ->
+    Timed.apply r.timed (fun net -> Netsys.bind_hold net (slot_ref r chan) r.program.face)
+  | Ann_link (c1, c2) ->
+    let id = Printf.sprintf "%s<->%s" c1 c2 in
+    Timed.apply r.timed (fun net ->
+        Netsys.bind_link net ~box:r.program.box ~id (key c1) (key c2))
+
+(* Entering a new state: apply only the annotations that changed, so
+   unchanged goals keep their objects (paper section IV-B). *)
+let reconcile r old_annotations new_state =
+  List.iter
+    (fun ann -> if not (List.mem ann old_annotations) then apply_annotation r ann)
+    new_state.annotations
+
+let rec fire_timer r name gen () =
+  match List.assoc_opt name r.timer_gen with
+  | Some current when current = gen ->
+    r.fired <- name :: r.fired;
+    evaluate r
+  | Some _ | None -> ()
+
+and run_action r action =
+  match action with
+  | Create_channel { chan; toward; tunnels } ->
+    Timed.apply_quiet r.timed (fun net ->
+        Netsys.connect net ~chan ~tunnels ~initiator:r.program.box ~acceptor:toward ())
+  | Destroy_channel chan ->
+    Timed.apply_quiet r.timed (fun net -> Netsys.disconnect net ~chan)
+  | Set_timer { timer; after } ->
+    let gen = 1 + Option.value ~default:0 (List.assoc_opt timer r.timer_gen) in
+    r.timer_gen <- (timer, gen) :: List.remove_assoc timer r.timer_gen;
+    Timed.after r.timed after (fun _ -> fire_timer r timer gen ())
+  | Send_meta { chan; meta } ->
+    Timed.send_meta r.timed ~chan ~from:r.program.box meta
+
+and guard_holds r guard =
+  match guard with
+  | Is_flowing chan -> (
+    match Netsys.slot (Timed.net r.timed) (slot_ref r chan) with
+    | Some slot -> Slot.is_flowing slot
+    | None -> false)
+  | Is_closed chan -> (
+    match Netsys.slot (Timed.net r.timed) (slot_ref r chan) with
+    | Some slot -> Slot.is_closed slot
+    | None -> false)
+  | On_meta (chan, meta) -> List.exists (fun (c, m) -> c = chan && Meta.equal m meta) r.metas
+  | On_timeout timer -> List.mem timer r.fired
+
+and consume r guard =
+  match guard with
+  | On_meta (chan, meta) ->
+    let rec drop = function
+      | [] -> []
+      | (c, m) :: rest when c = chan && Meta.equal m meta -> rest
+      | pair :: rest -> pair :: drop rest
+    in
+    r.metas <- drop r.metas
+  | On_timeout timer -> r.fired <- List.filter (fun t -> t <> timer) r.fired
+  | Is_flowing _ | Is_closed _ -> ()
+
+and take_transition r st tr =
+  consume r tr.guard;
+  List.iter (run_action r) tr.actions;
+  (match tr.target with
+  | None -> r.state <- None
+  | Some next ->
+    r.state <- Some next;
+    r.entered <- (Timed.now r.timed, next) :: r.entered;
+    (match state_def r next with
+    | Some next_def -> reconcile r st.annotations next_def
+    | None -> ()));
+  evaluate r
+
+and evaluate r =
+  match r.state with
+  | None -> ()
+  | Some name -> (
+    match state_def r name with
+    | None -> ()
+    | Some st -> (
+      match List.find_opt (fun tr -> guard_holds r tr.guard) st.transitions with
+      | Some tr -> take_transition r st tr
+      | None -> ()))
+
+let launch timed program =
+  (match validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Program.launch: " ^ msg));
+  let r =
+    {
+      program;
+      timed;
+      state = Some program.initial;
+      timer_gen = [];
+      fired = [];
+      metas = [];
+      entered = [ (Timed.now timed, program.initial) ];
+    }
+  in
+  List.iter (run_action r) program.launch_actions;
+  (match state_def r program.initial with
+  | Some st -> reconcile r [] st
+  | None -> ());
+  Timed.on_meta timed (fun _ ~chan ~at meta ->
+      if at = program.box then begin
+        r.metas <- r.metas @ [ (chan, meta) ];
+        evaluate r
+      end);
+  Timed.on_step timed (fun _ -> evaluate r);
+  evaluate r;
+  r

@@ -1,0 +1,78 @@
+(** The state-oriented programming model for box programs (paper section
+    IV, Figure 6).
+
+    A box program is a finite-state machine.  In each program state,
+    annotations give a static description of the programmer's {e goal}
+    for each slot while the program is in that state; transitions are
+    triggered by slot-state predicates ([isFlowing], [isClosed]),
+    meta-signals, and timeouts, and perform meta-actions such as creating
+    or destroying signaling channels and setting timers.
+
+    Goal-object identity follows the paper: when a slot's annotation in
+    the target state is the same as in the source state, the same goal
+    object keeps controlling the slot (it is not restarted); only changed
+    annotations cause new goal objects to be instantiated.
+
+    Programs name slots by channel: the slot named [ch] is tunnel 0 of
+    channel [ch] at this box. *)
+
+open Mediactl_types
+open Mediactl_core
+
+type annotation =
+  | Ann_open of string * Medium.t  (** [openSlot(ch, medium)] *)
+  | Ann_close of string  (** [closeSlot(ch)] *)
+  | Ann_hold of string  (** [holdSlot(ch)] *)
+  | Ann_link of string * string  (** [flowLink(ch1, ch2)] *)
+
+type guard =
+  | Is_flowing of string
+  | Is_closed of string
+  | On_meta of string * Meta.t  (** a meta-signal arrived on a channel *)
+  | On_timeout of string  (** the named timer expired *)
+
+type action =
+  | Create_channel of { chan : string; toward : string; tunnels : int }
+  | Destroy_channel of string
+  | Set_timer of { timer : string; after : float }
+  | Send_meta of { chan : string; meta : Meta.t }
+
+(** A transition: when the guard fires, perform the actions and move to
+    the target state ([None] = terminate the program). *)
+type transition = { guard : guard; actions : action list; target : string option }
+
+type state_def = {
+  s_name : string;
+  annotations : annotation list;
+  transitions : transition list;
+}
+
+type t = {
+  box : string;  (** the box this program runs in *)
+  face : Local.t;  (** the media face its endpoint-acting goals present *)
+  launch_actions : action list;
+      (** performed when the program starts, before the initial state's
+          annotations are applied (e.g. create the first signaling
+          channel, set a no-answer timer) *)
+  initial : string;
+  states : state_def list;
+}
+
+val validate : t -> (unit, string) result
+(** Static checks: the initial state and all transition targets exist,
+    and no slot is annotated twice in one state. *)
+
+(** {2 Execution under the timed driver} *)
+
+type running
+
+val launch : Timed.t -> t -> running
+(** Install the program: bind the initial state's annotations and
+    register its guard evaluation on the driver.  The program then runs
+    autonomously as events unfold. *)
+
+val current_state : running -> string option
+(** [None] once the program has terminated. *)
+
+val trace : running -> (float * string) list
+(** The program states entered, oldest first, with entry times. *)

@@ -1,0 +1,159 @@
+open Mediactl_types
+open Mediactl_sim
+
+type event =
+  | Arrival of Netsys.send  (* the signal reaches the box (transit n) *)
+  | Process of Netsys.send  (* the box has computed its reaction (cost c) *)
+  | Meta_arrival of { chan : string; at : string }
+  | Scripted of int  (* index into the scripted-action table *)
+
+type trace_entry = {
+  at : float;  (** when the receiving box's reaction commits *)
+  from_box : string;
+  to_box : string;
+  chan : string;
+  tun : int;
+  signal : Mediactl_types.Signal.t;
+}
+
+type t = {
+  engine : event Engine.t;
+  mutable network : Netsys.t;
+  n : float;
+  c : float;
+  mutable scripted : (t -> unit) list;  (* reversed; index from the end *)
+  mutable meta_handlers : (t -> chan:string -> at:string -> Meta.t -> unit) list;
+  mutable step_hooks : (t -> unit) list;
+  mutable watches : (int * (Netsys.t -> bool) * (float -> unit)) list;
+  mutable watch_seq : int;
+  mutable trace_rev : trace_entry list;
+}
+
+let create ?(seed = 42) ?(n = 34.0) ?(c = 20.0) network =
+  {
+    engine = Engine.create ~seed ();
+    network;
+    n;
+    c;
+    scripted = [];
+    meta_handlers = [];
+    step_hooks = [];
+    watches = [];
+    watch_seq = 0;
+    trace_rev = [];
+  }
+
+let net t = t.network
+let now t = Engine.now t.engine
+let n t = t.n
+let c t = t.c
+let error t = Netsys.err t.network
+
+(* A signal emitted at time T reaches its destination box at T + n and
+   takes effect (the box's reaction commits) at T + n + c. *)
+
+let apply t op =
+  (* The operation itself is a box computation: its emissions leave the
+     box c after now. *)
+  let network, sends = op t.network in
+  t.network <- network;
+  List.iter (fun send -> Engine.schedule t.engine ~delay:(t.c +. t.n) (Arrival send)) sends
+
+let apply_quiet t op = t.network <- op t.network
+
+let register_scripted t f =
+  t.scripted <- f :: t.scripted;
+  List.length t.scripted - 1
+
+let scripted_action t idx =
+  let l = List.length t.scripted in
+  List.nth t.scripted (l - 1 - idx)
+
+let at t time f =
+  let idx = register_scripted t f in
+  let delay = Float.max 0.0 (time -. Engine.now t.engine) in
+  Engine.schedule t.engine ~delay (Scripted idx)
+
+let after t delay f =
+  let idx = register_scripted t f in
+  Engine.schedule t.engine ~delay (Scripted idx)
+
+let send_meta t ~chan ~from meta =
+  t.network <- Netsys.send_meta t.network ~chan ~from meta;
+  match Netsys.peer_of_chan t.network ~chan ~box:from with
+  | None -> ()
+  | Some peer -> Engine.schedule t.engine ~delay:t.n (Meta_arrival { chan; at = peer })
+
+let on_meta t handler = t.meta_handlers <- t.meta_handlers @ [ handler ]
+let on_step t hook = t.step_hooks <- hook :: t.step_hooks
+
+let run_watches t =
+  let now = Engine.now t.engine in
+  let still =
+    List.filter
+      (fun (_, pred, callback) ->
+        if pred t.network then begin
+          callback now;
+          false
+        end
+        else true)
+      t.watches
+  in
+  t.watches <- still
+
+let when_true t pred callback =
+  let id = t.watch_seq in
+  t.watch_seq <- id + 1;
+  t.watches <- (id, pred, callback) :: t.watches;
+  run_watches t
+
+let handle t event =
+  (match event with
+  | Arrival send -> Engine.schedule t.engine ~delay:t.c (Process send)
+  | Process send -> (
+    (* Record the signal for message-sequence charts before consuming
+       it from the tunnel. *)
+    (match Netsys.peer_of_chan t.network ~chan:send.Netsys.s_chan ~box:send.Netsys.to_ with
+    | Some from_box -> (
+      match
+        Netsys.peek_signal t.network ~chan:send.Netsys.s_chan ~tun:send.Netsys.s_tun
+          ~at:send.Netsys.to_
+      with
+      | Some signal ->
+        t.trace_rev <-
+          {
+            at = Engine.now t.engine;
+            from_box;
+            to_box = send.Netsys.to_;
+            chan = send.Netsys.s_chan;
+            tun = send.Netsys.s_tun;
+            signal;
+          }
+          :: t.trace_rev
+      | None -> ())
+    | None -> ());
+    match Netsys.deliver t.network send with
+    | None -> ()
+    | Some (network, sends) ->
+      t.network <- network;
+      List.iter (fun s -> Engine.schedule t.engine ~delay:t.n (Arrival s)) sends)
+  | Meta_arrival { chan; at } -> (
+    match Netsys.take_meta t.network ~chan ~at with
+    | None -> ()
+    | Some (meta, network) ->
+      t.network <- network;
+      List.iter (fun handler -> handler t ~chan ~at meta) t.meta_handlers)
+  | Scripted idx -> scripted_action t idx t);
+  List.iter (fun hook -> hook t) t.step_hooks;
+  run_watches t
+
+let run ?until ?max_events t = Engine.run t.engine ?until ?max_events (fun _ e -> handle t e)
+
+let trace t = List.rev t.trace_rev
+
+let pp_trace ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%8.1f ms  %-6s -> %-6s  %s.%d  %a@." e.at e.from_box e.to_box e.chan
+        e.tun Mediactl_types.Signal.pp e.signal)
+    (trace t)

@@ -1,0 +1,78 @@
+(** The timed driver: runs a network under the discrete-event engine with
+    the paper's two latency parameters (section VIII-C):
+
+    - [c], the average time for a box to read a stimulus from an input
+      queue and compute the next signal to send; and
+    - [n], the average time for the network to accept a signal and
+      deliver it to its destination box.
+
+    A signal emitted in reaction to an event at time [T] therefore
+    arrives at the next box at [T + c + n].  The paper's defaults are
+    c = 20 ms and n = 34 ms, which make the Figure-13 convergence latency
+    2n + 3c = 128 ms. *)
+
+open Mediactl_types
+
+type t
+
+val create : ?seed:int -> ?n:float -> ?c:float -> Netsys.t -> t
+(** [create net] wraps a network.  Defaults: [n] = 34.0, [c] = 20.0
+    (milliseconds). *)
+
+val net : t -> Netsys.t
+val now : t -> float
+val n : t -> float
+val c : t -> float
+
+val apply : t -> (Netsys.t -> Netsys.t * Netsys.send list) -> unit
+(** Perform a network operation at the current time; each signal it put
+    into a tunnel is scheduled to arrive [c + n] later. *)
+
+val apply_quiet : t -> (Netsys.t -> Netsys.t) -> unit
+(** A network operation that sends nothing (topology changes, metas). *)
+
+val at : t -> float -> (t -> unit) -> unit
+(** Schedule a scripted action at an absolute time. *)
+
+val after : t -> float -> (t -> unit) -> unit
+(** Schedule a scripted action a delay from now. *)
+
+val send_meta : t -> chan:string -> from:string -> Meta.t -> unit
+(** Send a meta-signal; it is delivered (made visible to
+    {!on_meta} subscribers) one network latency later. *)
+
+val on_meta : t -> (t -> chan:string -> at:string -> Meta.t -> unit) -> unit
+(** Register the handler invoked when a meta-signal arrives at a box. *)
+
+val on_step : t -> (t -> unit) -> unit
+(** Register a hook run after every event (used by box programs to
+    evaluate their transition guards). *)
+
+val when_true : t -> (Netsys.t -> bool) -> (float -> unit) -> unit
+(** Fire the callback (once) at the first moment the predicate holds,
+    checked after every event and at registration time. *)
+
+val run : ?until:float -> ?max_events:int -> t -> int
+(** Run the engine; returns events processed. *)
+
+val error : t -> string option
+
+(** {2 Message-sequence charts}
+
+    Every delivered tunnel signal is recorded with the time its
+    receiver's reaction committed, so runs can be rendered as charts in
+    the style of the paper's Figures 10 and 13. *)
+
+type trace_entry = {
+  at : float;
+  from_box : string;
+  to_box : string;
+  chan : string;
+  tun : int;
+  signal : Mediactl_types.Signal.t;
+}
+
+val trace : t -> trace_entry list
+(** Delivered signals, oldest first. *)
+
+val pp_trace : Format.formatter -> t -> unit

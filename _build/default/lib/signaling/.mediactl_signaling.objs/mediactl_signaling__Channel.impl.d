@@ -1,0 +1,1 @@
+lib/signaling/channel.ml: Format List Mediactl_types Meta Printf String Tunnel

@@ -1,0 +1,1 @@
+lib/signaling/channel.mli: Format Mediactl_types Meta Signal Tunnel

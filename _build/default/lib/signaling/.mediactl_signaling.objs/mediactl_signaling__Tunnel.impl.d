@@ -1,0 +1,1 @@
+lib/signaling/tunnel.ml: Format List Mediactl_types Signal

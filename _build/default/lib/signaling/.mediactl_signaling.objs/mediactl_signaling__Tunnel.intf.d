@@ -1,0 +1,1 @@
+lib/signaling/tunnel.mli: Format Mediactl_types Signal

@@ -1,0 +1,79 @@
+open Mediactl_types
+
+type t = {
+  initiator : string;
+  acceptor : string;
+  tunnels : Tunnel.t list;
+  meta_to_acceptor : Meta.t list;
+  meta_to_initiator : Meta.t list;
+}
+
+let create ?(tunnels = 1) ~initiator ~acceptor () =
+  if tunnels < 1 then invalid_arg "Channel.create: need at least one tunnel";
+  if String.equal initiator acceptor then invalid_arg "Channel.create: self-channel";
+  {
+    initiator;
+    acceptor;
+    tunnels = List.init tunnels (fun _ -> Tunnel.empty);
+    meta_to_acceptor = [];
+    meta_to_initiator = [];
+  }
+
+let initiator t = t.initiator
+let acceptor t = t.acceptor
+let tunnel_count t = List.length t.tunnels
+
+let end_of t box =
+  if String.equal box t.initiator then Tunnel.A
+  else if String.equal box t.acceptor then Tunnel.B
+  else invalid_arg (Printf.sprintf "Channel.end_of: %s is not an endpoint" box)
+
+let peer_of t box =
+  match end_of t box with
+  | Tunnel.A -> t.acceptor
+  | Tunnel.B -> t.initiator
+
+let tunnel t i =
+  match List.nth_opt t.tunnels i with
+  | Some tun -> tun
+  | None -> invalid_arg (Printf.sprintf "Channel.tunnel: index %d out of range" i)
+
+let with_tunnel t i tun =
+  if i < 0 || i >= List.length t.tunnels then
+    invalid_arg (Printf.sprintf "Channel.with_tunnel: index %d out of range" i);
+  { t with tunnels = List.mapi (fun j old -> if j = i then tun else old) t.tunnels }
+
+let send_signal t ~from_box ~tunnel:i signal =
+  let from = end_of t from_box in
+  with_tunnel t i (Tunnel.send ~from signal (tunnel t i))
+
+let receive_signal t ~at_box ~tunnel:i =
+  let at = end_of t at_box in
+  match Tunnel.receive ~at (tunnel t i) with
+  | None -> None
+  | Some (signal, tun) -> Some (signal, with_tunnel t i tun)
+
+let send_meta t ~from_box meta =
+  match end_of t from_box with
+  | Tunnel.A -> { t with meta_to_acceptor = t.meta_to_acceptor @ [ meta ] }
+  | Tunnel.B -> { t with meta_to_initiator = t.meta_to_initiator @ [ meta ] }
+
+let receive_meta t ~at_box =
+  match end_of t at_box with
+  | Tunnel.B -> (
+    match t.meta_to_acceptor with
+    | [] -> None
+    | m :: rest -> Some (m, { t with meta_to_acceptor = rest }))
+  | Tunnel.A -> (
+    match t.meta_to_initiator with
+    | [] -> None
+    | m :: rest -> Some (m, { t with meta_to_initiator = rest }))
+
+let quiescent t =
+  List.for_all Tunnel.is_empty t.tunnels
+  && t.meta_to_acceptor = [] && t.meta_to_initiator = []
+
+let pp ppf t =
+  Format.fprintf ppf "channel(%s->%s, %d tunnels, %d meta)" t.initiator t.acceptor
+    (List.length t.tunnels)
+    (List.length t.meta_to_acceptor + List.length t.meta_to_initiator)

@@ -1,0 +1,54 @@
+open Mediactl_types
+
+type end_ = A | B
+
+let opposite = function
+  | A -> B
+  | B -> A
+
+let pp_end ppf = function
+  | A -> Format.pp_print_string ppf "A"
+  | B -> Format.pp_print_string ppf "B"
+
+(* Queues as plain lists, oldest first.  Tunnels hold at most a handful
+   of signals, and structural equality matters more than asymptotics:
+   tunnel contents are part of the model checker's state vector. *)
+type t = { a_to_b : Signal.t list; b_to_a : Signal.t list }
+
+let empty = { a_to_b = []; b_to_a = [] }
+
+let send ~from signal t =
+  match from with
+  | A -> { t with a_to_b = t.a_to_b @ [ signal ] }
+  | B -> { t with b_to_a = t.b_to_a @ [ signal ] }
+
+let receive ~at t =
+  match at with
+  | B -> (
+    match t.a_to_b with
+    | [] -> None
+    | s :: rest -> Some (s, { t with a_to_b = rest }))
+  | A -> (
+    match t.b_to_a with
+    | [] -> None
+    | s :: rest -> Some (s, { t with b_to_a = rest }))
+
+let peek ~at t =
+  match at with
+  | B -> ( match t.a_to_b with [] -> None | s :: _ -> Some s)
+  | A -> ( match t.b_to_a with [] -> None | s :: _ -> Some s)
+
+let pending ~toward t =
+  match toward with
+  | B -> t.a_to_b
+  | A -> t.b_to_a
+
+let in_flight t = List.length t.a_to_b + List.length t.b_to_a
+let is_empty t = t.a_to_b = [] && t.b_to_a = []
+
+let equal t u =
+  List.equal Signal.equal t.a_to_b u.a_to_b && List.equal Signal.equal t.b_to_a u.b_to_a
+
+let pp ppf t =
+  let pp_queue = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Signal.pp in
+  Format.fprintf ppf "tunnel{->B:[%a] ->A:[%a]}" pp_queue t.a_to_b pp_queue t.b_to_a

@@ -1,0 +1,40 @@
+(** Tunnels: the static partitions of a signaling channel, each providing
+    a separate two-way signaling capability controlling one media channel
+    (paper section III-A).
+
+    A tunnel is a pair of reliable FIFO queues, one per direction.  The
+    two ends are called [A] and [B]; by convention [A] is the end at the
+    box that initiated setup of the signaling channel, which is the
+    convention the protocol uses to resolve open races.  The
+    representation is purely functional so that tunnel contents take part
+    in the model checker's state. *)
+
+open Mediactl_types
+
+type end_ = A | B
+
+val opposite : end_ -> end_
+val pp_end : Format.formatter -> end_ -> unit
+
+type t
+
+val empty : t
+
+val send : from:end_ -> Signal.t -> t -> t
+(** Enqueue a signal travelling away from [from]. *)
+
+val receive : at:end_ -> t -> (Signal.t * t) option
+(** Dequeue the oldest signal arriving at [at], if any. *)
+
+val peek : at:end_ -> t -> Signal.t option
+
+val pending : toward:end_ -> t -> Signal.t list
+(** Signals in flight toward that end, oldest first. *)
+
+val in_flight : t -> int
+(** Total signals in both directions. *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

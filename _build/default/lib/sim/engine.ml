@@ -1,0 +1,35 @@
+type 'e t = {
+  mutable clock : float;
+  mutable queue : 'e Pqueue.t;
+  mutable seq : int;
+  rng : Rng.t;
+}
+
+let create ?(seed = 42) () = { clock = 0.0; queue = Pqueue.empty; seq = 0; rng = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule t ~delay event =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  t.queue <- Pqueue.insert t.queue ~key:(t.clock +. delay) ~seq:t.seq event;
+  t.seq <- t.seq + 1
+
+let pending t = Pqueue.size t.queue
+
+let run t ?(until = infinity) ?(max_events = max_int) handler =
+  let processed = ref 0 in
+  let continue = ref true in
+  while !continue && !processed < max_events do
+    match Pqueue.pop t.queue with
+    | None -> continue := false
+    | Some ((time, _, event), rest) ->
+      if time > until then continue := false
+      else begin
+        t.queue <- rest;
+        t.clock <- time;
+        handler t event;
+        incr processed
+      end
+  done;
+  !processed

@@ -1,0 +1,26 @@
+(** A small discrete-event simulation engine.
+
+    Events are opaque to the engine; the driver supplies a handler that
+    reacts to each event (mutating its own world and scheduling further
+    events).  Simultaneous events fire in scheduling order, which keeps
+    runs deterministic. *)
+
+type 'e t
+
+val create : ?seed:int -> unit -> 'e t
+
+val now : 'e t -> float
+(** Current simulation time; starts at 0. *)
+
+val rng : 'e t -> Rng.t
+
+val schedule : 'e t -> delay:float -> 'e -> unit
+(** Schedule an event [delay] time units from now.  Raises
+    [Invalid_argument] on negative delays. *)
+
+val pending : 'e t -> int
+
+val run : 'e t -> ?until:float -> ?max_events:int -> ('e t -> 'e -> unit) -> int
+(** Process events in timestamp order until the queue is empty, the
+    clock passes [until], or [max_events] events have fired.  Returns
+    the number of events processed. *)

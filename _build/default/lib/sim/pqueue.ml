@@ -1,0 +1,41 @@
+type 'a node = { key : float; seq : int; value : 'a; left : 'a t; right : 'a t; rank : int }
+and 'a t = Leaf | Node of 'a node
+
+let empty = Leaf
+
+let is_empty = function
+  | Leaf -> true
+  | Node _ -> false
+
+let rank = function
+  | Leaf -> 0
+  | Node n -> n.rank
+
+let precedes a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let make key seq value left right =
+  if rank left >= rank right then
+    Node { key; seq; value; left; right; rank = rank right + 1 }
+  else Node { key; seq; value; left = right; right = left; rank = rank left + 1 }
+
+let rec merge a b =
+  match a, b with
+  | Leaf, t | t, Leaf -> t
+  | Node na, Node nb ->
+    if precedes na nb then make na.key na.seq na.value na.left (merge na.right b)
+    else make nb.key nb.seq nb.value nb.left (merge nb.right a)
+
+let insert t ~key ~seq value =
+  merge t (Node { key; seq; value; left = Leaf; right = Leaf; rank = 1 })
+
+let pop = function
+  | Leaf -> None
+  | Node n -> Some ((n.key, n.seq, n.value), merge n.left n.right)
+
+let peek_key = function
+  | Leaf -> None
+  | Node n -> Some n.key
+
+let rec size = function
+  | Leaf -> 0
+  | Node n -> 1 + size n.left + size n.right

@@ -1,0 +1,16 @@
+(** A purely functional priority queue (leftist heap) keyed by floats,
+    with a monotone sequence number to break ties deterministically:
+    events scheduled earlier pop first among equal timestamps. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val insert : 'a t -> key:float -> seq:int -> 'a -> 'a t
+
+val pop : 'a t -> ((float * int * 'a) * 'a t) option
+(** Smallest key first; ties broken by smallest sequence number. *)
+
+val peek_key : 'a t -> float option

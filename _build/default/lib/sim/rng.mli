@@ -1,0 +1,23 @@
+(** A small deterministic random number generator (splitmix64).
+
+    Simulations must be reproducible run-to-run and machine-to-machine;
+    this keeps the generator explicit and seedable instead of relying on
+    global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val next_int64 : t -> int64
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound); [bound] must be
+    positive. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean. *)
+
+val uniform : t -> lo:float -> hi:float -> float

@@ -1,0 +1,34 @@
+type t = { mutable samples : float list; mutable n : int; mutable sum : float; mutable sumsq : float }
+
+let create () = { samples = []; n = 0; sum = 0.0; sumsq = 0.0 }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x)
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let m = mean t in
+    sqrt (Float.max 0.0 ((t.sumsq /. float_of_int t.n) -. (m *. m)))
+
+let min t = List.fold_left Float.min infinity t.samples
+let max t = List.fold_left Float.max neg_infinity t.samples
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: no samples";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: rank out of range";
+  let sorted = List.sort Float.compare t.samples in
+  let idx = int_of_float (p *. float_of_int (t.n - 1)) in
+  List.nth sorted idx
+
+let pp ppf t =
+  if t.n = 0 then Format.pp_print_string ppf "(no samples)"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.2f max=%.2f" t.n (mean t) (stddev t)
+      (min t) (max t)

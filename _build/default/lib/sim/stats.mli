@@ -1,0 +1,17 @@
+(** Summary statistics over samples collected during a simulation run. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.5] is the median.  Raises [Invalid_argument] when no
+    samples were added or the rank is outside [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit

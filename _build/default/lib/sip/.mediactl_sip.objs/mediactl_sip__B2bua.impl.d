@@ -1,0 +1,1 @@
+lib/sip/b2bua.ml: Fabric List Mediactl_sim Mediactl_types Rng Sdp Sip_msg

@@ -1,0 +1,1 @@
+lib/sip/b2bua.mli: Fabric

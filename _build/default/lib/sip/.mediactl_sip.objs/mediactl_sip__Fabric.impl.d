@@ -1,0 +1,1 @@
+lib/sip/fabric.ml: Engine List Mediactl_sim Sip_msg

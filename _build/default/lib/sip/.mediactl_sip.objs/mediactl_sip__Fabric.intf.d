@@ -1,0 +1,1 @@
+lib/sip/fabric.mli: Mediactl_sim Rng Sip_msg

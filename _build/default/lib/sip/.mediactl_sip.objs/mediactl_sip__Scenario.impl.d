@@ -1,0 +1,1 @@
+lib/sip/scenario.ml: Address B2bua Codec Fabric Float Format List Mediactl_types Medium Sdp Ua

@@ -1,0 +1,1 @@
+lib/sip/sdp.ml: Address Codec Format Fun List Mediactl_types Medium Option

@@ -1,0 +1,1 @@
+lib/sip/sdp.mli: Address Codec Format Mediactl_types Medium

@@ -1,0 +1,1 @@
+lib/sip/sip_msg.ml: Format Sdp

@@ -1,0 +1,1 @@
+lib/sip/ua.ml: Address Codec Fabric List Mediactl_sim Mediactl_types Rng Sdp Sip_msg

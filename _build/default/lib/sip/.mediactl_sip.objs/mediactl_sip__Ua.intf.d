@@ -1,0 +1,1 @@
+lib/sip/ua.mli: Address Codec Fabric Mediactl_types Sdp

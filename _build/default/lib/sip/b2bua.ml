@@ -1,0 +1,168 @@
+open Mediactl_sim
+
+type phase =
+  | Idle
+  | Soliciting of { outer_txn : int }
+  | Inner_invite of { inner_txn : int; outer_txn : int; offer : Sdp.t }
+  | Awaiting_retry
+  | Complete
+
+type t = {
+  fabric : Fabric.t;
+  name : string;
+  outer : string;
+  inner : string;
+  retry_lo : float;
+  retry_hi : float;
+  mutable phase : phase;
+  mutable fwd : (int * int) option;  (* peer server's txn, our outer txn *)
+  mutable last_offer : Sdp.t option;  (* the outer party's description *)
+  mutable last_answer : Sdp.t option;  (* the inner party's description *)
+  mutable hold_txns : (int * string) list;  (* hold re-INVITEs awaiting 200 *)
+  mutable version : int;
+  mutable glares : int;
+  mutable attempts : int;
+  mutable done_at : float option;
+}
+
+let done_at t = t.done_at
+let glares t = t.glares
+let attempts t = t.attempts
+
+let send t ~to_ msg = Fabric.send t.fabric ~from_:t.name ~to_ msg
+
+let start t =
+  t.attempts <- t.attempts + 1;
+  let outer_txn = Fabric.fresh_txn t.fabric in
+  t.phase <- Soliciting { outer_txn };
+  (* An INVITE with no offer solicits a fresh offer: SIP offers are not
+     supposed to be re-used, so the server cannot satisfy itself from a
+     cache the way a flowlink re-sends a cached descriptor. *)
+  send t ~to_:t.outer (Sip_msg.Invite { txn = outer_txn; body = None })
+
+let relink t = start t
+
+(* A dummy answer closing an outer transaction after a glare: accept the
+   offer formally, pointing media at the server itself. *)
+let dummy_answer t offer =
+  match
+    Sdp.answer offer ~owner:t.name
+      ~addr:(Mediactl_types.Address.v "0.0.0.0" 9)
+      ~willing:(List.concat_map (fun l -> l.Sdp.codecs) offer.Sdp.lines)
+  with
+  | Some a -> a
+  | None -> Sdp.offer ~owner:t.name ~session_version:0 offer.Sdp.lines
+
+let schedule_retry t =
+  t.phase <- Awaiting_retry;
+  let delay = Rng.uniform (Fabric.rng t.fabric) ~lo:t.retry_lo ~hi:t.retry_hi in
+  Fabric.after t.fabric delay (fun () ->
+      match t.phase with
+      | Awaiting_retry -> start t
+      | Idle | Soliciting _ | Inner_invite _ | Complete -> ())
+
+let handle t ~from msg =
+  match msg, t.phase with
+  (* --- our own operation ------------------------------------------- *)
+  | Sip_msg.Success { txn; body = Some (Sip_msg.Offer offer) }, Soliciting { outer_txn }
+    when from = t.outer && txn = outer_txn ->
+    let inner_txn = Fabric.fresh_txn t.fabric in
+    t.phase <- Inner_invite { inner_txn; outer_txn; offer };
+    send t ~to_:t.inner (Sip_msg.Invite { txn = inner_txn; body = Some (Sip_msg.Offer offer) })
+  | Sip_msg.Success { txn; body = Some (Sip_msg.Answer answer) }, Inner_invite i
+    when from = t.inner && txn = i.inner_txn ->
+    (* The far side answered our endpoint's offer: complete both
+       transactions, delivering the answer to the offerer in the ACK. *)
+    send t ~to_:t.inner (Sip_msg.Ack { txn = i.inner_txn; body = None });
+    send t ~to_:t.outer
+      (Sip_msg.Ack { txn = i.outer_txn; body = Some (Sip_msg.Answer answer) });
+    t.last_offer <- Some i.offer;
+    t.last_answer <- Some answer;
+    t.phase <- Complete;
+    t.done_at <- Some (Fabric.now t.fabric)
+  | Sip_msg.Glare { txn }, Inner_invite i when from = t.inner && txn = i.inner_txn ->
+    (* Our inner INVITE crossed the other server's: both fail.  Close
+       the outer transaction with a dummy answer and retry after a
+       random delay. *)
+    t.glares <- t.glares + 1;
+    send t ~to_:t.outer
+      (Sip_msg.Ack { txn = i.outer_txn; body = Some (Sip_msg.Answer (dummy_answer t i.offer)) });
+    schedule_retry t
+  (* --- the other server's operation passing through us -------------- *)
+  | Sip_msg.Invite { txn; body = Some (Sip_msg.Offer _) }, Inner_invite _ when from = t.inner ->
+    (* Glare on our side too. *)
+    send t ~to_:t.inner (Sip_msg.Glare { txn })
+  | Sip_msg.Invite { txn; body }, (Idle | Awaiting_retry | Complete | Soliciting _)
+    when from = t.inner ->
+    let outer_txn = Fabric.fresh_txn t.fabric in
+    t.fwd <- Some (txn, outer_txn);
+    send t ~to_:t.outer (Sip_msg.Invite { txn = outer_txn; body })
+  | Sip_msg.Success { txn; body }, _ when from = t.outer && (match t.fwd with Some (_, o) -> o = txn | None -> false) -> (
+    match t.fwd with
+    | Some (inner_txn, _) -> send t ~to_:t.inner (Sip_msg.Success { txn = inner_txn; body })
+    | None -> ())
+  | Sip_msg.Ack { txn; body }, _ when from = t.inner && (match t.fwd with Some (i, _) -> i = txn | None -> false) -> (
+    match t.fwd with
+    | Some (_, outer_txn) ->
+      t.fwd <- None;
+      send t ~to_:t.outer (Sip_msg.Ack { txn = outer_txn; body })
+    | None -> ())
+  (* --- hold re-INVITEs ----------------------------------------------- *)
+  | Sip_msg.Success { txn; _ }, _ when List.mem_assoc txn t.hold_txns ->
+    let to_ = List.assoc txn t.hold_txns in
+    t.hold_txns <- List.remove_assoc txn t.hold_txns;
+    send t ~to_ (Sip_msg.Ack { txn; body = None })
+  (* --- anything else is stale or uninteresting ---------------------- *)
+  | (Sip_msg.Invite _ | Sip_msg.Success _ | Sip_msg.Glare _ | Sip_msg.Ack _), _ -> ()
+
+let hold t =
+  (* Each side gets its own session description back, marked inactive:
+     one independent transaction per side (they ride different signaling
+     channels, so they proceed concurrently). *)
+  let one to_ cached =
+    match cached with
+    | None -> ()
+    | Some sdp ->
+      t.version <- t.version + 1;
+      let txn = Fabric.fresh_txn t.fabric in
+      t.hold_txns <- (txn, to_) :: t.hold_txns;
+      send t ~to_
+        (Sip_msg.Invite
+           {
+             txn;
+             body =
+               Some (Sip_msg.Offer (Sdp.inactive sdp ~owner:t.name ~session_version:t.version));
+           })
+  in
+  one t.outer t.last_answer;
+  one t.inner t.last_offer
+
+let resume = relink
+
+let create fabric ~name ~outer ~inner ~retry_lo ~retry_hi =
+  let t =
+    {
+      fabric;
+      name;
+      outer;
+      inner;
+      retry_lo;
+      retry_hi;
+      phase = Idle;
+      fwd = None;
+      last_offer = None;
+      last_answer = None;
+      hold_txns = [];
+      version = 0;
+      glares = 0;
+      attempts = 0;
+      done_at = None;
+    }
+  in
+  Fabric.register fabric name (handle t);
+  t
+
+let relay fabric ~name ~a ~b =
+  Fabric.register fabric name (fun ~from msg ->
+      if from = a then Fabric.send fabric ~from_:name ~to_:b msg
+      else if from = b then Fabric.send fabric ~from_:name ~to_:a msg)

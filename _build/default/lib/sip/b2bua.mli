@@ -1,0 +1,45 @@
+(** A back-to-back user agent performing third-party call control (RFC
+    3725 flow: solicit a fresh offer with an offerless INVITE, forward the
+    offer in an INVITE on the other side, return the answer in the ACK).
+
+    This is the SIP counterpart of instantiating a flowlink (paper
+    section IX-B, Figure 14).  When two such servers on the same
+    signaling path operate concurrently, their inner INVITEs cross; both
+    transactions fail with 491, both servers finish their outer
+    transactions with dummy answers, and each retries after a random
+    delay. *)
+
+type t
+
+val create :
+  Fabric.t ->
+  name:string ->
+  outer:string ->
+  inner:string ->
+  retry_lo:float ->
+  retry_hi:float ->
+  t
+
+val relink : t -> unit
+(** Begin the third-party call-control operation: media should flow
+    between the outer endpoint and whatever lies beyond the inner side. *)
+
+val hold : t -> unit
+(** Put both parties on hold: re-INVITE each side with its cached session
+    description marked inactive (the SIP counterpart of replacing a
+    flowlink by two holdslots).  Requires a completed {!relink}. *)
+
+val resume : t -> unit
+(** Take the parties off hold by re-running the third-party call control
+    (SIP offers cannot be cached, so resuming solicits afresh). *)
+
+val done_at : t -> float option
+(** When this server's own operation completed. *)
+
+val glares : t -> int
+val attempts : t -> int
+
+val relay : Fabric.t -> name:string -> a:string -> b:string -> unit
+(** Install a transparent proxy node forwarding everything between [a]
+    and [b] (for the paper's common-case comparison, where only one
+    server manipulates media). *)

@@ -1,0 +1,30 @@
+(** The message fabric for the SIP baseline: named nodes exchanging SIP
+    messages point-to-point under the same latency model as the main
+    protocol's driver — transit [n], then compute [c] before the
+    receiver's reaction commits. *)
+
+open Mediactl_sim
+
+type t
+
+val create : ?seed:int -> ?n:float -> ?c:float -> unit -> t
+val n : t -> float
+val c : t -> float
+val now : t -> float
+val rng : t -> Rng.t
+
+val register : t -> string -> (from:string -> Sip_msg.t -> unit) -> unit
+(** Install a node's message handler; re-registering replaces it. *)
+
+val send : t -> from_:string -> to_:string -> Sip_msg.t -> unit
+(** Deliver to the destination handler [n + c] from now. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+
+val run : ?until:float -> ?max_events:int -> t -> int
+
+val messages : t -> int
+(** Total SIP messages sent so far. *)
+
+val fresh_txn : t -> int
+(** Globally unique transaction ids, for convenience. *)

@@ -1,0 +1,140 @@
+open Mediactl_types
+
+type outcome = { latency : float; messages : int; glares : int; attempts : int }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "latency=%.0fms messages=%d glares=%d attempts=%d" o.latency o.messages
+    o.glares o.attempts
+
+let audio_line addr = Sdp.line Medium.Audio addr [ Codec.G711; Codec.G726 ]
+
+let addr_a = Address.v "10.0.0.1" 5000
+let addr_c = Address.v "10.0.0.3" 5000
+let willing = [ Codec.G711; Codec.G726 ]
+
+let first_with owner ua =
+  List.find_map (fun (time, o) -> if o = owner then Some time else None) (Ua.history ua)
+
+let fig14_race ?(seed = 11) ?n ?c () =
+  let fabric = Fabric.create ~seed ?n ?c () in
+  let a = Ua.create fabric ~name:"A" ~peer:"PBX" ~owner_of_dialog:true addr_a ~willing
+      ~media:[ audio_line addr_a ] in
+  let cep = Ua.create fabric ~name:"C" ~peer:"PC" ~owner_of_dialog:false addr_c ~willing
+      ~media:[ audio_line addr_c ] in
+  let pbx =
+    B2bua.create fabric ~name:"PBX" ~outer:"A" ~inner:"PC" ~retry_lo:2100.0 ~retry_hi:4000.0
+  in
+  let pc = B2bua.create fabric ~name:"PC" ~outer:"C" ~inner:"PBX" ~retry_lo:0.0 ~retry_hi:2000.0 in
+  B2bua.relink pbx;
+  B2bua.relink pc;
+  let _ = Fabric.run ~until:60_000.0 fabric in
+  let latency =
+    match first_with "C" a, first_with "A" cep with
+    | Some ta, Some tc -> Float.max ta tc
+    | _ -> nan
+  in
+  {
+    latency;
+    messages = Fabric.messages fabric;
+    glares = B2bua.glares pbx + B2bua.glares pc;
+    attempts = B2bua.attempts pbx + B2bua.attempts pc;
+  }
+
+let fig14_common ?(seed = 11) ?n ?c () =
+  let fabric = Fabric.create ~seed ?n ?c () in
+  let a = Ua.create fabric ~name:"A" ~peer:"PBX" ~owner_of_dialog:true addr_a ~willing
+      ~media:[ audio_line addr_a ] in
+  let cep = Ua.create fabric ~name:"C" ~peer:"PC" ~owner_of_dialog:false addr_c ~willing
+      ~media:[ audio_line addr_c ] in
+  (* Only PC manipulates media; the PBX merely relays. *)
+  B2bua.relay fabric ~name:"PBX" ~a:"A" ~b:"PC";
+  let pc = B2bua.create fabric ~name:"PC" ~outer:"C" ~inner:"PBX" ~retry_lo:0.0 ~retry_hi:2000.0 in
+  B2bua.relink pc;
+  let _ = Fabric.run ~until:60_000.0 fabric in
+  let latency =
+    match first_with "C" a, first_with "A" cep with
+    | Some ta, Some tc -> Float.max ta tc
+    | _ -> nan
+  in
+  {
+    latency;
+    messages = Fabric.messages fabric;
+    glares = B2bua.glares pc;
+    attempts = B2bua.attempts pc;
+  }
+
+let glare_modify ?(seed = 11) ?n ?c () =
+  let fabric = Fabric.create ~seed ?n ?c () in
+  let x = Ua.create fabric ~name:"X" ~peer:"Y" ~owner_of_dialog:true addr_a ~willing
+      ~media:[ audio_line addr_a ] in
+  let y = Ua.create fabric ~name:"Y" ~peer:"X" ~owner_of_dialog:false addr_c ~willing
+      ~media:[ audio_line addr_c ] in
+  Ua.reinvite x;
+  Ua.reinvite y;
+  let _ = Fabric.run ~until:60_000.0 fabric in
+  let latency =
+    match Ua.own_done_at x, Ua.own_done_at y with
+    | Some tx, Some ty -> Float.max tx ty
+    | _ -> nan
+  in
+  {
+    latency;
+    messages = Fabric.messages fabric;
+    glares = Ua.glares x + Ua.glares y;
+    attempts = 2 + Ua.retries x + Ua.retries y;
+  }
+
+let hold_resume ?(seed = 11) ?n ?c () =
+  let fabric = Fabric.create ~seed ?n ?c () in
+  let a = Ua.create fabric ~name:"A" ~peer:"SRV" ~owner_of_dialog:true addr_a ~willing
+      ~media:[ audio_line addr_a ] in
+  let cep = Ua.create fabric ~name:"C" ~peer:"SRV" ~owner_of_dialog:false addr_c ~willing
+      ~media:[ audio_line addr_c ] in
+  let srv = B2bua.create fabric ~name:"SRV" ~outer:"C" ~inner:"A" ~retry_lo:0.0 ~retry_hi:2000.0 in
+  (* Establish A-C. *)
+  B2bua.relink srv;
+  let _ = Fabric.run fabric in
+  assert (Ua.session_active a && Ua.session_active cep);
+  let established = Fabric.messages fabric in
+  (* Hold both parties. *)
+  let t_hold_start = Fabric.now fabric in
+  let held_at = ref nan in
+  B2bua.hold srv;
+  let rec run_until_held () =
+    if Fabric.run ~max_events:1 fabric = 0 then ()
+    else if
+      Float.is_nan !held_at && (not (Ua.session_active a)) && not (Ua.session_active cep)
+    then held_at := Fabric.now fabric
+    else run_until_held ()
+  in
+  run_until_held ();
+  let _ = Fabric.run fabric in
+  let hold_messages = Fabric.messages fabric - established in
+  (* Resume. *)
+  let t_resume_start = Fabric.now fabric in
+  let resumed_at = ref nan in
+  B2bua.resume srv;
+  let rec run_until_resumed () =
+    if Fabric.run ~max_events:1 fabric = 0 then ()
+    else if Float.is_nan !resumed_at && Ua.session_active a && Ua.session_active cep then
+      resumed_at := Fabric.now fabric
+    else run_until_resumed ()
+  in
+  run_until_resumed ();
+  let _ = Fabric.run fabric in
+  let resume_messages = Fabric.messages fabric - established - hold_messages in
+  ( {
+      latency = !held_at -. t_hold_start;
+      messages = hold_messages;
+      glares = 0;
+      attempts = 1;
+    },
+    {
+      latency = !resumed_at -. t_resume_start;
+      messages = resume_messages;
+      glares = B2bua.glares srv;
+      attempts = 1;
+    } )
+
+let race_formula ~n ~c ~d = (10.0 *. n) +. (11.0 *. c) +. d
+let common_formula ~n ~c = (7.0 *. n) +. (7.0 *. c)

@@ -1,0 +1,44 @@
+(** The SIP comparison scenarios of paper section IX-B.
+
+    All latencies in milliseconds, under the same (n, c) parameters as
+    the main protocol's driver. *)
+
+type outcome = {
+  latency : float;  (** until both endpoints hold fresh, correct sessions *)
+  messages : int;  (** SIP messages exchanged *)
+  glares : int;  (** 491 failures suffered *)
+  attempts : int;  (** operations started (1 = no retry needed) *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val fig14_race : ?seed:int -> ?n:float -> ?c:float -> unit -> outcome
+(** Figure 14: the PBX and PC relink concurrently; their inner INVITEs
+    cross, both fail with 491, and the operation completes only after a
+    randomized back-off.  The paper's analysis gives [10n + 11c + d]
+    with [d] expected around 3 s. *)
+
+val fig14_common : ?seed:int -> ?n:float -> ?c:float -> unit -> outcome
+(** The common case: a single server performs the third-party call
+    control while the other box merely proxies.  The paper's analysis
+    gives [7n + 7c] (378 ms at the default parameters). *)
+
+val glare_modify : ?seed:int -> ?n:float -> ?c:float -> unit -> outcome
+(** Both endpoints of a direct SIP dialog issue re-INVITEs at the same
+    moment (the SIP counterpart of two concurrent [modify] events): both
+    transactions glare and serialize through randomized retries. *)
+
+val hold_resume :
+  ?seed:int -> ?n:float -> ?c:float -> unit -> outcome * outcome
+(** The section-XI extension — the specification's hold semantics
+    implemented over SIP: a single server establishes A-C by third-party
+    call control, puts both parties on hold (re-INVITEs with inactive
+    media, the counterpart of two holdslots), then resumes (which must
+    re-solicit, since SIP offers cannot be cached).  Returns the (hold,
+    resume) outcomes. *)
+
+val race_formula : n:float -> c:float -> d:float -> float
+(** [10n + 11c + d]. *)
+
+val common_formula : n:float -> c:float -> float
+(** [7n + 7c]. *)

@@ -1,0 +1,50 @@
+open Mediactl_types
+
+type line = { medium : Medium.t; addr : Address.t; codecs : Codec.t list; active : bool }
+
+let line ?(active = true) medium addr codecs = { medium; addr; codecs; active }
+
+type t = { owner : string; session_version : int; lines : line list }
+
+let offer ~owner ~session_version lines =
+  if lines = [] then invalid_arg "Sdp.offer: no media lines";
+  { owner; session_version; lines }
+
+let answer offer ~owner ~addr ~willing =
+  let answer_line l =
+    let common = List.filter (fun c -> List.exists (Codec.equal c) willing) l.codecs in
+    if common = [] then None
+    else
+      (* The answer mirrors the offered direction: an inactive offer can
+         only be answered inactive. *)
+      Some { medium = l.medium; addr; codecs = common; active = l.active }
+  in
+  let lines = List.map answer_line offer.lines in
+  if List.exists Option.is_none lines then None
+  else
+    Some
+      {
+        owner;
+        session_version = offer.session_version;
+        lines = List.filter_map Fun.id lines;
+      }
+
+let compatible ~offer ~answer =
+  List.length offer.lines = List.length answer.lines
+  && List.for_all2
+       (fun o a ->
+         Medium.equal o.medium a.medium
+         && List.for_all (fun c -> List.exists (Codec.equal c) o.codecs) a.codecs)
+       offer.lines answer.lines
+
+let inactive t ~owner ~session_version =
+  {
+    owner;
+    session_version;
+    lines = List.map (fun l -> { l with active = false }) t.lines;
+  }
+
+let all_active t = List.for_all (fun l -> l.active) t.lines
+
+let pp ppf t =
+  Format.fprintf ppf "sdp(%s v%d, %d lines)" t.owner t.session_version (List.length t.lines)

@@ -1,0 +1,40 @@
+(** Session descriptions for the SIP-style baseline (paper section IX-B).
+
+    SIP bundles media: every signal controlling media refers to all media
+    channels of the session at once, as a list of media lines.  Codec
+    choice is by {e negotiation}: an offer carries the codec sets the
+    offerer can handle; the answer is, per line, a subset all of whose
+    codecs the answerer can also handle.  An answer is {e relative} to
+    its offer, so (unlike the unilateral descriptors of the main
+    protocol) it can never be cached and re-used. *)
+
+open Mediactl_types
+
+type line = {
+  medium : Medium.t;
+  addr : Address.t;
+  codecs : Codec.t list;
+  active : bool;  (** false models the inactive direction attribute used
+                      for SIP hold *)
+}
+
+val line : ?active:bool -> Medium.t -> Address.t -> Codec.t list -> line
+
+type t = { owner : string; session_version : int; lines : line list }
+
+val offer : owner:string -> session_version:int -> line list -> t
+
+val answer : t -> owner:string -> addr:Address.t -> willing:Codec.t list -> t option
+(** Per-line intersection of the offer with [willing]; [None] when any
+    line has no codec in common (the negotiation fails). *)
+
+val compatible : offer:t -> answer:t -> bool
+(** Every answer line's codecs are a subset of the offer line's. *)
+
+val inactive : t -> owner:string -> session_version:int -> t
+(** The same media lines with every direction marked inactive: the body a
+    server offers to put a party on hold. *)
+
+val all_active : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type body = Offer of Sdp.t | Answer of Sdp.t
+
+type t =
+  | Invite of { txn : int; body : body option }
+  | Success of { txn : int; body : body option }
+  | Glare of { txn : int }
+  | Ack of { txn : int; body : body option }
+
+let txn = function
+  | Invite { txn; _ } | Success { txn; _ } | Glare { txn } | Ack { txn; _ } -> txn
+
+let name = function
+  | Invite { body = None; _ } -> "INVITE(no offer)"
+  | Invite { body = Some (Offer _); _ } -> "INVITE(offer)"
+  | Invite { body = Some (Answer _); _ } -> "INVITE(answer?)"
+  | Success { body = None; _ } -> "200"
+  | Success { body = Some (Offer _); _ } -> "200(offer)"
+  | Success { body = Some (Answer _); _ } -> "200(answer)"
+  | Glare _ -> "491"
+  | Ack { body = None; _ } -> "ACK"
+  | Ack { body = Some _; _ } -> "ACK(answer)"
+
+let pp ppf t = Format.fprintf ppf "%s#%d" (name t) (txn t)

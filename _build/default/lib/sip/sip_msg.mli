@@ -1,0 +1,22 @@
+(** The SIP-style message vocabulary needed for third-party call control
+    (paper section IX-B, RFC 3725 flows).
+
+    An invite transaction is three signals: [Invite] (possibly carrying
+    an offer, or empty to solicit a fresh offer), a [Success] response
+    (carrying the answer — or an offer, when the invite solicited one),
+    and an [Ack] (empty — or carrying the answer when the success carried
+    an offer).  Crossing invite transactions on the same signaling path
+    fail with [Glare] (SIP 491 Request Pending); the initiators retry
+    after randomly chosen delays. *)
+
+type body = Offer of Sdp.t | Answer of Sdp.t
+
+type t =
+  | Invite of { txn : int; body : body option }
+  | Success of { txn : int; body : body option }
+  | Glare of { txn : int }  (** 491 Request Pending *)
+  | Ack of { txn : int; body : body option }
+
+val txn : t -> int
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/types/address.ml: Format Printf Stdlib

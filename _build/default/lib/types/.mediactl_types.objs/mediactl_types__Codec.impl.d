@@ -1,0 +1,1 @@
+lib/types/codec.ml: Format List Stdlib String

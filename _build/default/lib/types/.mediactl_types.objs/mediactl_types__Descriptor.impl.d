@@ -1,0 +1,1 @@
+lib/types/descriptor.ml: Address Codec Format List Stdlib

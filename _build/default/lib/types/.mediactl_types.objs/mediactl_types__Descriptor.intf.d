@@ -1,0 +1,1 @@
+lib/types/descriptor.mli: Address Codec Format

@@ -1,0 +1,1 @@
+lib/types/medium.ml: Codec Format List Stdlib String

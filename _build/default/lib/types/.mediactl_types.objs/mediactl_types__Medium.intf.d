@@ -1,0 +1,1 @@
+lib/types/medium.mli: Codec Format

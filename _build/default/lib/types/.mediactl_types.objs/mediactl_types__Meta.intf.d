@@ -1,0 +1,1 @@
+lib/types/meta.mli: Format

@@ -1,0 +1,1 @@
+lib/types/mute.mli: Format

@@ -1,0 +1,1 @@
+lib/types/selector.ml: Address Codec Descriptor Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/types/selector.mli: Address Codec Descriptor Format

@@ -1,0 +1,1 @@
+lib/types/signal.ml: Descriptor Format Medium Selector

@@ -1,0 +1,1 @@
+lib/types/signal.mli: Descriptor Format Medium Selector

@@ -1,0 +1,11 @@
+type t = { host : string; port : int }
+
+let v host port =
+  if host = "" then invalid_arg "Address.v: empty host";
+  if port < 1 || port > 65535 then invalid_arg "Address.v: port out of range";
+  { host; port }
+
+let equal a b = a.host = b.host && a.port = b.port
+let compare = Stdlib.compare
+let to_string a = Printf.sprintf "%s:%d" a.host a.port
+let pp ppf a = Format.pp_print_string ppf (to_string a)

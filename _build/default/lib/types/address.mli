@@ -1,0 +1,16 @@
+(** Transport addresses for media: an IP host and port.
+
+    A media channel's global attributes include an IP address and port for
+    each endpoint (paper section III-B); descriptors and selectors carry
+    these so that endpoints learn where to send packets. *)
+
+type t = { host : string; port : int }
+
+val v : string -> int -> t
+(** [v host port] builds an address.  Raises [Invalid_argument] if [port]
+    is outside 1..65535 or [host] is empty. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

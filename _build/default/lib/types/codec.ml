@@ -1,0 +1,74 @@
+type t =
+  | G711
+  | G726
+  | G729
+  | Ilbc
+  | L16
+  | Amr_wb
+  | H261
+  | H263
+  | H264
+  | Mpeg4
+  | T140
+  | Rtt
+
+type kind = Audio_codec | Video_codec | Text_codec
+
+let all = [ G711; G726; G729; Ilbc; L16; Amr_wb; H261; H263; H264; Mpeg4; T140; Rtt ]
+
+let kind = function
+  | G711 | G726 | G729 | Ilbc | L16 | Amr_wb -> Audio_codec
+  | H261 | H263 | H264 | Mpeg4 -> Video_codec
+  | T140 | Rtt -> Text_codec
+
+let bandwidth_kbps = function
+  | G711 -> 64
+  | G726 -> 32
+  | G729 -> 8
+  | Ilbc -> 15
+  | L16 -> 256
+  | Amr_wb -> 24
+  | H261 -> 384
+  | H263 -> 512
+  | H264 -> 1024
+  | Mpeg4 -> 768
+  | T140 -> 1
+  | Rtt -> 2
+
+let fidelity = function
+  | L16 -> 6
+  | G711 -> 5
+  | Amr_wb -> 4
+  | G726 -> 3
+  | Ilbc -> 2
+  | G729 -> 1
+  | H264 -> 4
+  | Mpeg4 -> 3
+  | H263 -> 2
+  | H261 -> 1
+  | Rtt -> 2
+  | T140 -> 1
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string = function
+  | G711 -> "G.711"
+  | G726 -> "G.726"
+  | G729 -> "G.729"
+  | Ilbc -> "iLBC"
+  | L16 -> "L16"
+  | Amr_wb -> "AMR-WB"
+  | H261 -> "H.261"
+  | H263 -> "H.263"
+  | H264 -> "H.264"
+  | Mpeg4 -> "MPEG-4"
+  | T140 -> "T.140"
+  | Rtt -> "RTT"
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  let matches c = String.lowercase_ascii (to_string c) = s in
+  List.find_opt matches all
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,48 @@
+(** Coder-decoders (codecs): data formats for a medium.
+
+    The paper (section VI-A) uses audio codecs such as G.711 (high
+    fidelity, high bandwidth) and G.726 (lower fidelity, lower bandwidth)
+    as running examples.  Codecs here are symbolic: the simulator needs
+    their identity, kind, bandwidth, and a fidelity rank, not their bit
+    syntax.  The distinguished pseudo-codec [noMedia] of the paper is
+    represented one level up, in {!Descriptor.offer} and
+    {!Selector.choice}, so that a [Codec.t] is always a real codec. *)
+
+type t =
+  | G711  (** audio, 64 kb/s, toll quality *)
+  | G726  (** audio, 32 kb/s *)
+  | G729  (** audio, 8 kb/s *)
+  | Ilbc  (** audio, 15 kb/s, loss-robust *)
+  | L16   (** audio, 256 kb/s linear PCM *)
+  | Amr_wb (** audio, 24 kb/s wideband *)
+  | H261  (** video, 384 kb/s *)
+  | H263  (** video, 512 kb/s *)
+  | H264  (** video, 1024 kb/s *)
+  | Mpeg4 (** video, 768 kb/s *)
+  | T140  (** real-time text, 1 kb/s *)
+  | Rtt   (** redundant real-time text, 2 kb/s *)
+
+(** The kind of payload a codec encodes. *)
+type kind = Audio_codec | Video_codec | Text_codec
+
+val all : t list
+(** Every codec, in no particular order. *)
+
+val kind : t -> kind
+
+val bandwidth_kbps : t -> int
+(** Nominal bandwidth consumed by a stream in this codec. *)
+
+val fidelity : t -> int
+(** Relative fidelity rank within a kind; larger is better.  Used by
+    endpoints to build priority-ordered descriptor codec lists. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; case-insensitive. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type offer = No_media | Media of Codec.t list
+
+type t = { owner : string; version : int; addr : Address.t; offer : offer }
+
+let check_owner owner =
+  if owner = "" then invalid_arg "Descriptor: empty owner"
+
+let make ~owner ~version addr codecs =
+  check_owner owner;
+  if codecs = [] then invalid_arg "Descriptor.make: empty codec list";
+  { owner; version; addr; offer = Media codecs }
+
+let no_media ~owner ~version addr =
+  check_owner owner;
+  { owner; version; addr; offer = No_media }
+
+let id t = (t.owner, t.version)
+let offers_media t = t.offer <> No_media
+
+let codecs t =
+  match t.offer with
+  | No_media -> []
+  | Media cs -> cs
+
+let supports t c = List.exists (Codec.equal c) (codecs t)
+
+let equal a b =
+  a.owner = b.owner && a.version = b.version
+  && Address.equal a.addr b.addr
+  && a.offer = b.offer
+
+let compare = Stdlib.compare
+
+let pp ppf t =
+  match t.offer with
+  | No_media -> Format.fprintf ppf "desc(%s#%d@%a noMedia)" t.owner t.version Address.pp t.addr
+  | Media cs ->
+    Format.fprintf ppf "desc(%s#%d@%a [%a])" t.owner t.version Address.pp t.addr
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         Codec.pp)
+      cs

@@ -1,0 +1,43 @@
+(** Descriptors: unilateral self-descriptions of an endpoint as a
+    {e receiver} of media (paper section VI-B).
+
+    A descriptor contains an IP address, port number, and priority-ordered
+    list of codecs the endpoint can handle.  If the endpoint does not wish
+    to receive media ([muteIn] true), the only offered "codec" is the
+    distinguished pseudo-codec [noMedia], represented here by the
+    {!offer} constructor [No_media].
+
+    Descriptors are identified by [(owner, version)] so that a selector
+    can declare exactly which descriptor it responds to.  [owner] names
+    the endpoint that authored the descriptor; [version] increases each
+    time that endpoint re-describes itself.  Identification is structural,
+    which keeps states canonical for the model checker. *)
+
+type offer =
+  | No_media  (** the endpoint refuses inward media (muteIn) *)
+  | Media of Codec.t list
+      (** priority-ordered, best first; invariant: non-empty *)
+
+type t = { owner : string; version : int; addr : Address.t; offer : offer }
+
+val make : owner:string -> version:int -> Address.t -> Codec.t list -> t
+(** [make ~owner ~version addr codecs] builds a media-offering descriptor.
+    Raises [Invalid_argument] when [codecs] is empty (use {!no_media}) or
+    when [owner] is empty. *)
+
+val no_media : owner:string -> version:int -> Address.t -> t
+(** A descriptor refusing inward media. *)
+
+val id : t -> string * int
+(** The identification [(owner, version)] a selector responds to. *)
+
+val offers_media : t -> bool
+
+val codecs : t -> Codec.t list
+(** Offered codecs, best first; [[]] for a [No_media] descriptor. *)
+
+val supports : t -> Codec.t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

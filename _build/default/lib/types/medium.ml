@@ -1,0 +1,35 @@
+type t = Audio | Video | Text | Audio_video
+
+let all = [ Audio; Video; Text; Audio_video ]
+
+let supports m c =
+  match m, Codec.kind c with
+  | Audio, Codec.Audio_codec -> true
+  | Video, Codec.Video_codec -> true
+  | Text, Codec.Text_codec -> true
+  | Audio_video, Codec.Video_codec -> true
+  | (Audio | Video | Text | Audio_video), _ -> false
+
+let codecs m =
+  let usable = List.filter (supports m) Codec.all in
+  let by_fidelity a b = Stdlib.compare (Codec.fidelity b) (Codec.fidelity a) in
+  List.sort by_fidelity usable
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string = function
+  | Audio -> "audio"
+  | Video -> "video"
+  | Text -> "text"
+  | Audio_video -> "audio+video"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "audio" -> Some Audio
+  | "video" -> Some Video
+  | "text" -> Some Text
+  | "audio+video" -> Some Audio_video
+  | _ -> None
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

@@ -1,0 +1,28 @@
+(** Media: what kind of stream a channel carries.
+
+    The paper's section III-B: audio and video are the usual media, but
+    text or other data can also be a medium, and one medium can encode
+    audio and video together.  The medium of a channel is chosen by the
+    opener and is fixed for the life of the channel. *)
+
+type t =
+  | Audio
+  | Video
+  | Text
+  | Audio_video  (** a single medium encoding both audio and video *)
+
+val all : t list
+
+val codecs : t -> Codec.t list
+(** All codecs usable for this medium, best fidelity first.  For
+    [Audio_video], a codec must carry video (the audio rides along), so
+    video codecs qualify. *)
+
+val supports : t -> Codec.t -> bool
+(** [supports m c] is true when codec [c] can encode medium [m]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

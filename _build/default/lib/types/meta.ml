@@ -1,0 +1,18 @@
+type t = Setup | Setup_ack | Teardown | Available | Unavailable | Info of string
+
+let equal a b =
+  match a, b with
+  | Setup, Setup | Setup_ack, Setup_ack | Teardown, Teardown -> true
+  | Available, Available | Unavailable, Unavailable -> true
+  | Info x, Info y -> String.equal x y
+  | (Setup | Setup_ack | Teardown | Available | Unavailable | Info _), _ -> false
+
+let name = function
+  | Setup -> "setup"
+  | Setup_ack -> "setup-ack"
+  | Teardown -> "teardown"
+  | Available -> "available"
+  | Unavailable -> "unavailable"
+  | Info s -> "info:" ^ s
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,20 @@
+(** Meta-signals: signals that refer to a signaling channel as a whole and
+    can affect all the tunnels within it (paper section III-A).
+
+    Meta-signals set up and tear down signaling channels, indicate whether
+    the intended far endpoint is currently available, and carry
+    application-level indications (for example the prepaid-card resource
+    telling its server that the user has paid). *)
+
+type t =
+  | Setup       (** create the signaling channel *)
+  | Setup_ack   (** far end confirms channel creation *)
+  | Teardown    (** destroy the channel, all its tunnels and slots *)
+  | Available   (** the intended far endpoint can take the call *)
+  | Unavailable (** the intended far endpoint is busy or absent *)
+  | Info of string
+      (** application indication, e.g. ["paid"], ["click"], ["timeout"] *)
+
+val equal : t -> t -> bool
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+type t = { mute_in : bool; mute_out : bool }
+
+let none = { mute_in = false; mute_out = false }
+let both = { mute_in = true; mute_out = true }
+let in_only = { mute_in = true; mute_out = false }
+let out_only = { mute_in = false; mute_out = true }
+
+let equal a b = a.mute_in = b.mute_in && a.mute_out = b.mute_out
+
+let pp ppf t =
+  Format.fprintf ppf "{in=%s out=%s}"
+    (if t.mute_in then "muted" else "open")
+    (if t.mute_out then "muted" else "open")

@@ -1,0 +1,21 @@
+(** Mute flags carried by [open], [accept], and [modify] events.
+
+    [mute_in] suspends inward media flow desired at this end; [mute_out]
+    suspends outward flow.  Each end of a channel saves and implements
+    only the values chosen at its own end (paper section III-B): media
+    flows left-to-right only if [not LmuteOut && not RmuteIn]. *)
+
+type t = { mute_in : bool; mute_out : bool }
+
+val none : t
+(** Neither direction muted. *)
+
+val both : t
+(** Both directions muted — what a server slot masquerading as a media
+    endpoint uses, since it can neither send nor receive packets. *)
+
+val in_only : t
+val out_only : t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type choice = No_media | Chosen of Codec.t
+
+type t = { responds_to : string * int; sender : Address.t; choice : choice }
+
+let make ~responds_to ~sender choice = { responds_to; sender; choice }
+
+let answer desc ~sender ~willing ~mute_out =
+  let choice =
+    if mute_out then No_media
+    else
+      let offered = Descriptor.codecs desc in
+      let can_send c = List.exists (Codec.equal c) willing in
+      match List.find_opt can_send offered with
+      | Some c -> Chosen c
+      | None -> No_media
+  in
+  { responds_to = Descriptor.id desc; sender; choice }
+
+let responds_to_descriptor t desc =
+  let owner, version = t.responds_to in
+  let d_owner, d_version = Descriptor.id desc in
+  String.equal owner d_owner && version = d_version
+
+let transmits t =
+  match t.choice with
+  | No_media -> false
+  | Chosen _ -> true
+
+let codec t =
+  match t.choice with
+  | No_media -> None
+  | Chosen c -> Some c
+
+let equal a b =
+  a.responds_to = b.responds_to
+  && Address.equal a.sender b.sender
+  && a.choice = b.choice
+
+let compare = Stdlib.compare
+
+let pp ppf t =
+  let owner, version = t.responds_to in
+  match t.choice with
+  | No_media -> Format.fprintf ppf "sel(->%s#%d noMedia)" owner version
+  | Chosen c ->
+    Format.fprintf ppf "sel(->%s#%d from %a using %a)" owner version Address.pp t.sender
+      Codec.pp c

@@ -1,0 +1,38 @@
+(** Selectors: declarations of intent to send media to the endpoint
+    described by a descriptor (paper section VI-B).
+
+    A selector identifies the descriptor it responds to, gives the IP
+    address and port of the sender, and either picks a single codec from
+    the descriptor's list or declines to send ([No_media], used when
+    [muteOut] is true or when answering a [noMedia] descriptor — the only
+    legal response to a [noMedia] descriptor is a [noMedia] selector). *)
+
+type choice =
+  | No_media  (** the sender declines to transmit *)
+  | Chosen of Codec.t
+
+type t = { responds_to : string * int; sender : Address.t; choice : choice }
+
+val make : responds_to:string * int -> sender:Address.t -> choice -> t
+
+val answer :
+  Descriptor.t -> sender:Address.t -> willing:Codec.t list -> mute_out:bool -> t
+(** [answer desc ~sender ~willing ~mute_out] builds the selector an
+    endpoint sends in response to [desc].  When [mute_out] is true or
+    [desc] offers no media, the choice is [No_media]; otherwise it is the
+    highest-priority codec of [desc] that also appears in [willing]
+    (optimal codec choice, paper section VI-B), or [No_media] if the
+    intersection is empty. *)
+
+val responds_to_descriptor : t -> Descriptor.t -> bool
+(** True when this selector answers exactly that descriptor (same owner
+    and version).  Flowlinks use this to discard obsolete selectors. *)
+
+val transmits : t -> bool
+(** True when the selector carries a real codec. *)
+
+val codec : t -> Codec.t option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

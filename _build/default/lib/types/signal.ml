@@ -1,0 +1,41 @@
+type t =
+  | Open of Medium.t * Descriptor.t
+  | Oack of Descriptor.t
+  | Close
+  | Closeack
+  | Describe of Descriptor.t
+  | Select of Selector.t
+
+let descriptor = function
+  | Open (_, d) | Oack d | Describe d -> Some d
+  | Close | Closeack | Select _ -> None
+
+let selector = function
+  | Select s -> Some s
+  | Open _ | Oack _ | Close | Closeack | Describe _ -> None
+
+let name = function
+  | Open _ -> "open"
+  | Oack _ -> "oack"
+  | Close -> "close"
+  | Closeack -> "closeack"
+  | Describe _ -> "describe"
+  | Select _ -> "select"
+
+let equal a b =
+  match a, b with
+  | Open (m1, d1), Open (m2, d2) -> Medium.equal m1 m2 && Descriptor.equal d1 d2
+  | Oack d1, Oack d2 -> Descriptor.equal d1 d2
+  | Close, Close -> true
+  | Closeack, Closeack -> true
+  | Describe d1, Describe d2 -> Descriptor.equal d1 d2
+  | Select s1, Select s2 -> Selector.equal s1 s2
+  | (Open _ | Oack _ | Close | Closeack | Describe _ | Select _), _ -> false
+
+let pp ppf = function
+  | Open (m, d) -> Format.fprintf ppf "open(%a, %a)" Medium.pp m Descriptor.pp d
+  | Oack d -> Format.fprintf ppf "oack(%a)" Descriptor.pp d
+  | Close -> Format.pp_print_string ppf "close"
+  | Closeack -> Format.pp_print_string ppf "closeack"
+  | Describe d -> Format.fprintf ppf "describe(%a)" Descriptor.pp d
+  | Select s -> Format.fprintf ppf "select(%a)" Selector.pp s

@@ -1,0 +1,30 @@
+(** Tunnel signals: the media-control protocol vocabulary of paper
+    section VI-B, Figure 9.
+
+    The protocol operates separately in each tunnel of each signaling
+    channel; each slot is a protocol endpoint.  [Open] requests a media
+    channel, carrying the requested medium and the opener's descriptor;
+    [Oack] accepts, carrying the acceptor's descriptor; [Close] closes
+    (and plays the role of reject); [Closeack] acknowledges a close;
+    [Describe] updates the sender's descriptor at any time after oack;
+    [Select] responds to a descriptor with the sender's choice. *)
+
+type t =
+  | Open of Medium.t * Descriptor.t
+  | Oack of Descriptor.t
+  | Close
+  | Closeack
+  | Describe of Descriptor.t
+  | Select of Selector.t
+
+val descriptor : t -> Descriptor.t option
+(** The descriptor carried, if any ([Open], [Oack], [Describe]). *)
+
+val selector : t -> Selector.t option
+
+val name : t -> string
+(** Short wire name: ["open"], ["oack"], ["close"], ["closeack"],
+    ["describe"], ["select"]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_chain.ml: Address Alcotest Chain Codec Goal_error List Local Mediactl_core Mediactl_protocol Mediactl_types Medium Mute Option Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_endpoint.ml: Address Alcotest Codec Endpoint Goal_error List Local Mediactl_core Mediactl_protocol Mediactl_types Medium Mute Semantics Signal Slot

@@ -1,0 +1,1 @@
+test/test_goals.ml: Address Alcotest Close_slot Codec Descriptor Flow_link Goal_error Hold_slot List Local Mediactl_core Mediactl_protocol Mediactl_types Medium Mute Open_slot Selector Signal Slot

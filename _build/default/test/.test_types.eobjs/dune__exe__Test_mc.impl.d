@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array Check Explorer Format List Mediactl_core Mediactl_mc Path_model Scc Semantics Temporal

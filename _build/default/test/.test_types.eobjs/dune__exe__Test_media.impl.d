@@ -1,0 +1,1 @@
+test/test_media.ml: Address Alcotest Codec Descriptor Flow Fun List Mediactl_media Mediactl_protocol Mediactl_types Medium Option QCheck2 QCheck_alcotest Rtp Selector Slot

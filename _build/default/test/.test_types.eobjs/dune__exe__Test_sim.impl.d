@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Fun List Mediactl_sim Pqueue QCheck2 QCheck_alcotest Rng Stats

@@ -1,0 +1,1 @@
+test/test_sip.ml: Address Alcotest Codec Fabric Float List Mediactl_sip Mediactl_types Medium Option Scenario Sdp Ua

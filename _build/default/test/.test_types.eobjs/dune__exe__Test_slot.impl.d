@@ -1,0 +1,1 @@
+test/test_slot.ml: Address Alcotest Codec Descriptor List Mediactl_protocol Mediactl_types Medium Printf QCheck2 QCheck_alcotest Selector Signal Slot Slot_state

@@ -1,0 +1,1 @@
+test/test_types.ml: Address Alcotest Codec Descriptor List Mediactl_types Medium QCheck2 QCheck_alcotest Selector Signal

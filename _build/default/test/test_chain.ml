@@ -1,0 +1,368 @@
+(* End-to-end tests of signaling paths: goal objects at both ends,
+   flowlinks in the middle, tunnels in between (paper sections V-VII).
+   These check that each path type converges to the behaviour its
+   temporal specification demands, under deterministic and random
+   schedules, with mute changes and endpoint reprogramming. *)
+
+open Mediactl_types
+open Mediactl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let addr_a = Address.v "10.0.0.1" 5000
+let addr_b = Address.v "10.0.0.2" 5002
+
+let local_a () = Local.endpoint ~owner:"A" addr_a [ Codec.G711; Codec.G726 ]
+let local_b () = Local.endpoint ~owner:"B" addr_b [ Codec.G711; Codec.G729 ]
+
+let open_a () = Chain.Open_spec (local_a (), Medium.Audio)
+let open_b () = Chain.Open_spec (local_b (), Medium.Audio)
+let hold_b () = Chain.Hold_spec (local_b ())
+let hold_a () = Chain.Hold_spec (local_a ())
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "goal error: %s" (Goal_error.to_string e)
+
+let make ?initiator_left ~left ~flowlinks ~right () =
+  ok (Chain.create ?initiator_left ~left ~flowlinks ~right ())
+
+let settle chain =
+  let chain, quiescent = ok (Chain.run chain) in
+  check tbool "quiescent" true quiescent;
+  chain
+
+(* --- convergence per path type, across flowlink counts --------------- *)
+
+let assert_flowing chain =
+  check tbool "bothFlowing" true (Chain.both_flowing chain);
+  check tbool "enabled agrees" true (Chain.enabled_agrees chain);
+  check tbool "clean states" true (Chain.final_states_clean chain)
+
+let test_open_hold_flows flowlinks () =
+  let chain = make ~left:(open_a ()) ~flowlinks ~right:(hold_b ()) () in
+  assert_flowing (settle chain)
+
+let test_open_open_flows flowlinks () =
+  let chain = make ~left:(open_a ()) ~flowlinks ~right:(open_b ()) () in
+  assert_flowing (settle chain)
+
+let test_close_close_stays_closed flowlinks () =
+  let chain = make ~left:Chain.Close_spec ~flowlinks ~right:Chain.Close_spec () in
+  let chain = settle chain in
+  check tbool "bothClosed" true (Chain.both_closed chain)
+
+let test_close_hold_stays_closed flowlinks () =
+  let chain = make ~left:Chain.Close_spec ~flowlinks ~right:(hold_b ()) () in
+  let chain = settle chain in
+  check tbool "bothClosed" true (Chain.both_closed chain)
+
+let test_hold_hold_stays_closed flowlinks () =
+  (* Nobody asks to open: the disjunctive spec is satisfied by
+     remaining closed. *)
+  let chain = make ~left:(hold_a ()) ~flowlinks ~right:(hold_b ()) () in
+  let chain = settle chain in
+  check tbool "bothClosed" true (Chain.both_closed chain)
+
+let test_open_close_never_flows flowlinks () =
+  (* This path never quiesces (the openslot keeps retrying), but it
+     must never reach bothFlowing. *)
+  let chain = make ~left:(open_a ()) ~flowlinks ~right:Chain.Close_spec () in
+  let rec drive chain steps =
+    if steps = 0 then ()
+    else
+      match Chain.deliverable chain with
+      | [] -> ()
+      | (i, d) :: _ -> (
+        match Chain.deliver chain i d with
+        | None -> ()
+        | Some r ->
+          let chain = ok r in
+          check tbool "never bothFlowing" false (Chain.both_flowing chain);
+          drive chain (steps - 1))
+  in
+  drive chain 200
+
+(* --- open race (both ends open simultaneously) ----------------------- *)
+
+let test_open_open_race_no_flowlink () =
+  (* A single tunnel with opens from both ends: the initiator side wins
+     and the path still converges to bothFlowing. *)
+  let chain = make ~left:(open_a ()) ~flowlinks:0 ~right:(open_b ()) () in
+  check tint "two opens in flight" 2 (Chain.signals_in_flight chain);
+  assert_flowing (settle chain)
+
+let test_open_open_race_initiator_right () =
+  let chain =
+    make ~initiator_left:[ false ] ~left:(open_a ()) ~flowlinks:0 ~right:(open_b ()) ()
+  in
+  assert_flowing (settle chain)
+
+(* --- mute behaviour --------------------------------------------------- *)
+
+let test_mute_out_stops_media () =
+  let chain = make ~left:(open_a ()) ~flowlinks:1 ~right:(hold_b ()) () in
+  let chain = settle chain in
+  assert_flowing chain;
+  let chain = ok (Chain.modify chain Chain.Lend Mute.out_only) in
+  let chain = settle chain in
+  check tbool "bothFlowing again" true (Chain.both_flowing chain);
+  check tbool "enabled agrees" true (Chain.enabled_agrees chain);
+  (* Right end no longer receives: L muted its output. *)
+  check tbool "right rx off" false (Mediactl_protocol.Slot.rx_enabled (Chain.right_slot chain));
+  check tbool "left rx on" true (Mediactl_protocol.Slot.rx_enabled (Chain.left_slot chain))
+
+let test_mute_in_stops_reception () =
+  let chain = make ~left:(open_a ()) ~flowlinks:1 ~right:(hold_b ()) () in
+  let chain = settle chain in
+  let chain = ok (Chain.modify chain Chain.Rend Mute.in_only) in
+  let chain = settle chain in
+  check tbool "bothFlowing" true (Chain.both_flowing chain);
+  check tbool "enabled agrees" true (Chain.enabled_agrees chain);
+  check tbool "right rx off" false (Mediactl_protocol.Slot.rx_enabled (Chain.right_slot chain));
+  check tbool "left rx on" true (Mediactl_protocol.Slot.rx_enabled (Chain.left_slot chain))
+
+let test_unmute_restores () =
+  let chain = make ~left:(open_a ()) ~flowlinks:1 ~right:(hold_b ()) () in
+  let chain = settle chain in
+  let chain = ok (Chain.modify chain Chain.Lend Mute.both) in
+  let chain = settle chain in
+  check tbool "no media either way" true
+    ((not (Mediactl_protocol.Slot.rx_enabled (Chain.left_slot chain)))
+    && not (Mediactl_protocol.Slot.rx_enabled (Chain.right_slot chain)));
+  let chain = ok (Chain.modify chain Chain.Lend Mute.none) in
+  let chain = settle chain in
+  check tbool "restored" true
+    (Mediactl_protocol.Slot.rx_enabled (Chain.left_slot chain)
+    && Mediactl_protocol.Slot.rx_enabled (Chain.right_slot chain));
+  assert_flowing chain
+
+let test_concurrent_modifies_converge () =
+  (* Idempotent describes/selects travelling in opposite directions do
+     not constrain each other (paper section VI-C). *)
+  let chain = make ~left:(open_a ()) ~flowlinks:1 ~right:(open_b ()) () in
+  let chain = settle chain in
+  let chain = ok (Chain.modify chain Chain.Lend Mute.out_only) in
+  let chain = ok (Chain.modify chain Chain.Rend Mute.out_only) in
+  let chain = settle chain in
+  check tbool "bothFlowing" true (Chain.both_flowing chain);
+  check tbool "enabled agrees" true (Chain.enabled_agrees chain);
+  check tbool "silent both ways" true
+    ((not (Mediactl_protocol.Slot.rx_enabled (Chain.left_slot chain)))
+    && not (Mediactl_protocol.Slot.rx_enabled (Chain.right_slot chain)))
+
+(* --- reprogramming (box program state changes) ------------------------ *)
+
+let test_reprogram_hold_to_close () =
+  let chain = make ~left:(open_a ()) ~flowlinks:1 ~right:(hold_b ()) () in
+  let chain = settle chain in
+  let chain = ok (Chain.reprogram chain Chain.Rend Chain.Close_spec) in
+  (* Now an open/close path: it never flows again. *)
+  let rec drive chain steps =
+    if steps = 0 then chain
+    else
+      match Chain.deliverable chain with
+      | [] -> chain
+      | (i, d) :: _ -> (
+        match Chain.deliver chain i d with
+        | None -> chain
+        | Some r ->
+          let chain = ok r in
+          check tbool "never flows again" false (Chain.both_flowing chain);
+          drive chain (steps - 1))
+  in
+  ignore (drive chain 300)
+
+let test_reprogram_close_to_hold_then_flow () =
+  let chain = make ~left:(open_a ()) ~flowlinks:1 ~right:Chain.Close_spec () in
+  (* Let the first reject happen. *)
+  let chain, _ = ok (Chain.run ~max_steps:40 chain) in
+  check tbool "not flowing" false (Chain.both_flowing chain);
+  (* The right box program changes its mind; reprogramming is legal
+     whenever the slot is closed at that moment.  Retry a few times
+     because the openslot keeps re-opening. *)
+  let rec try_reprogram chain attempts =
+    if attempts = 0 then Alcotest.fail "never found a closed moment"
+    else if Mediactl_protocol.Slot.is_closed (Chain.right_slot chain) then
+      ok (Chain.reprogram chain Chain.Rend (hold_b ()))
+    else
+      match Chain.deliverable chain with
+      | [] -> Alcotest.fail "stuck"
+      | (i, d) :: _ ->
+        let chain = ok (Option.get (Chain.deliver chain i d)) in
+        try_reprogram chain (attempts - 1)
+  in
+  let chain = try_reprogram chain 100 in
+  assert_flowing (settle chain)
+
+(* --- random schedules -------------------------------------------------- *)
+
+let random_settle rng chain max_steps =
+  let rec loop chain steps =
+    if steps >= max_steps then (chain, false)
+    else
+      match Chain.deliverable chain with
+      | [] -> (chain, true)
+      | choices ->
+        let i, d = List.nth choices (Random.State.int rng (List.length choices)) in
+        let chain = ok (Option.get (Chain.deliver chain i d)) in
+        loop chain (steps + 1)
+  in
+  loop chain 0
+
+let prop_random_schedule_converges =
+  QCheck2.Test.make ~name:"open/hold converges under any schedule" ~count:200
+    QCheck2.Gen.(pair (int_range 0 3) int)
+    (fun (flowlinks, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let chain = make ~left:(open_a ()) ~flowlinks ~right:(hold_b ()) () in
+      let chain, quiescent = random_settle rng chain 2000 in
+      quiescent && Chain.both_flowing chain && Chain.enabled_agrees chain
+      && Chain.final_states_clean chain)
+
+let prop_random_modifies_converge =
+  QCheck2.Test.make ~name:"random mutes still reconverge to bothFlowing" ~count:150
+    QCheck2.Gen.(triple (int_range 0 2) int (list_size (int_range 1 4) (pair bool (pair bool bool))))
+    (fun (flowlinks, seed, modifies) ->
+      let rng = Random.State.make [| seed |] in
+      let chain = make ~left:(open_a ()) ~flowlinks ~right:(open_b ()) () in
+      let chain, _ = random_settle rng chain 2000 in
+      let chain =
+        List.fold_left
+          (fun chain (left_end, (mi, mo)) ->
+            let which = if left_end then Chain.Lend else Chain.Rend in
+            let mute = { Mute.mute_in = mi; mute_out = mo } in
+            let chain = ok (Chain.modify chain which mute) in
+            fst (random_settle rng chain 2000))
+          chain modifies
+      in
+      let chain, quiescent = random_settle rng chain 2000 in
+      quiescent && Chain.both_flowing chain && Chain.enabled_agrees chain)
+
+let prop_close_paths_close =
+  QCheck2.Test.make ~name:"paths with a closing end finish bothClosed" ~count:200
+    QCheck2.Gen.(triple (int_range 0 3) int bool)
+    (fun (flowlinks, seed, hold_at_right) ->
+      let rng = Random.State.make [| seed |] in
+      let right = if hold_at_right then hold_b () else Chain.Close_spec in
+      let chain = make ~left:Chain.Close_spec ~flowlinks ~right () in
+      let chain, quiescent = random_settle rng chain 2000 in
+      quiescent && Chain.both_closed chain)
+
+let prop_reprogram_storm =
+  (* Endpoints are reprogrammed repeatedly at random moments with random
+     goals (as box programs changing state do); whatever the history, the
+     path must still satisfy the specification of its FINAL goals. *)
+  QCheck2.Test.make ~name:"reprogram storms still converge to the final spec" ~count:100
+    QCheck2.Gen.(triple (int_range 0 2) int (list_size (int_range 1 5) (pair bool (int_range 0 2))))
+    (fun (flowlinks, seed, reprograms) ->
+      let rng = Random.State.make [| seed |] in
+      let chain = make ~left:(open_a ()) ~flowlinks ~right:(hold_b ()) () in
+      let goal_of = function
+        | 0 -> hold_b ()
+        | 1 -> Chain.Close_spec
+        | _ -> open_b ()
+      in
+      let chain =
+        List.fold_left
+          (fun chain (left_end, goal_ix) ->
+            let chain, _ = random_settle rng chain (1 + Random.State.int rng 40) in
+            let which = if left_end then Chain.Lend else Chain.Rend in
+            let spec = goal_of goal_ix in
+            (* openSlot requires a closed slot; skip illegal moments. *)
+            let slot = if left_end then Chain.left_slot chain else Chain.right_slot chain in
+            match spec with
+            | Chain.Open_spec _ when not (Mediactl_protocol.Slot.is_closed slot) -> chain
+            | _ -> ok (Chain.reprogram chain which spec))
+          chain reprograms
+      in
+      (* Make the final configuration deterministic: openslot vs holdslot. *)
+      let chain =
+        if Mediactl_protocol.Slot.is_closed (Chain.left_slot chain) then
+          ok (Chain.reprogram chain Chain.Lend (open_a ()))
+        else chain
+      in
+      let chain = ok (Chain.reprogram chain Chain.Rend (hold_b ())) in
+      match Chain.left_kind chain, Chain.right_kind chain with
+      | Mediactl_core.Semantics.Open_end, Mediactl_core.Semantics.Hold_end ->
+        let chain, quiescent = random_settle rng chain 4000 in
+        quiescent && Chain.both_flowing chain && Chain.final_states_clean chain
+      | _ ->
+        (* The left slot was not closed when we tried to re-open it:
+           it is under an earlier goal; just require clean settling. *)
+        let chain, quiescent = random_settle rng chain 4000 in
+        quiescent || Chain.final_states_clean chain)
+
+let prop_flowlink_transparency =
+  (* Section III-A: a path of a given type can have any number of tunnels
+     and flowlinks, as these should be transparent with respect to
+     observable behaviour.  Drive identical endpoint histories over paths
+     with 0 and k flowlinks; the observable endpoint states (protocol
+     state, media enablement per direction, negotiated codec) must agree. *)
+  QCheck2.Test.make ~name:"flowlinks are observationally transparent" ~count:200
+    QCheck2.Gen.(triple (int_range 1 3) int (list_size (int_range 0 4) (pair bool (pair bool bool))))
+    (fun (k, seed, modifies) ->
+      let run flowlinks =
+        let rng = Random.State.make [| seed |] in
+        let chain = make ~left:(open_a ()) ~flowlinks ~right:(hold_b ()) () in
+        let chain, _ = random_settle rng chain 4000 in
+        let chain =
+          List.fold_left
+            (fun chain (left_end, (mi, mo)) ->
+              let which = if left_end then Chain.Lend else Chain.Rend in
+              let chain = ok (Chain.modify chain which { Mute.mute_in = mi; mute_out = mo }) in
+              fst (random_settle rng chain 4000))
+            chain modifies
+        in
+        let chain, quiescent = random_settle rng chain 4000 in
+        let observe slot =
+          Mediactl_protocol.Slot.
+            (slot.state, tx_enabled slot, rx_enabled slot, tx_codec slot, rx_codec slot)
+        in
+        (quiescent, observe (Chain.left_slot chain), observe (Chain.right_slot chain))
+      in
+      run 0 = run k)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_random_schedule_converges; prop_random_modifies_converge; prop_close_paths_close;
+      prop_reprogram_storm; prop_flowlink_transparency;
+    ]
+
+let with_links name f =
+  List.map
+    (fun k -> Alcotest.test_case (Printf.sprintf "%s (%d flowlinks)" name k) `Quick (f k))
+    [ 0; 1; 2; 3 ]
+
+let () =
+  Alcotest.run "chain"
+    [
+      ( "convergence",
+        with_links "open/hold flows" test_open_hold_flows
+        @ with_links "open/open flows" test_open_open_flows
+        @ with_links "close/close closed" test_close_close_stays_closed
+        @ with_links "close/hold closed" test_close_hold_stays_closed
+        @ with_links "hold/hold closed" test_hold_hold_stays_closed
+        @ with_links "open/close never flows" test_open_close_never_flows );
+      ( "races",
+        [
+          Alcotest.test_case "open race, initiator left" `Quick test_open_open_race_no_flowlink;
+          Alcotest.test_case "open race, initiator right" `Quick test_open_open_race_initiator_right;
+        ] );
+      ( "mute",
+        [
+          Alcotest.test_case "mute out" `Quick test_mute_out_stops_media;
+          Alcotest.test_case "mute in" `Quick test_mute_in_stops_reception;
+          Alcotest.test_case "unmute restores" `Quick test_unmute_restores;
+          Alcotest.test_case "concurrent modifies" `Quick test_concurrent_modifies_converge;
+        ] );
+      ( "reprogram",
+        [
+          Alcotest.test_case "hold to close" `Quick test_reprogram_hold_to_close;
+          Alcotest.test_case "close to hold" `Quick test_reprogram_close_to_hold_then_flow;
+        ] );
+      ("random schedules", qcheck_cases);
+    ]

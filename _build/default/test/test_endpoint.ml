@@ -1,0 +1,164 @@
+(* Tests for the Figure-5 user-interface endpoint: user !-events, far-end
+   ?-indications, ringing/accept/reject freedom, and the translation to
+   the protocol of Figure 9. *)
+
+open Mediactl_types
+open Mediactl_protocol
+open Mediactl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let addr_a = Address.v "10.0.0.1" 5000
+let addr_b = Address.v "10.0.0.2" 5002
+let local_a = Local.endpoint ~owner:"A" addr_a [ Codec.G711; Codec.G726 ]
+let local_b = Local.endpoint ~owner:"B" addr_b [ Codec.G711 ]
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "endpoint error: %s" (Goal_error.to_string e)
+
+let fresh role = Slot.create ~label:"s" role
+
+let names = List.map Signal.name
+
+(* Exchange helpers: feed each emitted signal to the other endpoint,
+   collecting indications, until nothing is in flight. *)
+let rec exchange (epa, slota) (epb, slotb) queue_ab queue_ba uis =
+  match queue_ab, queue_ba with
+  | [], [] -> ((epa, slota), (epb, slotb), uis)
+  | signal :: rest, _ ->
+    let o = ok (Endpoint.on_signal epb slotb signal) in
+    exchange (epa, slota) (o.Endpoint.ep, o.Endpoint.slot) rest
+      (queue_ba @ o.Endpoint.out)
+      (uis @ List.map (fun u -> (`B, u)) o.Endpoint.ui)
+  | [], signal :: rest ->
+    let o = ok (Endpoint.on_signal epa slota signal) in
+    exchange (o.Endpoint.ep, o.Endpoint.slot) (epb, slotb) o.Endpoint.out rest
+      (uis @ List.map (fun u -> (`A, u)) o.Endpoint.ui)
+
+let test_accepting_call () =
+  let epa = Endpoint.create local_a ~policy:(fun _ -> Endpoint.Accept) in
+  let epb = Endpoint.create local_b ~policy:(fun _ -> Endpoint.Accept) in
+  let slota = fresh Slot.Channel_initiator and slotb = fresh Slot.Channel_acceptor in
+  let o = ok (Endpoint.open_ epa slota Medium.Audio) in
+  let (_, slota), (_, slotb), uis =
+    exchange (o.Endpoint.ep, o.Endpoint.slot) (epb, slotb) o.Endpoint.out [] []
+  in
+  check tbool "both flowing" true (Semantics.both_flowing ~left:slota ~right:slotb);
+  check tbool "B saw ?opened" true
+    (List.exists (function `B, Endpoint.Ui_opened Medium.Audio -> true | _ -> false) uis);
+  check tbool "A saw ?accepted" true
+    (List.exists (function `A, Endpoint.Ui_accepted -> true | _ -> false) uis);
+  check tbool "media both ways" true
+    (Slot.tx_enabled slota && Slot.rx_enabled slota && Slot.tx_enabled slotb
+    && Slot.rx_enabled slotb)
+
+let test_rejecting_call () =
+  let epa = Endpoint.create local_a ~policy:(fun _ -> Endpoint.Accept) in
+  let epb = Endpoint.create local_b ~policy:(fun _ -> Endpoint.Reject) in
+  let slota = fresh Slot.Channel_initiator and slotb = fresh Slot.Channel_acceptor in
+  let o = ok (Endpoint.open_ epa slota Medium.Audio) in
+  let (_, slota), (_, slotb), uis =
+    exchange (o.Endpoint.ep, o.Endpoint.slot) (epb, slotb) o.Endpoint.out [] []
+  in
+  check tbool "both closed" true (Slot.is_closed slota && Slot.is_closed slotb);
+  check tbool "A saw ?closed" true
+    (List.exists (function `A, Endpoint.Ui_closed -> true | _ -> false) uis)
+
+let test_ringing_then_accept () =
+  let epa = Endpoint.create local_a ~policy:(fun _ -> Endpoint.Accept) in
+  let epb = Endpoint.create local_b ~policy:(fun _ -> Endpoint.Ring) in
+  let slota = fresh Slot.Channel_initiator and slotb = fresh Slot.Channel_acceptor in
+  let o = ok (Endpoint.open_ epa slota Medium.Audio) in
+  (* Deliver the open: B rings instead of answering. *)
+  let ob = ok (Endpoint.on_signal epb slotb (List.hd o.Endpoint.out)) in
+  check tbool "ringing" true (Endpoint.ringing ob.Endpoint.ep);
+  check tint "no reply yet" 0 (List.length ob.Endpoint.out);
+  check tbool "still opened" true (Slot.is_opened ob.Endpoint.slot);
+  (* The user picks up. *)
+  let ob2 = ok (Endpoint.accept ob.Endpoint.ep ob.Endpoint.slot) in
+  check tbool "oack+select" true (names ob2.Endpoint.out = [ "oack"; "select" ]);
+  let (_, slota), (_, slotb), _ =
+    exchange (o.Endpoint.ep, o.Endpoint.slot) (ob2.Endpoint.ep, ob2.Endpoint.slot) []
+      ob2.Endpoint.out []
+  in
+  check tbool "both flowing" true (Semantics.both_flowing ~left:slota ~right:slotb)
+
+let test_ringing_then_reject () =
+  let epb = Endpoint.create local_b ~policy:(fun _ -> Endpoint.Ring) in
+  let slotb = fresh Slot.Channel_acceptor in
+  let ob =
+    ok (Endpoint.on_signal epb slotb (Signal.Open (Medium.Audio, Local.descriptor local_a)))
+  in
+  let ob2 = ok (Endpoint.reject ob.Endpoint.ep ob.Endpoint.slot) in
+  check tbool "close sent" true (names ob2.Endpoint.out = [ "close" ]);
+  check tbool "no longer ringing" false (Endpoint.ringing ob2.Endpoint.ep)
+
+let test_accept_without_ring_is_an_error () =
+  let ep = Endpoint.create local_b ~policy:(fun _ -> Endpoint.Ring) in
+  match Endpoint.accept ep (fresh Slot.Channel_acceptor) with
+  | Error (Goal_error.Precondition _) -> ()
+  | Error (Goal_error.Protocol _) | Ok _ -> Alcotest.fail "accept must require ringing"
+
+let test_modify_round_trip () =
+  let epa = Endpoint.create local_a ~policy:(fun _ -> Endpoint.Accept) in
+  let epb = Endpoint.create local_b ~policy:(fun _ -> Endpoint.Accept) in
+  let slota = fresh Slot.Channel_initiator and slotb = fresh Slot.Channel_acceptor in
+  let o = ok (Endpoint.open_ epa slota Medium.Audio) in
+  let (epa, slota), (epb, slotb), _ =
+    exchange (o.Endpoint.ep, o.Endpoint.slot) (epb, slotb) o.Endpoint.out [] []
+  in
+  (* A mutes its microphone; B must see a ?modified indication and the
+     media toward B must stop. *)
+  let oa = ok (Endpoint.modify epa slota Mute.out_only) in
+  let (_, slota), (_, slotb), uis =
+    exchange (oa.Endpoint.ep, oa.Endpoint.slot) (epb, slotb) oa.Endpoint.out [] []
+  in
+  check tbool "B saw ?modified" true
+    (List.exists (function `B, Endpoint.Ui_modified -> true | _ -> false) uis);
+  check tbool "B no longer receives" false (Slot.rx_enabled slotb);
+  check tbool "A still receives" true (Slot.rx_enabled slota)
+
+let test_user_close () =
+  let epa = Endpoint.create local_a ~policy:(fun _ -> Endpoint.Accept) in
+  let epb = Endpoint.create local_b ~policy:(fun _ -> Endpoint.Accept) in
+  let slota = fresh Slot.Channel_initiator and slotb = fresh Slot.Channel_acceptor in
+  let o = ok (Endpoint.open_ epa slota Medium.Audio) in
+  let (epa, slota), (epb, slotb), _ =
+    exchange (o.Endpoint.ep, o.Endpoint.slot) (epb, slotb) o.Endpoint.out [] []
+  in
+  let oa = ok (Endpoint.close epa slota) in
+  let (_, slota), (_, slotb), uis =
+    exchange (oa.Endpoint.ep, oa.Endpoint.slot) (epb, slotb) oa.Endpoint.out [] []
+  in
+  check tbool "both closed" true (Slot.is_closed slota && Slot.is_closed slotb);
+  check tbool "B saw ?closed" true
+    (List.exists (function `B, Endpoint.Ui_closed -> true | _ -> false) uis);
+  check tbool "A saw its close confirmed" true
+    (List.exists (function `A, Endpoint.Ui_closed -> true | _ -> false) uis)
+
+let test_open_requires_closed_slot () =
+  let ep = Endpoint.create local_a ~policy:(fun _ -> Endpoint.Accept) in
+  let slot = fresh Slot.Channel_initiator in
+  let o = ok (Endpoint.open_ ep slot Medium.Audio) in
+  match Endpoint.open_ o.Endpoint.ep o.Endpoint.slot Medium.Audio with
+  | Error (Goal_error.Precondition _) -> ()
+  | Error (Goal_error.Protocol _) | Ok _ -> Alcotest.fail "double open must be refused"
+
+let () =
+  Alcotest.run "endpoint"
+    [
+      ( "figure 5",
+        [
+          Alcotest.test_case "accepting call" `Quick test_accepting_call;
+          Alcotest.test_case "rejecting call" `Quick test_rejecting_call;
+          Alcotest.test_case "ring then accept" `Quick test_ringing_then_accept;
+          Alcotest.test_case "ring then reject" `Quick test_ringing_then_reject;
+          Alcotest.test_case "accept needs ring" `Quick test_accept_without_ring_is_an_error;
+          Alcotest.test_case "modify round trip" `Quick test_modify_round_trip;
+          Alcotest.test_case "user close" `Quick test_user_close;
+          Alcotest.test_case "double open refused" `Quick test_open_requires_closed_slot;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+(* Tests for the model checker: the generic explorer, Tarjan SCC, the
+   temporal decision procedures on hand-built graphs, and small runs of
+   the paper's path models. *)
+
+open Mediactl_core
+open Mediactl_mc
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* --- explorer on a toy system ---------------------------------------- *)
+
+module Counter = struct
+  (* States 0..5; from k you can +1 (mod 6) or jump to 0. *)
+  type state = int
+  type label = Step | Reset
+
+  let successors k = if k >= 5 then [ (Reset, 0) ] else [ (Step, k + 1); (Reset, 0) ]
+
+  let pp_label ppf = function
+    | Step -> Format.pp_print_string ppf "step"
+    | Reset -> Format.pp_print_string ppf "reset"
+
+  let pp_state = Format.pp_print_int
+end
+
+module CE = Explorer.Make (Counter)
+
+let test_explorer_reachability () =
+  let g = CE.explore 0 in
+  check tint "states" 6 (Array.length g.CE.states);
+  check tint "transitions" 11 g.CE.transition_count;
+  check tbool "no deadlocks" true (CE.deadlocks g = []);
+  check tbool "not capped" false g.CE.capped
+
+let test_explorer_cap () =
+  let g = CE.explore ~max_states:3 0 in
+  check tbool "capped" true g.CE.capped
+
+let test_explorer_path_to () =
+  let g = CE.explore 0 in
+  let path = CE.path_to g 3 in
+  check tint "shortest path length" 4 (List.length path);
+  check tbool "ends at target" true
+    (match List.rev path with
+    | (_, id) :: _ -> g.CE.states.(id) = 3
+    | [] -> false)
+
+(* --- scc -------------------------------------------------------------- *)
+
+let test_scc_line () =
+  (* 0 -> 1 -> 2: three trivial components, no cycles. *)
+  let succs = [| [ 1 ]; [ 2 ]; [] |] in
+  let scc = Scc.compute ~succs in
+  check tint "components" 3 scc.Scc.count;
+  check tbool "nothing cyclic" true
+    (not (Scc.on_cycle scc 0 || Scc.on_cycle scc 1 || Scc.on_cycle scc 2))
+
+let test_scc_cycle () =
+  (* 0 -> 1 -> 2 -> 1 and 2 -> 3. *)
+  let succs = [| [ 1 ]; [ 2 ]; [ 1; 3 ]; [] |] in
+  let scc = Scc.compute ~succs in
+  check tbool "1 and 2 share a component" true (scc.Scc.component.(1) = scc.Scc.component.(2));
+  check tbool "1 on cycle" true (Scc.on_cycle scc 1);
+  check tbool "0 not on cycle" false (Scc.on_cycle scc 0);
+  check tbool "3 not on cycle" false (Scc.on_cycle scc 3)
+
+let test_scc_self_loop () =
+  let succs = [| [ 0; 1 ]; [] |] in
+  let scc = Scc.compute ~succs in
+  check tbool "self loop cyclic" true (Scc.on_cycle scc 0);
+  check tbool "other not" false (Scc.on_cycle scc 1)
+
+let test_scc_big_line_no_overflow () =
+  (* A 200k-node path: the iterative Tarjan must not overflow. *)
+  let n = 200_000 in
+  let succs = Array.init n (fun i -> if i = n - 1 then [] else [ i + 1 ]) in
+  let scc = Scc.compute ~succs in
+  check tint "components" n scc.Scc.count
+
+(* --- temporal --------------------------------------------------------- *)
+
+let holds = function
+  | Temporal.Holds -> true
+  | Temporal.Violated _ -> false
+
+let test_eventually_always () =
+  (* 0 -> 1 -> 2(loop): p holds on 2 only. *)
+  let succs = [| [ 1 ]; [ 2 ]; [ 2 ] |] in
+  let p2 i = i = 2 in
+  check tbool "holds" true (holds (Temporal.eventually_always ~succs ~p:p2));
+  (* Cycle visits a !p state. *)
+  let succs_bad = [| [ 1 ]; [ 2 ]; [ 1 ] |] in
+  check tbool "violated by cycle" false
+    (holds (Temporal.eventually_always ~succs:succs_bad ~p:p2));
+  (* Terminal state violating p. *)
+  let succs_term = [| [ 1 ]; [] |] in
+  check tbool "violated by terminal" false
+    (holds (Temporal.eventually_always ~succs:succs_term ~p:(fun i -> i = 0)))
+
+let test_always_eventually () =
+  (* A loop 0 -> 1 -> 0 where p holds at 1: hit infinitely often. *)
+  let succs = [| [ 1 ]; [ 0 ] |] in
+  check tbool "recurs" true (holds (Temporal.always_eventually ~succs ~p:(fun i -> i = 1)));
+  (* A loop avoiding p entirely. *)
+  let succs_bad = [| [ 1 ]; [ 0 ]; [] |] in
+  check tbool "avoided" false
+    (holds (Temporal.always_eventually ~succs:succs_bad ~p:(fun i -> i = 2)))
+
+let test_stabilize_or_recur () =
+  (* Cycle entirely within the stable set: fine. *)
+  let succs = [| [ 1 ]; [ 0 ] |] in
+  let stable _ = true in
+  let recur _ = false in
+  check tbool "stable cycle ok" true
+    (holds (Temporal.stabilize_or_recur ~succs ~stable ~recur));
+  (* Cycle leaving stable without recurring: violation. *)
+  let stable i = i = 0 in
+  check tbool "unstable cycle bad" false
+    (holds (Temporal.stabilize_or_recur ~succs ~stable ~recur));
+  (* Same cycle, but recurring: fine. *)
+  let recur i = i = 1 in
+  check tbool "recurring cycle ok" true
+    (holds (Temporal.stabilize_or_recur ~succs ~stable ~recur))
+
+(* --- path models ------------------------------------------------------ *)
+
+let run_config left right flowlinks =
+  Check.run
+    { Path_model.left; right; flowlinks; chaos = 0; modifies = 1; environment_ends = false }
+
+let test_path_models_no_chaos () =
+  (* With no chaos the state spaces are small; all six types must pass
+     at 0 flowlinks. *)
+  let kinds = [ Semantics.Open_end; Semantics.Close_end; Semantics.Hold_end ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let r = run_config a b 0 in
+          if not (Check.passed r) then
+            Alcotest.failf "config failed: %a" Check.pp_report r)
+        kinds)
+    kinds
+
+let test_path_model_one_flowlink () =
+  let r = run_config Semantics.Open_end Semantics.Hold_end 1 in
+  check tbool "passed" true (Check.passed r);
+  check tbool "nontrivial" true (r.Check.states > 50)
+
+let test_flowlink_blowup_shape () =
+  (* Adding a flowlink must multiply the state space (the paper's
+     resource-growth observation, section VIII-A). *)
+  let r0 = run_config Semantics.Open_end Semantics.Open_end 0 in
+  let r1 = run_config Semantics.Open_end Semantics.Open_end 1 in
+  check tbool "multiplicative blowup" true (r1.Check.states > 3 * r0.Check.states)
+
+let test_standard_configs_count () =
+  check tint "12 models" 12 (List.length (Path_model.standard_configs ~chaos:1 ~modifies:0))
+
+let test_passing_reports_have_no_counterexample () =
+  let r = run_config Semantics.Open_end Semantics.Hold_end 0 in
+  check tbool "passed" true (Check.passed r);
+  check tbool "empty counterexample" true (r.Check.counterexample = [])
+
+let test_segment_lemma () =
+  (* Section VIII-B: one interior flowlink is safe under arbitrary
+     protocol-legal environments at the cut points. *)
+  let r = Check.run_segment ~flowlinks:1 ~chaos:1 () in
+  check tbool "safe" true (Check.passed r);
+  check tbool "nontrivial" true (r.Check.states > 100)
+
+let test_segment_two_flowlinks () =
+  (* The two-flowlink segment the paper could not afford in Spin. *)
+  let r = Check.run_segment ~flowlinks:2 ~chaos:1 () in
+  check tbool "safe" true (Check.passed r)
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "reachability" `Quick test_explorer_reachability;
+          Alcotest.test_case "cap" `Quick test_explorer_cap;
+          Alcotest.test_case "path_to" `Quick test_explorer_path_to;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "line" `Quick test_scc_line;
+          Alcotest.test_case "cycle" `Quick test_scc_cycle;
+          Alcotest.test_case "self loop" `Quick test_scc_self_loop;
+          Alcotest.test_case "no stack overflow" `Quick test_scc_big_line_no_overflow;
+        ] );
+      ( "temporal",
+        [
+          Alcotest.test_case "eventually always" `Quick test_eventually_always;
+          Alcotest.test_case "always eventually" `Quick test_always_eventually;
+          Alcotest.test_case "stabilize or recur" `Quick test_stabilize_or_recur;
+        ] );
+      ( "path models",
+        [
+          Alcotest.test_case "all six, no chaos" `Quick test_path_models_no_chaos;
+          Alcotest.test_case "one flowlink" `Quick test_path_model_one_flowlink;
+          Alcotest.test_case "flowlink blowup" `Quick test_flowlink_blowup_shape;
+          Alcotest.test_case "standard configs" `Quick test_standard_configs_count;
+          Alcotest.test_case "no counterexample when passing" `Quick
+            test_passing_reports_have_no_counterexample;
+          Alcotest.test_case "segment lemma (1 flowlink)" `Quick test_segment_lemma;
+          Alcotest.test_case "segment lemma (2 flowlinks)" `Quick test_segment_two_flowlinks;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(* Tests for the media plane: flow snapshots and RTP clipping accounting. *)
+
+open Mediactl_types
+open Mediactl_protocol
+open Mediactl_media
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let addr_a = Address.v "10.0.0.1" 5000
+let addr_b = Address.v "10.0.0.2" 5002
+
+let desc name version addr = Descriptor.make ~owner:name ~version addr [ Codec.G711 ]
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "slot error: %s" (Slot.error_to_string e)
+
+(* Drive two directly-connected slots to a fully selected flowing pair. *)
+let flowing_pair () =
+  let da = desc "A" 0 addr_a and db = desc "B" 0 addr_b in
+  let a = Slot.create ~label:"a" Slot.Channel_initiator in
+  let b = Slot.create ~label:"b" Slot.Channel_acceptor in
+  let a, open_sig = ok (Slot.send_open a Medium.Audio da) in
+  let b, _, _ = ok (Slot.receive b open_sig) in
+  let b, oack = ok (Slot.send_oack b db) in
+  let b, sel_b = ok (Slot.send_select b (Selector.answer da ~sender:addr_b ~willing:[ Codec.G711 ] ~mute_out:false)) in
+  let a, _, _ = ok (Slot.receive a oack) in
+  let a, sel_a = ok (Slot.send_select a (Selector.answer db ~sender:addr_a ~willing:[ Codec.G711 ] ~mute_out:false)) in
+  let a, _, _ = ok (Slot.receive a sel_b) in
+  let b, _, _ = ok (Slot.receive b sel_a) in
+  (a, b)
+
+let test_flow_two_way () =
+  let a, b = flowing_pair () in
+  let flow = Flow.between ~a:"A" a ~b:"B" b in
+  check tbool "two way" true (Flow.two_way flow);
+  check tint "two directed edges" 2 (List.length (Flow.directed flow));
+  check tbool "codec carried" true
+    (List.for_all (fun (_, _, c) -> Codec.equal c Codec.G711) (Flow.directed flow))
+
+let test_flow_one_way () =
+  let a, b = flowing_pair () in
+  (* A re-selects noMedia: A stops sending; B still sends. *)
+  let muted =
+    Selector.answer (Option.get a.Slot.remote_desc) ~sender:addr_a ~willing:[ Codec.G711 ]
+      ~mute_out:true
+  in
+  let a, sel = ok (Slot.send_select a muted) in
+  let b, _, _ = ok (Slot.receive b sel) in
+  let flow = Flow.between ~a:"A" a ~b:"B" b in
+  check tbool "one way" true (Flow.one_way flow);
+  check tbool "edge is B->A" true (Flow.edges [ flow ] = [ ("B", "A") ])
+
+let test_flow_silent_when_closed () =
+  let a = Slot.create ~label:"a" Slot.Channel_initiator in
+  let b = Slot.create ~label:"b" Slot.Channel_acceptor in
+  let flow = Flow.between ~a:"A" a ~b:"B" b in
+  check tbool "silent" true (Flow.silent flow);
+  check tbool "no edges" true (Flow.edges [ flow ] = [])
+
+let test_same_edges () =
+  let a, b = flowing_pair () in
+  let flow = Flow.between ~a:"A" a ~b:"B" b in
+  check tbool "matches" true (Flow.same_edges [ flow ] [ ("A", "B"); ("B", "A") ]);
+  check tbool "mismatch detected" false (Flow.same_edges [ flow ] [ ("A", "B") ])
+
+(* --- rtp clipping ------------------------------------------------------- *)
+
+let test_generate_cadence () =
+  let packets = Rtp.generate ~start:0.0 ~stop:100.0 ~interval:20.0 Codec.G711 in
+  check tint "six packets" 6 (List.length packets);
+  check tbool "sequenced" true
+    (List.mapi (fun i p -> p.Rtp.seq = i) packets |> List.for_all Fun.id)
+
+let test_account_no_clipping_when_ready_early () =
+  let packets = Rtp.generate ~start:0.0 ~stop:200.0 ~interval:20.0 Codec.G711 in
+  let acct = Rtp.account packets ~transit:10.0 ~ready_at:0.0 in
+  check tint "all delivered" (List.length packets) acct.Rtp.delivered;
+  check tint "none clipped" 0 acct.Rtp.clipped
+
+let test_account_clipping_window () =
+  (* Receiver ready at t=54; transit 10: packets sent before t=44 are
+     clipped. With 20 ms cadence from 0: packets at 0, 20, 40 clip. *)
+  let packets = Rtp.generate ~start:0.0 ~stop:200.0 ~interval:20.0 Codec.G711 in
+  let acct = Rtp.account packets ~transit:10.0 ~ready_at:54.0 in
+  check tint "three clipped" 3 acct.Rtp.clipped;
+  check tint "rest delivered" (List.length packets - 3) acct.Rtp.delivered
+
+let test_generate_bad_interval () =
+  Alcotest.check_raises "interval" (Invalid_argument "Rtp.generate: interval must be positive")
+    (fun () -> ignore (Rtp.generate ~start:0.0 ~stop:1.0 ~interval:0.0 Codec.G711))
+
+let prop_accounting_partitions =
+  QCheck2.Test.make ~name:"delivered + clipped = generated" ~count:300
+    QCheck2.Gen.(triple (float_range 0.0 100.0) (float_range 0.0 200.0) (float_range 1.0 50.0))
+    (fun (transit, ready_at, interval) ->
+      let packets = Rtp.generate ~start:0.0 ~stop:500.0 ~interval Codec.G711 in
+      let acct = Rtp.account packets ~transit ~ready_at in
+      acct.Rtp.delivered + acct.Rtp.clipped = List.length packets)
+
+let () =
+  Alcotest.run "media"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "two way" `Quick test_flow_two_way;
+          Alcotest.test_case "one way" `Quick test_flow_one_way;
+          Alcotest.test_case "silent" `Quick test_flow_silent_when_closed;
+          Alcotest.test_case "same edges" `Quick test_same_edges;
+        ] );
+      ( "rtp",
+        [
+          Alcotest.test_case "cadence" `Quick test_generate_cadence;
+          Alcotest.test_case "ready early" `Quick test_account_no_clipping_when_ready_early;
+          Alcotest.test_case "clipping window" `Quick test_account_clipping_window;
+          Alcotest.test_case "bad interval" `Quick test_generate_bad_interval;
+          QCheck_alcotest.to_alcotest prop_accounting_partitions;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Tests for the signaling substrate: tunnels (duplex FIFO queues) and
+   channels (tunnel bundles with meta-signals), plus a driven two-slot
+   property: random legal protocol activity over a real tunnel never
+   produces an error and preserves FIFO consistency. *)
+
+open Mediactl_types
+open Mediactl_signaling
+open Mediactl_protocol
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let addr_a = Address.v "10.0.0.1" 5000
+let addr_b = Address.v "10.0.0.2" 5002
+let desc_a = Descriptor.make ~owner:"A" ~version:0 addr_a [ Codec.G711 ]
+let desc_b = Descriptor.make ~owner:"B" ~version:0 addr_b [ Codec.G711 ]
+
+(* --- tunnels ---------------------------------------------------------- *)
+
+let test_tunnel_fifo () =
+  let t = Tunnel.empty in
+  let t = Tunnel.send ~from:Tunnel.A (Signal.Open (Medium.Audio, desc_a)) t in
+  let t = Tunnel.send ~from:Tunnel.A Signal.Close t in
+  (match Tunnel.receive ~at:Tunnel.B t with
+  | Some (Signal.Open _, t) -> (
+    match Tunnel.receive ~at:Tunnel.B t with
+    | Some (Signal.Close, t) -> check tbool "drained" true (Tunnel.is_empty t)
+    | _ -> Alcotest.fail "expected close second")
+  | _ -> Alcotest.fail "expected open first")
+
+let test_tunnel_directions_independent () =
+  let t = Tunnel.empty in
+  let t = Tunnel.send ~from:Tunnel.A (Signal.Oack desc_a) t in
+  let t = Tunnel.send ~from:Tunnel.B (Signal.Oack desc_b) t in
+  check tint "two in flight" 2 (Tunnel.in_flight t);
+  check tint "one toward B" 1 (List.length (Tunnel.pending ~toward:Tunnel.B t));
+  check tint "one toward A" 1 (List.length (Tunnel.pending ~toward:Tunnel.A t));
+  (* Receiving at A does not disturb the A-to-B queue. *)
+  match Tunnel.receive ~at:Tunnel.A t with
+  | Some (_, t) -> check tint "other direction intact" 1 (List.length (Tunnel.pending ~toward:Tunnel.B t))
+  | None -> Alcotest.fail "expected a signal at A"
+
+let test_tunnel_peek () =
+  let t = Tunnel.send ~from:Tunnel.A Signal.Close Tunnel.empty in
+  check tbool "peek sees close" true (Tunnel.peek ~at:Tunnel.B t = Some Signal.Close);
+  check tbool "peek does not consume" true (Tunnel.in_flight t = 1);
+  check tbool "nothing at A" true (Tunnel.peek ~at:Tunnel.A t = None)
+
+let test_tunnel_opposite () =
+  check tbool "A<->B" true
+    (Tunnel.opposite Tunnel.A = Tunnel.B && Tunnel.opposite Tunnel.B = Tunnel.A)
+
+(* --- channels ---------------------------------------------------------- *)
+
+let test_channel_basics () =
+  let ch = Channel.create ~tunnels:3 ~initiator:"pbx" ~acceptor:"phone" () in
+  check tint "three tunnels" 3 (Channel.tunnel_count ch);
+  check tbool "initiator holds A" true (Channel.end_of ch "pbx" = Tunnel.A);
+  check tbool "acceptor holds B" true (Channel.end_of ch "phone" = Tunnel.B);
+  check Alcotest.string "peer" "phone" (Channel.peer_of ch "pbx");
+  check tbool "quiescent" true (Channel.quiescent ch)
+
+let test_channel_signal_routing () =
+  let ch = Channel.create ~tunnels:2 ~initiator:"x" ~acceptor:"y" () in
+  let ch = Channel.send_signal ch ~from_box:"x" ~tunnel:1 Signal.Close in
+  check tbool "not quiescent" false (Channel.quiescent ch);
+  (* Tunnel 0 is untouched. *)
+  check tbool "tunnel 0 empty" true (Tunnel.is_empty (Channel.tunnel ch 0));
+  (match Channel.receive_signal ch ~at_box:"y" ~tunnel:1 with
+  | Some (Signal.Close, ch) -> check tbool "drained" true (Channel.quiescent ch)
+  | _ -> Alcotest.fail "expected the close on tunnel 1");
+  check tbool "nothing for x" true (Channel.receive_signal ch ~at_box:"x" ~tunnel:1 = None)
+
+let test_channel_meta () =
+  let ch = Channel.create ~initiator:"x" ~acceptor:"y" () in
+  let ch = Channel.send_meta ch ~from_box:"y" Meta.Available in
+  check tbool "nothing at y" true (Channel.receive_meta ch ~at_box:"y" = None);
+  match Channel.receive_meta ch ~at_box:"x" with
+  | Some (Meta.Available, ch) -> check tbool "drained" true (Channel.quiescent ch)
+  | _ -> Alcotest.fail "expected available at x"
+
+let test_channel_validation () =
+  Alcotest.check_raises "no tunnels" (Invalid_argument "Channel.create: need at least one tunnel")
+    (fun () -> ignore (Channel.create ~tunnels:0 ~initiator:"x" ~acceptor:"y" ()));
+  Alcotest.check_raises "self" (Invalid_argument "Channel.create: self-channel") (fun () ->
+      ignore (Channel.create ~initiator:"x" ~acceptor:"x" ()));
+  let ch = Channel.create ~initiator:"x" ~acceptor:"y" () in
+  Alcotest.check_raises "stranger" (Invalid_argument "Channel.end_of: z is not an endpoint")
+    (fun () -> ignore (Channel.end_of ch "z"))
+
+(* --- driven two-slot property ------------------------------------------- *)
+
+(* A pair of slots joined by a tunnel.  Actors perform random LEGAL
+   protocol operations (sends enabled in their current state) or deliver
+   pending signals; the protocol machine must accept every delivered
+   signal: with only legal sends and FIFO delivery, no Unexpected_signal
+   can occur. *)
+type pair = { a : Slot.t; b : Slot.t; tun : Tunnel.t }
+
+let legal_sends local slot =
+  match slot.Slot.state with
+  | Slot_state.Closed -> [ (fun s -> Slot.send_open s Medium.Audio (Mediactl_core.Local.descriptor local)) ]
+  | Slot_state.Opening -> [ Slot.send_close ]
+  | Slot_state.Opened ->
+    [ (fun s -> Slot.send_oack s (Mediactl_core.Local.descriptor local)); Slot.send_close ]
+  | Slot_state.Flowing -> (
+    [ (fun s -> Slot.send_describe s (Mediactl_core.Local.descriptor local)); Slot.send_close ]
+    @
+    match slot.Slot.remote_desc with
+    | Some desc ->
+      [ (fun s -> Slot.send_select s (Mediactl_core.Local.selector_for local desc)) ]
+    | None -> [])
+  | Slot_state.Closing -> []
+
+let prop_driven_pair_never_errors =
+  QCheck2.Test.make ~name:"random legal activity over a tunnel never errors" ~count:500
+    QCheck2.Gen.(pair int (int_range 5 60))
+    (fun (seed, steps) ->
+      let rng = Random.State.make [| seed |] in
+      let local_a = Mediactl_core.Local.endpoint ~owner:"A" addr_a [ Codec.G711 ] in
+      let local_b = Mediactl_core.Local.endpoint ~owner:"B" addr_b [ Codec.G711 ] in
+      let ok = ref true in
+      let step pair =
+        let choices =
+          (* 0: A sends; 1: B sends; 2: deliver at B; 3: deliver at A *)
+          List.concat
+            [
+              (if legal_sends local_a pair.a <> [] then [ `Send_a ] else []);
+              (if legal_sends local_b pair.b <> [] then [ `Send_b ] else []);
+              (if Tunnel.pending ~toward:Tunnel.B pair.tun <> [] then [ `Deliver_b ] else []);
+              (if Tunnel.pending ~toward:Tunnel.A pair.tun <> [] then [ `Deliver_a ] else []);
+            ]
+        in
+        if choices = [] then None
+        else
+          let pick l = List.nth l (Random.State.int rng (List.length l)) in
+          match pick choices with
+          | `Send_a -> (
+            match (pick (legal_sends local_a pair.a)) pair.a with
+            | Ok (a, signal) -> Some { pair with a; tun = Tunnel.send ~from:Tunnel.A signal pair.tun }
+            | Error _ -> None (* legal_sends enumerated it; cannot happen *))
+          | `Send_b -> (
+            match (pick (legal_sends local_b pair.b)) pair.b with
+            | Ok (b, signal) -> Some { pair with b; tun = Tunnel.send ~from:Tunnel.B signal pair.tun }
+            | Error _ -> None)
+          | `Deliver_b -> (
+            match Tunnel.receive ~at:Tunnel.B pair.tun with
+            | Some (signal, tun) -> (
+              match Slot.receive pair.b signal with
+              | Ok (b, auto, _) ->
+                let tun =
+                  List.fold_left (fun tun s -> Tunnel.send ~from:Tunnel.B s tun) tun auto
+                in
+                Some { pair with b; tun }
+              | Error _ ->
+                ok := false;
+                None)
+            | None -> None)
+          | `Deliver_a -> (
+            match Tunnel.receive ~at:Tunnel.A pair.tun with
+            | Some (signal, tun) -> (
+              match Slot.receive pair.a signal with
+              | Ok (a, auto, _) ->
+                let tun =
+                  List.fold_left (fun tun s -> Tunnel.send ~from:Tunnel.A s tun) tun auto
+                in
+                Some { pair with a; tun }
+              | Error _ ->
+                ok := false;
+                None)
+            | None -> None)
+      in
+      let pair =
+        ref
+          {
+            a = Slot.create ~label:"a" Slot.Channel_initiator;
+            b = Slot.create ~label:"b" Slot.Channel_acceptor;
+            tun = Tunnel.empty;
+          }
+      in
+      (try
+         for _ = 1 to steps do
+           match step !pair with
+           | Some next -> pair := next
+           | None -> raise Exit
+         done
+       with Exit -> ());
+      (* Drain remaining deliveries; still no errors allowed. *)
+      let rec drain () =
+        match step !pair with
+        | Some next ->
+          pair := next;
+          if Tunnel.is_empty !pair.tun then () else drain ()
+        | None -> ()
+      in
+      if not (Tunnel.is_empty !pair.tun) then drain ();
+      !ok)
+
+let () =
+  Alcotest.run "signaling"
+    [
+      ( "tunnel",
+        [
+          Alcotest.test_case "fifo" `Quick test_tunnel_fifo;
+          Alcotest.test_case "directions independent" `Quick test_tunnel_directions_independent;
+          Alcotest.test_case "peek" `Quick test_tunnel_peek;
+          Alcotest.test_case "opposite" `Quick test_tunnel_opposite;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "basics" `Quick test_channel_basics;
+          Alcotest.test_case "signal routing" `Quick test_channel_signal_routing;
+          Alcotest.test_case "meta" `Quick test_channel_meta;
+          Alcotest.test_case "validation" `Quick test_channel_validation;
+        ] );
+      ("driven pair", [ QCheck_alcotest.to_alcotest prop_driven_pair_never_errors ]);
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the discrete-event substrate: priority queue, deterministic
+   RNG, statistics, and the engine itself. *)
+
+open Mediactl_sim
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* --- priority queue -------------------------------------------------- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.empty in
+  let q = Pqueue.insert q ~key:3.0 ~seq:0 "c" in
+  let q = Pqueue.insert q ~key:1.0 ~seq:1 "a" in
+  let q = Pqueue.insert q ~key:2.0 ~seq:2 "b" in
+  let rec drain q acc =
+    match Pqueue.pop q with
+    | None -> List.rev acc
+    | Some ((_, _, v), q) -> drain q (v :: acc)
+  in
+  check tbool "sorted" true (drain q [] = [ "a"; "b"; "c" ])
+
+let test_pqueue_ties_fifo () =
+  let q = Pqueue.empty in
+  let q = Pqueue.insert q ~key:1.0 ~seq:0 "first" in
+  let q = Pqueue.insert q ~key:1.0 ~seq:1 "second" in
+  let q = Pqueue.insert q ~key:1.0 ~seq:2 "third" in
+  let rec drain q acc =
+    match Pqueue.pop q with
+    | None -> List.rev acc
+    | Some ((_, _, v), q) -> drain q (v :: acc)
+  in
+  check tbool "fifo among ties" true (drain q [] = [ "first"; "second"; "third" ])
+
+let test_pqueue_size () =
+  let q = List.fold_left (fun q i -> Pqueue.insert q ~key:(float_of_int i) ~seq:i i)
+      Pqueue.empty (List.init 10 Fun.id) in
+  check tint "size" 10 (Pqueue.size q);
+  check tbool "peek" true (Pqueue.peek_key q = Some 0.0)
+
+let prop_pqueue_sorted =
+  QCheck2.Test.make ~name:"pqueue pops keys in nondecreasing order" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 60) (float_range 0.0 100.0))
+    (fun keys ->
+      let q =
+        List.fold_left
+          (fun (q, seq) k -> (Pqueue.insert q ~key:k ~seq (), seq + 1))
+          (Pqueue.empty, 0) keys
+        |> fst
+      in
+      let rec drain q last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some ((k, _, ()), q) -> k >= last && drain q k
+      in
+      drain q neg_infinity)
+
+(* --- rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  let xs = List.init 20 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.next_int64 b) in
+  check tbool "same stream" true (xs = ys)
+
+let test_rng_ranges () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng 10.0 in
+    assert (f >= 0.0 && f < 10.0);
+    let i = Rng.int rng 7 in
+    assert (i >= 0 && i < 7);
+    let u = Rng.uniform rng ~lo:3.0 ~hi:4.0 in
+    assert (u >= 3.0 && u < 4.0);
+    assert (Rng.exponential rng ~mean:5.0 >= 0.0)
+  done
+
+let test_rng_mean () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check tbool "uniform mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+(* --- stats ------------------------------------------------------------ *)
+
+let test_stats () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check tint "count" 5 (Stats.count s);
+  check tbool "mean" true (abs_float (Stats.mean s -. 3.0) < 1e-9);
+  check tbool "min" true (Stats.min s = 1.0);
+  check tbool "max" true (Stats.max s = 5.0);
+  check tbool "median" true (Stats.percentile s 0.5 = 3.0)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check tbool "mean 0" true (Stats.mean s = 0.0);
+  Alcotest.check_raises "percentile" (Invalid_argument "Stats.percentile: no samples")
+    (fun () -> ignore (Stats.percentile s 0.5))
+
+(* --- engine ----------------------------------------------------------- *)
+
+let test_engine_order_and_clock () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule engine ~delay:5.0 "b";
+  Engine.schedule engine ~delay:1.0 "a";
+  Engine.schedule engine ~delay:9.0 "c";
+  let n = Engine.run engine (fun e v -> log := (Engine.now e, v) :: !log) in
+  check tint "events" 3 n;
+  check tbool "order" true (List.rev !log = [ (1.0, "a"); (5.0, "b"); (9.0, "c") ])
+
+let test_engine_cascade () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule engine ~delay:1.0 3;
+  let handler e k =
+    incr fired;
+    if k > 0 then Engine.schedule e ~delay:1.0 (k - 1)
+  in
+  let _ = Engine.run engine handler in
+  check tint "cascaded" 4 !fired;
+  check tbool "clock" true (Engine.now engine = 4.0)
+
+let test_engine_until () =
+  let engine = Engine.create () in
+  List.iter (fun d -> Engine.schedule engine ~delay:d ()) [ 1.0; 2.0; 3.0; 4.0 ];
+  let n = Engine.run engine ~until:2.5 (fun _ () -> ()) in
+  check tint "stopped at horizon" 2 n
+
+let test_engine_negative_delay () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Engine.schedule engine ~delay:(-1.0) ())
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_ties_fifo;
+          Alcotest.test_case "size/peek" `Quick test_pqueue_size;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "uniform mean" `Quick test_rng_mean;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "order and clock" `Quick test_engine_order_and_clock;
+          Alcotest.test_case "cascade" `Quick test_engine_cascade;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+        ] );
+    ]

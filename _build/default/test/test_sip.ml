@@ -1,0 +1,157 @@
+(* Tests for the SIP-style baseline: offer/answer negotiation, glare
+   detection and retry, third-party call control, and the paper's
+   latency comparisons (section IX-B). *)
+
+open Mediactl_types
+open Mediactl_sip
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let addr_a = Address.v "10.0.0.1" 5000
+let addr_b = Address.v "10.0.0.2" 5002
+
+(* --- sdp ---------------------------------------------------------------- *)
+
+let offer_ab () =
+  Sdp.offer ~owner:"A" ~session_version:1
+    [
+      Sdp.line Medium.Audio addr_a [ Codec.G711; Codec.G726 ];
+      Sdp.line Medium.Video addr_a [ Codec.H264; Codec.H263 ];
+    ]
+
+let test_sdp_answer_subsets () =
+  let offer = offer_ab () in
+  let answer =
+    Option.get
+      (Sdp.answer offer ~owner:"B" ~addr:addr_b ~willing:[ Codec.G726; Codec.H263; Codec.H264 ])
+  in
+  check tbool "compatible" true (Sdp.compatible ~offer ~answer);
+  check tint "both lines answered" 2 (List.length answer.Sdp.lines);
+  let audio_line = List.nth answer.Sdp.lines 0 in
+  check tbool "audio subset" true (audio_line.Sdp.codecs = [ Codec.G726 ])
+
+let test_sdp_answer_fails_without_common_codec () =
+  let offer = offer_ab () in
+  (* Willing for audio only: the video line cannot be answered, and SIP
+     bundling makes the whole negotiation fail. *)
+  check tbool "negotiation fails" true
+    (Sdp.answer offer ~owner:"B" ~addr:addr_b ~willing:[ Codec.G711 ] = None)
+
+let test_sdp_empty_offer_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Sdp.offer: no media lines") (fun () ->
+      ignore (Sdp.offer ~owner:"A" ~session_version:0 []))
+
+(* --- direct re-invite ----------------------------------------------------- *)
+
+let line addr = Sdp.line Medium.Audio addr [ Codec.G711 ]
+
+let direct_pair ?(seed = 3) () =
+  let fabric = Fabric.create ~seed ~n:34.0 ~c:20.0 () in
+  let x = Ua.create fabric ~name:"X" ~peer:"Y" ~owner_of_dialog:true addr_a
+      ~willing:[ Codec.G711 ] ~media:[ line addr_a ] in
+  let y = Ua.create fabric ~name:"Y" ~peer:"X" ~owner_of_dialog:false addr_b
+      ~willing:[ Codec.G711 ] ~media:[ line addr_b ] in
+  (fabric, x, y)
+
+let test_single_reinvite_completes () =
+  let fabric, x, y = direct_pair () in
+  Ua.reinvite x;
+  let _ = Fabric.run fabric in
+  check tbool "x done" true (Ua.own_done_at x <> None);
+  check tbool "y installed x's offer" true
+    (match Ua.remote y with Some sdp -> sdp.Sdp.owner = "X" | None -> false);
+  check tint "three messages" 3 (Fabric.messages fabric);
+  check tint "no glare" 0 (Ua.glares x + Ua.glares y)
+
+let test_concurrent_reinvites_glare_and_recover () =
+  let fabric, x, y = direct_pair () in
+  Ua.reinvite x;
+  Ua.reinvite y;
+  let _ = Fabric.run ~until:60_000.0 fabric in
+  check tint "both glared" 2 (Ua.glares x + Ua.glares y);
+  check tbool "x eventually done" true (Ua.own_done_at x <> None);
+  check tbool "y eventually done" true (Ua.own_done_at y <> None)
+
+(* --- scenarios -------------------------------------------------------------- *)
+
+let test_common_case_matches_formula () =
+  let o = Scenario.fig14_common ~n:34.0 ~c:20.0 () in
+  check tbool "7n+7c" true
+    (abs_float (o.Scenario.latency -. Scenario.common_formula ~n:34.0 ~c:20.0) < 1e-6);
+  check tint "no glare in common case" 0 o.Scenario.glares
+
+let test_race_costs_glare_and_delay () =
+  let common = Scenario.fig14_common ~n:34.0 ~c:20.0 () in
+  let race = Scenario.fig14_race ~n:34.0 ~c:20.0 () in
+  check tbool "glares happened" true (race.Scenario.glares >= 2);
+  check tbool "retries happened" true (race.Scenario.attempts >= 3);
+  check tbool "race much slower" true (race.Scenario.latency > 2.0 *. common.Scenario.latency);
+  check tbool "more messages" true (race.Scenario.messages > common.Scenario.messages)
+
+let test_race_latency_distribution () =
+  (* Over many seeds the race latency is dominated by the randomized
+     back-off: it always exceeds the common case and on average sits in
+     the seconds range the paper's d = 3 s estimate describes. *)
+  let seeds = List.init 20 (fun i -> 100 + i) in
+  let latencies =
+    List.map (fun seed -> (Scenario.fig14_race ~seed ~n:34.0 ~c:20.0 ()).Scenario.latency) seeds
+  in
+  let common = (Scenario.fig14_common ~n:34.0 ~c:20.0 ()).Scenario.latency in
+  check tbool "all exceed common case" true (List.for_all (fun l -> l > common) latencies);
+  let mean = List.fold_left ( +. ) 0.0 latencies /. float_of_int (List.length latencies) in
+  check tbool "mean in back-off range" true (mean > 500.0 && mean < 5000.0)
+
+let test_hold_resume () =
+  (* The section-XI extension: hold re-INVITEs both sides concurrently
+     (one transaction each); resume must re-solicit a fresh offer, so it
+     is slower than our cached-descriptor relink (128 ms). *)
+  let hold, resume = Scenario.hold_resume ~n:34.0 ~c:20.0 () in
+  check tbool "hold completes" true (Float.is_finite hold.Scenario.latency);
+  check tbool "hold is one concurrent round" true (hold.Scenario.latency <= 2.0 *. (34.0 +. 20.0));
+  check tint "hold: two transactions" 6 hold.Scenario.messages;
+  check tbool "resume completes" true (Float.is_finite resume.Scenario.latency);
+  check tbool "resume slower than our 2n+3c" true (resume.Scenario.latency > 128.0);
+  check tint "no glares" 0 (hold.Scenario.glares + resume.Scenario.glares)
+
+let test_sdp_inactive_mirrors () =
+  let offer = offer_ab () in
+  let held = Sdp.inactive offer ~owner:"SRV" ~session_version:9 in
+  check tbool "all inactive" false (Sdp.all_active held);
+  match Sdp.answer held ~owner:"B" ~addr:addr_b ~willing:[ Codec.G711; Codec.H264 ] with
+  | Some answer -> check tbool "answer mirrors inactive" false (Sdp.all_active answer)
+  | None -> Alcotest.fail "inactive offer must still be answerable"
+
+let test_glare_modify_slower_than_idempotent () =
+  (* Our protocol settles two concurrent modifies in about n + 2c per
+     direction with 4 signals; SIP serializes through 491s. *)
+  let o = Scenario.glare_modify ~n:34.0 ~c:20.0 () in
+  check tbool "glared" true (o.Scenario.glares >= 2);
+  check tbool "took a back-off" true (o.Scenario.latency > 500.0);
+  check tbool "completed" true (Float.is_finite o.Scenario.latency)
+
+let () =
+  Alcotest.run "sip"
+    [
+      ( "sdp",
+        [
+          Alcotest.test_case "answer subsets" `Quick test_sdp_answer_subsets;
+          Alcotest.test_case "bundling failure" `Quick test_sdp_answer_fails_without_common_codec;
+          Alcotest.test_case "empty offer" `Quick test_sdp_empty_offer_rejected;
+        ] );
+      ( "ua",
+        [
+          Alcotest.test_case "single reinvite" `Quick test_single_reinvite_completes;
+          Alcotest.test_case "concurrent glare" `Quick test_concurrent_reinvites_glare_and_recover;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "common case 7n+7c" `Quick test_common_case_matches_formula;
+          Alcotest.test_case "race penalty" `Quick test_race_costs_glare_and_delay;
+          Alcotest.test_case "race distribution" `Quick test_race_latency_distribution;
+          Alcotest.test_case "glare on modify" `Quick test_glare_modify_slower_than_idempotent;
+          Alcotest.test_case "hold/resume over SIP" `Quick test_hold_resume;
+          Alcotest.test_case "inactive sdp mirrors" `Quick test_sdp_inactive_mirrors;
+        ] );
+    ]

@@ -1,0 +1,375 @@
+(* Tests for the slot protocol endpoint machine (paper Figure 9):
+   ordinary open/accept/close exchanges, rejects, crossing signals, open
+   races, and protocol-error detection. *)
+
+open Mediactl_types
+open Mediactl_protocol
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let addr_a = Address.v "10.0.0.1" 5000
+let addr_b = Address.v "10.0.0.2" 5002
+
+let desc_a = Descriptor.make ~owner:"A" ~version:0 addr_a [ Codec.G711; Codec.G726 ]
+let desc_b = Descriptor.make ~owner:"B" ~version:0 addr_b [ Codec.G711 ]
+
+let sel_for sender desc =
+  Selector.answer desc ~sender ~willing:[ Codec.G711; Codec.G726 ] ~mute_out:false
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "unexpected slot error: %s" (Slot.error_to_string e)
+
+let expect_error = function
+  | Ok _ -> Alcotest.fail "expected a protocol error"
+  | Error _ -> ()
+
+let fresh ?(role = Slot.Channel_initiator) label = Slot.create ~label role
+
+let state_is expected slot =
+  check tbool
+    (Printf.sprintf "state %s" (Slot_state.to_string expected))
+    true
+    (Slot_state.equal slot.Slot.state expected)
+
+(* --- the opener side ------------------------------------------------ *)
+
+let test_open_then_oack_then_select () =
+  let s = fresh "a" in
+  let s, sig1 = ok (Slot.send_open s Medium.Audio desc_a) in
+  check tbool "sent open" true (Signal.name sig1 = "open");
+  state_is Slot_state.Opening s;
+  let s, auto, notes = ok (Slot.receive s (Signal.Oack desc_b)) in
+  check tint "no auto reply" 0 (List.length auto);
+  check tbool "accepted note" true (List.mem Slot.Accepted_by_peer notes);
+  state_is Slot_state.Flowing s;
+  let s, _ = ok (Slot.send_select s (sel_for addr_a desc_b)) in
+  check tbool "tx enabled" true (Slot.tx_enabled s);
+  check tbool "tx codec" true (Slot.tx_codec s = Some Codec.G711)
+
+let test_open_then_reject () =
+  let s = fresh "a" in
+  let s, _ = ok (Slot.send_open s Medium.Audio desc_a) in
+  let s, auto, notes = ok (Slot.receive s Signal.Close) in
+  check tbool "auto closeack" true (auto = [ Signal.Closeack ]);
+  check tbool "closed note" true (List.mem Slot.Closed_by_peer notes);
+  state_is Slot_state.Closed s;
+  check tbool "caches wiped" true (s.Slot.medium = None && s.Slot.remote_desc = None)
+
+(* --- the acceptor side ---------------------------------------------- *)
+
+let test_accept_flow () =
+  let s = fresh ~role:Slot.Channel_acceptor "b" in
+  let s, _, notes = ok (Slot.receive s (Signal.Open (Medium.Audio, desc_a))) in
+  check tbool "opened note" true (List.mem Slot.Opened_by_peer notes);
+  state_is Slot_state.Opened s;
+  check tbool "described" true (Slot.described s);
+  let s, sig1 = ok (Slot.send_oack s desc_b) in
+  check tbool "oack" true (Signal.name sig1 = "oack");
+  state_is Slot_state.Flowing s;
+  let s, _ = ok (Slot.send_select s (sel_for addr_b desc_a)) in
+  let s, _, _ = ok (Slot.receive s (Signal.Select (sel_for addr_a desc_b))) in
+  check tbool "rx enabled" true (Slot.rx_enabled s);
+  check tbool "tx enabled" true (Slot.tx_enabled s)
+
+let test_reject_from_opened () =
+  let s = fresh ~role:Slot.Channel_acceptor "b" in
+  let s, _, _ = ok (Slot.receive s (Signal.Open (Medium.Audio, desc_a))) in
+  let s, sig1 = ok (Slot.send_close s) in
+  check tbool "close as reject" true (Signal.name sig1 = "close");
+  state_is Slot_state.Closing s;
+  let s, _, notes = ok (Slot.receive s Signal.Closeack) in
+  check tbool "confirmed" true (List.mem Slot.Close_confirmed notes);
+  state_is Slot_state.Closed s
+
+(* --- closing and crossings ------------------------------------------ *)
+
+let flowing_pair () =
+  (* Returns a flowing slot (the opener side). *)
+  let s = fresh "a" in
+  let s, _ = ok (Slot.send_open s Medium.Audio desc_a) in
+  let s, _, _ = ok (Slot.receive s (Signal.Oack desc_b)) in
+  s
+
+let test_close_handshake () =
+  let s = flowing_pair () in
+  let s, _ = ok (Slot.send_close s) in
+  state_is Slot_state.Closing s;
+  let s, _, _ = ok (Slot.receive s Signal.Closeack) in
+  state_is Slot_state.Closed s
+
+let test_close_crossing_close () =
+  (* Both ends close at once: each receives close while closing, must
+     acknowledge it, and still waits for its own closeack. *)
+  let s = flowing_pair () in
+  let s, _ = ok (Slot.send_close s) in
+  let s, auto, _ = ok (Slot.receive s Signal.Close) in
+  check tbool "acks their close" true (auto = [ Signal.Closeack ]);
+  state_is Slot_state.Closing s;
+  let s, _, _ = ok (Slot.receive s Signal.Closeack) in
+  state_is Slot_state.Closed s
+
+let test_stale_signals_dropped_while_closing () =
+  let s = flowing_pair () in
+  let s, _ = ok (Slot.send_close s) in
+  let s, auto, notes = ok (Slot.receive s (Signal.Describe desc_b)) in
+  check tbool "no reply" true (auto = []);
+  check tbool "dropped" true
+    (List.exists (function Slot.Dropped _ -> true | _ -> false) notes);
+  let s, _, notes = ok (Slot.receive s (Signal.Select (sel_for addr_b desc_a))) in
+  check tbool "select dropped" true
+    (List.exists (function Slot.Dropped _ -> true | _ -> false) notes);
+  let s, _, notes = ok (Slot.receive s (Signal.Oack desc_b)) in
+  check tbool "oack dropped" true
+    (List.exists (function Slot.Dropped _ -> true | _ -> false) notes);
+  state_is Slot_state.Closing s
+
+(* --- open races ------------------------------------------------------ *)
+
+let test_race_initiator_wins () =
+  let s = fresh ~role:Slot.Channel_initiator "a" in
+  let s, _ = ok (Slot.send_open s Medium.Audio desc_a) in
+  let s, _, notes = ok (Slot.receive s (Signal.Open (Medium.Audio, desc_b))) in
+  check tbool "race won" true (List.mem Slot.Race_won notes);
+  state_is Slot_state.Opening s;
+  (* The loser will oack our open. *)
+  let s, _, _ = ok (Slot.receive s (Signal.Oack desc_b)) in
+  state_is Slot_state.Flowing s
+
+let test_race_acceptor_backs_off () =
+  let s = fresh ~role:Slot.Channel_acceptor "b" in
+  let s, _ = ok (Slot.send_open s Medium.Audio desc_b) in
+  let s, _, notes = ok (Slot.receive s (Signal.Open (Medium.Audio, desc_a))) in
+  check tbool "race lost" true (List.mem Slot.Race_lost notes);
+  check tbool "also opened" true (List.mem Slot.Opened_by_peer notes);
+  state_is Slot_state.Opened s;
+  (* The loser's cached descriptor is the winner's. *)
+  check tbool "winner's descriptor" true
+    (match s.Slot.remote_desc with
+    | Some d -> Descriptor.equal d desc_a
+    | None -> false)
+
+(* --- describe / select in flowing ------------------------------------ *)
+
+let test_redescribe () =
+  let s = flowing_pair () in
+  let desc_b2 = Descriptor.make ~owner:"B" ~version:1 addr_b [ Codec.G726 ] in
+  let s, _, notes = ok (Slot.receive s (Signal.Describe desc_b2)) in
+  check tbool "new descriptor" true (List.mem Slot.New_descriptor notes);
+  check tbool "cache updated" true
+    (match s.Slot.remote_desc with
+    | Some d -> Descriptor.equal d desc_b2
+    | None -> false);
+  (* A selector answering the old descriptor no longer enables tx. *)
+  let s, _ = ok (Slot.send_select s (sel_for addr_a desc_b)) in
+  check tbool "stale selector does not enable" false (Slot.tx_enabled s);
+  let s, _ = ok (Slot.send_select s (sel_for addr_a desc_b2)) in
+  check tbool "fresh selector enables" true (Slot.tx_enabled s)
+
+let test_no_media_selector_disables () =
+  let s = flowing_pair () in
+  let muted = Selector.answer desc_b ~sender:addr_a ~willing:[ Codec.G711 ] ~mute_out:true in
+  let s, _ = ok (Slot.send_select s muted) in
+  check tbool "muted tx" false (Slot.tx_enabled s)
+
+(* --- protocol errors -------------------------------------------------- *)
+
+let test_errors () =
+  let closed = fresh "x" in
+  expect_error (Slot.receive closed (Signal.Oack desc_b));
+  expect_error (Slot.receive closed Signal.Close);
+  expect_error (Slot.receive closed Signal.Closeack);
+  expect_error (Slot.receive closed (Signal.Describe desc_b));
+  expect_error (Slot.receive closed (Signal.Select (sel_for addr_b desc_a)));
+  expect_error (Slot.send_oack closed desc_a);
+  expect_error (Slot.send_close closed);
+  expect_error (Slot.send_describe closed desc_a);
+  expect_error (Slot.send_select closed (sel_for addr_a desc_b));
+  let s = flowing_pair () in
+  expect_error (Slot.send_open s Medium.Audio desc_a);
+  expect_error (Slot.receive s (Signal.Open (Medium.Audio, desc_b)));
+  expect_error (Slot.receive s (Signal.Oack desc_b))
+
+let test_medium_defined_iff_not_closed () =
+  let s = fresh "a" in
+  check tbool "closed: no medium" true (s.Slot.medium = None);
+  let s, _ = ok (Slot.send_open s Medium.Video desc_a) in
+  check tbool "opening: medium" true (s.Slot.medium = Some Medium.Video);
+  let s, _ = ok (Slot.send_close s) in
+  check tbool "closing: medium kept" true (s.Slot.medium = Some Medium.Video);
+  let s, _, _ = ok (Slot.receive s Signal.Closeack) in
+  check tbool "closed again: wiped" true (s.Slot.medium = None)
+
+(* --- Figure 10: the full use-of-the-protocol scenario ------------------- *)
+
+let test_figure_10_scenario () =
+  (* Two directly connected protocol endpoints play out the paper's
+     Figure 10: open/oack with two selects, a mid-call codec re-select,
+     a re-describe answered by a fresh select, then close/closeack. *)
+  let send_between sender receiver op =
+    let sender, signal = ok (op sender) in
+    let receiver, auto, _ = ok (Slot.receive receiver signal) in
+    check tbool "no auto reply expected" true (auto = []);
+    (sender, receiver)
+  in
+  let l = fresh ~role:Slot.Channel_initiator "L" in
+  let r = fresh ~role:Slot.Channel_acceptor "R" in
+  (* open(desc1) *)
+  let l, r = send_between l r (fun s -> Slot.send_open s Medium.Audio desc_a) in
+  (* oack(desc2), then select(sel1) answering desc1 *)
+  let r, l = send_between r l (fun s -> Slot.send_oack s desc_b) in
+  let r, l =
+    send_between r l (fun s ->
+        Slot.send_select s (Selector.answer desc_a ~sender:addr_b ~willing:[ Codec.G711 ] ~mute_out:false))
+  in
+  (* select(sel2) answering desc2 *)
+  let l, r = send_between l r (fun s -> Slot.send_select s (sel_for addr_a desc_b)) in
+  check tbool "both enabled" true
+    (Slot.tx_enabled l && Slot.rx_enabled l && Slot.tx_enabled r && Slot.rx_enabled r);
+  (* select(sel'2): the left end switches to another codec from the same
+     descriptor, without any new describe (paper: "at any time"). *)
+  let l, r =
+    send_between l r (fun s ->
+        Slot.send_select s (Selector.answer desc_b ~sender:addr_a ~willing:[ Codec.G711 ] ~mute_out:false))
+  in
+  check tbool "still enabled after re-select" true (Slot.rx_enabled r);
+  (* describe(desc3) from the right; the left must answer with a fresh
+     selector (sel3). *)
+  let desc_b3 = Descriptor.make ~owner:"B" ~version:3 addr_b [ Codec.G726 ] in
+  let r, l = send_between r l (fun s -> Slot.send_describe s desc_b3) in
+  check tbool "old selector now stale" false (Slot.tx_enabled l);
+  let l, r = send_between l r (fun s -> Slot.send_select s (sel_for addr_a desc_b3)) in
+  check tbool "fresh selector restores" true (Slot.tx_enabled l && Slot.rx_enabled r);
+  check tbool "codec followed the descriptor" true (Slot.tx_codec l = Some Codec.G726);
+  (* close / closeack *)
+  let l, close_sig = ok (Slot.send_close l) in
+  let r, auto, _ = ok (Slot.receive r close_sig) in
+  check tbool "closeack" true (auto = [ Signal.Closeack ]);
+  let l, _, _ = ok (Slot.receive l (List.hd auto)) in
+  check tbool "both closed" true (Slot.is_closed l && Slot.is_closed r)
+
+(* --- property: no exceptions, ever ------------------------------------ *)
+
+let arb_signal =
+  let open QCheck2.Gen in
+  let desc = oneofl [ desc_a; desc_b; Descriptor.no_media ~owner:"A" ~version:1 addr_a ] in
+  oneof
+    [
+      map (fun d -> Signal.Open (Medium.Audio, d)) desc;
+      map (fun d -> Signal.Oack d) desc;
+      return Signal.Close;
+      return Signal.Closeack;
+      map (fun d -> Signal.Describe d) desc;
+      map (fun d -> Signal.Select (sel_for addr_b d)) desc;
+    ]
+
+let prop_receive_total =
+  QCheck2.Test.make ~name:"receive never raises, whatever arrives" ~count:1000
+    QCheck2.Gen.(pair bool (list_size (int_range 0 20) arb_signal))
+    (fun (initiator, signals) ->
+      let role = if initiator then Slot.Channel_initiator else Slot.Channel_acceptor in
+      let s = fresh ~role "p" in
+      let final =
+        List.fold_left
+          (fun s signal ->
+            match Slot.receive s signal with
+            | Ok (s, _, _) -> s
+            | Error _ -> s (* errors are data, not exceptions *))
+          s signals
+      in
+      ignore (Slot.tx_enabled final);
+      ignore (Slot.rx_enabled final);
+      true)
+
+let prop_closed_is_blank =
+  QCheck2.Test.make ~name:"whenever a slot is closed its caches are empty" ~count:1000
+    QCheck2.Gen.(list_size (int_range 0 25) arb_signal)
+    (fun signals ->
+      let s = fresh "p" in
+      let states =
+        List.fold_left
+          (fun (s, acc) signal ->
+            match Slot.receive s signal with
+            | Ok (s, _, _) -> (s, s :: acc)
+            | Error _ -> (s, acc))
+          (s, [ s ]) signals
+        |> snd
+      in
+      List.for_all
+        (fun s ->
+          (not (Slot.is_closed s))
+          || (s.Slot.medium = None && s.Slot.remote_desc = None && s.Slot.sent_desc = None))
+        states)
+
+let prop_describe_select_idempotent =
+  (* Section IX-B calls the protocol idempotent: describe and select
+     provide updated information without changing the fundamental state,
+     so re-delivering the same signal leaves the slot exactly where it
+     was. *)
+  QCheck2.Test.make ~name:"duplicate describes/selects change nothing" ~count:500
+    QCheck2.Gen.(pair bool (int_range 0 3))
+    (fun (use_describe, version) ->
+      let s = fresh "p" in
+      let s, _ = ok (Slot.send_open s Medium.Audio desc_a) in
+      let s, _, _ = ok (Slot.receive s (Signal.Oack desc_b)) in
+      let signal =
+        if use_describe then
+          Signal.Describe (Descriptor.make ~owner:"B" ~version addr_b [ Codec.G711 ])
+        else Signal.Select (sel_for addr_b desc_a)
+      in
+      let once =
+        match Slot.receive s signal with
+        | Ok (s, _, _) -> s
+        | Error _ -> s
+      in
+      let twice =
+        match Slot.receive once signal with
+        | Ok (s, _, _) -> s
+        | Error _ -> once
+      in
+      Slot.equal once twice)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_receive_total; prop_closed_is_blank; prop_describe_select_idempotent ]
+
+let () =
+  Alcotest.run "slot"
+    [
+      ( "opener",
+        [
+          Alcotest.test_case "open/oack/select" `Quick test_open_then_oack_then_select;
+          Alcotest.test_case "open then reject" `Quick test_open_then_reject;
+        ] );
+      ( "acceptor",
+        [
+          Alcotest.test_case "accept flow" `Quick test_accept_flow;
+          Alcotest.test_case "reject from opened" `Quick test_reject_from_opened;
+        ] );
+      ( "closing",
+        [
+          Alcotest.test_case "close handshake" `Quick test_close_handshake;
+          Alcotest.test_case "close crossing close" `Quick test_close_crossing_close;
+          Alcotest.test_case "stale signals dropped" `Quick test_stale_signals_dropped_while_closing;
+        ] );
+      ( "races",
+        [
+          Alcotest.test_case "initiator wins" `Quick test_race_initiator_wins;
+          Alcotest.test_case "acceptor backs off" `Quick test_race_acceptor_backs_off;
+        ] );
+      ( "flowing",
+        [
+          Alcotest.test_case "redescribe" `Quick test_redescribe;
+          Alcotest.test_case "noMedia selector" `Quick test_no_media_selector_disables;
+        ] );
+      ( "figure 10",
+        [ Alcotest.test_case "full protocol scenario" `Quick test_figure_10_scenario ] );
+      ( "errors",
+        [
+          Alcotest.test_case "illegal moves rejected" `Quick test_errors;
+          Alcotest.test_case "medium lifetime" `Quick test_medium_defined_iff_not_closed;
+        ] );
+      ("properties", qcheck_cases);
+    ]
