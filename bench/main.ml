@@ -12,6 +12,7 @@
    E6  media clipping: relaxed vs eager synchronization (section VI-A)
    E7  concurrent modifies: idempotent vs transactional (section VI-C)
    E8  extension: hold/resume semantics over SIP (section XI)
+   E9  convergence under loss: the reliability layer (mediactl.net)
    micro  Bechamel micro-benchmarks of the core machinery *)
 
 open Mediactl_types
@@ -384,6 +385,118 @@ let e8 () =
   Format.printf "while our flowlink resumes from cached descriptors (paper section IX-B).@."
 
 (* ------------------------------------------------------------------ *)
+(* E9: convergence under network impairment                            *)
+
+(* The Figure-13 two-box relink of E1, but over an impaired network with
+   the reliability layer attached.  Returns the convergence latency (nan
+   if the run never converged) and the layer's counters. *)
+let fig13_impaired ~seed ~loss =
+  let net = settle (Prepaid.build ()) in
+  let net = settle (fst (Prepaid.snapshot1 net)) in
+  let net = settle (fst (Prepaid.snapshot2 net)) in
+  let net = settle (fst (Prepaid.snapshot3 net)) in
+  let sim = Timed.create ~seed ~n:paper_n ~c:paper_c net in
+  let impair =
+    Mediactl_net.Impair.create ~seed ~default:(Mediactl_net.Policy.lossy loss) ()
+  in
+  let rel = Mediactl_net.Reliable.attach impair sim in
+  let a_tx = ref nan and c_tx = ref nan in
+  Timed.when_true sim (transmits_toward Prepaid.a_slot "C") (fun t -> a_tx := t);
+  Timed.when_true sim (transmits_toward Prepaid.c_slot "A") (fun t -> c_tx := t);
+  Timed.apply sim Prepaid.snapshot4_pc;
+  Timed.apply sim Prepaid.snapshot4_pbx;
+  let _ = Timed.run sim in
+  (Float.max !a_tx !c_tx, Mediactl_net.Reliable.counters rel)
+
+let chain3_impaired ~seed ~loss =
+  let net, _ = Netsys.run (Relink.build ~boxes:3 ~j:2) in
+  let sim = Timed.create ~seed ~n:paper_n ~c:paper_c net in
+  let impair =
+    Mediactl_net.Impair.create ~seed ~default:(Mediactl_net.Policy.lossy loss) ()
+  in
+  let rel = Mediactl_net.Reliable.attach impair sim in
+  let done_at = ref nan in
+  Timed.when_true sim
+    (fun net -> Relink.left_transmits net && Relink.right_transmits net)
+    (fun t -> done_at := t);
+  Timed.apply sim (Relink.relink ~j:2);
+  let _ = Timed.run sim in
+  (!done_at, Mediactl_net.Reliable.counters rel)
+
+let e9 () =
+  header "E9  Convergence under loss: the reliability layer at work";
+  let seeds = List.init 30 (fun i -> 1000 + i) in
+  let loss_rates = [ 0.0; 0.01; 0.05; 0.1 ] in
+  let section title runner loss_free =
+    Format.printf "@.%s (n=%.0f, c=%.0f; %d seeds; loss-free formula %.0f ms)@." title paper_n
+      paper_c (List.length seeds) loss_free;
+    Format.printf "%8s %8s %10s %10s %10s %10s %9s@." "loss" "converged" "mean ms" "p95 ms"
+      "max ms" "retx/run" "timeouts";
+    List.iter
+      (fun loss ->
+        let stats = Mediactl_sim.Stats.create () in
+        let retx = ref 0 and timeouts = ref 0 and converged = ref 0 in
+        List.iter
+          (fun seed ->
+            let latency, (c : Mediactl_net.Reliable.counters) = runner ~seed ~loss in
+            retx := !retx + c.Mediactl_net.Reliable.retransmits;
+            timeouts := !timeouts + c.Mediactl_net.Reliable.timeouts;
+            if not (Float.is_nan latency) then begin
+              incr converged;
+              Mediactl_sim.Stats.add stats latency
+            end)
+          seeds;
+        Format.printf "%8.2f %5d/%-3d %10.1f %10.1f %10.1f %10.2f %9d%s@." loss !converged
+          (List.length seeds)
+          (Mediactl_sim.Stats.mean stats)
+          (Mediactl_sim.Stats.percentile stats 0.95)
+          (Mediactl_sim.Stats.max stats)
+          (float_of_int !retx /. float_of_int (List.length seeds))
+          !timeouts
+          (if loss = 0.0 && Mediactl_sim.Stats.max stats -. Mediactl_sim.Stats.min stats = 0.0
+             && abs_float (Mediactl_sim.Stats.mean stats -. loss_free) < 1e-6
+           then "  (= loss-free formula exactly)"
+           else ""))
+      loss_rates
+  in
+  section "Figure-13 two-box relink" fig13_impaired ((2.0 *. paper_n) +. (3.0 *. paper_c));
+  section "3-box chain relink (boxes=3, j=2)" chain3_impaired
+    (Relink.formula ~p:(Relink.hops ~boxes:3 ~j:2) ~n:paper_n ~c:paper_c);
+  (* Re-verify the two-box path models under a network-fault budget: the
+     checker must find no new violations when the network may lose and
+     duplicate idempotent signals (paper section VI, mechanised). *)
+  Format.printf "@.model checking the two-box models under faults (loss=1 dup=1, idempotent only):@.";
+  let faults = { Mediactl_mc.Path_model.losses = 1; dups = 1; unrestricted = false } in
+  let reports =
+    Mediactl_mc.Check.run_standard ~max_states:4_000_000 ~faults ~chaos:1 ~modifies:0 ()
+    |> List.filter (fun (r : Mediactl_mc.Check.report) ->
+           r.Mediactl_mc.Check.config.Mediactl_mc.Path_model.flowlinks = 0)
+  in
+  List.iter (fun r -> Format.printf "  %a@." Mediactl_mc.Check.pp_report r) reports;
+  Format.printf "  two-box models under faults: %s@."
+    (if List.for_all Mediactl_mc.Check.passed reports then "no new violations"
+     else "FAILURES");
+  (* And the demonstration of why the reliability layer must exist:
+     allow the network to duplicate a handshake signal and the checker
+     finds the protocol error immediately. *)
+  let unrestricted =
+    Mediactl_mc.Check.run ~max_states:4_000_000
+      {
+        Mediactl_mc.Path_model.left = Semantics.Open_end;
+        right = Semantics.Hold_end;
+        flowlinks = 0;
+        chaos = 1;
+        modifies = 0;
+        environment_ends = false;
+        faults = { Mediactl_mc.Path_model.losses = 0; dups = 1; unrestricted = true };
+      }
+  in
+  Format.printf "@.without the restriction (a duplicated handshake signal):@.  %a@."
+    Mediactl_mc.Check.pp_report unrestricted;
+  Format.printf "  expected UNSAFE: this is the violation the reliability layer's@.";
+  Format.printf "  sequence-number deduplication removes (Reliable.on_deliver).@."
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 
 let micro () =
@@ -421,6 +534,7 @@ let micro () =
            chaos = 0;
            modifies = 0;
            environment_ends = false;
+           faults = Mediactl_mc.Path_model.no_faults;
          })
   in
   let prepaid_replay () =
@@ -466,7 +580,7 @@ let micro () =
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("micro", micro) ]
+    ("e8", e8); ("e9", e9); ("micro", micro) ]
 
 let () =
   let requested =

@@ -41,18 +41,39 @@ let segment =
   Arg.(value & flag & info [ "segment" ]
          ~doc:"Check the section VIII-B segment lemma instead: the given number of                flowlinks under arbitrary protocol-legal environments at the cut points                (safety only).")
 
+let losses =
+  Arg.(value & opt int 0 & info [ "losses" ] ~docv:"N"
+         ~doc:"Network-fault budget: signals the network may silently drop                (idempotent describe/select only, unless --unrestricted).")
+
+let dups =
+  Arg.(value & opt int 0 & info [ "dups" ] ~docv:"N"
+         ~doc:"Network-fault budget: signals the network may deliver twice                (idempotent describe/select only, unless --unrestricted).")
+
+let unrestricted =
+  Arg.(value & flag & info [ "unrestricted" ]
+         ~doc:"Allow faulting any signal, including the handshake signals —                demonstrates why the reliability layer (retransmission and                deduplication) is necessary.")
+
 let max_states =
   Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N"
          ~doc:"Exploration cap; results are inconclusive beyond it.")
 
-let run left right flowlinks chaos modifies max_states segment =
+let run left right flowlinks chaos modifies max_states segment losses dups unrestricted =
+  let faults = { Path_model.losses; dups; unrestricted } in
   let reports =
     match left, right with
     | _ when segment -> [ Check.run_segment ~max_states ~flowlinks ~chaos () ]
     | Some l, Some r ->
       [ Check.run ~max_states
-          { Path_model.left = l; right = r; flowlinks; chaos; modifies; environment_ends = false } ]
-    | None, None -> Check.run_standard ~max_states ~chaos ~modifies ()
+          {
+            Path_model.left = l;
+            right = r;
+            flowlinks;
+            chaos;
+            modifies;
+            environment_ends = false;
+            faults;
+          } ]
+    | None, None -> Check.run_standard ~max_states ~faults ~chaos ~modifies ()
     | Some _, None | None, Some _ ->
       prerr_endline "specify both --left and --right, or neither (for the 12 standard models)";
       exit 2
@@ -75,6 +96,8 @@ let cmd =
   let doc = "model-check compositional media-control signaling paths" in
   Cmd.v
     (Cmd.info "mediactl_check" ~doc)
-    Term.(const run $ left $ right $ flowlinks $ chaos $ modifies $ max_states $ segment)
+    Term.(
+      const run $ left $ right $ flowlinks $ chaos $ modifies $ max_states $ segment $ losses
+      $ dups $ unrestricted)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,13 +3,31 @@
    Examples:
      mediactl_sim prepaid
      mediactl_sim fig13 --n 34 --c 20
-     mediactl_sim relink --boxes 5 --j 3
+     mediactl_sim fig13 --loss 0.05 --seed 7
+     mediactl_sim relink --boxes 5 --at 3 --loss 0.1
      mediactl_sim sip --seed 42
 *)
 
 open Cmdliner
 open Mediactl_runtime
 open Mediactl_apps
+
+(* With --loss > 0, run over the impaired network with the reliability
+   layer attached; report what the network and the layer did. *)
+let impaired ~seed ~loss sim =
+  if loss <= 0.0 then None
+  else begin
+    let impair = Mediactl_net.Impair.create ~seed ~default:(Mediactl_net.Policy.lossy loss) () in
+    Some (impair, Mediactl_net.Reliable.attach impair sim)
+  end
+
+let report_impairment = function
+  | None -> ()
+  | Some (impair, rel) ->
+    Format.printf "network:     %a@." Mediactl_net.Impair.pp_counters
+      (Mediactl_net.Impair.total impair);
+    Format.printf "reliability: %a@." Mediactl_net.Reliable.pp_counters
+      (Mediactl_net.Reliable.counters rel)
 
 let print_edges prefix edges =
   Format.printf "%-28s %s@." prefix
@@ -32,12 +50,13 @@ let run_prepaid () =
   print_edges "snapshot 4:" (Prepaid.flows (settle net));
   0
 
-let run_fig13 n c =
+let run_fig13 seed n c loss =
   let net = settle (Prepaid.build ()) in
   let net = settle (fst (Prepaid.snapshot1 net)) in
   let net = settle (fst (Prepaid.snapshot2 net)) in
   let net = settle (fst (Prepaid.snapshot3 net)) in
-  let sim = Timed.create ~n ~c net in
+  let sim = Timed.create ~seed ~n ~c net in
+  let net_layer = impaired ~seed ~loss sim in
   let a_tx = ref nan and c_tx = ref nan in
   let transmits r owner net =
     match Netsys.slot net r with
@@ -56,12 +75,14 @@ let run_fig13 n c =
   let _ = Timed.run sim in
   Format.printf "A transmits toward C at %.1f ms; C toward A at %.1f ms (2n+3c = %.1f)@.@." !a_tx
     !c_tx ((2.0 *. n) +. (3.0 *. c));
+  report_impairment net_layer;
   Format.printf "message-sequence chart:@.%a" Timed.pp_trace sim;
   0
 
-let run_relink n c boxes j =
+let run_relink seed n c boxes j loss =
   let net, _ = Netsys.run (Relink.build ~boxes ~j) in
-  let sim = Timed.create ~n ~c net in
+  let sim = Timed.create ~seed ~n ~c net in
+  let net_layer = impaired ~seed ~loss sim in
   let done_at = ref nan in
   Timed.when_true sim
     (fun net -> Relink.left_transmits net && Relink.right_transmits net)
@@ -69,9 +90,10 @@ let run_relink n c boxes j =
   Timed.apply sim (Relink.relink ~j);
   let _ = Timed.run sim in
   let p = Relink.hops ~boxes ~j in
-  Format.printf "boxes=%d j=%d p=%d: measured %.1f ms, formula p*n+(p+1)*c = %.1f ms@." boxes j p
-    !done_at
-    (Relink.formula ~p ~n ~c);
+  Format.printf "boxes=%d j=%d p=%d: measured %.1f ms, formula p*n+(p+1)*c = %.1f ms%s@." boxes j
+    p !done_at (Relink.formula ~p ~n ~c)
+    (if loss > 0.0 then " (loss-free)" else "");
+  report_impairment net_layer;
   0
 
 let run_sip seed n c =
@@ -93,19 +115,25 @@ let n_arg = Arg.(value & opt float 34.0 & info [ "n" ] ~doc:"Network latency (ms
 let c_arg = Arg.(value & opt float 20.0 & info [ "c" ] ~doc:"Box compute time (ms).")
 let boxes_arg = Arg.(value & opt int 4 & info [ "boxes" ] ~doc:"Interior boxes (relink).")
 let j_arg = Arg.(value & opt int 2 & info [ "at" ] ~doc:"Relinking box index (relink).")
-let seed_arg = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Random seed (sip).")
+let seed_arg =
+  Arg.(value & opt int 11 & info [ "seed" ]
+       ~doc:"Random seed; equal seeds give identical runs (sip, and fig13/relink with --loss).")
 
-let run scenario n c boxes j seed =
+let loss_arg =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P"
+       ~doc:"Per-frame loss probability in [0,1]; > 0 runs fig13/relink over the                impaired network with the reliability layer attached.")
+
+let run scenario n c boxes j seed loss =
   match scenario with
   | `Prepaid -> run_prepaid ()
-  | `Fig13 -> run_fig13 n c
-  | `Relink -> run_relink n c boxes j
+  | `Fig13 -> run_fig13 seed n c loss
+  | `Relink -> run_relink seed n c boxes j loss
   | `Sip -> run_sip seed n c
 
 let cmd =
   let doc = "run compositional media-control scenarios under the timed simulator" in
   Cmd.v
     (Cmd.info "mediactl_sim" ~doc)
-    Term.(const run $ scenario $ n_arg $ c_arg $ boxes_arg $ j_arg $ seed_arg)
+    Term.(const run $ scenario $ n_arg $ c_arg $ boxes_arg $ j_arg $ seed_arg $ loss_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,7 +11,10 @@ end)
 
 type safety = Safe | Unsafe of string
 
-type spec_result = Spec_holds | Spec_violated of string | Inconclusive of string
+type spec_result =
+  | Spec_holds
+  | Spec_violated of string
+  | Inconclusive of string
 
 type report = {
   config : Path_model.config;
@@ -87,6 +90,15 @@ let run ?max_states config =
     else if config.Path_model.environment_ends then check_segment_safety graph
     else check_safety graph
   in
+  (* Under a loss budget nothing retransmits, so an unrepaired status
+     loss leaves the peers' media views stale: the agreement refinement
+     of bothFlowing is the reliability layer's obligation (experiment
+     E9), while the signaling obligation — the slot state machines still
+     converge — remains checkable and must hold. *)
+  let lossy = config.Path_model.faults.Path_model.losses > 0 in
+  let flowing_pred =
+    if lossy then Path_model.ends_flowing else Path_model.both_flowing
+  in
   let spec_result =
     if graph.E.capped then Inconclusive "state space capped"
     else if config.Path_model.environment_ends then Spec_holds
@@ -94,7 +106,7 @@ let run ?max_states config =
          specifications quantify over goal-controlled ends *)
     else
       let both_closed id = Path_model.both_closed graph.E.states.(id) in
-      let both_flowing id = Path_model.both_flowing graph.E.states.(id) in
+      let both_flowing id = flowing_pred graph.E.states.(id) in
       match Temporal.check spec ~succs ~both_closed ~both_flowing with
       | Temporal.Holds -> Spec_holds
       | Temporal.Violated { witness; reason } ->
@@ -111,7 +123,7 @@ let run ?max_states config =
       | Spec_violated _ -> (
         (* Re-run the temporal check just to recover the witness id. *)
         let both_closed id = Path_model.both_closed graph.E.states.(id) in
-        let both_flowing id = Path_model.both_flowing graph.E.states.(id) in
+        let both_flowing id = flowing_pred graph.E.states.(id) in
         match Temporal.check spec ~succs ~both_closed ~both_flowing with
         | Temporal.Violated { witness; _ } -> trace_to graph witness
         | Temporal.Holds -> [])
@@ -158,8 +170,8 @@ let pp_report ppf r =
       (Semantics.spec_to_string r.spec)
       spec_result
 
-let run_standard ?max_states ~chaos ~modifies () =
-  List.map (run ?max_states) (Path_model.standard_configs ~chaos ~modifies)
+let run_standard ?max_states ?faults ~chaos ~modifies () =
+  List.map (run ?max_states) (Path_model.standard_configs ?faults ~chaos ~modifies ())
 
 let run_segment ?max_states ~flowlinks ~chaos () =
   run ?max_states
@@ -170,6 +182,7 @@ let run_segment ?max_states ~flowlinks ~chaos () =
       chaos;
       modifies = 0;
       environment_ends = true;
+      faults = Path_model.no_faults;
     }
 
 let pp_counterexample ppf r =

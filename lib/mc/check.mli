@@ -37,8 +37,14 @@ val pp_report : Format.formatter -> report -> unit
 val pp_counterexample : Format.formatter -> report -> unit
 (** Render the counterexample trace, one labelled step per line. *)
 
-val run_standard : ?max_states:int -> chaos:int -> modifies:int -> unit -> report list
-(** Check all 12 standard models. *)
+val run_standard :
+  ?max_states:int -> ?faults:Path_model.faults -> chaos:int -> modifies:int -> unit -> report list
+(** Check all 12 standard models, optionally under a network-fault
+    budget.  The full obligations — safety and the temporal
+    specification — stay in force under faults: with the default
+    idempotent-only restriction, losing or replaying absolute-state
+    signals must change nothing the checks can observe (the paper's
+    section VI claim, mechanised). *)
 
 val run_segment : ?max_states:int -> flowlinks:int -> chaos:int -> unit -> report
 (** The segment lemma of paper section VIII-B: a contiguous piece of a

@@ -3,6 +3,10 @@ open Mediactl_protocol
 open Mediactl_signaling
 open Mediactl_core
 
+type faults = { losses : int; dups : int; unrestricted : bool }
+
+let no_faults = { losses = 0; dups = 0; unrestricted = false }
+
 type config = {
   left : Semantics.end_kind;
   right : Semantics.end_kind;
@@ -10,6 +14,7 @@ type config = {
   chaos : int;
   modifies : int;
   environment_ends : bool;
+  faults : faults;
 }
 
 let kind_name = function
@@ -19,8 +24,14 @@ let kind_name = function
 
 let config_name c =
   let links = String.concat "" (List.init c.flowlinks (fun _ -> "fl--")) in
-  if c.environment_ends then Printf.sprintf "env--%senv" links
-  else Printf.sprintf "%s--%s%s" (kind_name c.left) links (kind_name c.right)
+  let faults =
+    if c.faults = no_faults then ""
+    else
+      Printf.sprintf " [loss=%d dup=%d%s]" c.faults.losses c.faults.dups
+        (if c.faults.unrestricted then " any" else "")
+  in
+  if c.environment_ends then Printf.sprintf "env--%senv%s" links faults
+  else Printf.sprintf "%s--%s%s%s" (kind_name c.left) links (kind_name c.right) faults
 
 let spec c = Semantics.spec_of c.left c.right
 
@@ -52,6 +63,9 @@ type state = {
   tuns : Tunnel.t list;  (* left end of every tunnel is the A (initiator) end *)
   right : endpoint;
   err : string option;
+  losses_left : int;  (* network-fault budgets (shared across the path) *)
+  dups_left : int;
+  unrestricted : bool;  (* fault any signal, not just the idempotent ones *)
 }
 
 let error s = s.err
@@ -93,13 +107,30 @@ let initial c =
         })
   in
   let tuns = List.init (c.flowlinks + 1) (fun _ -> Tunnel.empty) in
-  { left; links; tuns; right; err = None }
+  {
+    left;
+    links;
+    tuns;
+    right;
+    err = None;
+    losses_left = c.faults.losses;
+    dups_left = c.faults.dups;
+    unrestricted = c.faults.unrestricted;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Predicates                                                          *)
 
 let both_closed s = Semantics.both_closed ~left:s.left.slot ~right:s.right.slot
 let both_flowing s = Semantics.both_flowing ~left:s.left.slot ~right:s.right.slot
+
+(* The structural part of [both_flowing]: both end slots are in the
+   flowing state, ignoring descriptor/selector agreement.  Losing a
+   status signal cannot perturb this — describes and selects never
+   change slot state — but it does leave the peers' media views stale
+   until something retransmits, so the agreement refinement is only
+   checkable on loss-free models. *)
+let ends_flowing s = Slot.is_flowing s.left.slot && Slot.is_flowing s.right.slot
 
 let settled_end e =
   match e.phase with
@@ -129,6 +160,8 @@ type which_end = L | R
 
 type label =
   | Deliver of int * direction
+  | Lose of int * direction  (** the network drops the head signal *)
+  | Dup of int * direction  (** the network delivers the head signal twice *)
   | Switch_end of which_end
   | Switch_link of int
   | Chaos_end of which_end * string
@@ -138,6 +171,10 @@ type label =
 let pp_label ppf = function
   | Deliver (i, Rightward) -> Format.fprintf ppf "deliver t%d ->" i
   | Deliver (i, Leftward) -> Format.fprintf ppf "deliver t%d <-" i
+  | Lose (i, Rightward) -> Format.fprintf ppf "lose t%d ->" i
+  | Lose (i, Leftward) -> Format.fprintf ppf "lose t%d <-" i
+  | Dup (i, Rightward) -> Format.fprintf ppf "dup t%d ->" i
+  | Dup (i, Leftward) -> Format.fprintf ppf "dup t%d <-" i
   | Switch_end L -> Format.pp_print_string ppf "switch L"
   | Switch_end R -> Format.pp_print_string ppf "switch R"
   | Switch_link j -> Format.fprintf ppf "switch fl%d" j
@@ -345,23 +382,51 @@ let switch_link s j =
 (* ------------------------------------------------------------------ *)
 (* Delivery                                                            *)
 
-let deliver s i direction =
+(* With [consume = false] the head signal is dispatched but left in the
+   tunnel, modeling a duplicate delivery: the same signal will be
+   delivered again by a later [Deliver]. *)
+let deliver ?(consume = true) s i direction =
   let n_links = List.length s.links in
   match direction with
   | Rightward -> (
     match Tunnel.receive ~at:Tunnel.B (List.nth s.tuns i) with
     | None -> None
     | Some (signal, q) ->
-      let s = set_tun s i q in
+      let s = if consume then set_tun s i q else s in
       if i = n_links then Some (endpoint_receive s R signal)
       else Some (link_receive s i Flow_link.Left signal))
   | Leftward -> (
     match Tunnel.receive ~at:Tunnel.A (List.nth s.tuns i) with
     | None -> None
     | Some (signal, q) ->
-      let s = set_tun s i q in
+      let s = if consume then set_tun s i q else s in
       if i = 0 then Some (endpoint_receive s L signal)
       else Some (link_receive s (i - 1) Flow_link.Right signal))
+
+(* The network silently drops the head signal.  Nothing retransmits at
+   this level of abstraction, so by default only the idempotent
+   absolute-state signals may be dropped — the class the paper argues a
+   peer can afford to miss, because any later describe/select carries
+   the complete current state.  Dropping a handshake signal models a
+   deployment without the reliability layer, and reachably desynchronises
+   the slot state machines (see [unrestricted]). *)
+let lose s i direction =
+  let at = match direction with Rightward -> Tunnel.B | Leftward -> Tunnel.A in
+  match Tunnel.receive ~at (List.nth s.tuns i) with
+  | None -> None
+  | Some (_signal, q) -> Some (set_tun s i q)
+
+(* The signals whose duplicate delivery the paper argues is harmless
+   (section VI): describes and selects carry absolute state, so applying
+   one twice is idempotent.  The handshake signals are not in this
+   class — the reliability layer deduplicates them by sequence number. *)
+let idempotent = function
+  | Signal.Describe _ | Signal.Select _ -> true
+  | Signal.Open _ | Signal.Oack _ | Signal.Close | Signal.Closeack -> false
+
+let head_toward s i direction =
+  let at = match direction with Rightward -> Tunnel.B | Leftward -> Tunnel.A in
+  Tunnel.peek ~at (List.nth s.tuns i)
 
 (* ------------------------------------------------------------------ *)
 (* Successor relation                                                  *)
@@ -454,10 +519,42 @@ let successors s =
         switch @ chaos_on Flow_link.Left link.lslot @ chaos_on Flow_link.Right link.rslot
       | L_goal _ -> []
     in
-    deliveries @ end_moves L @ end_moves R
+    let fault_moves =
+      if s.losses_left <= 0 && s.dups_left <= 0 then []
+      else
+        List.concat
+          (List.mapi
+             (fun i _ ->
+               List.concat_map
+                 (fun direction ->
+                   match head_toward s i direction with
+                   | None -> []
+                   | Some head ->
+                     let faultable = s.unrestricted || idempotent head in
+                     let losses =
+                       if s.losses_left <= 0 || not faultable then []
+                       else
+                         match lose s i direction with
+                         | None -> []
+                         | Some s' ->
+                           [ (Lose (i, direction), { s' with losses_left = s.losses_left - 1 }) ]
+                     in
+                     let dups =
+                       if s.dups_left <= 0 || not faultable then []
+                       else
+                         match deliver ~consume:false s i direction with
+                         | None -> []
+                         | Some s' ->
+                           [ (Dup (i, direction), { s' with dups_left = s.dups_left - 1 }) ]
+                     in
+                     losses @ dups)
+                 [ Rightward; Leftward ])
+             s.tuns)
+    in
+    deliveries @ fault_moves @ end_moves L @ end_moves R
     @ List.concat (List.init (List.length s.links) link_moves)
 
-let standard_configs ~chaos ~modifies =
+let standard_configs ?(faults = no_faults) ~chaos ~modifies () =
   let kinds = [ Semantics.Open_end; Semantics.Close_end; Semantics.Hold_end ] in
   let pairs =
     (* Six unordered pairs. *)
@@ -469,6 +566,6 @@ let standard_configs ~chaos ~modifies =
     (fun flowlinks ->
       List.map
         (fun (left, right) ->
-          { left; right; flowlinks; chaos; modifies; environment_ends = false })
+          { left; right; flowlinks; chaos; modifies; environment_ends = false; faults })
         pairs)
     [ 0; 1 ]

@@ -12,9 +12,34 @@
 
     Users at media endpoints additionally have bounded freedom to change
     their mute flags ([modify] events).  Both freedoms are budgeted so
-    the state space stays finite; the budgets are parameters. *)
+    the state space stays finite; the budgets are parameters.
+
+    Beyond the paper, the models can additionally give the {e network}
+    bounded nondeterministic freedom to misbehave: a loss budget lets it
+    silently drop in-flight signals, and a duplication budget lets it
+    deliver a signal twice.  Both faults are restricted by default to
+    the idempotent describe/select signals — the class the paper argues
+    is safe to drop or replay because each one carries absolute state
+    (section VI).  The handshake signals are outside that class; in a
+    deployment they are protected by the reliability layer
+    ({!Mediactl_net.Reliable}), which retransmits until acknowledged and
+    deduplicates by sequence number.  Setting [unrestricted] lifts the
+    restriction so the checker can demonstrate why that layer is
+    necessary: faulting a handshake signal reachably desynchronises the
+    slot state machines into protocol errors. *)
 
 open Mediactl_core
+
+(** Network-fault budgets shared across the whole path. *)
+type faults = {
+  losses : int;  (** signals the network may silently drop *)
+  dups : int;  (** signals the network may deliver twice *)
+  unrestricted : bool;
+      (** allow faulting any signal, not only the idempotent
+          describe/select — expected to produce violations *)
+}
+
+val no_faults : faults
 
 type config = {
   left : Semantics.end_kind;
@@ -27,6 +52,7 @@ type config = {
           pure environments — arbitrary protocol-legal actors that never
           settle into a goal — so the model checks the interior flowlinks
           against {e any} surrounding behaviour *)
+  faults : faults;
 }
 
 val config_name : config -> string
@@ -43,7 +69,17 @@ val error : state -> string option
     errors are safety violations. *)
 
 val both_closed : state -> bool
+
 val both_flowing : state -> bool
+(** Both end slots flowing {e and} their descriptor/selector views agree
+    end to end (media actually flows as both parties believe). *)
+
+val ends_flowing : state -> bool
+(** The structural part of {!both_flowing}: both end slots are in the
+    flowing state.  Used as the flowing predicate under a loss budget,
+    where an unrepaired status loss legitimately leaves the agreement
+    refinement stale — repairing it is the reliability layer's job
+    ({!Mediactl_net.Reliable}, measured in experiment E9). *)
 
 val all_settled : state -> bool
 (** Every goal object has left its chaos phase. *)
@@ -59,6 +95,7 @@ val pp_state : Format.formatter -> state -> unit
 
 val successors : state -> (label * state) list
 
-val standard_configs : chaos:int -> modifies:int -> config list
+val standard_configs : ?faults:faults -> chaos:int -> modifies:int -> unit -> config list
 (** The paper's 12 models: all six endpoint-goal combinations, with zero
-    and one flowlink. *)
+    and one flowlink.  Default [faults] is {!no_faults} (the paper's
+    reliable-network assumption). *)

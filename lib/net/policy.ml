@@ -1,0 +1,17 @@
+type t = { drop : float; dup : float; jitter : float; up : bool }
+
+let ideal = { drop = 0.0; dup = 0.0; jitter = 0.0; up = true }
+
+let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let lossy ?(dup = 0.0) ?(jitter = 0.0) drop =
+  { drop = clamp01 drop; dup = clamp01 dup; jitter = Float.max 0.0 jitter; up = true }
+
+let down = { ideal with up = false }
+
+let equal a b = a.drop = b.drop && a.dup = b.dup && a.jitter = b.jitter && a.up = b.up
+
+let pp ppf t =
+  if not t.up then Format.pp_print_string ppf "partitioned"
+  else if equal t ideal then Format.pp_print_string ppf "ideal"
+  else Format.fprintf ppf "drop=%.3f dup=%.3f jitter=%.1fms" t.drop t.dup t.jitter

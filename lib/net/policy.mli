@@ -1,0 +1,29 @@
+(** Per-link impairment policies.
+
+    A policy describes how a signaling channel's underlying transport
+    misbehaves: the probability that a frame is lost or duplicated in
+    transit, the mean of an exponential extra transit delay (jitter),
+    and whether the link is currently partitioned.  Policies are pure
+    data; {!Impair} draws the random outcomes. *)
+
+type t = {
+  drop : float;  (** per-frame loss probability, in [0, 1] *)
+  dup : float;  (** per-frame duplication probability, in [0, 1] *)
+  jitter : float;  (** mean extra transit delay (ms), exponential; 0 = none *)
+  up : bool;  (** [false] while the link is partitioned: every frame is lost *)
+}
+
+val ideal : t
+(** No loss, no duplication, no jitter, link up: the reliable FIFO
+    behaviour the rest of the codebase assumes. *)
+
+val lossy : ?dup:float -> ?jitter:float -> float -> t
+(** [lossy p] drops each frame with probability [p]; optional
+    duplication probability and jitter mean.  Probabilities are clamped
+    to [0, 1]; negative jitter is clamped to 0. *)
+
+val down : t
+(** A partitioned link ([ideal] with [up = false]). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

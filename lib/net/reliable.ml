@@ -1,0 +1,168 @@
+open Mediactl_runtime
+
+type config = { rto : float; backoff : float; max_retries : int }
+
+let default_config ~n ~c = { rto = 2.0 *. ((2.0 *. n) +. c); backoff = 2.0; max_retries = 10 }
+
+type counters = {
+  mutable sends : int;
+  mutable transmissions : int;
+  mutable retransmits : int;
+  mutable delivered : int;
+  mutable dup_suppressed : int;
+  mutable reorder_suppressed : int;
+  mutable acks_sent : int;
+  mutable acks_lost : int;
+  mutable timeouts : int;
+}
+
+type out_frame = { frame : Timed.frame; mutable attempts : int; mutable settled : bool }
+
+(* Sender and receiver state of one directed link: frames from one box
+   toward its peer on one channel. *)
+type link = {
+  mutable next_seq : int;
+  outstanding : (int, out_frame) Hashtbl.t;
+  mutable expected : int;  (* receiver side: next in-order sequence number *)
+}
+
+type t = {
+  impair : Impair.t;
+  config : config;
+  counters : counters;
+  links : (string, link) Hashtbl.t;  (* key: chan + direction *)
+  seq_of_id : (int, string * int) Hashtbl.t;  (* frame id -> (link key, seq) *)
+}
+
+let counters t = t.counters
+
+let pending t =
+  Hashtbl.fold
+    (fun _ link acc ->
+      Hashtbl.fold (fun _ f acc -> if f.settled then acc else acc + 1) link.outstanding acc)
+    t.links 0
+
+let link_key (frame : Timed.frame) =
+  frame.Timed.f_send.Netsys.s_chan ^ "/" ^ frame.Timed.f_send.Netsys.to_
+
+let chan_of_key key = String.sub key 0 (String.index key '/')
+
+let link t key =
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+    let l = { next_seq = 0; outstanding = Hashtbl.create 8; expected = 0 } in
+    Hashtbl.add t.links key l;
+    l
+
+(* Cumulative acknowledgement: every frame up to [seq] is settled. *)
+let on_ack link seq =
+  Hashtbl.iter (fun s f -> if s <= seq then f.settled <- true) link.outstanding;
+  Hashtbl.filter_map_inplace (fun s f -> if s <= seq then None else Some f) link.outstanding
+
+let send_ack t sim key seq =
+  t.counters.acks_sent <- t.counters.acks_sent + 1;
+  match Impair.ack_fate t.impair ~chan:(chan_of_key key) with
+  | None -> t.counters.acks_lost <- t.counters.acks_lost + 1
+  | Some jitter ->
+    let l = link t key in
+    Timed.after sim (Timed.n sim +. jitter) (fun _sim -> on_ack l seq)
+
+let rec arm t sim key lnk seq ofr =
+  let rto = t.config.rto *. (t.config.backoff ** float_of_int (ofr.attempts - 1)) in
+  Timed.after sim rto (fun sim ->
+      if not ofr.settled then
+        if ofr.attempts > t.config.max_retries then begin
+          t.counters.timeouts <- t.counters.timeouts + 1;
+          ofr.settled <- true;
+          Hashtbl.remove lnk.outstanding seq
+        end
+        else begin
+          t.counters.retransmits <- t.counters.retransmits + 1;
+          transmit t sim key lnk seq ofr
+        end)
+
+and transmit t sim key lnk seq ofr =
+  ofr.attempts <- ofr.attempts + 1;
+  t.counters.transmissions <- t.counters.transmissions + 1;
+  let offsets = Impair.fate t.impair ~chan:(chan_of_key key) in
+  List.iter
+    (fun offset -> Timed.inject_frame sim ~delay:(Timed.n sim +. offset) ofr.frame)
+    offsets;
+  arm t sim key lnk seq ofr
+
+let on_emit t sim (frame : Timed.frame) =
+  let key = link_key frame in
+  let lnk = link t key in
+  let seq = lnk.next_seq in
+  lnk.next_seq <- seq + 1;
+  Hashtbl.replace t.seq_of_id frame.Timed.f_id (key, seq);
+  let ofr = { frame; attempts = 1; settled = false } in
+  Hashtbl.replace lnk.outstanding seq ofr;
+  t.counters.sends <- t.counters.sends + 1;
+  t.counters.transmissions <- t.counters.transmissions + 1;
+  arm t sim key lnk seq ofr;
+  (* The first transmission's copies are scheduled by the driver. *)
+  Impair.fate t.impair ~chan:(chan_of_key key)
+
+let on_deliver t sim (frame : Timed.frame) =
+  match Hashtbl.find_opt t.seq_of_id frame.Timed.f_id with
+  | None -> true  (* emitted before the layer was attached: pass through *)
+  | Some (key, seq) ->
+    let lnk = link t key in
+    if seq = lnk.expected then begin
+      lnk.expected <- seq + 1;
+      t.counters.delivered <- t.counters.delivered + 1;
+      send_ack t sim key seq;
+      true
+    end
+    else if seq < lnk.expected then begin
+      (* A retransmission whose ack was lost, or a network duplicate:
+         suppress it and re-acknowledge cumulatively. *)
+      t.counters.dup_suppressed <- t.counters.dup_suppressed + 1;
+      send_ack t sim key (lnk.expected - 1);
+      false
+    end
+    else begin
+      (* Out of order: go-back-N receivers discard; the sender's timer
+         will retransmit once the gap frame is through. *)
+      t.counters.reorder_suppressed <- t.counters.reorder_suppressed + 1;
+      false
+    end
+
+let attach ?config impair sim =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> default_config ~n:(Timed.n sim) ~c:(Timed.c sim)
+  in
+  let t =
+    {
+      impair;
+      config;
+      counters =
+        {
+          sends = 0;
+          transmissions = 0;
+          retransmits = 0;
+          delivered = 0;
+          dup_suppressed = 0;
+          reorder_suppressed = 0;
+          acks_sent = 0;
+          acks_lost = 0;
+          timeouts = 0;
+        };
+      links = Hashtbl.create 8;
+      seq_of_id = Hashtbl.create 64;
+    }
+  in
+  Timed.set_impairment sim (on_emit t);
+  Timed.set_delivery_filter sim (on_deliver t);
+  t
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "sends=%d transmissions=%d retransmits=%d delivered=%d dups=%d reorders=%d acks=%d \
+     acks_lost=%d timeouts=%d"
+    c.sends c.transmissions c.retransmits c.delivered c.dup_suppressed c.reorder_suppressed
+    c.acks_sent c.acks_lost c.timeouts

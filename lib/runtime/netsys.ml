@@ -396,6 +396,20 @@ let deliver t { s_chan; s_tun; to_ } =
         let t = set_chan t s_chan channel in
         Some (dispatch_signal t to_ { chan = s_chan; tun = s_tun } signal))
 
+let take t { s_chan; s_tun; to_ } =
+  if t.error <> None then None
+  else
+    match find_chan t s_chan with
+    | None -> None
+    | Some channel -> (
+      match Channel.receive_signal channel ~at_box:to_ ~tunnel:s_tun with
+      | None -> None
+      | Some (signal, channel) -> Some (signal, set_chan t s_chan channel))
+
+let inject t { s_chan; s_tun; to_ } signal =
+  if t.error <> None then None
+  else Some (dispatch_signal t to_ { chan = s_chan; tun = s_tun } signal)
+
 let peek_signal t ~chan ~tun ~at =
   match find_chan t chan with
   | None -> None

@@ -111,6 +111,18 @@ val deliver : t -> send -> (t * send list) option
 (** Deliver the oldest signal on that tunnel toward that box; [None] if
     nothing is pending there. *)
 
+val take : t -> send -> (Signal.t * t) option
+(** Pop the oldest signal awaiting delivery toward that box {e without}
+    dispatching it.  An impaired transport uses this to carry the payload
+    itself (and possibly lose, duplicate, or delay it) instead of relying
+    on the tunnel's reliable FIFO. *)
+
+val inject : t -> send -> Signal.t -> (t * send list) option
+(** Dispatch a signal at the receiving slot as if it had just arrived,
+    without consuming anything from the tunnel: the delivery half of
+    {!take}, also usable to model duplicate or retransmitted deliveries.
+    [None] only when the network is already erroneous. *)
+
 val run : ?max_steps:int -> t -> t * bool
 (** Drain all signal queues in deterministic order ([true] = quiescent).
     Meta-signals are left for the application layer. *)

@@ -1,9 +1,13 @@
 open Mediactl_types
 open Mediactl_sim
 
+type frame = { f_id : int; f_send : Netsys.send; f_signal : Mediactl_types.Signal.t }
+
 type event =
   | Arrival of Netsys.send  (* the signal reaches the box (transit n) *)
   | Process of Netsys.send  (* the box has computed its reaction (cost c) *)
+  | Frame_arrival of frame  (* impaired path: the frame reaches the box *)
+  | Frame_process of frame  (* impaired path: the box's reaction commits *)
   | Meta_arrival of { chan : string; at : string }
   | Scripted of int  (* index into the scripted-action table *)
 
@@ -27,6 +31,9 @@ type t = {
   mutable watches : (int * (Netsys.t -> bool) * (float -> unit)) list;
   mutable watch_seq : int;
   mutable trace_rev : trace_entry list;
+  mutable impairment : (t -> frame -> float list) option;
+  mutable delivery_filter : (t -> frame -> bool) option;
+  mutable frame_seq : int;
 }
 
 let create ?(seed = 42) ?(n = 34.0) ?(c = 20.0) network =
@@ -41,6 +48,9 @@ let create ?(seed = 42) ?(n = 34.0) ?(c = 20.0) network =
     watches = [];
     watch_seq = 0;
     trace_rev = [];
+    impairment = None;
+    delivery_filter = None;
+    frame_seq = 0;
   }
 
 let net t = t.network
@@ -50,14 +60,55 @@ let c t = t.c
 let error t = Netsys.err t.network
 
 (* A signal emitted at time T reaches its destination box at T + n and
-   takes effect (the box's reaction commits) at T + n + c. *)
+   takes effect (the box's reaction commits) at T + n + c.
+
+   With no impairment installed, delivery tokens ride the reliable FIFO
+   tunnels of Netsys.  With an impairment hook installed, each emission
+   is popped out of its tunnel immediately ({!Netsys.take}) and carried
+   in a [frame] event instead, so the hook can lose it (no copies),
+   duplicate it, or add per-copy transit delay; frames are dispatched on
+   arrival with {!Netsys.inject}. *)
+
+let set_impairment t hook = t.impairment <- Some hook
+let set_delivery_filter t filter = t.delivery_filter <- Some filter
+
+let fresh_frame t send signal =
+  let id = t.frame_seq in
+  t.frame_seq <- id + 1;
+  { f_id = id; f_send = send; f_signal = signal }
+
+let inject_frame t ~delay frame =
+  Engine.schedule t.engine ~delay:(Float.max 0.0 delay) (Frame_arrival frame)
+
+(* Emissions leave their box [lead] after now ([c] when the emission is
+   part of an externally applied operation, 0 when it is the output of a
+   Process/Frame_process reaction, whose compute cost is already paid). *)
+let emit t ~lead sends =
+  match t.impairment with
+  | None ->
+    List.iter (fun send -> Engine.schedule t.engine ~delay:(lead +. t.n) (Arrival send)) sends
+  | Some hook ->
+    List.iter
+      (fun send ->
+        match Netsys.take t.network send with
+        | None -> ()
+        | Some (signal, network) ->
+          t.network <- network;
+          let frame = fresh_frame t send signal in
+          List.iter
+            (fun offset ->
+              Engine.schedule t.engine
+                ~delay:(lead +. t.n +. Float.max 0.0 offset)
+                (Frame_arrival frame))
+            (hook t frame))
+      sends
 
 let apply t op =
   (* The operation itself is a box computation: its emissions leave the
      box c after now. *)
   let network, sends = op t.network in
   t.network <- network;
-  List.iter (fun send -> Engine.schedule t.engine ~delay:(t.c +. t.n) (Arrival send)) sends
+  emit t ~lead:t.c sends
 
 let apply_quiet t op = t.network <- op t.network
 
@@ -136,7 +187,37 @@ let handle t event =
     | None -> ()
     | Some (network, sends) ->
       t.network <- network;
-      List.iter (fun s -> Engine.schedule t.engine ~delay:t.n (Arrival s)) sends)
+      emit t ~lead:0.0 sends)
+  | Frame_arrival frame -> Engine.schedule t.engine ~delay:t.c (Frame_process frame)
+  | Frame_process frame ->
+    let deliverable =
+      match t.delivery_filter with
+      | None -> true
+      | Some filter -> filter t frame
+    in
+    if deliverable then begin
+      (match
+         Netsys.peer_of_chan t.network ~chan:frame.f_send.Netsys.s_chan
+           ~box:frame.f_send.Netsys.to_
+       with
+      | Some from_box ->
+        t.trace_rev <-
+          {
+            at = Engine.now t.engine;
+            from_box;
+            to_box = frame.f_send.Netsys.to_;
+            chan = frame.f_send.Netsys.s_chan;
+            tun = frame.f_send.Netsys.s_tun;
+            signal = frame.f_signal;
+          }
+          :: t.trace_rev
+      | None -> ());
+      match Netsys.inject t.network frame.f_send frame.f_signal with
+      | None -> ()
+      | Some (network, sends) ->
+        t.network <- network;
+        emit t ~lead:0.0 sends
+    end
   | Meta_arrival { chan; at } -> (
     match Netsys.take_meta t.network ~chan ~at with
     | None -> ()

@@ -57,6 +57,42 @@ val run : ?until:float -> ?max_events:int -> t -> int
 
 val error : t -> string option
 
+(** {2 Network impairment}
+
+    By default signals ride the reliable FIFO tunnels of {!Netsys}.  An
+    installed impairment hook switches tunnel traffic to an explicit
+    frame transport: every emission is immediately popped out of its
+    tunnel ({!Netsys.take}) and becomes a [frame]; the hook decides its
+    fate as a list of extra transit delays, one per delivered copy — so
+    [[]] loses the frame, [[0.0]] delivers it exactly as the reliable
+    path would, and [[0.0; 12.0]] duplicates it.  Frames are dispatched
+    to the receiving slot with {!Netsys.inject} after the usual [n]
+    transit (plus the copy's delay) and [c] compute.  Meta-signals are
+    not impaired: they model channel-scoped control state, not per-frame
+    datagrams.  The [mediactl.net] library builds loss, duplication,
+    jitter, partition, and retransmission policies on these hooks. *)
+
+type frame = { f_id : int; f_send : Netsys.send; f_signal : Mediactl_types.Signal.t }
+(** One signal in flight under impairment.  Copies of a duplicated or
+    retransmitted frame share the same [f_id]. *)
+
+val set_impairment : t -> (t -> frame -> float list) -> unit
+(** Install the impairment hook, called once per emitted frame; returns
+    the transit-delay offsets of the copies to deliver (possibly none).
+    Installing a hook affects only signals emitted afterwards. *)
+
+val set_delivery_filter : t -> (t -> frame -> bool) -> unit
+(** Install a receiver-side filter, consulted as each frame copy is
+    about to be dispatched; returning [false] suppresses the dispatch
+    (and the trace entry).  A reliability layer uses this to drop
+    duplicate and out-of-order copies before the protocol sees them. *)
+
+val inject_frame : t -> delay:float -> frame -> unit
+(** Schedule a (re)delivery of a frame: it arrives at its destination
+    after [delay] and its reaction commits [c] later.  Used by
+    retransmission layers; the caller chooses [delay] (typically
+    [n] plus jitter).  Negative delays are clamped to 0. *)
+
 (** {2 Message-sequence charts}
 
     Every delivered tunnel signal is recorded with the time its

@@ -128,7 +128,15 @@ let test_stabilize_or_recur () =
 
 let run_config left right flowlinks =
   Check.run
-    { Path_model.left; right; flowlinks; chaos = 0; modifies = 1; environment_ends = false }
+    {
+      Path_model.left;
+      right;
+      flowlinks;
+      chaos = 0;
+      modifies = 1;
+      environment_ends = false;
+      faults = Path_model.no_faults;
+    }
 
 let test_path_models_no_chaos () =
   (* With no chaos the state spaces are small; all six types must pass
@@ -157,7 +165,7 @@ let test_flowlink_blowup_shape () =
   check tbool "multiplicative blowup" true (r1.Check.states > 3 * r0.Check.states)
 
 let test_standard_configs_count () =
-  check tint "12 models" 12 (List.length (Path_model.standard_configs ~chaos:1 ~modifies:0))
+  check tint "12 models" 12 (List.length (Path_model.standard_configs ~chaos:1 ~modifies:0 ()))
 
 let test_passing_reports_have_no_counterexample () =
   let r = run_config Semantics.Open_end Semantics.Hold_end 0 in
@@ -175,6 +183,61 @@ let test_segment_two_flowlinks () =
   (* The two-flowlink segment the paper could not afford in Spin. *)
   let r = Check.run_segment ~flowlinks:2 ~chaos:1 () in
   check tbool "safe" true (Check.passed r)
+
+(* --- network faults --------------------------------------------------- *)
+
+let run_faulted faults left right =
+  Check.run
+    {
+      Path_model.left;
+      right;
+      flowlinks = 0;
+      chaos = 1;
+      modifies = 0;
+      environment_ends = false;
+      faults;
+    }
+
+let test_idempotent_faults_harmless () =
+  (* The section-VI claim, mechanised: a network that may drop and
+     duplicate describe/select signals changes nothing the safety checks
+     or temporal specifications can observe. *)
+  let faults = { Path_model.losses = 1; dups = 1; unrestricted = false } in
+  let kinds = [ Semantics.Open_end; Semantics.Close_end; Semantics.Hold_end ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let r = run_faulted faults a b in
+          if not (Check.passed r) then
+            Alcotest.failf "faulted config failed: %a" Check.pp_report r)
+        kinds)
+    kinds
+
+let test_fault_budget_grows_state_space () =
+  let r0 = run_faulted Path_model.no_faults Semantics.Open_end Semantics.Hold_end in
+  let r1 =
+    run_faulted { Path_model.losses = 1; dups = 1; unrestricted = false } Semantics.Open_end
+      Semantics.Hold_end
+  in
+  check tbool "faults explored" true (r1.Check.states > r0.Check.states)
+
+let test_unrestricted_dup_finds_violation () =
+  (* Duplicating a handshake signal must desynchronise the slot state
+     machines — the violation the reliability layer's sequence-number
+     deduplication exists to remove. *)
+  let faults = { Path_model.losses = 0; dups = 1; unrestricted = true } in
+  let r = run_faulted faults Semantics.Open_end Semantics.Hold_end in
+  check tbool "found" false (Check.passed r);
+  check tbool "safety violation" true
+    (match r.Check.safety with Check.Unsafe _ -> true | Check.Safe -> false);
+  check tbool "counterexample" true (r.Check.counterexample <> [])
+
+let test_unrestricted_loss_finds_violation () =
+  (* Losing a handshake signal wedges the protocol short of its goal. *)
+  let faults = { Path_model.losses = 1; dups = 0; unrestricted = true } in
+  let r = run_faulted faults Semantics.Open_end Semantics.Hold_end in
+  check tbool "found" false (Check.passed r)
 
 let () =
   Alcotest.run "mc"
@@ -208,5 +271,15 @@ let () =
             test_passing_reports_have_no_counterexample;
           Alcotest.test_case "segment lemma (1 flowlink)" `Quick test_segment_lemma;
           Alcotest.test_case "segment lemma (2 flowlinks)" `Quick test_segment_two_flowlinks;
+        ] );
+      ( "network faults",
+        [
+          Alcotest.test_case "idempotent faults harmless" `Quick test_idempotent_faults_harmless;
+          Alcotest.test_case "fault budget grows state space" `Quick
+            test_fault_budget_grows_state_space;
+          Alcotest.test_case "unrestricted dup violates" `Quick
+            test_unrestricted_dup_finds_violation;
+          Alcotest.test_case "unrestricted loss violates" `Quick
+            test_unrestricted_loss_finds_violation;
         ] );
     ]

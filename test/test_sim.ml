@@ -103,6 +103,38 @@ let test_stats_empty () =
   Alcotest.check_raises "percentile" (Invalid_argument "Stats.percentile: no samples")
     (fun () -> ignore (Stats.percentile s 0.5))
 
+let test_stats_single_sample () =
+  let s = Stats.create () in
+  Stats.add s 42.0;
+  check tint "count" 1 (Stats.count s);
+  check tbool "rank 0" true (Stats.percentile s 0.0 = 42.0);
+  check tbool "median" true (Stats.percentile s 0.5 = 42.0);
+  check tbool "rank 1" true (Stats.percentile s 1.0 = 42.0);
+  check tbool "stddev" true (Stats.stddev s = 0.0)
+
+let prop_percentile_extremes =
+  QCheck2.Test.make ~name:"percentile ranks 0 and 1 are min and max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 40) (float_range (-50.0) 50.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.percentile s 0.0 = Stats.min s && Stats.percentile s 1.0 = Stats.max s)
+
+let prop_exponential_mean =
+  QCheck2.Test.make ~name:"exponential is nonnegative with mean near the parameter" ~count:25
+    QCheck2.Gen.(pair (int_range 0 10_000) (float_range 0.5 40.0))
+    (fun (seed, mean) ->
+      let rng = Rng.create seed in
+      let n = 4000 in
+      let sum = ref 0.0 and nonneg = ref true in
+      for _ = 1 to n do
+        let x = Rng.exponential rng ~mean in
+        if x < 0.0 then nonneg := false;
+        sum := !sum +. x
+      done;
+      let m = !sum /. float_of_int n in
+      !nonneg && m > 0.0 && abs_float (m -. mean) < 0.25 *. mean)
+
 (* --- engine ----------------------------------------------------------- *)
 
 let test_engine_order_and_clock () =
@@ -153,11 +185,14 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "ranges" `Quick test_rng_ranges;
           Alcotest.test_case "uniform mean" `Quick test_rng_mean;
+          QCheck_alcotest.to_alcotest prop_exponential_mean;
         ] );
       ( "stats",
         [
           Alcotest.test_case "summary" `Quick test_stats;
           Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "single sample" `Quick test_stats_single_sample;
+          QCheck_alcotest.to_alcotest prop_percentile_extremes;
         ] );
       ( "engine",
         [
