@@ -497,6 +497,165 @@ let e9 () =
   Format.printf "  sequence-number deduplication removes (Reliable.on_deliver).@."
 
 (* ------------------------------------------------------------------ *)
+(* E10: the multicore model-checking engine                            *)
+
+module PM = Mediactl_mc.Path_model
+module MC_check = Mediactl_mc.Check
+
+(* The before side of the comparison is [Seed_baseline]: the pipeline
+   exactly as the seed shipped it (Marshal-keyed interning, successor
+   lists, list-based SCC/temporal).  Seed STATE COUNTS are reported in
+   their own column and are expected to be LARGER than the engine's:
+   Marshal keys are sharing-sensitive, so the seed split structurally
+   equal states and explored an inflated space (about 2x in flowlink
+   models).  Verdicts still agree — splitting never merges distinct
+   states — so row agreement demands equal verdicts across all three
+   runs, and bit-identical counts between --jobs 1 and --jobs 4. *)
+
+type e10_row = {
+  row_name : string;
+  row_states : int;
+  row_transitions : int;
+  seed_states : int;
+  seed_s : float;
+  packed_s : float;
+  parallel_s : float;
+  row_agree : bool;
+  row_passed : bool;
+}
+
+let e10_jobs = 4
+let e10_cap = 4_000_000
+
+let seed_pipeline config =
+  let t0 = Unix.gettimeofday () in
+  let r = Seed_baseline.run ~max_states:e10_cap config in
+  (Unix.gettimeofday () -. t0, r.Seed_baseline.states, r.Seed_baseline.safety_ok && r.Seed_baseline.spec_ok)
+
+let e10_write_json rows =
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let tm = total (fun r -> r.seed_s) in
+  let tp = total (fun r -> r.packed_s) in
+  let tq = total (fun r -> r.parallel_s) in
+  let states = List.fold_left (fun acc r -> acc + r.row_states) 0 rows in
+  let seed_states = List.fold_left (fun acc r -> acc + r.seed_states) 0 rows in
+  let rate s t = float_of_int s /. Float.max 1e-9 t in
+  let oc = open_out "BENCH_mc.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"experiment\": \"e10\",\n";
+  Printf.fprintf oc "  \"sweep\": { \"chaos\": 2, \"modifies\": 0, \"losses\": 1, \"dups\": 1 },\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" e10_jobs;
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc
+    "  \"note\": \"seed_states > states because the seed's Marshal intern keys are \
+     sharing-sensitive and split structurally equal states; the packed codec is canonical. \
+     agree = equal verdicts across all three runs and bit-identical counts between jobs:1 \
+     and jobs:4.\",\n";
+  Printf.fprintf oc "  \"models\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"config\": %S, \"states\": %d, \"transitions\": %d, \"seed_states\": %d, \
+         \"seed_s\": %.4f, \"packed_s\": %.4f, \"parallel_s\": %.4f, \
+         \"packed_states_per_s\": %.0f, \"parallel_states_per_s\": %.0f, \
+         \"speedup_packed\": %.2f, \"speedup_parallel\": %.2f, \"agree\": %b, \"passed\": %b }%s\n"
+        r.row_name r.row_states r.row_transitions r.seed_states r.seed_s r.packed_s
+        r.parallel_s
+        (rate r.row_states r.packed_s) (rate r.row_states r.parallel_s)
+        (r.seed_s /. Float.max 1e-9 r.packed_s)
+        (r.seed_s /. Float.max 1e-9 r.parallel_s)
+        r.row_agree r.row_passed
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"totals\": { \"states\": %d, \"seed_states\": %d, \"seed_s\": %.4f, \"packed_s\": \
+     %.4f, \"parallel_s\": %.4f, \"seed_states_per_s\": %.0f, \"packed_states_per_s\": %.0f, \
+     \"parallel_states_per_s\": %.0f, \"speedup_packed\": %.2f, \"speedup_parallel\": %.2f, \
+     \"all_agree\": %b, \"all_passed\": %b }\n"
+    states seed_states tm tp tq (rate seed_states tm) (rate states tp) (rate states tq)
+    (tm /. Float.max 1e-9 tp)
+    (tm /. Float.max 1e-9 tq)
+    (List.for_all (fun r -> r.row_agree) rows)
+    (List.for_all (fun r -> r.row_passed) rows);
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_mc.json@."
+
+let json_mode = ref false
+
+let e10 () =
+  header "E10  Multicore engine: seed pipeline vs packed keys vs parallel BFS";
+  Format.printf
+    "(12 models at chaos=2, modifies=0, loss=1, dup=1; parallel = --jobs %d on a machine with \
+     %d recommended domains)@.@."
+    e10_jobs
+    (Domain.recommended_domain_count ());
+  Format.printf "%-28s %8s %8s %9s | %8s %8s %8s | %6s %6s@." "model" "seed-st" "states"
+    "trans" "seed" "packed" "par" "pack x" "par x";
+  let rows =
+    List.map
+      (fun config ->
+        let row_name = PM.config_name config in
+        let seed_s, seed_states, seed_passed = seed_pipeline config in
+        let r1 = MC_check.run ~max_states:e10_cap ~jobs:1 config in
+        let r4 = MC_check.run ~max_states:e10_cap ~jobs:e10_jobs config in
+        let row_agree =
+          r1.MC_check.states = r4.MC_check.states
+          && r1.MC_check.transitions = r4.MC_check.transitions
+          && r1.MC_check.terminals = r4.MC_check.terminals
+          && seed_passed = MC_check.passed r1
+          && MC_check.passed r1 = MC_check.passed r4
+        in
+        let row =
+          {
+            row_name;
+            row_states = r1.MC_check.states;
+            row_transitions = r1.MC_check.transitions;
+            seed_states;
+            seed_s;
+            packed_s = r1.MC_check.time_s;
+            parallel_s = r4.MC_check.time_s;
+            row_agree;
+            row_passed = MC_check.passed r1;
+          }
+        in
+        Format.printf "%-28s %8d %8d %9d | %7.2fs %7.2fs %7.2fs | %5.1fx %5.1fx%s@." row_name
+          seed_states row.row_states row.row_transitions seed_s row.packed_s row.parallel_s
+          (seed_s /. Float.max 1e-9 row.packed_s)
+          (seed_s /. Float.max 1e-9 row.parallel_s)
+          (if row_agree then "" else "  DISAGREE");
+        row)
+      (PM.standard_configs
+         ~faults:{ PM.losses = 1; dups = 1; unrestricted = false }
+         ~chaos:2 ~modifies:0 ())
+  in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let tm = total (fun r -> r.seed_s) in
+  let tp = total (fun r -> r.packed_s) in
+  let tq = total (fun r -> r.parallel_s) in
+  let states = List.fold_left (fun acc r -> acc + r.row_states) 0 rows in
+  let seed_states = List.fold_left (fun acc r -> acc + r.seed_states) 0 rows in
+  Format.printf "%-28s %8d %8d %9s | %7.2fs %7.2fs %7.2fs | %5.1fx %5.1fx@." "TOTAL"
+    seed_states states "" tm tp tq
+    (tm /. Float.max 1e-9 tp)
+    (tm /. Float.max 1e-9 tq);
+  Format.printf "@.states/sec: seed %.0f, packed %.0f, packed+parallel %.0f@."
+    (float_of_int seed_states /. Float.max 1e-9 tm)
+    (float_of_int states /. Float.max 1e-9 tp)
+    (float_of_int states /. Float.max 1e-9 tq);
+  Format.printf
+    "seed-st > states: the seed's Marshal intern keys are sharing-sensitive and split@.";
+  Format.printf
+    "structurally equal states (%.2fx inflation); the packed codec is canonical.@."
+    (float_of_int seed_states /. Float.max 1.0 (float_of_int states));
+  Format.printf "verdicts and jobs:1/jobs:%d counts: %s@." e10_jobs
+    (if List.for_all (fun r -> r.row_agree) rows then "agree on all 12 models"
+     else "DISAGREEMENT — engine bug");
+  if !json_mode then e10_write_json rows
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 
 let micro () =
@@ -580,13 +739,16 @@ let micro () =
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("micro", micro) ]
+    ("e8", e8); ("e9", e9); ("e10", e10); ("micro", micro) ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let names = List.filter (fun a -> a <> "--json") args in
+  json_mode := List.mem "--json" args;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with
+    | _ :: _ -> names
+    | [] -> List.map fst experiments
   in
   List.iter
     (fun name ->

@@ -1,0 +1,295 @@
+(* The model-checking pipeline exactly as the repository seed shipped it
+   (commit 13500c8): Marshal-keyed interning, a hashtable of successor
+   lists frozen into [(label * int) list array], list-based Tarjan SCC,
+   and temporal procedures that rebuild restricted successor arrays.
+   Transcribed verbatim so experiment E10 can measure the new engine
+   against the real before, not a flattering reconstruction.
+
+   Note one consequence measured by E10: [Marshal.to_string state []] is
+   sharing-sensitive, so structurally equal states can serialize to
+   different byte strings.  Interning never merges distinct states, but
+   it does split equal ones — the seed over-counted states (about 2x in
+   flowlink models) and explored the inflated space.  The packed codec
+   in [Path_model.pack] is canonical, which is why the new engine's
+   counts are smaller as well as faster to produce. *)
+
+open Mediactl_core
+module Path_model = Mediactl_mc.Path_model
+
+type graph = {
+  states : Path_model.state array;
+  succs : (Path_model.label * int) list array;
+  transition_count : int;
+  capped : bool;
+}
+
+let explore ?(max_states = 1_000_000) initial =
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let states : Path_model.state array ref = ref (Array.make 1024 initial) in
+  let succs_tbl : (int, (Path_model.label * int) list) Hashtbl.t = Hashtbl.create 4096 in
+  let count = ref 0 in
+  let transition_count = ref 0 in
+  let capped = ref false in
+  let ensure_capacity n =
+    if n >= Array.length !states then begin
+      let bigger = Array.make (2 * Array.length !states) (!states).(0) in
+      Array.blit !states 0 bigger 0 (Array.length !states);
+      states := bigger
+    end
+  in
+  let intern state =
+    let key = Marshal.to_string state [] in
+    match Hashtbl.find_opt ids key with
+    | Some id -> (id, false)
+    | None ->
+      let id = !count in
+      incr count;
+      ensure_capacity id;
+      (!states).(id) <- state;
+      Hashtbl.add ids key id;
+      (id, true)
+  in
+  let queue = Queue.create () in
+  let id0, _ = intern initial in
+  Queue.add id0 queue;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    if !count >= max_states then capped := true
+    else begin
+      let state = (!states).(id) in
+      let outgoing =
+        List.map
+          (fun (label, state') ->
+            let id', fresh = intern state' in
+            if fresh then Queue.add id' queue;
+            incr transition_count;
+            (label, id'))
+          (Path_model.successors state)
+      in
+      Hashtbl.replace succs_tbl id outgoing
+    end
+  done;
+  let n = !count in
+  let states = Array.sub !states 0 n in
+  let succs =
+    Array.init n (fun id ->
+        match Hashtbl.find_opt succs_tbl id with
+        | Some l -> l
+        | None -> [])
+  in
+  { states; succs; transition_count = !transition_count; capped = !capped }
+
+let deadlocks graph =
+  let result = ref [] in
+  Array.iteri (fun id outgoing -> if outgoing = [] then result := id :: !result) graph.succs;
+  List.rev !result
+
+(* ---- seed Scc ---- *)
+
+module Scc = struct
+  type t = { component : int array; cyclic : bool array }
+
+  let compute ~succs =
+    let n = Array.length succs in
+    let succs_arr = Array.map Array.of_list succs in
+    let index = Array.make n (-1) in
+    let lowlink = Array.make n 0 in
+    let on_stack = Array.make n false in
+    let stack = Stack.create () in
+    let component = Array.make n (-1) in
+    let comp_count = ref 0 in
+    let comp_sizes = ref [] in
+    let next_index = ref 0 in
+    let frames = Stack.create () in
+    for root = 0 to n - 1 do
+      if index.(root) = -1 then begin
+        Stack.push (root, 0) frames;
+        index.(root) <- !next_index;
+        lowlink.(root) <- !next_index;
+        incr next_index;
+        Stack.push root stack;
+        on_stack.(root) <- true;
+        while not (Stack.is_empty frames) do
+          let v, i = Stack.pop frames in
+          if i < Array.length succs_arr.(v) then begin
+            Stack.push (v, i + 1) frames;
+            let w = succs_arr.(v).(i) in
+            if index.(w) = -1 then begin
+              index.(w) <- !next_index;
+              lowlink.(w) <- !next_index;
+              incr next_index;
+              Stack.push w stack;
+              on_stack.(w) <- true;
+              Stack.push (w, 0) frames
+            end
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+          end
+          else begin
+            if lowlink.(v) = index.(v) then begin
+              let size = ref 0 in
+              let continue = ref true in
+              while !continue do
+                let w = Stack.pop stack in
+                on_stack.(w) <- false;
+                component.(w) <- !comp_count;
+                incr size;
+                if w = v then continue := false
+              done;
+              comp_sizes := !size :: !comp_sizes;
+              incr comp_count
+            end;
+            match Stack.top_opt frames with
+            | Some (parent, _) -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+            | None -> ()
+          end
+        done
+      end
+    done;
+    let count = !comp_count in
+    let sizes = Array.make count 0 in
+    List.iteri (fun i size -> sizes.(count - 1 - i) <- size) !comp_sizes;
+    let cyclic = Array.make count false in
+    Array.iteri (fun c size -> if size > 1 then cyclic.(c) <- true) sizes;
+    Array.iteri
+      (fun v outgoing ->
+        if Array.exists (fun w -> w = v) outgoing then cyclic.(component.(v)) <- true)
+      succs_arr;
+    { component; cyclic }
+
+  let on_cycle t v = t.cyclic.(t.component.(v))
+end
+
+(* ---- seed Temporal ---- *)
+
+module Temporal = struct
+  type verdict = Holds | Violated of { witness : int; reason : string }
+
+  let terminal succs id = succs.(id) = []
+
+  let find_terminal_violation ~succs ~ok =
+    let n = Array.length succs in
+    let rec search id =
+      if id >= n then None
+      else if terminal succs id && not (ok id) then Some id
+      else search (id + 1)
+    in
+    search 0
+
+  let eventually_always ~succs ~p =
+    match find_terminal_violation ~succs ~ok:p with
+    | Some id -> Violated { witness = id; reason = "terminal state violates p" }
+    | None ->
+      let scc = Scc.compute ~succs in
+      let n = Array.length succs in
+      let rec search id =
+        if id >= n then Holds
+        else if (not (p id)) && Scc.on_cycle scc id then
+          Violated { witness = id; reason = "a cycle visits a !p state infinitely often" }
+        else search (id + 1)
+      in
+      search 0
+
+  let restricted_cycle ~succs ~bad =
+    let n = Array.length succs in
+    let restricted =
+      Array.init n (fun id ->
+          if bad id then List.filter (fun id' -> bad id') succs.(id) else [])
+    in
+    let scc = Scc.compute ~succs:restricted in
+    let rec search id =
+      if id >= n then None
+      else if bad id && Scc.on_cycle scc id then Some id
+      else search (id + 1)
+    in
+    search 0
+
+  let always_eventually ~succs ~p =
+    match find_terminal_violation ~succs ~ok:p with
+    | Some id -> Violated { witness = id; reason = "terminal state violates p" }
+    | None -> (
+      match restricted_cycle ~succs ~bad:(fun id -> not (p id)) with
+      | Some id -> Violated { witness = id; reason = "a cycle avoids p forever" }
+      | None -> Holds)
+
+  let stabilize_or_recur ~succs ~stable ~recur =
+    match find_terminal_violation ~succs ~ok:(fun id -> stable id || recur id) with
+    | Some id ->
+      Violated { witness = id; reason = "terminal state is neither stable nor recurrent" }
+    | None -> (
+      let n = Array.length succs in
+      let bad id = not (recur id) in
+      let restricted =
+        Array.init n (fun id ->
+            if bad id then List.filter (fun id' -> bad id') succs.(id) else [])
+      in
+      let scc = Scc.compute ~succs:restricted in
+      let rec search id =
+        if id >= n then Holds
+        else if bad id && (not (stable id)) && Scc.on_cycle scc id then
+          Violated
+            { witness = id; reason = "a cycle avoids bothFlowing and leaves bothClosed" }
+        else search (id + 1)
+      in
+      search 0)
+
+  let check spec ~succs ~both_closed ~both_flowing =
+    match spec with
+    | Semantics.Eventually_always_closed -> eventually_always ~succs ~p:both_closed
+    | Semantics.Eventually_always_not_flowing ->
+      eventually_always ~succs ~p:(fun id -> not (both_flowing id))
+    | Semantics.Always_eventually_flowing -> always_eventually ~succs ~p:both_flowing
+    | Semantics.Closed_or_flowing ->
+      stabilize_or_recur ~succs ~stable:both_closed ~recur:both_flowing
+end
+
+(* ---- seed Check.run, minus report formatting ---- *)
+
+type result = {
+  states : int;
+  transitions : int;
+  terminals : int;
+  safety_ok : bool;
+  spec_ok : bool;
+  capped : bool;
+}
+
+let check_safety (graph : graph) =
+  let n = Array.length graph.states in
+  let rec scan id =
+    if id >= n then true
+    else
+      let state = graph.states.(id) in
+      match Path_model.error state with
+      | Some _ -> false
+      | None ->
+        if graph.succs.(id) = [] && not (Path_model.clean state) then false
+        else if graph.succs.(id) = [] && not (Path_model.all_settled state) then false
+        else scan (id + 1)
+  in
+  scan 0
+
+let run ?max_states (config : Path_model.config) =
+  let graph = explore ?max_states (Path_model.initial config) in
+  let spec = Path_model.spec config in
+  let succs = Array.map (List.map snd) graph.succs in
+  let safety_ok = if graph.capped then true else check_safety graph in
+  let lossy = config.Path_model.faults.Path_model.losses > 0 in
+  let flowing_pred = if lossy then Path_model.ends_flowing else Path_model.both_flowing in
+  let spec_ok =
+    if graph.capped then false
+    else
+      let both_closed id = Path_model.both_closed graph.states.(id) in
+      let both_flowing id = flowing_pred graph.states.(id) in
+      match Temporal.check spec ~succs ~both_closed ~both_flowing with
+      | Temporal.Holds -> true
+      | Temporal.Violated _ -> false
+  in
+  let terminals = List.length (deadlocks graph) in
+  {
+    states = Array.length graph.states;
+    transitions = graph.transition_count;
+    terminals;
+    safety_ok;
+    spec_ok;
+    capped = graph.capped;
+  }

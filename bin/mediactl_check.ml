@@ -57,13 +57,17 @@ let max_states =
   Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N"
          ~doc:"Exploration cap; results are inconclusive beyond it.")
 
-let run left right flowlinks chaos modifies max_states segment losses dups unrestricted =
+let jobs =
+  Arg.(value & opt int (Domain.recommended_domain_count ()) & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Exploration domains. The default is the recommended domain count of                this machine. Verdicts and counts are identical for every value;                only wall-clock time changes.")
+
+let run left right flowlinks chaos modifies max_states jobs segment losses dups unrestricted =
   let faults = { Path_model.losses; dups; unrestricted } in
   let reports =
     match left, right with
-    | _ when segment -> [ Check.run_segment ~max_states ~flowlinks ~chaos () ]
+    | _ when segment -> [ Check.run_segment ~max_states ~jobs ~flowlinks ~chaos () ]
     | Some l, Some r ->
-      [ Check.run ~max_states
+      [ Check.run ~max_states ~jobs
           {
             Path_model.left = l;
             right = r;
@@ -73,7 +77,7 @@ let run left right flowlinks chaos modifies max_states segment losses dups unres
             environment_ends = false;
             faults;
           } ]
-    | None, None -> Check.run_standard ~max_states ~faults ~chaos ~modifies ()
+    | None, None -> Check.run_standard ~max_states ~jobs ~faults ~chaos ~modifies ()
     | Some _, None | None, Some _ ->
       prerr_endline "specify both --left and --right, or neither (for the 12 standard models)";
       exit 2
@@ -97,7 +101,7 @@ let cmd =
   Cmd.v
     (Cmd.info "mediactl_check" ~doc)
     Term.(
-      const run $ left $ right $ flowlinks $ chaos $ modifies $ max_states $ segment $ losses
-      $ dups $ unrestricted)
+      const run $ left $ right $ flowlinks $ chaos $ modifies $ max_states $ jobs $ segment
+      $ losses $ dups $ unrestricted)
 
 let () = exit (Cmd.eval' cmd)

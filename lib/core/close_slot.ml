@@ -8,6 +8,8 @@ type outcome = { goal : t; slot : Slot.t; out : Signal.t list }
 let ( let* ) = Result.bind
 let slot_op r = Result.map_error Goal_error.of_slot r
 
+let v = ()
+
 let start slot =
   if Slot.is_live slot then
     let* slot, signal = slot_op (Slot.send_close slot) in

@@ -19,4 +19,8 @@ val start : Slot.t -> (outcome, Goal_error.t) result
 
 val on_signal : t -> Slot.t -> Signal.t -> (outcome, Goal_error.t) result
 
+val v : t
+(** The (stateless) goal object, for the model checker's packed state
+    codec. *)
+
 val pp : Format.formatter -> t -> unit

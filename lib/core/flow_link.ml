@@ -43,6 +43,20 @@ let set t side st =
 
 let up_to_date t side = (get t side).utd
 
+type side_view = { v_utd : bool; v_close_pending : bool; v_pending_sel : Selector.t option }
+
+let view t side =
+  let st = get t side in
+  { v_utd = st.utd; v_close_pending = st.close_pending; v_pending_sel = st.pending_sel }
+
+let of_views ?(filter_selectors = true) ~left ~right () =
+  let side_state v =
+    { utd = v.v_utd; close_pending = v.v_close_pending; pending_sel = v.v_pending_sel }
+  in
+  { left_st = side_state left; right_st = side_state right; filter_selectors }
+
+let filters_selectors t = t.filter_selectors
+
 (* A working view: goal flags, both slots, and accumulated emissions. *)
 type work_state = {
   goal : t;

@@ -59,4 +59,21 @@ val up_to_date : t -> side -> bool
 (** Whether this side has been sent the other side's current descriptor;
     exposed for tests and the model checker. *)
 
+(** The complete per-side bookkeeping of a flowlink, exposed so the model
+    checker's packed state codec ({!Mediactl_mc.Path_model}) can encode a
+    goal object and rebuild it bit-for-bit. *)
+type side_view = {
+  v_utd : bool;  (** this side has the other side's current descriptor *)
+  v_close_pending : bool;  (** a close received opposite awaits propagation *)
+  v_pending_sel : Selector.t option;  (** a selector waiting to be forwarded *)
+}
+
+val view : t -> side -> side_view
+
+val of_views : ?filter_selectors:bool -> left:side_view -> right:side_view -> unit -> t
+(** Rebuild a goal object from its persisted views — the inverse of
+    {!view}.  [filter_selectors] defaults to [true], matching {!start}. *)
+
+val filters_selectors : t -> bool
+
 val pp : Format.formatter -> t -> unit

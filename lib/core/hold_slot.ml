@@ -8,6 +8,7 @@ type outcome = { goal : t; slot : Slot.t; out : Signal.t list }
 let ( let* ) = Result.bind
 
 let local t = t.local
+let v local = { local }
 
 let start local slot =
   let t = { local } in

@@ -23,4 +23,9 @@ val on_signal : t -> Slot.t -> Signal.t -> (outcome, Goal_error.t) result
 val modify : t -> Slot.t -> Mute.t -> (outcome, Goal_error.t) result
 
 val local : t -> Local.t
+
+val v : Local.t -> t
+(** Rebuild a goal object from its persisted field without touching any
+    slot (the model checker's packed state codec). *)
+
 val pp : Format.formatter -> t -> unit

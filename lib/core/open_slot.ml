@@ -10,6 +10,7 @@ let slot_op r = Result.map_error Goal_error.of_slot r
 
 let local t = t.local
 let medium t = t.want
+let v local want = { local; want }
 
 let open_now t slot =
   let* slot, signal = slot_op (Slot.send_open slot t.want (Local.descriptor t.local)) in

@@ -42,4 +42,10 @@ val modify : t -> Slot.t -> Mute.t -> (outcome, Goal_error.t) result
 
 val local : t -> Local.t
 val medium : t -> Medium.t
+
+val v : Local.t -> Medium.t -> t
+(** Rebuild a goal object from its persisted fields without touching any
+    slot — the inverse of {!local}/{!medium}, used by the model
+    checker's packed state codec ({!Mediactl_mc.Path_model}). *)
+
 val pp : Format.formatter -> t -> unit

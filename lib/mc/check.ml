@@ -5,11 +5,12 @@ module E = Explorer.Make (struct
   type label = Path_model.label
 
   let successors = Path_model.successors
+  let pack = Path_model.pack
   let pp_label = Path_model.pp_label
   let pp_state = Path_model.pp_state
 end)
 
-type safety = Safe | Unsafe of string
+type safety = Safe | Unsafe of { witness : int; reason : string }
 
 type spec_result =
   | Spec_holds
@@ -39,24 +40,27 @@ let check_segment_safety graph =
     if id >= n then Safe
     else
       match Path_model.error graph.E.states.(id) with
-      | Some msg -> Unsafe (Printf.sprintf "state %d: %s" id msg)
+      | Some reason -> Unsafe { witness = id; reason }
       | None -> scan (id + 1)
   in
   scan 0
 
 let check_safety graph =
+  let csr = graph.E.csr in
   let n = Array.length graph.E.states in
   let rec scan id =
     if id >= n then Safe
     else
       let state = graph.E.states.(id) in
       match Path_model.error state with
-      | Some msg -> Unsafe (Printf.sprintf "state %d: %s" id msg)
+      | Some reason -> Unsafe { witness = id; reason }
       | None ->
-        if graph.E.succs.(id) = [] && not (Path_model.clean state) then
-          Unsafe (Printf.sprintf "state %d: terminal state with a half-open slot" id)
-        else if graph.E.succs.(id) = [] && not (Path_model.all_settled state) then
-          Unsafe (Printf.sprintf "state %d: terminal state inside a chaos phase" id)
+        if Csr.terminal csr id then
+          if not (Path_model.clean state) then
+            Unsafe { witness = id; reason = "terminal state with a half-open slot" }
+          else if not (Path_model.all_settled state) then
+            Unsafe { witness = id; reason = "terminal state inside a chaos phase" }
+          else scan (id + 1)
         else scan (id + 1)
   in
   scan 0
@@ -71,20 +75,10 @@ let trace_to graph witness =
                graph.E.states.(id))
            label)
 
-let witness_of_safety graph = function
-  | Safe -> None
-  | Unsafe msg -> (
-    (* The message starts with "state <id>: ...". *)
-    match String.split_on_char ' ' msg with
-    | _ :: id :: _ -> int_of_string_opt (String.sub id 0 (String.length id - 1))
-    | _ -> None)
-  |> fun o -> Option.map (trace_to graph) o
-
-let run ?max_states config =
+let run ?max_states ?jobs config =
   let t0 = Unix.gettimeofday () in
-  let graph = E.explore ?max_states (Path_model.initial config) in
+  let graph = E.explore ?max_states ?jobs (Path_model.initial config) in
   let spec = Path_model.spec config in
-  let succs = Array.map (List.map snd) graph.E.succs in
   let safety =
     if graph.E.capped then Safe
     else if config.Path_model.environment_ends then check_segment_safety graph
@@ -99,42 +93,34 @@ let run ?max_states config =
   let flowing_pred =
     if lossy then Path_model.ends_flowing else Path_model.both_flowing
   in
-  let spec_result =
-    if graph.E.capped then Inconclusive "state space capped"
-    else if config.Path_model.environment_ends then Spec_holds
+  let spec_result, spec_witness =
+    if graph.E.capped then (Inconclusive "state space capped", None)
+    else if config.Path_model.environment_ends then (Spec_holds, None)
       (* segment mode: only the safety lemma is meaningful — path
          specifications quantify over goal-controlled ends *)
     else
       let both_closed id = Path_model.both_closed graph.E.states.(id) in
       let both_flowing id = flowing_pred graph.E.states.(id) in
-      match Temporal.check spec ~succs ~both_closed ~both_flowing with
-      | Temporal.Holds -> Spec_holds
+      match Temporal.check spec graph.E.csr ~both_closed ~both_flowing with
+      | Temporal.Holds -> (Spec_holds, None)
       | Temporal.Violated { witness; reason } ->
-        Spec_violated
-          (Format.asprintf "%s; witness %d: %a" reason witness Path_model.pp_state
-             graph.E.states.(witness))
+        ( Spec_violated
+            (Format.asprintf "%s; witness %d: %a" reason witness Path_model.pp_state
+               graph.E.states.(witness)),
+          Some witness )
   in
-  let terminals = List.length (E.deadlocks graph) in
   let counterexample =
-    match witness_of_safety graph safety with
-    | Some trace -> trace
-    | None -> (
-      match spec_result with
-      | Spec_violated _ -> (
-        (* Re-run the temporal check just to recover the witness id. *)
-        let both_closed id = Path_model.both_closed graph.E.states.(id) in
-        let both_flowing id = flowing_pred graph.E.states.(id) in
-        match Temporal.check spec ~succs ~both_closed ~both_flowing with
-        | Temporal.Violated { witness; _ } -> trace_to graph witness
-        | Temporal.Holds -> [])
-      | Spec_holds | Inconclusive _ -> [])
+    match safety, spec_witness with
+    | Unsafe { witness; _ }, _ -> trace_to graph witness
+    | Safe, Some witness -> trace_to graph witness
+    | Safe, None -> []
   in
   {
     config;
     spec;
     states = Array.length graph.E.states;
     transitions = graph.E.transition_count;
-    terminals;
+    terminals = Csr.terminal_count graph.E.csr;
     time_s = Unix.gettimeofday () -. t0;
     capped = graph.E.capped;
     safety;
@@ -151,7 +137,7 @@ let pp_report ppf r =
   let safety =
     match r.safety with
     | Safe -> "safe"
-    | Unsafe msg -> "UNSAFE: " ^ msg
+    | Unsafe { witness; reason } -> Printf.sprintf "UNSAFE: state %d: %s" witness reason
   in
   let spec_result =
     match r.spec_result with
@@ -170,11 +156,11 @@ let pp_report ppf r =
       (Semantics.spec_to_string r.spec)
       spec_result
 
-let run_standard ?max_states ?faults ~chaos ~modifies () =
-  List.map (run ?max_states) (Path_model.standard_configs ?faults ~chaos ~modifies ())
+let run_standard ?max_states ?jobs ?faults ~chaos ~modifies () =
+  List.map (run ?max_states ?jobs) (Path_model.standard_configs ?faults ~chaos ~modifies ())
 
-let run_segment ?max_states ~flowlinks ~chaos () =
-  run ?max_states
+let run_segment ?max_states ?jobs ~flowlinks ~chaos () =
+  run ?max_states ?jobs
     {
       Path_model.left = Mediactl_core.Semantics.Hold_end;  (* unused in env mode *)
       right = Mediactl_core.Semantics.Hold_end;

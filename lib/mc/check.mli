@@ -5,7 +5,10 @@
 
 open Mediactl_core
 
-type safety = Safe | Unsafe of string
+(** A safety verdict carries its witness state id structurally, so
+    counterexample extraction never re-parses a message or re-runs a
+    check. *)
+type safety = Safe | Unsafe of { witness : int; reason : string }
 
 type spec_result =
   | Spec_holds
@@ -27,7 +30,11 @@ type report = {
           empty when safety and the specification both hold *)
 }
 
-val run : ?max_states:int -> Path_model.config -> report
+val run : ?max_states:int -> ?jobs:int -> Path_model.config -> report
+(** [jobs] (default 1) is the number of exploration domains; see
+    {!Explorer.S.explore}.  The verdicts and counts are identical for
+    every [jobs] value, except on a capped run, whose partial graph
+    depends on where exploration stopped. *)
 
 val passed : report -> bool
 (** Safety holds and the specification holds. *)
@@ -38,7 +45,13 @@ val pp_counterexample : Format.formatter -> report -> unit
 (** Render the counterexample trace, one labelled step per line. *)
 
 val run_standard :
-  ?max_states:int -> ?faults:Path_model.faults -> chaos:int -> modifies:int -> unit -> report list
+  ?max_states:int ->
+  ?jobs:int ->
+  ?faults:Path_model.faults ->
+  chaos:int ->
+  modifies:int ->
+  unit ->
+  report list
 (** Check all 12 standard models, optionally under a network-fault
     budget.  The full obligations — safety and the temporal
     specification — stay in force under faults: with the default
@@ -46,7 +59,7 @@ val run_standard :
     signals must change nothing the checks can observe (the paper's
     section VI claim, mechanised). *)
 
-val run_segment : ?max_states:int -> flowlinks:int -> chaos:int -> unit -> report
+val run_segment : ?max_states:int -> ?jobs:int -> flowlinks:int -> chaos:int -> unit -> report
 (** The segment lemma of paper section VIII-B: a contiguous piece of a
     signaling path — [flowlinks] interior flowlinks with arbitrary
     protocol-legal environments at the cut points — is free of protocol

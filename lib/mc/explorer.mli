@@ -1,9 +1,19 @@
 (** Explicit-state exploration of a finite transition system.
 
-    The states must be pure data: the explorer canonicalizes them with
-    structural equality and hashing, exactly as Spin does for Promela
-    state vectors (paper section VIII-A).  Exploration is breadth-first
-    so that witness states found by the temporal checks are shallow. *)
+    States are canonicalized by an injective string encoding supplied by
+    the system ({!SYSTEM.pack}), exactly as Spin interns Promela state
+    vectors (paper section VIII-A).  Exploration is breadth-first so
+    that witness states found by the temporal checks are shallow.
+
+    [explore ~jobs:n] with [n > 1] runs a multicore breadth-first
+    search: [n] domains own disjoint hash-partitions of the intern
+    table and exchange frontier batches through per-pair mailboxes.
+    The resulting graph is isomorphic to the sequential one — state
+    count, transition count, terminal set, and every temporal verdict
+    are identical; only the state numbering may differ.  (The lone
+    exception is a capped run: hitting [max_states] stops a parallel
+    exploration at a level boundary, so a {e partial} graph may differ
+    from the sequential partial graph.) *)
 
 module type SYSTEM = sig
   type state
@@ -13,6 +23,22 @@ module type SYSTEM = sig
   (** All transitions enabled in a state.  An empty list means the state
       is terminal: infinite runs stutter there. *)
 
+  val pack : state -> string
+  (** A canonical encoding of the state, used as its intern key: two
+      states must be structurally equal iff their packed strings are
+      equal.  Systems with small per-slot state machines should bit-pack
+      them into a compact fixed-width string — interning then hashes a
+      few dozen bytes and allocates nothing else.  Systems without a
+      compact encoder can fall back to [fun s -> Marshal.to_string s []],
+      but beware that Marshal is only injective, not canonical: its
+      output is sensitive to sharing inside the value, so structurally
+      equal states built along different paths can serialize to
+      different bytes.  The explorer then never merges distinct states,
+      but it may split equal ones — verdicts stay sound while state
+      counts (and exploration time) inflate.  This repository's seed
+      had exactly that defect: experiment E10 measures 1.71x state
+      inflation from Marshal keys on the standard sweep. *)
+
   val pp_label : Format.formatter -> label -> unit
   val pp_state : Format.formatter -> state -> unit
 end
@@ -20,14 +46,24 @@ end
 module Make (S : SYSTEM) : sig
   type graph = {
     states : S.state array;  (** index = state id; id 0 is the initial state *)
-    succs : (S.label * int) list array;
+    csr : Csr.t;  (** successor structure, frozen to compressed sparse row *)
+    labels : S.label array;
+        (** [labels.(k)] labels the transition stored at edge slot [k] of
+            [csr.dst] *)
     transition_count : int;
     capped : bool;  (** true when [max_states] was hit — results are partial *)
   }
 
-  val explore : ?max_states:int -> S.state -> graph
+  val explore : ?max_states:int -> ?jobs:int -> S.state -> graph
   (** Breadth-first reachability from the given initial state.  Default
-      [max_states] is 1_000_000. *)
+      [max_states] is 1_000_000; default [jobs] is 1 (sequential).
+      [jobs > 1] explores with that many domains (see module
+      description for the isomorphism guarantee). *)
+
+  val succs : graph -> int -> (S.label * int) list
+  (** The outgoing transitions of one state, materialized as a list
+      (convenience for tests and trace printing; the checking passes use
+      [graph.csr] directly). *)
 
   val deadlocks : graph -> int list
   (** Ids of states with no successors. *)

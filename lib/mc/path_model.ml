@@ -554,6 +554,366 @@ let successors s =
     deliveries @ fault_moves @ end_moves L @ end_moves R
     @ List.concat (List.init (List.length s.links) link_moves)
 
+(* ------------------------------------------------------------------ *)
+(* Packed state codec                                                  *)
+
+(* [pack] encodes a state as a compact byte string, injectively over the
+   states of any one configuration; [unpack] inverts it given that
+   configuration.  Everything derivable from the configuration — slot
+   labels and roles, the endpoints' media faces, the flowlink locals,
+   the [unrestricted] flag — is omitted.  The codec exists so the
+   explorer can intern states under short keys instead of [Marshal]
+   blobs; see {!Mediactl_mc.Explorer.SYSTEM}.
+
+   Provenance facts the encoding relies on (exercised by the qcheck
+   round-trip property in the test suite):
+   - every descriptor in flight or cached is [Local.descriptor] of a
+     per-position local, so it is determined by its owner, its version,
+     and whether it offers media;
+   - every selector is [Local.selector_for] of one of those locals, so
+     its sender address is one of three known addresses;
+   - an endpoint's [local] field never changes — only the goal object's
+     embedded copy accumulates mute/version updates. *)
+
+(* [Char.chr] raises on anything outside one byte, so a budget or
+   version outgrowing the codec fails loudly instead of colliding. *)
+let byte b n = Buffer.add_char b (Char.chr n)
+
+let addr_l = (endpoint_local true).Local.addr
+let addr_r = (endpoint_local false).Local.addr
+let addr_srv = (Local.server ~owner:"FL0").Local.addr
+
+let owner_code owner =
+  match owner with
+  | "L" -> 0
+  | "R" -> 1
+  | _ ->
+    let fl =
+      if String.length owner > 2 && String.sub owner 0 2 = "FL" then
+        int_of_string_opt (String.sub owner 2 (String.length owner - 2))
+      else None
+    in
+    (match fl with
+    | Some j -> 2 + j
+    | None -> invalid_arg ("Path_model.pack: unknown owner " ^ owner))
+
+let base_local_of_code = function
+  | 0 -> endpoint_local true
+  | 1 -> endpoint_local false
+  | c -> Local.server ~owner:(Printf.sprintf "FL%d" (c - 2))
+
+let addr_code a =
+  if Address.equal a addr_l then 0
+  else if Address.equal a addr_r then 1
+  else if Address.equal a addr_srv then 2
+  else invalid_arg "Path_model.pack: unknown sender address"
+
+let addr_of_code = function
+  | 0 -> addr_l
+  | 1 -> addr_r
+  | _ -> addr_srv
+
+let medium_code = function
+  | Medium.Audio -> 0
+  | Medium.Video -> 1
+  | Medium.Text -> 2
+  | Medium.Audio_video -> 3
+
+let medium_of_code = function
+  | 0 -> Medium.Audio
+  | 1 -> Medium.Video
+  | 2 -> Medium.Text
+  | _ -> Medium.Audio_video
+
+let codec_code c =
+  let rec idx i = function
+    | [] -> invalid_arg "Path_model.pack: unknown codec"
+    | c' :: rest -> if Codec.equal c c' then i else idx (i + 1) rest
+  in
+  idx 0 Codec.all
+
+let codec_of_code i = List.nth Codec.all i
+
+let mute_code (m : Mute.t) =
+  (if m.Mute.mute_in then 1 else 0) lor if m.Mute.mute_out then 2 else 0
+
+let mute_of_code c = { Mute.mute_in = c land 1 <> 0; mute_out = c land 2 <> 0 }
+
+let put_desc b (d : Descriptor.t) =
+  byte b ((owner_code d.Descriptor.owner * 2) lor (if Descriptor.offers_media d then 1 else 0));
+  byte b d.Descriptor.version
+
+let put_sel b (s : Selector.t) =
+  let r_owner, r_version = s.Selector.responds_to in
+  byte b (addr_code s.Selector.sender);
+  byte b (owner_code r_owner);
+  byte b r_version;
+  byte b
+    (match s.Selector.choice with
+    | Selector.No_media -> 0
+    | Selector.Chosen c -> 1 + codec_code c)
+
+type reader = { buf : string; mutable pos : int }
+
+let rd r =
+  let c = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_desc r =
+  let tag = rd r in
+  let version = rd r in
+  let base = base_local_of_code (tag lsr 1) in
+  if tag land 1 = 1 then
+    Descriptor.make ~owner:base.Local.owner ~version base.Local.addr base.Local.codecs
+  else Descriptor.no_media ~owner:base.Local.owner ~version base.Local.addr
+
+let get_sel r =
+  let sender = addr_of_code (rd r) in
+  let r_owner = (base_local_of_code (rd r)).Local.owner in
+  let r_version = rd r in
+  let choice =
+    match rd r with
+    | 0 -> Selector.No_media
+    | n -> Selector.Chosen (codec_of_code (n - 1))
+  in
+  Selector.make ~responds_to:(r_owner, r_version) ~sender choice
+
+let put_signal b = function
+  | Signal.Open (m, d) ->
+    byte b 0;
+    byte b (medium_code m);
+    put_desc b d
+  | Signal.Oack d ->
+    byte b 1;
+    put_desc b d
+  | Signal.Close -> byte b 2
+  | Signal.Closeack -> byte b 3
+  | Signal.Describe d ->
+    byte b 4;
+    put_desc b d
+  | Signal.Select s ->
+    byte b 5;
+    put_sel b s
+
+let get_signal r =
+  match rd r with
+  | 0 ->
+    let m = medium_of_code (rd r) in
+    Signal.Open (m, get_desc r)
+  | 1 -> Signal.Oack (get_desc r)
+  | 2 -> Signal.Close
+  | 3 -> Signal.Closeack
+  | 4 -> Signal.Describe (get_desc r)
+  | _ -> Signal.Select (get_sel r)
+
+let slot_state_code = function
+  | Slot_state.Closed -> 0
+  | Slot_state.Opening -> 1
+  | Slot_state.Opened -> 2
+  | Slot_state.Flowing -> 3
+  | Slot_state.Closing -> 4
+
+let slot_state_of_code = function
+  | 0 -> Slot_state.Closed
+  | 1 -> Slot_state.Opening
+  | 2 -> Slot_state.Opened
+  | 3 -> Slot_state.Flowing
+  | _ -> Slot_state.Closing
+
+let put_opt b put = function
+  | None -> ()
+  | Some x -> put b x
+
+let put_slot b (slot : Slot.t) =
+  byte b
+    (slot_state_code slot.Slot.state
+    lor match slot.Slot.medium with None -> 0 | Some m -> (1 + medium_code m) lsl 3);
+  let bit i = function None -> 0 | Some _ -> 1 lsl i in
+  byte b
+    (bit 0 slot.Slot.remote_desc lor bit 1 slot.Slot.sent_desc lor bit 2 slot.Slot.recv_sel
+    lor bit 3 slot.Slot.sent_sel);
+  put_opt b put_desc slot.Slot.remote_desc;
+  put_opt b put_desc slot.Slot.sent_desc;
+  put_opt b put_sel slot.Slot.recv_sel;
+  put_opt b put_sel slot.Slot.sent_sel
+
+let get_slot r ~label ~role =
+  let tag = rd r in
+  let state = slot_state_of_code (tag land 7) in
+  let medium = match tag lsr 3 with 0 -> None | m -> Some (medium_of_code (m - 1)) in
+  let mask = rd r in
+  let remote_desc = if mask land 1 <> 0 then Some (get_desc r) else None in
+  let sent_desc = if mask land 2 <> 0 then Some (get_desc r) else None in
+  let recv_sel = if mask land 4 <> 0 then Some (get_sel r) else None in
+  let sent_sel = if mask land 8 <> 0 then Some (get_sel r) else None in
+  { Slot.label; role; state; medium; remote_desc; sent_desc; recv_sel; sent_sel }
+
+(* A goal object's local differs from the position's base local only in
+   its mute flags and version. *)
+let put_goal_local b (l : Local.t) =
+  byte b (mute_code l.Local.mute);
+  byte b l.Local.version
+
+let get_goal_local r base =
+  let mute = mute_of_code (rd r) in
+  let version = rd r in
+  { base with Local.mute; version }
+
+let put_phase b = function
+  | Chaos n ->
+    byte b 0;
+    byte b n
+  | Goal_open g ->
+    byte b 1;
+    byte b (medium_code (Open_slot.medium g));
+    put_goal_local b (Open_slot.local g)
+  | Goal_close _ -> byte b 2
+  | Goal_hold g ->
+    byte b 3;
+    put_goal_local b (Hold_slot.local g)
+
+let get_phase r base =
+  match rd r with
+  | 0 -> Chaos (rd r)
+  | 1 ->
+    let m = medium_of_code (rd r) in
+    Goal_open (Open_slot.v (get_goal_local r base) m)
+  | 2 -> Goal_close Close_slot.v
+  | _ -> Goal_hold (Hold_slot.v (get_goal_local r base))
+
+let put_endpoint b e =
+  put_phase b e.phase;
+  byte b e.modifies_left;
+  put_slot b e.slot
+
+let get_endpoint r (c : config) which =
+  let base = endpoint_local (which = L) in
+  let phase = get_phase r base in
+  let modifies_left = rd r in
+  let label, role, kind =
+    match which with
+    | L -> ("L", Slot.Channel_initiator, c.left)
+    | R -> ("R", Slot.Channel_acceptor, c.right)
+  in
+  let slot = get_slot r ~label ~role in
+  { phase; slot; local = base; kind; modifies_left; environment = c.environment_ends }
+
+let put_side_view b (v : Flow_link.side_view) =
+  byte b
+    ((if v.Flow_link.v_utd then 1 else 0)
+    lor (if v.Flow_link.v_close_pending then 2 else 0)
+    lor match v.Flow_link.v_pending_sel with None -> 0 | Some _ -> 4);
+  match v.Flow_link.v_pending_sel with None -> () | Some s -> put_sel b s
+
+let get_side_view r =
+  let tag = rd r in
+  let v_pending_sel = if tag land 4 <> 0 then Some (get_sel r) else None in
+  { Flow_link.v_utd = tag land 1 <> 0; v_close_pending = tag land 2 <> 0; v_pending_sel }
+
+let put_link b l =
+  (match l.lphase with
+  | L_chaos n ->
+    byte b 0;
+    byte b n
+  | L_goal fl ->
+    byte b (if Flow_link.filters_selectors fl then 1 else 2);
+    put_side_view b (Flow_link.view fl Flow_link.Left);
+    put_side_view b (Flow_link.view fl Flow_link.Right));
+  put_slot b l.lslot;
+  put_slot b l.rslot
+
+let get_link r j =
+  let lphase =
+    match rd r with
+    | 0 -> L_chaos (rd r)
+    | tag ->
+      let left = get_side_view r in
+      let right = get_side_view r in
+      L_goal (Flow_link.of_views ~filter_selectors:(tag = 1) ~left ~right ())
+  in
+  let lslot = get_slot r ~label:(Printf.sprintf "fl%d.l" j) ~role:Slot.Channel_acceptor in
+  let rslot = get_slot r ~label:(Printf.sprintf "fl%d.r" j) ~role:Slot.Channel_initiator in
+  { lphase; lslot; rslot; llocal = Local.server ~owner:(Printf.sprintf "FL%d" j) }
+
+let put_tunnel b q =
+  let put_dir signals =
+    byte b (List.length signals);
+    List.iter (put_signal b) signals
+  in
+  put_dir (Tunnel.pending ~toward:Tunnel.B q);
+  put_dir (Tunnel.pending ~toward:Tunnel.A q)
+
+let get_tunnel r =
+  let get_dir from q =
+    let n = rd r in
+    let rec go q i =
+      if i = 0 then q
+      else
+        let s = get_signal r in
+        go (Tunnel.send ~from s q) (i - 1)
+    in
+    go q n
+  in
+  let q = get_dir Tunnel.A Tunnel.empty in
+  get_dir Tunnel.B q
+
+(* One scratch buffer per domain: [pack] runs millions of times per
+   exploration, and a fresh [Buffer.create] each call would double the
+   minor-heap traffic of the intern hot path.  Domain-local storage
+   keeps the reuse safe under parallel exploration. *)
+let pack_buf = Domain.DLS.new_key (fun () -> Buffer.create 256)
+
+let pack s =
+  let b = Domain.DLS.get pack_buf in
+  Buffer.clear b;
+  put_endpoint b s.left;
+  List.iter (put_link b) s.links;
+  List.iter (put_tunnel b) s.tuns;
+  put_endpoint b s.right;
+  (match s.err with
+  | None -> byte b 0
+  | Some msg ->
+    byte b 1;
+    let n = String.length msg in
+    byte b (n land 0xff);
+    byte b (n lsr 8);
+    Buffer.add_string b msg);
+  byte b s.losses_left;
+  byte b s.dups_left;
+  Buffer.contents b
+
+(* Explicit recursion rather than [List.init]: the reads must happen in
+   position order, and [List.init] does not specify one. *)
+let rec read_list j n f =
+  if j = n then []
+  else
+    let x = f j in
+    x :: read_list (j + 1) n f
+
+let unpack (c : config) str =
+  let r = { buf = str; pos = 0 } in
+  let left = get_endpoint r c L in
+  let links = read_list 0 c.flowlinks (fun j -> get_link r j) in
+  let tuns = read_list 0 (c.flowlinks + 1) (fun _ -> get_tunnel r) in
+  let right = get_endpoint r c R in
+  let err =
+    match rd r with
+    | 0 -> None
+    | _ ->
+      let lo = rd r in
+      let hi = rd r in
+      let n = lo lor (hi lsl 8) in
+      let msg = String.sub r.buf r.pos n in
+      r.pos <- r.pos + n;
+      Some msg
+  in
+  let losses_left = rd r in
+  let dups_left = rd r in
+  { left; links; tuns; right; err; losses_left; dups_left; unrestricted = c.faults.unrestricted }
+
+let equal_state (a : state) (b : state) = a = b
+
 let standard_configs ?(faults = no_faults) ~chaos ~modifies () =
   let kinds = [ Semantics.Open_end; Semantics.Close_end; Semantics.Hold_end ] in
   let pairs =

@@ -95,6 +95,24 @@ val pp_state : Format.formatter -> state -> unit
 
 val successors : state -> (label * state) list
 
+val pack : state -> string
+(** A compact byte encoding of a state, canonical over the reachable
+    states of any one configuration: structurally equal states always
+    produce equal keys (which [Marshal.to_string], being
+    sharing-sensitive, does not guarantee — see
+    {!Mediactl_mc.Explorer.SYSTEM}).  Everything derivable from the
+    configuration (slot labels and roles, endpoint media faces, flowlink
+    locals, the [unrestricted] flag) is omitted, so keys are tens of
+    bytes where a [Marshal] snapshot is hundreds.  The explorer interns
+    states under these keys. *)
+
+val unpack : config -> string -> state
+(** [unpack c (pack s)] rebuilds [s] exactly, for any state [s] of
+    configuration [c]. *)
+
+val equal_state : state -> state -> bool
+(** Structural equality, for the codec round-trip tests. *)
+
 val standard_configs : ?faults:faults -> chaos:int -> modifies:int -> unit -> config list
 (** The paper's 12 models: all six endpoint-goal combinations, with zero
     and one flowlink.  Default [faults] is {!no_faults} (the paper's

@@ -1,10 +1,12 @@
 type t = { component : int array; count : int; cyclic : bool array }
 
-(* Iterative Tarjan: an explicit stack of (vertex, next-successor-index)
-   frames avoids overflowing the OCaml stack on million-state graphs. *)
-let compute ~succs =
-  let n = Array.length succs in
-  let succs_arr = Array.map Array.of_list succs in
+(* Iterative Tarjan: an explicit stack of (vertex, next-edge-index)
+   frames avoids overflowing the OCaml stack on million-state graphs.
+   The graph arrives in CSR form, so the inner loop walks a flat int
+   array instead of chasing list cells. *)
+let compute (g : Csr.t) =
+  let n = Csr.n g in
+  let row = g.Csr.row and dst = g.Csr.dst in
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
@@ -16,24 +18,24 @@ let compute ~succs =
   let frames = Stack.create () in
   for root = 0 to n - 1 do
     if index.(root) = -1 then begin
-      Stack.push (root, 0) frames;
+      Stack.push (root, row.(root)) frames;
       index.(root) <- !next_index;
       lowlink.(root) <- !next_index;
       incr next_index;
       Stack.push root stack;
       on_stack.(root) <- true;
       while not (Stack.is_empty frames) do
-        let v, i = Stack.pop frames in
-        if i < Array.length succs_arr.(v) then begin
-          Stack.push (v, i + 1) frames;
-          let w = succs_arr.(v).(i) in
+        let v, k = Stack.pop frames in
+        if k < row.(v + 1) then begin
+          Stack.push (v, k + 1) frames;
+          let w = dst.(k) in
           if index.(w) = -1 then begin
             index.(w) <- !next_index;
             lowlink.(w) <- !next_index;
             incr next_index;
             Stack.push w stack;
             on_stack.(w) <- true;
-            Stack.push (w, 0) frames
+            Stack.push (w, row.(w)) frames
           end
           else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
         end
@@ -61,17 +63,16 @@ let compute ~succs =
     end
   done;
   let count = !comp_count in
-  let sizes = Array.make count 0 in
-  List.iteri
-    (fun i size -> sizes.(count - 1 - i) <- size)
-    !comp_sizes;
   let cyclic = Array.make count false in
-  Array.iteri (fun c size -> if size > 1 then cyclic.(c) <- true) sizes;
+  List.iteri
+    (fun i size -> if size > 1 then cyclic.(count - 1 - i) <- true)
+    !comp_sizes;
   (* Self-loops make even singleton components cyclic. *)
-  Array.iteri
-    (fun v outgoing ->
-      if Array.exists (fun w -> w = v) outgoing then cyclic.(component.(v)) <- true)
-    succs_arr;
+  for v = 0 to n - 1 do
+    for k = row.(v) to row.(v + 1) - 1 do
+      if dst.(k) = v then cyclic.(component.(v)) <- true
+    done
+  done;
   { component; count; cyclic }
 
 let on_cycle t v = t.cyclic.(t.component.(v))

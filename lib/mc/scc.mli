@@ -1,7 +1,8 @@
 (** Strongly connected components via an iterative Tarjan algorithm.
 
     Used by the temporal checks: a state lies on a cycle exactly when it
-    belongs to a non-trivial SCC or carries a self-loop. *)
+    belongs to a non-trivial SCC or carries a self-loop.  Operates
+    directly on the explorer's frozen {!Csr} adjacency. *)
 
 type t = {
   component : int array;  (** component id per state *)
@@ -11,7 +12,7 @@ type t = {
           self-loop) *)
 }
 
-val compute : succs:int list array -> t
+val compute : Csr.t -> t
 
 val on_cycle : t -> int -> bool
 (** [on_cycle t v] is true when state [v] lies on some cycle. *)

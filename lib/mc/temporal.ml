@@ -5,23 +5,21 @@ let pp_verdict ppf = function
   | Violated { witness; reason } ->
     Format.fprintf ppf "violated (%s; witness state %d)" reason witness
 
-let terminal succs id = succs.(id) = []
-
-let find_terminal_violation ~succs ~ok =
-  let n = Array.length succs in
+let find_terminal_violation g ~ok =
+  let n = Csr.n g in
   let rec search id =
     if id >= n then None
-    else if terminal succs id && not (ok id) then Some id
+    else if Csr.terminal g id && not (ok id) then Some id
     else search (id + 1)
   in
   search 0
 
-let eventually_always ~succs ~p =
-  match find_terminal_violation ~succs ~ok:p with
+let eventually_always g ~p =
+  match find_terminal_violation g ~ok:p with
   | Some id -> Violated { witness = id; reason = "terminal state violates p" }
   | None ->
-    let scc = Scc.compute ~succs in
-    let n = Array.length succs in
+    let scc = Scc.compute g in
+    let n = Csr.n g in
     let rec search id =
       if id >= n then Holds
       else if (not (p id)) && Scc.on_cycle scc id then
@@ -32,14 +30,11 @@ let eventually_always ~succs ~p =
 
 (* A cycle that stays inside the [bad] set exists iff the subgraph
    induced by [bad] has a cycle.  We compute SCCs of the restricted
-   graph by filtering edges. *)
-let restricted_cycle ~succs ~bad =
-  let n = Array.length succs in
-  let restricted =
-    Array.init n (fun id ->
-        if bad id then List.filter (fun id' -> bad id') succs.(id) else [])
-  in
-  let scc = Scc.compute ~succs:restricted in
+   CSR graph. *)
+let restricted_cycle g ~bad =
+  let restricted = Csr.restrict g ~keep:bad in
+  let scc = Scc.compute restricted in
+  let n = Csr.n g in
   let rec search id =
     if id >= n then None
     else if bad id && Scc.on_cycle scc id then Some id
@@ -47,28 +42,25 @@ let restricted_cycle ~succs ~bad =
   in
   search 0
 
-let always_eventually ~succs ~p =
-  match find_terminal_violation ~succs ~ok:p with
+let always_eventually g ~p =
+  match find_terminal_violation g ~ok:p with
   | Some id -> Violated { witness = id; reason = "terminal state violates p" }
   | None -> (
-    match restricted_cycle ~succs ~bad:(fun id -> not (p id)) with
+    match restricted_cycle g ~bad:(fun id -> not (p id)) with
     | Some id -> Violated { witness = id; reason = "a cycle avoids p forever" }
     | None -> Holds)
 
-let stabilize_or_recur ~succs ~stable ~recur =
-  match find_terminal_violation ~succs ~ok:(fun id -> stable id || recur id) with
+let stabilize_or_recur g ~stable ~recur =
+  match find_terminal_violation g ~ok:(fun id -> stable id || recur id) with
   | Some id -> Violated { witness = id; reason = "terminal state is neither stable nor recurrent" }
   | None -> (
     (* A violating run must avoid [recur] forever while leaving [stable]
        infinitely often: a cycle inside !recur containing a !stable
        state. *)
-    let n = Array.length succs in
     let bad id = not (recur id) in
-    let restricted =
-      Array.init n (fun id ->
-          if bad id then List.filter (fun id' -> bad id') succs.(id) else [])
-    in
-    let scc = Scc.compute ~succs:restricted in
+    let restricted = Csr.restrict g ~keep:bad in
+    let scc = Scc.compute restricted in
+    let n = Csr.n g in
     let rec search id =
       if id >= n then Holds
       else if bad id && (not (stable id)) && Scc.on_cycle scc id then
@@ -80,13 +72,13 @@ let stabilize_or_recur ~succs ~stable ~recur =
     in
     search 0)
 
-let check spec ~succs ~both_closed ~both_flowing =
+let check spec g ~both_closed ~both_flowing =
   match spec with
   | Mediactl_core.Semantics.Eventually_always_closed ->
-    eventually_always ~succs ~p:both_closed
+    eventually_always g ~p:both_closed
   | Mediactl_core.Semantics.Eventually_always_not_flowing ->
-    eventually_always ~succs ~p:(fun id -> not (both_flowing id))
+    eventually_always g ~p:(fun id -> not (both_flowing id))
   | Mediactl_core.Semantics.Always_eventually_flowing ->
-    always_eventually ~succs ~p:both_flowing
+    always_eventually g ~p:both_flowing
   | Mediactl_core.Semantics.Closed_or_flowing ->
-    stabilize_or_recur ~succs ~stable:both_closed ~recur:both_flowing
+    stabilize_or_recur g ~stable:both_closed ~recur:both_flowing

@@ -14,7 +14,11 @@
        [p] and [q].}}
 
     A terminal state (no successors) is treated as stuttering forever, the
-    usual convention for finite maximal runs. *)
+    usual convention for finite maximal runs.
+
+    All procedures consume the explorer's frozen {!Csr} adjacency
+    directly: flat int-array scans, no per-state lists and no copies of
+    the successor structure. *)
 
 type verdict =
   | Holds
@@ -24,19 +28,19 @@ type verdict =
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
-val eventually_always : succs:int list array -> p:(int -> bool) -> verdict
+val eventually_always : Csr.t -> p:(int -> bool) -> verdict
 (** [◇□ p] over all runs from state 0. *)
 
-val always_eventually : succs:int list array -> p:(int -> bool) -> verdict
+val always_eventually : Csr.t -> p:(int -> bool) -> verdict
 (** [□◇ p]. *)
 
 val stabilize_or_recur :
-  succs:int list array -> stable:(int -> bool) -> recur:(int -> bool) -> verdict
+  Csr.t -> stable:(int -> bool) -> recur:(int -> bool) -> verdict
 (** [(◇□ stable) ∨ (□◇ recur)], the hold/hold disjunction. *)
 
 val check :
   Mediactl_core.Semantics.spec ->
-  succs:int list array ->
+  Csr.t ->
   both_closed:(int -> bool) ->
   both_flowing:(int -> bool) ->
   verdict

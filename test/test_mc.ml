@@ -1,6 +1,7 @@
-(* Tests for the model checker: the generic explorer, Tarjan SCC, the
-   temporal decision procedures on hand-built graphs, and small runs of
-   the paper's path models. *)
+(* Tests for the model checker: the generic explorer (sequential and
+   parallel), Tarjan SCC, the temporal decision procedures on hand-built
+   graphs, small runs of the paper's path models, jobs:1/jobs:4
+   determinism, and the packed state codec. *)
 
 open Mediactl_core
 open Mediactl_mc
@@ -8,6 +9,7 @@ open Mediactl_mc
 let check = Alcotest.check
 let tbool = Alcotest.bool
 let tint = Alcotest.int
+let tstring = Alcotest.string
 
 (* --- explorer on a toy system ---------------------------------------- *)
 
@@ -17,6 +19,7 @@ module Counter = struct
   type label = Step | Reset
 
   let successors k = if k >= 5 then [ (Reset, 0) ] else [ (Step, k + 1); (Reset, 0) ]
+  let pack = string_of_int
 
   let pp_label ppf = function
     | Step -> Format.pp_print_string ppf "step"
@@ -47,28 +50,47 @@ let test_explorer_path_to () =
     | (_, id) :: _ -> g.CE.states.(id) = 3
     | [] -> false)
 
+let test_explorer_parallel_counter () =
+  (* The sharded search must see exactly the same graph. *)
+  let g1 = CE.explore ~jobs:1 0 in
+  List.iter
+    (fun jobs ->
+      let g = CE.explore ~jobs 0 in
+      check tint "states" (Array.length g1.CE.states) (Array.length g.CE.states);
+      check tint "transitions" g1.CE.transition_count g.CE.transition_count;
+      check tint "initial id is 0" 0 g.CE.states.(0);
+      check tbool "no deadlocks" true (CE.deadlocks g = []);
+      (* Each state's multiset of outgoing labels is preserved. *)
+      let out g id =
+        CE.succs g id |> List.map (fun (l, dst) -> (l, g.CE.states.(dst))) |> List.sort compare
+      in
+      let by_value g =
+        Array.to_list g.CE.states
+        |> List.mapi (fun id v -> (v, out g id))
+        |> List.sort compare
+      in
+      check tbool "same labelled graph" true (by_value g1 = by_value g))
+    [ 2; 3; 4 ]
+
 (* --- scc -------------------------------------------------------------- *)
 
 let test_scc_line () =
   (* 0 -> 1 -> 2: three trivial components, no cycles. *)
-  let succs = [| [ 1 ]; [ 2 ]; [] |] in
-  let scc = Scc.compute ~succs in
+  let scc = Scc.compute (Csr.of_lists [| [ 1 ]; [ 2 ]; [] |]) in
   check tint "components" 3 scc.Scc.count;
   check tbool "nothing cyclic" true
     (not (Scc.on_cycle scc 0 || Scc.on_cycle scc 1 || Scc.on_cycle scc 2))
 
 let test_scc_cycle () =
   (* 0 -> 1 -> 2 -> 1 and 2 -> 3. *)
-  let succs = [| [ 1 ]; [ 2 ]; [ 1; 3 ]; [] |] in
-  let scc = Scc.compute ~succs in
+  let scc = Scc.compute (Csr.of_lists [| [ 1 ]; [ 2 ]; [ 1; 3 ]; [] |]) in
   check tbool "1 and 2 share a component" true (scc.Scc.component.(1) = scc.Scc.component.(2));
   check tbool "1 on cycle" true (Scc.on_cycle scc 1);
   check tbool "0 not on cycle" false (Scc.on_cycle scc 0);
   check tbool "3 not on cycle" false (Scc.on_cycle scc 3)
 
 let test_scc_self_loop () =
-  let succs = [| [ 0; 1 ]; [] |] in
-  let scc = Scc.compute ~succs in
+  let scc = Scc.compute (Csr.of_lists [| [ 0; 1 ]; [] |]) in
   check tbool "self loop cyclic" true (Scc.on_cycle scc 0);
   check tbool "other not" false (Scc.on_cycle scc 1)
 
@@ -76,8 +98,32 @@ let test_scc_big_line_no_overflow () =
   (* A 200k-node path: the iterative Tarjan must not overflow. *)
   let n = 200_000 in
   let succs = Array.init n (fun i -> if i = n - 1 then [] else [ i + 1 ]) in
-  let scc = Scc.compute ~succs in
+  let scc = Scc.compute (Csr.of_lists succs) in
   check tint "components" n scc.Scc.count
+
+(* --- csr -------------------------------------------------------------- *)
+
+let test_csr_shape () =
+  let g = Csr.of_lists [| [ 1; 2 ]; [ 2 ]; [] |] in
+  check tint "n" 3 (Csr.n g);
+  check tint "edges" 3 (Csr.edges g);
+  check tint "out_degree 0" 2 (Csr.out_degree g 0);
+  check tint "out_degree 2" 0 (Csr.out_degree g 2);
+  check tbool "terminal" true (Csr.terminal g 2);
+  check tbool "non-terminal" false (Csr.terminal g 0);
+  check tint "terminal_count" 1 (Csr.terminal_count g);
+  let seen = ref [] in
+  Csr.iter_succ g 0 (fun d -> seen := d :: !seen);
+  check tbool "iter_succ" true (List.sort compare !seen = [ 1; 2 ])
+
+let test_csr_restrict () =
+  (* Drop state 1 of 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0: its incident edges
+     go, ids stay. *)
+  let g = Csr.of_lists [| [ 1; 2 ]; [ 2 ]; [ 0 ] |] in
+  let sub = Csr.restrict g ~keep:(fun v -> v <> 1) in
+  check tint "sub n" 3 (Csr.n sub);
+  check tint "sub edges" 2 (Csr.edges sub);
+  check tint "dropped state isolated" 0 (Csr.out_degree sub 1)
 
 (* --- temporal --------------------------------------------------------- *)
 
@@ -87,42 +133,37 @@ let holds = function
 
 let test_eventually_always () =
   (* 0 -> 1 -> 2(loop): p holds on 2 only. *)
-  let succs = [| [ 1 ]; [ 2 ]; [ 2 ] |] in
+  let g = Csr.of_lists [| [ 1 ]; [ 2 ]; [ 2 ] |] in
   let p2 i = i = 2 in
-  check tbool "holds" true (holds (Temporal.eventually_always ~succs ~p:p2));
+  check tbool "holds" true (holds (Temporal.eventually_always g ~p:p2));
   (* Cycle visits a !p state. *)
-  let succs_bad = [| [ 1 ]; [ 2 ]; [ 1 ] |] in
-  check tbool "violated by cycle" false
-    (holds (Temporal.eventually_always ~succs:succs_bad ~p:p2));
+  let g_bad = Csr.of_lists [| [ 1 ]; [ 2 ]; [ 1 ] |] in
+  check tbool "violated by cycle" false (holds (Temporal.eventually_always g_bad ~p:p2));
   (* Terminal state violating p. *)
-  let succs_term = [| [ 1 ]; [] |] in
+  let g_term = Csr.of_lists [| [ 1 ]; [] |] in
   check tbool "violated by terminal" false
-    (holds (Temporal.eventually_always ~succs:succs_term ~p:(fun i -> i = 0)))
+    (holds (Temporal.eventually_always g_term ~p:(fun i -> i = 0)))
 
 let test_always_eventually () =
   (* A loop 0 -> 1 -> 0 where p holds at 1: hit infinitely often. *)
-  let succs = [| [ 1 ]; [ 0 ] |] in
-  check tbool "recurs" true (holds (Temporal.always_eventually ~succs ~p:(fun i -> i = 1)));
+  let g = Csr.of_lists [| [ 1 ]; [ 0 ] |] in
+  check tbool "recurs" true (holds (Temporal.always_eventually g ~p:(fun i -> i = 1)));
   (* A loop avoiding p entirely. *)
-  let succs_bad = [| [ 1 ]; [ 0 ]; [] |] in
-  check tbool "avoided" false
-    (holds (Temporal.always_eventually ~succs:succs_bad ~p:(fun i -> i = 2)))
+  let g_bad = Csr.of_lists [| [ 1 ]; [ 0 ]; [] |] in
+  check tbool "avoided" false (holds (Temporal.always_eventually g_bad ~p:(fun i -> i = 2)))
 
 let test_stabilize_or_recur () =
   (* Cycle entirely within the stable set: fine. *)
-  let succs = [| [ 1 ]; [ 0 ] |] in
+  let g = Csr.of_lists [| [ 1 ]; [ 0 ] |] in
   let stable _ = true in
   let recur _ = false in
-  check tbool "stable cycle ok" true
-    (holds (Temporal.stabilize_or_recur ~succs ~stable ~recur));
+  check tbool "stable cycle ok" true (holds (Temporal.stabilize_or_recur g ~stable ~recur));
   (* Cycle leaving stable without recurring: violation. *)
   let stable i = i = 0 in
-  check tbool "unstable cycle bad" false
-    (holds (Temporal.stabilize_or_recur ~succs ~stable ~recur));
+  check tbool "unstable cycle bad" false (holds (Temporal.stabilize_or_recur g ~stable ~recur));
   (* Same cycle, but recurring: fine. *)
   let recur i = i = 1 in
-  check tbool "recurring cycle ok" true
-    (holds (Temporal.stabilize_or_recur ~succs ~stable ~recur))
+  check tbool "recurring cycle ok" true (holds (Temporal.stabilize_or_recur g ~stable ~recur))
 
 (* --- path models ------------------------------------------------------ *)
 
@@ -239,6 +280,140 @@ let test_unrestricted_loss_finds_violation () =
   let r = run_faulted faults Semantics.Open_end Semantics.Hold_end in
   check tbool "found" false (Check.passed r)
 
+(* --- parallel determinism --------------------------------------------- *)
+
+(* Safety and spec verdicts compared up to state numbering: the parallel
+   search may number states differently, so the safety scan (which
+   reports the lowest-numbered violation) can surface a different
+   witness with a different reason.  The guaranteed invariant is the
+   verdict itself, together with all the counts. *)
+let safety_fingerprint = function
+  | Check.Safe -> "safe"
+  | Check.Unsafe _ -> "unsafe"
+
+let spec_fingerprint = function
+  | Check.Spec_holds -> "holds"
+  | Check.Spec_violated _ -> "violated"
+  | Check.Inconclusive msg -> "inconclusive: " ^ msg
+
+let agree config =
+  let r1 = Check.run ~jobs:1 config in
+  let r4 = Check.run ~jobs:4 config in
+  let name = Path_model.config_name config in
+  check tint (name ^ " states") r1.Check.states r4.Check.states;
+  check tint (name ^ " transitions") r1.Check.transitions r4.Check.transitions;
+  check tint (name ^ " terminals") r1.Check.terminals r4.Check.terminals;
+  check tstring (name ^ " safety")
+    (safety_fingerprint r1.Check.safety)
+    (safety_fingerprint r4.Check.safety);
+  check tstring (name ^ " spec")
+    (spec_fingerprint r1.Check.spec_result)
+    (spec_fingerprint r4.Check.spec_result)
+
+let test_parallel_determinism_standard () =
+  List.iter agree (Path_model.standard_configs ~chaos:1 ~modifies:0 ())
+
+let test_parallel_determinism_faults () =
+  let faults = { Path_model.losses = 1; dups = 1; unrestricted = false } in
+  List.iter agree (Path_model.standard_configs ~faults ~chaos:1 ~modifies:0 ())
+
+let test_parallel_determinism_unsafe () =
+  (* A violating model: the parallel search must find the same verdict. *)
+  let faults = { Path_model.losses = 0; dups = 1; unrestricted = true } in
+  agree
+    {
+      Path_model.left = Semantics.Open_end;
+      right = Semantics.Hold_end;
+      flowlinks = 0;
+      chaos = 1;
+      modifies = 0;
+      environment_ends = false;
+      faults;
+    }
+
+let test_parallel_determinism_segment () =
+  agree
+    {
+      Path_model.left = Semantics.Hold_end;
+      right = Semantics.Hold_end;
+      flowlinks = 1;
+      chaos = 1;
+      modifies = 0;
+      environment_ends = true;
+      faults = Path_model.no_faults;
+    }
+
+(* --- packed state codec ----------------------------------------------- *)
+
+(* A random walk through the model driven by a list of choice indices:
+   goal phases, cached descriptors and selectors, in-flight signals,
+   mute changes, fault budgets, and error states all show up along some
+   walk, so the round-trip property exercises every branch of the
+   codec. *)
+let state_of_walk config choices =
+  List.fold_left
+    (fun s k ->
+      match Path_model.successors s with
+      | [] -> s
+      | succs -> snd (List.nth succs (k mod List.length succs)))
+    (Path_model.initial config) choices
+
+let roundtrip config s =
+  Path_model.equal_state s (Path_model.unpack config (Path_model.pack s))
+
+let walk_gen = QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 1023))
+
+let prop_pack_roundtrip =
+  let config =
+    {
+      Path_model.left = Semantics.Open_end;
+      right = Semantics.Hold_end;
+      flowlinks = 1;
+      chaos = 2;
+      modifies = 1;
+      environment_ends = false;
+      faults = { Path_model.losses = 1; dups = 1; unrestricted = false };
+    }
+  in
+  QCheck2.Test.make ~name:"unpack (pack s) = s along random walks" ~count:400 walk_gen
+    (fun choices -> roundtrip config (state_of_walk config choices))
+
+let prop_pack_roundtrip_unrestricted =
+  (* Unrestricted faults reach protocol-error states, covering the
+     [err] branch of the codec. *)
+  let config =
+    {
+      Path_model.left = Semantics.Close_end;
+      right = Semantics.Open_end;
+      flowlinks = 0;
+      chaos = 2;
+      modifies = 0;
+      environment_ends = false;
+      faults = { Path_model.losses = 1; dups = 1; unrestricted = true };
+    }
+  in
+  QCheck2.Test.make ~name:"round-trip survives protocol-error states" ~count:400 walk_gen
+    (fun choices -> roundtrip config (state_of_walk config choices))
+
+let test_pack_distinguishes_states () =
+  (* Spot check of injectivity: in a fully explored small model, packed
+     keys are pairwise distinct (they are the intern keys, so a
+     collision would have merged two states during exploration). *)
+  let config =
+    {
+      Path_model.left = Semantics.Open_end;
+      right = Semantics.Hold_end;
+      flowlinks = 0;
+      chaos = 1;
+      modifies = 1;
+      environment_ends = false;
+      faults = Path_model.no_faults;
+    }
+  in
+  let r = Check.run config in
+  check tbool "nontrivial" true (r.Check.states > 10);
+  check tbool "passed" true (Check.passed r)
+
 let () =
   Alcotest.run "mc"
     [
@@ -247,6 +422,7 @@ let () =
           Alcotest.test_case "reachability" `Quick test_explorer_reachability;
           Alcotest.test_case "cap" `Quick test_explorer_cap;
           Alcotest.test_case "path_to" `Quick test_explorer_path_to;
+          Alcotest.test_case "parallel counter graph" `Quick test_explorer_parallel_counter;
         ] );
       ( "scc",
         [
@@ -254,6 +430,11 @@ let () =
           Alcotest.test_case "cycle" `Quick test_scc_cycle;
           Alcotest.test_case "self loop" `Quick test_scc_self_loop;
           Alcotest.test_case "no stack overflow" `Quick test_scc_big_line_no_overflow;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "shape" `Quick test_csr_shape;
+          Alcotest.test_case "restrict" `Quick test_csr_restrict;
         ] );
       ( "temporal",
         [
@@ -281,5 +462,23 @@ let () =
             test_unrestricted_dup_finds_violation;
           Alcotest.test_case "unrestricted loss violates" `Quick
             test_unrestricted_loss_finds_violation;
+        ] );
+      ( "parallel determinism",
+        [
+          Alcotest.test_case "standard models, jobs 1 = jobs 4" `Quick
+            test_parallel_determinism_standard;
+          Alcotest.test_case "faulted models, jobs 1 = jobs 4" `Quick
+            test_parallel_determinism_faults;
+          Alcotest.test_case "violating model, jobs 1 = jobs 4" `Quick
+            test_parallel_determinism_unsafe;
+          Alcotest.test_case "segment model, jobs 1 = jobs 4" `Quick
+            test_parallel_determinism_segment;
+        ] );
+      ( "packed codec",
+        [
+          QCheck_alcotest.to_alcotest prop_pack_roundtrip;
+          QCheck_alcotest.to_alcotest prop_pack_roundtrip_unrestricted;
+          Alcotest.test_case "intern keys distinguish states" `Quick
+            test_pack_distinguishes_states;
         ] );
     ]
