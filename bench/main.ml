@@ -13,6 +13,8 @@
    E7  concurrent modifies: idempotent vs transactional (section VI-C)
    E8  extension: hold/resume semantics over SIP (section XI)
    E9  convergence under loss: the reliability layer (mediactl.net)
+   E10 the multicore model-checking engine (--json writes BENCH_mc.json)
+   E11 observability: monitor verdicts under loss, tracing overhead
    micro  Bechamel micro-benchmarks of the core machinery *)
 
 open Mediactl_types
@@ -656,6 +658,95 @@ let e10 () =
   if !json_mode then e10_write_json rows
 
 (* ------------------------------------------------------------------ *)
+(* E11: observability — monitor verdicts and tracing overhead          *)
+
+(* A traced path run (the live counterpart of the checker's
+   openslot--openslot model), returning the captured trace. *)
+let e11_traced_path ~seed ~loss ~flowlinks =
+  snd
+    (Mediactl_obs.Trace.recording (fun () ->
+         let sim = Timed.create ~seed ~n:paper_n ~c:paper_c (Pathlab.topology ~flowlinks ()) in
+         Timed.observe sim;
+         if loss > 0.0 then begin
+           let impair =
+             Mediactl_net.Impair.create ~seed ~default:(Mediactl_net.Policy.lossy loss) ()
+           in
+           ignore (Mediactl_net.Reliable.attach impair sim)
+         end;
+         Timed.apply sim (Pathlab.engage_left Semantics.Open_end);
+         Timed.apply sim (Pathlab.engage_right Semantics.Open_end ~flowlinks);
+         ignore (Timed.run ~until:60_000.0 sim)))
+
+let e11 () =
+  header "E11  Observability: monitor verdicts under loss, and tracing overhead";
+  let seeds = List.init 30 (fun i -> 4000 + i) in
+  let loss_rates = [ 0.0; 0.01; 0.05; 0.1 ] in
+  Format.printf "@.openslot--openslot path runs, []<> bothFlowing via Obs.Monitor";
+  Format.printf " (%d seeds per rate):@." (List.length seeds);
+  Format.printf "%8s %11s %10s %10s %10s %9s %8s@." "loss" "conformant" "satisfied"
+    "undeterm" "violated" "events" "races";
+  List.iter
+    (fun loss ->
+      let conformant = ref 0 and sat = ref 0 and undet = ref 0 and viol = ref 0 in
+      let events_n = ref 0 and races = ref 0 in
+      List.iter
+        (fun seed ->
+          let events = e11_traced_path ~seed ~loss ~flowlinks:0 in
+          let report = Mediactl_obs.Monitor.replay events in
+          if Mediactl_obs.Monitor.conformant report then incr conformant;
+          events_n := !events_n + List.length events;
+          List.iter
+            (fun (t : Mediactl_obs.Monitor.tunnel_report) ->
+              races := !races + t.Mediactl_obs.Monitor.races)
+            report.Mediactl_obs.Monitor.tunnels;
+          match
+            Mediactl_obs.Monitor.verdict ~structural:(loss > 0.0)
+              Mediactl_obs.Monitor.Always_eventually_flowing
+              ~ends:(Pathlab.ends ~flowlinks:0) events
+          with
+          | Mediactl_obs.Monitor.Satisfied -> incr sat
+          | Mediactl_obs.Monitor.Undetermined _ -> incr undet
+          | Mediactl_obs.Monitor.Violated _ -> incr viol)
+        seeds;
+      Format.printf "%8.2f %7d/%-3d %10d %10d %10d %9.1f %8d@." loss !conformant
+        (List.length seeds) !sat !undet !viol
+        (float_of_int !events_n /. float_of_int (List.length seeds))
+        !races)
+    loss_rates;
+  (* Tracing overhead on the E9 kernel: the Figure-13 relink under 5%
+     loss, untraced vs traced into a collector.  The instrumentation is
+     a load and a branch when disabled, so the untraced runs here bound
+     the cost the checker and the other experiments pay: zero. *)
+  let reps = 400 in
+  let run_once ~seed = ignore (fig13_impaired ~seed ~loss:0.05) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  for i = 1 to 50 do run_once ~seed:(4900 + i) done;
+  (* Interleave the two arms so clock drift and cache state cancel. *)
+  let untraced = ref 0.0 and traced = ref 0.0 and traced_events = ref 0 in
+  for i = 1 to reps do
+    untraced := !untraced +. time (fun () -> run_once ~seed:(5000 + i));
+    traced :=
+      !traced
+      +. time (fun () ->
+             let (), events =
+               Mediactl_obs.Trace.recording (fun () -> run_once ~seed:(5000 + i))
+             in
+             traced_events := !traced_events + List.length events)
+  done;
+  let untraced = !untraced and traced = !traced in
+  let overhead = 100.0 *. ((traced /. Float.max 1e-9 untraced) -. 1.0) in
+  Format.printf "@.tracing overhead on E9 (fig13 relink, loss=0.05, %d runs each):@." reps;
+  Format.printf "  untraced %.3fs, traced %.3fs (%d events/run) -> %+.1f%% overhead %s@."
+    untraced traced
+    (!traced_events / reps)
+    overhead
+    (if overhead <= 10.0 then "(within the 10% budget)" else "(OVER the 10% budget)")
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 
 let micro () =
@@ -739,7 +830,7 @@ let micro () =
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("micro", micro) ]
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

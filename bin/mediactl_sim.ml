@@ -3,14 +3,16 @@
    Examples:
      mediactl_sim prepaid
      mediactl_sim fig13 --n 34 --c 20
-     mediactl_sim fig13 --loss 0.05 --seed 7
+     mediactl_sim fig13 --loss 0.05 --seed 7 --trace out.jsonl --metrics out.json
      mediactl_sim relink --boxes 5 --at 3 --loss 0.1
+     mediactl_sim path --left openslot --right openslot --flowlinks 1 --verify
      mediactl_sim sip --seed 42
 *)
 
 open Cmdliner
 open Mediactl_runtime
 open Mediactl_apps
+module Obs = Mediactl_obs
 
 (* With --loss > 0, run over the impaired network with the reliability
    layer attached; report what the network and the layer did. *)
@@ -56,6 +58,7 @@ let run_fig13 seed n c loss =
   let net = settle (fst (Prepaid.snapshot2 net)) in
   let net = settle (fst (Prepaid.snapshot3 net)) in
   let sim = Timed.create ~seed ~n ~c net in
+  Timed.observe sim;
   let net_layer = impaired ~seed ~loss sim in
   let a_tx = ref nan and c_tx = ref nan in
   let transmits r owner net =
@@ -82,6 +85,7 @@ let run_fig13 seed n c loss =
 let run_relink seed n c boxes j loss =
   let net, _ = Netsys.run (Relink.build ~boxes ~j) in
   let sim = Timed.create ~seed ~n ~c net in
+  Timed.observe sim;
   let net_layer = impaired ~seed ~loss sim in
   let done_at = ref nan in
   Timed.when_true sim
@@ -107,9 +111,104 @@ let run_sip seed n c =
     ((2.0 *. n) +. (3.0 *. c));
   0
 
+(* The live counterpart of a model-checker path configuration: engage
+   both end goals under the timed driver and let the handshake play
+   out.  Bounded by sim time because some configurations never settle
+   (an openslot facing a closeslot reopens forever). *)
+let run_path seed n c loss left right flowlinks =
+  let sim = Timed.create ~seed ~n ~c (Pathlab.topology ~flowlinks ()) in
+  Timed.observe sim;
+  let net_layer = impaired ~seed ~loss sim in
+  let flowing_at = ref nan in
+  Timed.when_true sim (Pathlab.both_flowing ~flowlinks) (fun t -> flowing_at := t);
+  Timed.apply sim (Pathlab.engage_left left);
+  Timed.apply sim (Pathlab.engage_right right ~flowlinks);
+  let _ = Timed.run ~until:30_000.0 sim in
+  let state r =
+    match Netsys.slot (Timed.net sim) r with
+    | Some slot -> Format.asprintf "%a" Mediactl_protocol.Slot.pp slot
+    | None -> "?"
+  in
+  let kind_name = function
+    | Mediactl_core.Semantics.Open_end -> "openslot"
+    | Mediactl_core.Semantics.Close_end -> "closeslot"
+    | Mediactl_core.Semantics.Hold_end -> "holdslot"
+  in
+  Format.printf "%s--%s%s: L=%s R=%s%s@." (kind_name left)
+    (String.concat "" (List.init flowlinks (fun _ -> "fl--")))
+    (kind_name right)
+    (state Pathlab.left_slot)
+    (state (Pathlab.right_slot ~flowlinks))
+    (if Float.is_nan !flowing_at then ""
+     else Format.asprintf ", bothFlowing at %.1f ms" !flowing_at);
+  (match Timed.error sim with
+  | Some e -> Format.printf "runtime error: %s@." e
+  | None -> ());
+  report_impairment net_layer;
+  0
+
+(* --------------------------------------------------------------- *)
+(* Trace capture around a scenario run                              *)
+
+let verify_trace scenario ~loss ~left ~right ~flowlinks events =
+  let report = Obs.Monitor.replay events in
+  Format.printf "monitor: %d event(s), %d tunnel(s), %s@." (List.length events)
+    (List.length report.Obs.Monitor.tunnels)
+    (if Obs.Monitor.conformant report then "conformant"
+     else Printf.sprintf "%d VIOLATION(S)" (List.length report.Obs.Monitor.violations));
+  List.iter (Format.printf "  %s@.") report.Obs.Monitor.violations;
+  let obligation_ok =
+    match scenario with
+    | `Path ->
+      (* Under loss nothing re-describes after a retry exhausts, so
+         check the structural form — the one the model checker itself
+         uses when exploring with fault budgets. *)
+      let structural = loss > 0.0 in
+      let obligation = Pathlab.obligation left right in
+      let v =
+        Obs.Monitor.verdict ~structural obligation ~ends:(Pathlab.ends ~flowlinks) events
+      in
+      Format.printf "obligation %s%s: %a@."
+        (Obs.Monitor.obligation_to_string obligation)
+        (if structural then " (structural)" else "")
+        Obs.Monitor.pp_verdict v;
+      (match v with Obs.Monitor.Violated _ -> false | _ -> true)
+    | _ -> true
+  in
+  if Obs.Monitor.conformant report && obligation_ok then 0 else 1
+
+let run scenario n c boxes j seed loss left right flowlinks trace metrics verify =
+  let go () =
+    match scenario with
+    | `Prepaid -> run_prepaid ()
+    | `Fig13 -> run_fig13 seed n c loss
+    | `Relink -> run_relink seed n c boxes j loss
+    | `Sip -> run_sip seed n c
+    | `Path -> run_path seed n c loss left right flowlinks
+  in
+  if trace = None && metrics = None && not verify then go ()
+  else begin
+    let code, events = Obs.Trace.recording go in
+    (match trace with
+    | Some path ->
+      Obs.Trace.write_jsonl path events;
+      Format.printf "trace: %d event(s) -> %s@." (List.length events) path
+    | None -> ());
+    (match metrics with
+    | Some path ->
+      let m = Obs.Metrics.of_events events in
+      Obs.Metrics.write_json path m;
+      Format.printf "metrics -> %s@.%a@." path Obs.Metrics.pp m
+    | None -> ());
+    let vcode =
+      if verify then verify_trace scenario ~loss ~left ~right ~flowlinks events else 0
+    in
+    if code <> 0 then code else vcode
+  end
+
 let scenario =
-  Arg.(required & pos 0 (some (enum [ ("prepaid", `Prepaid); ("fig13", `Fig13); ("relink", `Relink); ("sip", `Sip) ])) None
-       & info [] ~docv:"SCENARIO" ~doc:"One of: prepaid, fig13, relink, sip.")
+  Arg.(required & pos 0 (some (enum [ ("prepaid", `Prepaid); ("fig13", `Fig13); ("relink", `Relink); ("sip", `Sip); ("path", `Path) ])) None
+       & info [] ~docv:"SCENARIO" ~doc:"One of: prepaid, fig13, relink, sip, path.")
 
 let n_arg = Arg.(value & opt float 34.0 & info [ "n" ] ~doc:"Network latency (ms).")
 let c_arg = Arg.(value & opt float 20.0 & info [ "c" ] ~doc:"Box compute time (ms).")
@@ -117,23 +216,48 @@ let boxes_arg = Arg.(value & opt int 4 & info [ "boxes" ] ~doc:"Interior boxes (
 let j_arg = Arg.(value & opt int 2 & info [ "at" ] ~doc:"Relinking box index (relink).")
 let seed_arg =
   Arg.(value & opt int 11 & info [ "seed" ]
-       ~doc:"Random seed; equal seeds give identical runs (sip, and fig13/relink with --loss).")
+       ~doc:"Random seed; equal seeds give identical runs (sip, and fig13/relink/path with --loss).")
 
 let loss_arg =
   Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P"
-       ~doc:"Per-frame loss probability in [0,1]; > 0 runs fig13/relink over the                impaired network with the reliability layer attached.")
+       ~doc:"Per-frame loss probability in [0,1]; > 0 runs fig13/relink/path over the                impaired network with the reliability layer attached.")
 
-let run scenario n c boxes j seed loss =
-  match scenario with
-  | `Prepaid -> run_prepaid ()
-  | `Fig13 -> run_fig13 seed n c loss
-  | `Relink -> run_relink seed n c boxes j loss
-  | `Sip -> run_sip seed n c
+let end_kind =
+  Arg.enum
+    [
+      ("openslot", Mediactl_core.Semantics.Open_end);
+      ("closeslot", Mediactl_core.Semantics.Close_end);
+      ("holdslot", Mediactl_core.Semantics.Hold_end);
+    ]
+
+let left_arg =
+  Arg.(value & opt end_kind Mediactl_core.Semantics.Open_end
+       & info [ "left" ] ~doc:"Left end goal (path): openslot, closeslot, or holdslot.")
+
+let right_arg =
+  Arg.(value & opt end_kind Mediactl_core.Semantics.Open_end
+       & info [ "right" ] ~doc:"Right end goal (path): openslot, closeslot, or holdslot.")
+
+let flowlinks_arg =
+  Arg.(value & opt int 0 & info [ "flowlinks" ] ~doc:"Interior flowlink boxes (path).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+       ~doc:"Capture a structured event trace of the run and write it as JSON lines.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+       ~doc:"Aggregate per-run metrics from the captured trace and write them as JSON.")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ]
+       ~doc:"Replay the captured trace through the Fig. 5 conformance monitor; for the               path scenario also evaluate the configuration's temporal obligation.               Exits nonzero on a violation.")
 
 let cmd =
   let doc = "run compositional media-control scenarios under the timed simulator" in
   Cmd.v
     (Cmd.info "mediactl_sim" ~doc)
-    Term.(const run $ scenario $ n_arg $ c_arg $ boxes_arg $ j_arg $ seed_arg $ loss_arg)
+    Term.(const run $ scenario $ n_arg $ c_arg $ boxes_arg $ j_arg $ seed_arg $ loss_arg
+          $ left_arg $ right_arg $ flowlinks_arg $ trace_arg $ metrics_arg $ verify_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -47,4 +47,10 @@ let on_signal () slot signal =
   in
   Ok { goal = (); slot; out }
 
+let traced before r =
+  Result.map (fun o -> { o with slot = Goal_trace.observe ~goal:"closeSlot" before o.slot }) r
+
+let start slot = traced slot (start slot)
+let on_signal () slot signal = traced slot (on_signal () slot signal)
+
 let pp ppf () = Format.pp_print_string ppf "closeSlot"

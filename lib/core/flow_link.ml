@@ -230,6 +230,21 @@ let on_signal t ~left ~right s signal =
   let* w = work w in
   Ok (finish w)
 
+let traced ~left ~right r =
+  Result.map
+    (fun o ->
+      {
+        o with
+        left = Goal_trace.observe ~goal:"flowLink" left o.left;
+        right = Goal_trace.observe ~goal:"flowLink" right o.right;
+      })
+    r
+
+let start ?filter_selectors left right =
+  traced ~left ~right (start ?filter_selectors left right)
+
+let on_signal t ~left ~right s signal = traced ~left ~right (on_signal t ~left ~right s signal)
+
 let pp ppf t =
   let side ppf st =
     Format.fprintf ppf "utd=%b close=%b pending=%b" st.utd st.close_pending

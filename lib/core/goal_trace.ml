@@ -1,0 +1,22 @@
+(* Goal-level trace events: which goal object drove (or observed) a
+   slot-state change.  The slot itself already emits a
+   [Slot_transition]; the [Goal] event adds the goal's identity, so a
+   trace shows e.g. that a close arriving at a flowing slot was an
+   openslot's cue to reopen. *)
+
+open Mediactl_protocol
+
+let observe ~goal (before : Slot.t) (after : Slot.t) =
+  if
+    Mediactl_obs.Trace.enabled ()
+    && not (Slot_state.equal after.Slot.state before.Slot.state)
+  then
+    Mediactl_obs.Trace.emit
+      (Mediactl_obs.Trace.Goal
+         {
+           goal;
+           slot = before.Slot.label;
+           from_ = Slot_state.to_string before.Slot.state;
+           to_ = Slot_state.to_string after.Slot.state;
+         });
+  after

@@ -70,4 +70,11 @@ let modify t slot mute =
     Ok { goal = t; slot; out }
   else Ok { goal = t; slot; out = [] }
 
+let traced before r =
+  Result.map (fun o -> { o with slot = Goal_trace.observe ~goal:"holdSlot" before o.slot }) r
+
+let start local slot = traced slot (start local slot)
+let on_signal t slot signal = traced slot (on_signal t slot signal)
+let modify t slot mute = traced slot (modify t slot mute)
+
 let pp ppf t = Format.fprintf ppf "holdSlot(%a)" Local.pp t.local

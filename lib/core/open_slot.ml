@@ -89,4 +89,12 @@ let modify t slot mute =
     Ok { goal = t; slot; out }
   else Ok { goal = t; slot; out = [] }
 
+let traced before r =
+  Result.map (fun o -> { o with slot = Goal_trace.observe ~goal:"openSlot" before o.slot }) r
+
+let start local want slot = traced slot (start local want slot)
+let assume local want slot = traced slot (assume local want slot)
+let on_signal t slot signal = traced slot (on_signal t slot signal)
+let modify t slot mute = traced slot (modify t slot mute)
+
 let pp ppf t = Format.fprintf ppf "openSlot(%a, %a)" Local.pp t.local Medium.pp t.want

@@ -65,6 +65,9 @@ let fate t ~chan =
   if lost then begin
     c.dropped <- c.dropped + 1;
     t.total.dropped <- t.total.dropped + 1;
+    if Mediactl_obs.Trace.enabled () then
+      Mediactl_obs.Trace.emit
+        (Mediactl_obs.Trace.Net { chan; decision = Mediactl_obs.Trace.Dropped });
     []
   end
   else begin
@@ -80,6 +83,9 @@ let fate t ~chan =
     let n = List.length copies in
     c.delivered <- c.delivered + n;
     t.total.delivered <- t.total.delivered + n;
+    if Mediactl_obs.Trace.enabled () then
+      Mediactl_obs.Trace.emit
+        (Mediactl_obs.Trace.Net { chan; decision = Mediactl_obs.Trace.Passed n });
     copies
   end
 

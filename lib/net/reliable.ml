@@ -1,5 +1,9 @@
 open Mediactl_runtime
 
+let trace chan decision =
+  if Mediactl_obs.Trace.enabled () then
+    Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Net { chan; decision })
+
 type config = { rto : float; backoff : float; max_retries : int }
 
 let default_config ~n ~c = { rto = 2.0 *. ((2.0 *. n) +. c); backoff = 2.0; max_retries = 10 }
@@ -63,8 +67,11 @@ let on_ack link seq =
 let send_ack t sim key seq =
   t.counters.acks_sent <- t.counters.acks_sent + 1;
   match Impair.ack_fate t.impair ~chan:(chan_of_key key) with
-  | None -> t.counters.acks_lost <- t.counters.acks_lost + 1
+  | None ->
+    t.counters.acks_lost <- t.counters.acks_lost + 1;
+    trace (chan_of_key key) Mediactl_obs.Trace.Ack_dropped
   | Some jitter ->
+    trace (chan_of_key key) Mediactl_obs.Trace.Ack_sent;
     let l = link t key in
     Timed.after sim (Timed.n sim +. jitter) (fun _sim -> on_ack l seq)
 
@@ -75,10 +82,12 @@ let rec arm t sim key lnk seq ofr =
         if ofr.attempts > t.config.max_retries then begin
           t.counters.timeouts <- t.counters.timeouts + 1;
           ofr.settled <- true;
-          Hashtbl.remove lnk.outstanding seq
+          Hashtbl.remove lnk.outstanding seq;
+          trace (chan_of_key key) Mediactl_obs.Trace.Retry_exhausted
         end
         else begin
           t.counters.retransmits <- t.counters.retransmits + 1;
+          trace (chan_of_key key) (Mediactl_obs.Trace.Retransmit ofr.attempts);
           transmit t sim key lnk seq ofr
         end)
 
@@ -120,6 +129,7 @@ let on_deliver t sim (frame : Timed.frame) =
       (* A retransmission whose ack was lost, or a network duplicate:
          suppress it and re-acknowledge cumulatively. *)
       t.counters.dup_suppressed <- t.counters.dup_suppressed + 1;
+      trace (chan_of_key key) Mediactl_obs.Trace.Dup_suppressed;
       send_ack t sim key (lnk.expected - 1);
       false
     end
@@ -127,6 +137,7 @@ let on_deliver t sim (frame : Timed.frame) =
       (* Out of order: go-back-N receivers discard; the sender's timer
          will retransmit once the gap frame is through. *)
       t.counters.reorder_suppressed <- t.counters.reorder_suppressed + 1;
+      trace (chan_of_key key) Mediactl_obs.Trace.Reorder_suppressed;
       false
     end
 

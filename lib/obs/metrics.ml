@@ -1,0 +1,159 @@
+open Mediactl_sim
+
+type t = {
+  events : int;
+  duration : float;
+  sends_by_signal : (string * int) list;  (* descending count *)
+  recvs : int;
+  slot_transitions : int;
+  goal_changes : int;
+  open_races : int;
+  drops : int;
+  dups : int;
+  retransmissions : int;
+  retries_exhausted : int;
+  dup_suppressed : int;
+  acks : int;
+  round_trip : Stats.t;  (* per tunnel: first open -> first oack receipt, ms *)
+  time_to_flowing : Stats.t;  (* per tunnel: trace start -> bothFlowing, ms *)
+  violations : int;
+}
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* Round-trip per tunnel: the initiator-side open send to the matching
+   oack receipt — one signaling round across however many hops the
+   channel's frames take. *)
+let round_trips events =
+  let open_at : (string * int, float) Hashtbl.t = Hashtbl.create 8 in
+  let stats = Stats.create () in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Sig_send { chan; tun; signal = Mediactl_types.Signal.Open _; _ } ->
+        if not (Hashtbl.mem open_at (chan, tun)) then
+          Hashtbl.add open_at (chan, tun) e.Trace.at
+      | Trace.Sig_recv { chan; tun; signal = Mediactl_types.Signal.Oack _; _ } -> (
+        match Hashtbl.find_opt open_at (chan, tun) with
+        | Some t0 ->
+          Stats.add stats (e.Trace.at -. t0);
+          Hashtbl.remove open_at (chan, tun)
+        | None -> ())
+      | _ -> ())
+    events;
+  stats
+
+let of_events events =
+  let sends = Hashtbl.create 8 in
+  let recvs = ref 0 in
+  let slot_transitions = ref 0 in
+  let goal_changes = ref 0 in
+  let drops = ref 0 in
+  let dups = ref 0 in
+  let retransmissions = ref 0 in
+  let retries_exhausted = ref 0 in
+  let dup_suppressed = ref 0 in
+  let acks = ref 0 in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.at < !t_min then t_min := e.Trace.at;
+      if e.Trace.at > !t_max then t_max := e.Trace.at;
+      match e.Trace.kind with
+      | Trace.Sig_send { signal; _ } -> bump sends (Mediactl_types.Signal.name signal) 1
+      | Trace.Sig_recv _ -> incr recvs
+      | Trace.Slot_transition _ -> incr slot_transitions
+      | Trace.Goal _ -> incr goal_changes
+      | Trace.Meta_send _ | Trace.Meta_recv _ -> ()
+      | Trace.Net { decision; _ } -> (
+        match decision with
+        | Trace.Dropped -> incr drops
+        | Trace.Passed n -> if n > 1 then incr dups
+        | Trace.Retransmit _ -> incr retransmissions
+        | Trace.Retry_exhausted -> incr retries_exhausted
+        | Trace.Dup_suppressed | Trace.Reorder_suppressed -> incr dup_suppressed
+        | Trace.Ack_sent -> incr acks
+        | Trace.Ack_dropped -> ()))
+    events;
+  let monitor = Monitor.replay events in
+  let time_to_flowing = Stats.create () in
+  let start = if !t_min = infinity then 0.0 else !t_min in
+  List.iter
+    (fun (r : Monitor.tunnel_report) ->
+      match r.Monitor.first_both_flowing with
+      | Some t -> Stats.add time_to_flowing (t -. start)
+      | None -> ())
+    monitor.Monitor.tunnels;
+  {
+    events = List.length events;
+    duration = (if !t_max >= !t_min then !t_max -. !t_min else 0.0);
+    sends_by_signal =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) sends []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+    recvs = !recvs;
+    slot_transitions = !slot_transitions;
+    goal_changes = !goal_changes;
+    open_races =
+      List.fold_left (fun acc r -> acc + r.Monitor.races) 0 monitor.Monitor.tunnels;
+    drops = !drops;
+    dups = !dups;
+    retransmissions = !retransmissions;
+    retries_exhausted = !retries_exhausted;
+    dup_suppressed = !dup_suppressed;
+    acks = !acks;
+    round_trip = round_trips events;
+    time_to_flowing;
+    violations = List.length monitor.Monitor.violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let pp ppf m =
+  let total_sends = List.fold_left (fun acc (_, n) -> acc + n) 0 m.sends_by_signal in
+  Format.fprintf ppf
+    "@[<v>events      %d over %.1f ms@,\
+     signals     %d sent / %d received (%s)@,\
+     slots       %d transitions, %d goal changes, %d open races@,\
+     network     %d drops, %d dups, %d retransmissions (%d abandoned), %d suppressed, %d \
+     acks@,\
+     round-trip  %a@,\
+     to-flowing  %a@,\
+     violations  %d@]"
+    m.events m.duration total_sends m.recvs
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) m.sends_by_signal))
+    m.slot_transitions m.goal_changes m.open_races m.drops m.dups m.retransmissions
+    m.retries_exhausted m.dup_suppressed m.acks Stats.pp m.round_trip Stats.pp
+    m.time_to_flowing m.violations
+
+let stats_json s =
+  if Stats.count s = 0 then "null"
+  else
+    Printf.sprintf
+      "{\"n\":%d,\"mean\":%.3f,\"stddev\":%.3f,\"min\":%.3f,\"max\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"histogram\":[%s]}"
+      (Stats.count s) (Stats.mean s) (Stats.stddev s) (Stats.min s) (Stats.max s)
+      (Stats.percentile s 0.5) (Stats.percentile s 0.95)
+      (String.concat ","
+         (List.map
+            (fun (lo, hi, n) -> Printf.sprintf "{\"lo\":%.3f,\"hi\":%.3f,\"n\":%d}" lo hi n)
+            (Stats.histogram ~bins:8 s)))
+
+let to_json m =
+  Printf.sprintf
+    "{\"events\":%d,\"duration_ms\":%.3f,\"sends\":{%s},\"recvs\":%d,\"slot_transitions\":%d,\"goal_changes\":%d,\"open_races\":%d,\"net\":{\"drops\":%d,\"dups\":%d,\"retransmissions\":%d,\"retries_exhausted\":%d,\"dup_suppressed\":%d,\"acks\":%d},\"round_trip_ms\":%s,\"time_to_both_flowing_ms\":%s,\"violations\":%d}"
+    m.events m.duration
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) m.sends_by_signal))
+    m.recvs m.slot_transitions m.goal_changes m.open_races m.drops m.dups m.retransmissions
+    m.retries_exhausted m.dup_suppressed m.acks (stats_json m.round_trip)
+    (stats_json m.time_to_flowing) m.violations
+
+let write_json path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json m);
+      output_char oc '\n')

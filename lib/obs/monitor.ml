@@ -1,0 +1,384 @@
+open Mediactl_types
+
+(* The monitor re-implements the Figure-5 media-channel state machine
+   from the paper directly, on purpose: it shares no code with
+   [Mediactl_protocol.Slot], so it is an independent oracle for the
+   implementation's captured behaviour rather than a replay of the same
+   transition function. *)
+
+type side_state = Closed | Opening | Opened | Flowing | Closing
+
+let state_name = function
+  | Closed -> "closed"
+  | Opening -> "opening"
+  | Opened -> "opened"
+  | Flowing -> "flowing"
+  | Closing -> "closing"
+
+type side = {
+  s_box : string;
+  s_initiator : bool;
+  mutable st : side_state;
+  mutable medium : Medium.t option;
+  mutable sent_desc : Descriptor.t option;
+  mutable remote_desc : Descriptor.t option;
+  mutable sent_sel : Selector.t option;
+  mutable recv_sel : Selector.t option;
+  mutable sent : int;
+  mutable recvd : int;
+}
+
+let fresh_side ~box ~initiator =
+  {
+    s_box = box;
+    s_initiator = initiator;
+    st = Closed;
+    medium = None;
+    sent_desc = None;
+    remote_desc = None;
+    sent_sel = None;
+    recv_sel = None;
+    sent = 0;
+    recvd = 0;
+  }
+
+let wipe side =
+  side.st <- Closed;
+  side.medium <- None;
+  side.sent_desc <- None;
+  side.remote_desc <- None;
+  side.sent_sel <- None;
+  side.recv_sel <- None
+
+(* Mirrors of the Lenabled/Renabled history variables: a side receives
+   media while flowing with a fresh, transmitting selector answering its
+   own current descriptor. *)
+let sel_fresh sel desc =
+  match sel, desc with
+  | Some sel, Some desc -> Selector.responds_to_descriptor sel desc
+  | (Some _ | None), _ -> false
+
+let rx_enabled side =
+  side.st = Flowing
+  && sel_fresh side.recv_sel side.sent_desc
+  && match side.recv_sel with Some s -> Selector.transmits s | None -> false
+
+let tx_enabled side =
+  side.st = Flowing
+  && sel_fresh side.sent_sel side.remote_desc
+  && match side.sent_sel with Some s -> Selector.transmits s | None -> false
+
+type tunnel = {
+  t_chan : string;
+  t_tun : int;
+  mutable sides : side list;  (* at most two, lazily discovered from events *)
+  mutable races : int;
+  mutable violations : string list;  (* reversed *)
+  mutable both_flowing_at : float option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The Figure-5 transitions                                            *)
+
+let violate tun ~seq ~box msg =
+  tun.violations <-
+    Printf.sprintf "#%d %s.%d %s: %s" seq tun.t_chan tun.t_tun box msg :: tun.violations
+
+let on_send tun ~seq side (signal : Signal.t) =
+  side.sent <- side.sent + 1;
+  match signal, side.st with
+  | Signal.Open (m, d), Closed ->
+    side.st <- Opening;
+    side.medium <- Some m;
+    side.sent_desc <- Some d
+  | Signal.Oack d, Opened ->
+    side.st <- Flowing;
+    side.sent_desc <- Some d
+  | Signal.Close, (Opening | Opened | Flowing) -> side.st <- Closing
+  | Signal.Closeack, (Closed | Closing) -> ()
+  | Signal.Describe d, Flowing -> side.sent_desc <- Some d
+  | Signal.Select s, Flowing -> side.sent_sel <- Some s
+  | signal, st ->
+    violate tun ~seq ~box:side.s_box
+      (Printf.sprintf "illegal send of %s in %s" (Signal.name signal) (state_name st))
+
+let on_recv tun ~seq side (signal : Signal.t) =
+  side.recvd <- side.recvd + 1;
+  match signal, side.st with
+  | Signal.Open (m, d), Closed ->
+    side.st <- Opened;
+    side.medium <- Some m;
+    side.remote_desc <- Some d
+  | Signal.Open (m, d), Opening ->
+    (* One crossing produces this case at both ends; count the race
+       once, at the winning (initiator) side. *)
+    if side.s_initiator then tun.races <- tun.races + 1;
+    if not side.s_initiator then begin
+      (* The acceptor backs off and takes the initiator's open. *)
+      side.st <- Opened;
+      side.medium <- Some m;
+      side.remote_desc <- Some d;
+      side.sent_desc <- None
+    end
+  | Signal.Open _, Closing -> ()  (* stale crossing open; the peer backs off *)
+  | Signal.Oack d, Opening ->
+    side.st <- Flowing;
+    side.remote_desc <- Some d
+  | Signal.Oack _, Closing -> ()  (* acceptance crossed our close *)
+  | Signal.Close, (Opening | Opened | Flowing) -> wipe side
+  | Signal.Close, Closing -> ()  (* crossed closes; both acknowledge *)
+  | Signal.Closeack, Closing -> wipe side
+  | Signal.Describe d, Flowing -> side.remote_desc <- Some d
+  | Signal.Select s, Flowing -> side.recv_sel <- Some s
+  | (Signal.Describe _ | Signal.Select _), Closing -> ()
+  | signal, st ->
+    violate tun ~seq ~box:side.s_box
+      (Printf.sprintf "unexpected %s in %s" (Signal.name signal) (state_name st))
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+let side_of tun ~box ~initiator =
+  match List.find_opt (fun s -> String.equal s.s_box box) tun.sides with
+  | Some s -> s
+  | None ->
+    let s = fresh_side ~box ~initiator in
+    tun.sides <- tun.sides @ [ s ];
+    s
+
+let note_flowing tun at =
+  if tun.both_flowing_at = None then
+    match tun.sides with
+    | [ a; b ] when a.st = Flowing && b.st = Flowing -> tun.both_flowing_at <- Some at
+    | _ -> ()
+
+let quiescent_pair a b =
+  match a.st, b.st with
+  | Closed, Closed | Flowing, Flowing | Opening, Opened | Opened, Opening -> true
+  | _ -> false
+
+let tunnel_quiescent tun =
+  match tun.sides with
+  | [ a; b ] -> a.sent = b.recvd && b.sent = a.recvd
+  | [ a ] -> a.sent = 0 && a.recvd = 0
+  | _ -> true
+
+(* Invariants checked once the trace ends: a tunnel with no signal in
+   flight must sit in a protocol-consistent state pair.  In particular a
+   side stuck in [Closing] means its close was never acknowledged. *)
+let finalize tun =
+  if tunnel_quiescent tun then
+    match tun.sides with
+    | [ a; b ] when not (quiescent_pair a b) ->
+      tun.violations <-
+        Printf.sprintf "%s.%d: inconsistent quiescent states (%s=%s, %s=%s)" tun.t_chan
+          tun.t_tun a.s_box (state_name a.st) b.s_box (state_name b.st)
+        :: tun.violations
+    | _ -> ()
+
+(* Runs the per-tunnel machines over a trace; returns the tunnels in
+   first-appearance order, finalized. *)
+let run_machines events =
+  let tunnels : (string * int, tunnel) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let tunnel chan tun =
+    match Hashtbl.find_opt tunnels (chan, tun) with
+    | Some t -> t
+    | None ->
+      let t =
+        {
+          t_chan = chan;
+          t_tun = tun;
+          sides = [];
+          races = 0;
+          violations = [];
+          both_flowing_at = None;
+        }
+      in
+      Hashtbl.add tunnels (chan, tun) t;
+      order := t :: !order;
+      t
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Sig_send { chan; tun; box; initiator; signal; _ } ->
+        let t = tunnel chan tun in
+        on_send t ~seq:e.Trace.seq (side_of t ~box ~initiator) signal;
+        note_flowing t e.Trace.at
+      | Trace.Sig_recv { chan; tun; box; initiator; signal; _ } ->
+        let t = tunnel chan tun in
+        on_recv t ~seq:e.Trace.seq (side_of t ~box ~initiator) signal;
+        note_flowing t e.Trace.at
+      | Trace.Meta_send _ | Trace.Meta_recv _ | Trace.Slot_transition _ | Trace.Goal _
+      | Trace.Net _ ->
+        ())
+    events;
+  let ordered = List.rev !order in
+  List.iter finalize ordered;
+  ordered
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+
+type side_summary = {
+  box : string;
+  side_initiator : bool;
+  final : string;
+  enabled_rx : bool;
+  enabled_tx : bool;
+}
+
+type tunnel_report = {
+  chan : string;
+  tun : int;
+  summaries : side_summary list;
+  sends : int;
+  recvs : int;
+  races : int;
+  quiescent : bool;
+  first_both_flowing : float option;
+  tunnel_violations : string list;
+}
+
+type report = { tunnels : tunnel_report list; violations : string list }
+
+let replay events =
+  let reports =
+    List.map
+      (fun t ->
+        {
+          chan = t.t_chan;
+          tun = t.t_tun;
+          summaries =
+            List.map
+              (fun s ->
+                {
+                  box = s.s_box;
+                  side_initiator = s.s_initiator;
+                  final = state_name s.st;
+                  enabled_rx = rx_enabled s;
+                  enabled_tx = tx_enabled s;
+                })
+              t.sides;
+          sends = List.fold_left (fun acc s -> acc + s.sent) 0 t.sides;
+          recvs = List.fold_left (fun acc s -> acc + s.recvd) 0 t.sides;
+          races = t.races;
+          quiescent = tunnel_quiescent t;
+          first_both_flowing = t.both_flowing_at;
+          tunnel_violations = List.rev t.violations;
+        })
+      (run_machines events)
+  in
+  { tunnels = reports; violations = List.concat_map (fun r -> r.tunnel_violations) reports }
+
+let conformant r = r.violations = []
+
+(* ------------------------------------------------------------------ *)
+(* Finite-trace obligations                                            *)
+
+type obligation =
+  | Eventually_always_closed
+  | Eventually_always_not_flowing
+  | Always_eventually_flowing
+  | Closed_or_flowing
+
+let obligation_to_string = function
+  | Eventually_always_closed -> "<>[] bothClosed"
+  | Eventually_always_not_flowing -> "<>[] !bothFlowing"
+  | Always_eventually_flowing -> "[]<> bothFlowing"
+  | Closed_or_flowing -> "(<>[] bothClosed) \\/ ([]<> bothFlowing)"
+
+type verdict = Satisfied | Violated of string | Undetermined of string
+
+let pp_verdict ppf = function
+  | Satisfied -> Format.pp_print_string ppf "satisfied"
+  | Violated msg -> Format.fprintf ppf "VIOLATED: %s" msg
+  | Undetermined msg -> Format.fprintf ppf "undetermined at cutoff: %s" msg
+
+type ends = { left : string * string * int; right : string * string * int }
+
+let find_side tunnels (box, chan, tun) =
+  match List.find_opt (fun t -> t.t_chan = chan && t.t_tun = tun) tunnels with
+  | None -> None
+  | Some t -> List.find_opt (fun s -> String.equal s.s_box box) t.sides
+
+(* The path predicates, mirroring [Mediactl_core.Semantics]:
+   [both_closed] and the agreement form of [both_flowing] (matching
+   media, exchanged descriptors, fresh selectors at both ends).
+   [structural] drops the agreement refinement — the form the model
+   checker uses under loss budgets, where nothing retransmits. *)
+let opt_equal eq a b =
+  match a, b with
+  | Some x, Some y -> eq x y
+  | (Some _ | None), _ -> false
+
+let both_closed l r = l.st = Closed && r.st = Closed
+let ends_flowing l r = l.st = Flowing && r.st = Flowing
+
+let both_flowing l r =
+  ends_flowing l r
+  && opt_equal Medium.equal l.medium r.medium
+  && opt_equal Descriptor.equal l.remote_desc r.sent_desc
+  && opt_equal Descriptor.equal r.remote_desc l.sent_desc
+  && sel_fresh l.recv_sel l.sent_desc && sel_fresh r.recv_sel r.sent_desc
+
+(* On a finite trace a liveness obligation can only be decided at a
+   quiescent cutoff, where infinite stuttering of the final state is the
+   sole continuation the system itself would produce — exactly the
+   terminal-state checks of the model checker ([Temporal]).  A
+   non-quiescent cutoff leaves every obligation undetermined. *)
+let verdict ?(structural = false) obligation ~ends events =
+  let tunnels = run_machines events in
+  let all_violations = List.concat_map (fun (t : tunnel) -> List.rev t.violations) tunnels in
+  match all_violations with
+  | v :: _ -> Violated ("protocol violation: " ^ v)
+  | [] ->
+    if not (List.for_all tunnel_quiescent tunnels) then
+      Undetermined "signals still in flight"
+    else (
+      (* An end slot absent from the trace never signalled: it is still
+         in its initial Closed state. *)
+      let side_or_initial (box, _, _ as slot_ref) =
+        match find_side tunnels slot_ref with
+        | Some s -> s
+        | None -> fresh_side ~box ~initiator:false
+      in
+      let l = side_or_initial ends.left and r = side_or_initial ends.right in
+        let flowing = if structural then ends_flowing l r else both_flowing l r in
+        let closed = both_closed l r in
+        let sat cond msg = if cond then Satisfied else Violated msg in
+        (match obligation with
+        | Eventually_always_closed -> sat closed "terminal state is not bothClosed"
+        | Eventually_always_not_flowing ->
+          sat (not flowing) "terminal state satisfies bothFlowing"
+        | Always_eventually_flowing -> sat flowing "terminal state violates bothFlowing"
+        | Closed_or_flowing ->
+          sat (closed || flowing) "terminal state is neither bothClosed nor bothFlowing"))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let pp_tunnel_report ppf r =
+  Format.fprintf ppf "%s.%d  %s  sends=%d recvs=%d races=%d%s%s" r.chan r.tun
+    (String.concat "/"
+       (List.map
+          (fun s ->
+            Printf.sprintf "%s:%s%s" s.box s.final (if s.enabled_rx then "+rx" else ""))
+          r.summaries))
+    r.sends r.recvs r.races
+    (if r.quiescent then "" else "  IN-FLIGHT")
+    (match r.tunnel_violations with
+    | [] -> ""
+    | vs -> Printf.sprintf "  %d VIOLATION(S)" (List.length vs))
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_tunnel_report)
+    r.tunnels;
+  match r.violations with
+  | [] -> ()
+  | vs ->
+    Format.fprintf ppf "@.@[<v>violations:@ %a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string)
+      vs

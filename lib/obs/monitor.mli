@@ -1,0 +1,74 @@
+(** Trace conformance checking (runtime verification).
+
+    The monitor replays a captured {!Trace.event} stream through an
+    independent re-implementation of the Figure-5 media-channel state
+    machine — it shares no code with [Mediactl_protocol.Slot] — and
+    checks the [Lenabled]/[Renabled] protocol invariants plus the §V
+    path obligations on the finite trace.  Verdicts are three-valued:
+    satisfied, violated, or undetermined-at-cutoff, following the usual
+    finite-trace LTL semantics of runtime verification. *)
+
+type side_summary = {
+  box : string;
+  side_initiator : bool;
+  final : string;  (** final Fig. 5 state name *)
+  enabled_rx : bool;  (** the [Lenabled]-style receive-media mirror *)
+  enabled_tx : bool;
+}
+
+type tunnel_report = {
+  chan : string;
+  tun : int;
+  summaries : side_summary list;
+  sends : int;
+  recvs : int;
+  races : int;  (** crossing-[open] occurrences observed *)
+  quiescent : bool;  (** per direction, sends = receives at cutoff *)
+  first_both_flowing : float option;  (** time both sides first reached Flowing *)
+  tunnel_violations : string list;
+}
+
+type report = { tunnels : tunnel_report list; violations : string list }
+
+val replay : Trace.event list -> report
+(** Run every tunnel appearing in the trace through the Fig. 5 machine.
+    Violations collect illegal sends, unexpected receives, and
+    inconsistent quiescent state pairs (e.g. one side stuck in
+    [closing] because its [closeack] was lost). *)
+
+val conformant : report -> bool
+(** No violations anywhere in the trace. *)
+
+(** {2 Path obligations}
+
+    The four §V obligation shapes, matching
+    [Mediactl_core.Semantics.spec]. *)
+
+type obligation =
+  | Eventually_always_closed  (** [<>[] bothClosed] *)
+  | Eventually_always_not_flowing  (** [<>[] !bothFlowing] *)
+  | Always_eventually_flowing  (** [[]<> bothFlowing] *)
+  | Closed_or_flowing  (** [(<>[] bothClosed) \/ ([]<> bothFlowing)] *)
+
+val obligation_to_string : obligation -> string
+
+type verdict = Satisfied | Violated of string | Undetermined of string
+
+type ends = { left : string * string * int; right : string * string * int }
+(** The end slots the obligation speaks about, each as
+    [(box, channel, tunnel)]. *)
+
+val verdict : ?structural:bool -> obligation -> ends:ends -> Trace.event list -> verdict
+(** Evaluate an obligation on a finite trace.  A liveness obligation is
+    decided only at a quiescent cutoff (no signal in flight on any
+    tunnel), where infinite stuttering of the final state is the sole
+    continuation the system itself would produce — the same
+    terminal-state reading the model checker's [Temporal] module uses.
+    A non-quiescent cutoff yields [Undetermined].  [structural] weakens
+    [bothFlowing] to "both end states are Flowing", dropping the
+    descriptor/selector agreement refinement — the form the model
+    checker falls back to under loss budgets. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_tunnel_report : Format.formatter -> tunnel_report -> unit
+val pp_report : Format.formatter -> report -> unit

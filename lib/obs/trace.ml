@@ -1,0 +1,196 @@
+open Mediactl_types
+
+type sig_event = {
+  chan : string;
+  tun : int;
+  box : string;
+  peer : string;
+  initiator : bool;
+  signal : Signal.t;
+}
+
+type net_decision =
+  | Dropped
+  | Passed of int
+  | Retransmit of int
+  | Retry_exhausted
+  | Dup_suppressed
+  | Reorder_suppressed
+  | Ack_sent
+  | Ack_dropped
+
+type kind =
+  | Sig_send of sig_event
+  | Sig_recv of sig_event
+  | Meta_send of { chan : string; box : string }
+  | Meta_recv of { chan : string; box : string }
+  | Slot_transition of { slot : string; from_ : string; to_ : string; cause : string }
+  | Goal of { goal : string; slot : string; from_ : string; to_ : string }
+  | Net of { chan : string; decision : net_decision }
+
+type event = { seq : int; at : float; kind : kind }
+
+type sink = event -> unit
+
+(* The sink is deliberately a single global: instrumentation sites all
+   over the stack guard themselves with one flag read, so a disabled
+   trace costs one load and one branch per site and allocates nothing.
+   Tracing is not meant to be enabled during parallel exploration. *)
+let the_sink : sink option ref = ref None
+let seq_counter = ref 0
+let the_clock : (unit -> float) ref = ref (fun () -> 0.0)
+
+let enabled () = !the_sink <> None
+
+let set_sink sink =
+  the_sink := sink;
+  seq_counter := 0
+
+let set_clock f = the_clock := f
+let reset_clock () = the_clock := (fun () -> 0.0)
+
+let emit kind =
+  match !the_sink with
+  | None -> ()
+  | Some f ->
+    let seq = !seq_counter in
+    incr seq_counter;
+    f { seq; at = !the_clock (); kind }
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+
+type collector = { mutable rev : event list; mutable count : int }
+
+let collector () = { rev = []; count = 0 }
+
+let sink_of c e =
+  c.rev <- e :: c.rev;
+  c.count <- c.count + 1
+
+let events c = List.rev c.rev
+let count c = c.count
+
+let recording f =
+  let c = collector () in
+  set_sink (Some (sink_of c));
+  Fun.protect
+    ~finally:(fun () ->
+      set_sink None;
+      reset_clock ())
+    (fun () ->
+      let x = f () in
+      (x, events c))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let decision_name = function
+  | Dropped -> "dropped"
+  | Passed 1 -> "passed"
+  | Passed _ -> "duplicated"
+  | Retransmit _ -> "retransmit"
+  | Retry_exhausted -> "retry-exhausted"
+  | Dup_suppressed -> "dup-suppressed"
+  | Reorder_suppressed -> "reorder-suppressed"
+  | Ack_sent -> "ack"
+  | Ack_dropped -> "ack-dropped"
+
+let pp_kind ppf = function
+  | Sig_send { chan; tun; box; peer; signal; _ } ->
+    Format.fprintf ppf "send %s.%d %s->%s %a" chan tun box peer Signal.pp signal
+  | Sig_recv { chan; tun; box; peer; signal; _ } ->
+    Format.fprintf ppf "recv %s.%d %s<-%s %a" chan tun box peer Signal.pp signal
+  | Meta_send { chan; box } -> Format.fprintf ppf "meta-send %s from %s" chan box
+  | Meta_recv { chan; box } -> Format.fprintf ppf "meta-recv %s at %s" chan box
+  | Slot_transition { slot; from_; to_; cause } ->
+    Format.fprintf ppf "slot %s %s->%s (%s)" slot from_ to_ cause
+  | Goal { goal; slot; from_; to_ } ->
+    Format.fprintf ppf "goal %s at %s %s->%s" goal slot from_ to_
+  | Net { chan; decision } -> Format.fprintf ppf "net %s %s" chan (decision_name decision)
+
+let pp_event ppf e = Format.fprintf ppf "#%d %8.1f  %a" e.seq e.at pp_kind e.kind
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export                                                        *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let desc_json d =
+  let owner, version = Descriptor.id d in
+  Printf.sprintf "{\"owner\":%s,\"version\":%d,\"media\":%b}" (str owner) version
+    (Descriptor.offers_media d)
+
+let sel_json (s : Selector.t) =
+  let owner, version = s.Selector.responds_to in
+  Printf.sprintf "{\"responds_to\":{\"owner\":%s,\"version\":%d},\"codec\":%s}" (str owner)
+    version
+    (match Selector.codec s with
+    | None -> "null"
+    | Some c -> str (Format.asprintf "%a" Codec.pp c))
+
+let signal_json signal =
+  let base = Printf.sprintf "\"signal\":%s" (str (Signal.name signal)) in
+  let payload =
+    match Signal.descriptor signal, Signal.selector signal with
+    | Some d, _ -> Printf.sprintf ",\"desc\":%s" (desc_json d)
+    | None, Some s -> Printf.sprintf ",\"sel\":%s" (sel_json s)
+    | None, None -> ""
+  in
+  base ^ payload
+
+let sig_json tag { chan; tun; box; peer; initiator; signal } =
+  Printf.sprintf "\"kind\":%s,\"chan\":%s,\"tun\":%d,\"box\":%s,\"peer\":%s,\"initiator\":%b,%s"
+    (str tag) (str chan) tun (str box) (str peer) initiator (signal_json signal)
+
+let kind_json = function
+  | Sig_send s -> sig_json "sig_send" s
+  | Sig_recv s -> sig_json "sig_recv" s
+  | Meta_send { chan; box } ->
+    Printf.sprintf "\"kind\":\"meta_send\",\"chan\":%s,\"box\":%s" (str chan) (str box)
+  | Meta_recv { chan; box } ->
+    Printf.sprintf "\"kind\":\"meta_recv\",\"chan\":%s,\"box\":%s" (str chan) (str box)
+  | Slot_transition { slot; from_; to_; cause } ->
+    Printf.sprintf "\"kind\":\"slot\",\"slot\":%s,\"from\":%s,\"to\":%s,\"cause\":%s" (str slot)
+      (str from_) (str to_) (str cause)
+  | Goal { goal; slot; from_; to_ } ->
+    Printf.sprintf "\"kind\":\"goal\",\"goal\":%s,\"slot\":%s,\"from\":%s,\"to\":%s" (str goal)
+      (str slot) (str from_) (str to_)
+  | Net { chan; decision } ->
+    let extra =
+      match decision with
+      | Passed n -> Printf.sprintf ",\"copies\":%d" n
+      | Retransmit attempt -> Printf.sprintf ",\"attempt\":%d" attempt
+      | Dropped | Retry_exhausted | Dup_suppressed | Reorder_suppressed | Ack_sent
+      | Ack_dropped ->
+        ""
+    in
+    Printf.sprintf "\"kind\":\"net\",\"chan\":%s,\"decision\":%s%s" (str chan)
+      (str (decision_name decision))
+      extra
+
+let event_to_json e = Printf.sprintf "{\"seq\":%d,\"t\":%.3f,%s}" e.seq e.at (kind_json e.kind)
+
+let write_jsonl path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (event_to_json e);
+          output_char oc '\n')
+        events)

@@ -1,0 +1,98 @@
+(** Structured signal tracing.
+
+    Every layer of the stack carries instrumentation points that emit
+    timestamped structured events into a single global sink: signal
+    sends ({!Mediactl_signaling.Channel}), signal deliveries
+    ({!Mediactl_runtime.Netsys}), slot-state transitions
+    ({!Mediactl_protocol.Slot}), goal-state changes (the
+    [Mediactl_core] goal objects), and drop / duplicate / retransmit
+    decisions ([Mediactl_net]).
+
+    The design is zero-cost when disabled: each site guards itself with
+    {!enabled} — one load and one branch, no allocation — so the model
+    checker and the benchmarks pay nothing for the instrumentation.
+    Tracing is single-domain: do not enable a sink during parallel
+    exploration ([--jobs] > 1). *)
+
+type sig_event = {
+  chan : string;  (** channel label, the [Netsys] channel name *)
+  tun : int;
+  box : string;  (** the acting box: sender of a send, receiver of a receive *)
+  peer : string;
+  initiator : bool;  (** the acting box is the channel initiator (the A end) *)
+  signal : Mediactl_types.Signal.t;
+}
+
+(** What the network or the reliability layer decided about one frame. *)
+type net_decision =
+  | Dropped  (** the impaired network lost the frame *)
+  | Passed of int  (** delivered; [Passed 2] is a network duplication *)
+  | Retransmit of int  (** go-back-N retransmission, with its attempt number *)
+  | Retry_exhausted  (** the sender gave up after [max_retries] *)
+  | Dup_suppressed  (** sequence-number deduplication discarded a copy *)
+  | Reorder_suppressed  (** go-back-N receiver discarded an out-of-order frame *)
+  | Ack_sent
+  | Ack_dropped
+
+type kind =
+  | Sig_send of sig_event
+  | Sig_recv of sig_event
+  | Meta_send of { chan : string; box : string }
+  | Meta_recv of { chan : string; box : string }
+  | Slot_transition of { slot : string; from_ : string; to_ : string; cause : string }
+      (** [slot] is the slot label; [cause] the signal or operation name. *)
+  | Goal of { goal : string; slot : string; from_ : string; to_ : string }
+      (** A goal object drove or observed a slot-state change. *)
+  | Net of { chan : string; decision : net_decision }
+
+type event = { seq : int; at : float; kind : kind }
+(** [seq] is a global emission counter (total order even at equal
+    timestamps); [at] is the current clock, in simulated milliseconds. *)
+
+type sink = event -> unit
+
+(** {2 The global sink} *)
+
+val enabled : unit -> bool
+(** Instrumentation sites call this before building an event. *)
+
+val set_sink : sink option -> unit
+(** Installing a sink resets the sequence counter; [None] disables
+    tracing again. *)
+
+val emit : kind -> unit
+(** Timestamp, number, and dispatch an event.  No-op when disabled. *)
+
+val set_clock : (unit -> float) -> unit
+(** Timestamp source, typically [fun () -> Timed.now sim] (see
+    {!Mediactl_runtime.Timed.observe}).  Defaults to a constant [0.];
+    event ordering is then carried by [seq] alone. *)
+
+val reset_clock : unit -> unit
+
+(** {2 Collecting} *)
+
+type collector
+
+val collector : unit -> collector
+val sink_of : collector -> sink
+val events : collector -> event list
+(** In emission order. *)
+
+val count : collector -> int
+
+val recording : (unit -> 'a) -> 'a * event list
+(** [recording f] runs [f] with a fresh collector installed as the sink
+    and returns its result with the captured events; the previous sink
+    and clock are cleared afterwards, also on exceptions. *)
+
+(** {2 Rendering} *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
+
+val event_to_json : event -> string
+(** One JSON object, no trailing newline. *)
+
+val write_jsonl : string -> event list -> unit
+(** [write_jsonl path events] writes one JSON object per line. *)

@@ -127,6 +127,27 @@ let receive t signal =
   | Signal.Select _, (Slot_state.Closed | Slot_state.Opening | Slot_state.Opened) ->
     unexpected t signal
 
+(* Trace instrumentation: a no-op load-and-branch unless a sink is
+   installed — [receive] sits in the model checker's innermost loop. *)
+let observe ~cause before after =
+  if
+    Mediactl_obs.Trace.enabled () && not (Slot_state.equal after.state before.state)
+  then
+    Mediactl_obs.Trace.emit
+      (Mediactl_obs.Trace.Slot_transition
+         {
+           slot = before.label;
+           from_ = Slot_state.to_string before.state;
+           to_ = Slot_state.to_string after.state;
+           cause;
+         });
+  after
+
+let receive t signal =
+  match receive t signal with
+  | Ok (t', outs, notes) -> Ok (observe ~cause:(Signal.name signal) t t', outs, notes)
+  | Error _ as e -> e
+
 let illegal t operation = Error (Illegal_send { state = t.state; operation })
 
 let send_open t m d =
@@ -164,6 +185,17 @@ let send_select t s =
   | Slot_state.Flowing -> Ok ({ t with sent_sel = Some s }, Signal.Select s)
   | Slot_state.Closed | Slot_state.Opening | Slot_state.Opened | Slot_state.Closing ->
     illegal t "send_select"
+
+let wrap_send ~operation inner t =
+  match inner with
+  | Ok (t', signal) -> Ok (observe ~cause:operation t t', signal)
+  | Error _ as e -> e
+
+let send_open t m d = wrap_send ~operation:"send_open" (send_open t m d) t
+let send_oack t d = wrap_send ~operation:"send_oack" (send_oack t d) t
+let send_close t = wrap_send ~operation:"send_close" (send_close t) t
+let send_describe t d = wrap_send ~operation:"send_describe" (send_describe t d) t
+let send_select t s = wrap_send ~operation:"send_select" (send_select t s) t
 
 let is_closed t = t.state = Slot_state.Closed
 let is_opening t = t.state = Slot_state.Opening

@@ -8,7 +8,11 @@ let is_dead s = not (is_live s)
 
 let all = [ Closed; Opening; Opened; Flowing; Closing ]
 
-let equal a b = a = b
+let equal a b =
+  match a, b with
+  | Closed, Closed | Opening, Opening | Opened, Opened | Flowing, Flowing | Closing, Closing ->
+    true
+  | (Closed | Opening | Opened | Flowing | Closing), _ -> false
 let compare = Stdlib.compare
 
 let to_string = function

@@ -57,7 +57,7 @@ let connect t ~chan ?(tunnels = 1) ~initiator ~acceptor () =
     | None, _ -> fail t (Printf.sprintf "unknown box %s" initiator)
     | _, None -> fail t (Printf.sprintf "unknown box %s" acceptor)
     | Some ibox, Some abox ->
-      let channel = Channel.create ~tunnels ~initiator ~acceptor () in
+      let channel = Channel.create ~label:chan ~tunnels ~initiator ~acceptor () in
       let add_slots box role prefix =
         let extra =
           List.init tunnels (fun tun ->
@@ -295,7 +295,10 @@ let take_meta t ~chan ~at =
   | None, Some channel -> (
     match Channel.receive_meta channel ~at_box:at with
     | None -> None
-    | Some (meta, channel) -> Some (meta, set_chan t chan channel))
+    | Some (meta, channel) ->
+      if Mediactl_obs.Trace.enabled () then
+        Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Meta_recv { chan; box = at });
+      Some (meta, set_chan t chan channel))
 
 (* ------------------------------------------------------------------ *)
 (* Delivery                                                            *)
@@ -383,6 +386,28 @@ let dispatch_signal t box_name key signal =
               in
               route_link_emissions (set_box t box_name box) box_name k1 k2 o.Flow_link.out)
             (Flow_link.on_signal fl ~left:s1 ~right:s2 side signal))))
+
+(* Emitting the receive here — rather than in [Channel.receive_signal] —
+   puts the event at the commit point shared by both delivery paths:
+   direct delivery and impaired frames re-injected by [Timed].  (The
+   impairment path pops the tunnel via [take] long before the frame is
+   actually delivered, so the pop is not the receive.) *)
+let dispatch_signal t box_name key signal =
+  if Mediactl_obs.Trace.enabled () then
+    (match find_chan t key.chan with
+    | Some channel ->
+      Mediactl_obs.Trace.emit
+        (Mediactl_obs.Trace.Sig_recv
+           {
+             chan = Channel.label channel;
+             tun = key.tun;
+             box = box_name;
+             peer = Channel.peer_of channel box_name;
+             initiator = String.equal (Channel.initiator channel) box_name;
+             signal;
+           })
+    | None -> ());
+  dispatch_signal t box_name key signal
 
 let deliver t { s_chan; s_tun; to_ } =
   if t.error <> None then None

@@ -55,6 +55,8 @@ let create ?(seed = 42) ?(n = 34.0) ?(c = 20.0) network =
 
 let net t = t.network
 let now t = Engine.now t.engine
+
+let observe t = Mediactl_obs.Trace.set_clock (fun () -> Engine.now t.engine)
 let n t = t.n
 let c t = t.c
 let error t = Netsys.err t.network

@@ -24,6 +24,12 @@ val now : t -> float
 val n : t -> float
 val c : t -> float
 
+val observe : t -> unit
+(** Point the {!Mediactl_obs.Trace} clock at this simulation's virtual
+    time, so trace events are stamped in simulated milliseconds.  Call
+    it once before installing a sink; [Trace.recording] resets the
+    clock when it finishes. *)
+
 val apply : t -> (Netsys.t -> Netsys.t * Netsys.send list) -> unit
 (** Perform a network operation at the current time; each signal it put
     into a tunnel is scheduled to arrive [c + n] later. *)

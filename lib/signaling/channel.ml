@@ -1,6 +1,7 @@
 open Mediactl_types
 
 type t = {
+  label : string;
   initiator : string;
   acceptor : string;
   tunnels : Tunnel.t list;
@@ -8,10 +9,11 @@ type t = {
   meta_to_initiator : Meta.t list;
 }
 
-let create ?(tunnels = 1) ~initiator ~acceptor () =
+let create ?label ?(tunnels = 1) ~initiator ~acceptor () =
   if tunnels < 1 then invalid_arg "Channel.create: need at least one tunnel";
   if String.equal initiator acceptor then invalid_arg "Channel.create: self-channel";
   {
+    label = (match label with Some l -> l | None -> initiator ^ "-" ^ acceptor);
     initiator;
     acceptor;
     tunnels = List.init tunnels (fun _ -> Tunnel.empty);
@@ -19,6 +21,7 @@ let create ?(tunnels = 1) ~initiator ~acceptor () =
     meta_to_initiator = [];
   }
 
+let label t = t.label
 let initiator t = t.initiator
 let acceptor t = t.acceptor
 let tunnel_count t = List.length t.tunnels
@@ -45,6 +48,17 @@ let with_tunnel t i tun =
 
 let send_signal t ~from_box ~tunnel:i signal =
   let from = end_of t from_box in
+  if Mediactl_obs.Trace.enabled () then
+    Mediactl_obs.Trace.emit
+      (Mediactl_obs.Trace.Sig_send
+         {
+           chan = t.label;
+           tun = i;
+           box = from_box;
+           peer = peer_of t from_box;
+           initiator = from = Tunnel.A;
+           signal;
+         });
   with_tunnel t i (Tunnel.send ~from signal (tunnel t i))
 
 let receive_signal t ~at_box ~tunnel:i =
@@ -54,6 +68,8 @@ let receive_signal t ~at_box ~tunnel:i =
   | Some (signal, tun) -> Some (signal, with_tunnel t i tun)
 
 let send_meta t ~from_box meta =
+  if Mediactl_obs.Trace.enabled () then
+    Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Meta_send { chan = t.label; box = from_box });
   match end_of t from_box with
   | Tunnel.A -> { t with meta_to_acceptor = t.meta_to_acceptor @ [ meta ] }
   | Tunnel.B -> { t with meta_to_initiator = t.meta_to_initiator @ [ meta ] }

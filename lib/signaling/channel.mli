@@ -10,10 +10,13 @@ open Mediactl_types
 
 type t
 
-val create : ?tunnels:int -> initiator:string -> acceptor:string -> unit -> t
-(** A fresh channel with [tunnels] empty tunnels (default 1).  Raises
-    [Invalid_argument] when [tunnels < 1] or the box names coincide. *)
+val create : ?label:string -> ?tunnels:int -> initiator:string -> acceptor:string -> unit -> t
+(** A fresh channel with [tunnels] empty tunnels (default 1).  [label]
+    identifies the channel in trace events (defaults to
+    ["initiator-acceptor"]).  Raises [Invalid_argument] when
+    [tunnels < 1] or the box names coincide. *)
 
+val label : t -> string
 val initiator : t -> string
 val acceptor : t -> string
 val tunnel_count : t -> int

@@ -20,6 +20,23 @@ let stddev t =
 let min t = List.fold_left Float.min infinity t.samples
 let max t = List.fold_left Float.max neg_infinity t.samples
 
+let samples t = List.sort Float.compare t.samples
+
+let histogram ?(bins = 10) t =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if t.n = 0 then []
+  else
+    let lo = min t and hi = max t in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    List.iter
+      (fun x ->
+        let i = Stdlib.min (bins - 1) (int_of_float ((x -. lo) /. width)) in
+        counts.(i) <- counts.(i) + 1)
+      t.samples;
+    List.init bins (fun i ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), counts.(i)))
+
 let percentile t p =
   if t.n = 0 then invalid_arg "Stats.percentile: no samples";
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: rank out of range";

@@ -10,6 +10,14 @@ val stddev : t -> float
 val min : t -> float
 val max : t -> float
 
+val samples : t -> float list
+(** All samples added so far, in ascending order. *)
+
+val histogram : ?bins:int -> t -> (float * float * int) list
+(** Equal-width bins [(lo, hi, count)] over the sample range.  Empty
+    when no samples were added.  Raises [Invalid_argument] when [bins]
+    is not positive. *)
+
 val percentile : t -> float -> float
 (** [percentile t 0.5] is the median.  Raises [Invalid_argument] when no
     samples were added or the rank is outside [0, 1]. *)

@@ -1,0 +1,260 @@
+(* Tests for the observability subsystem (mediactl.obs): the trace
+   sink, per-run metrics, and the Fig. 5 conformance monitor — including
+   the round-trip against the model checker's verdicts on the same path
+   configurations, and detection of injected protocol violations. *)
+
+open Mediactl_types
+open Mediactl_core
+open Mediactl_runtime
+open Mediactl_apps
+module Trace = Mediactl_obs.Trace
+module Metrics = Mediactl_obs.Metrics
+module Monitor = Mediactl_obs.Monitor
+module Stats = Mediactl_sim.Stats
+module Impair = Mediactl_net.Impair
+module Policy = Mediactl_net.Policy
+module Reliable = Mediactl_net.Reliable
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* A traced timed run of a model-checker path configuration. *)
+let traced_path ?(left = Semantics.Open_end) ?(right = Semantics.Open_end) ?(flowlinks = 0)
+    ?(loss = 0.0) ~seed () =
+  snd
+    (Trace.recording (fun () ->
+         let sim = Timed.create ~seed ~n:34.0 ~c:20.0 (Pathlab.topology ~flowlinks ()) in
+         Timed.observe sim;
+         if loss > 0.0 then begin
+           let impair = Impair.create ~seed ~default:(Policy.lossy loss) () in
+           ignore (Reliable.attach impair sim)
+         end;
+         Timed.apply sim (Pathlab.engage_left left);
+         Timed.apply sim (Pathlab.engage_right right ~flowlinks);
+         ignore (Timed.run ~until:60_000.0 sim)))
+
+(* --- the sink --------------------------------------------------------- *)
+
+let test_sink_disabled () =
+  check tbool "disabled by default" false (Trace.enabled ());
+  (* Emitting without a sink is a no-op, not an error. *)
+  Trace.emit (Trace.Meta_send { chan = "c"; box = "b" });
+  let (), events = Trace.recording (fun () -> ()) in
+  check tint "fresh recording is empty" 0 (List.length events);
+  check tbool "disabled after recording" false (Trace.enabled ())
+
+let test_recording_captures_and_numbers () =
+  let (), events =
+    Trace.recording (fun () ->
+        Trace.emit (Trace.Meta_send { chan = "c"; box = "a" });
+        Trace.emit (Trace.Meta_recv { chan = "c"; box = "b" }))
+  in
+  check tint "two events" 2 (List.length events);
+  check tbool "sequence numbers restart and increase" true
+    (List.map (fun e -> e.Trace.seq) events = [ 0; 1 ])
+
+let test_jsonl_roundtrip_shape () =
+  let events = traced_path ~seed:3 () in
+  check tbool "nonempty" true (events <> []);
+  let path = Filename.temp_file "obs" ".jsonl" in
+  Trace.write_jsonl path events;
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       check tbool "line is a JSON object" true
+         (String.length line > 2 && line.[0] = '{' && line.[String.length line - 1] = '}')
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  check tint "one line per event" (List.length events) !lines
+
+(* --- metrics ---------------------------------------------------------- *)
+
+let test_metrics_clean_run () =
+  let events = traced_path ~seed:5 () in
+  let m = Metrics.of_events events in
+  let sends = List.fold_left (fun acc (_, n) -> acc + n) 0 m.Metrics.sends_by_signal in
+  check tint "every send delivered" sends m.Metrics.recvs;
+  check tint "no drops without impairment" 0 m.Metrics.drops;
+  check tint "no retransmissions without impairment" 0 m.Metrics.retransmissions;
+  check tbool "time to bothFlowing measured" true (Stats.count m.Metrics.time_to_flowing = 1);
+  check tbool "a signal round-trip measured" true (Stats.count m.Metrics.round_trip >= 1);
+  check tint "clean run is conformant" 0 m.Metrics.violations
+
+let prop_histogram_partitions =
+  QCheck2.Test.make ~name:"histogram bins partition the samples" ~count:100
+    QCheck2.Gen.(pair (int_range 1 12) (list_size (int_range 1 60) (float_bound_exclusive 1000.0)))
+    (fun (bins, samples) ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) samples;
+      let h = Stats.histogram ~bins s in
+      List.length h = bins
+      && List.fold_left (fun acc (_, _, n) -> acc + n) 0 h = List.length samples)
+
+(* --- the monitor: conformance ---------------------------------------- *)
+
+let prop_zero_loss_satisfies_monitor =
+  QCheck2.Test.make
+    ~name:"zero-impairment path run: Fig. 5 conformant and []<> bothFlowing satisfied"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 0 1))
+    (fun (seed, flowlinks) ->
+      let events = traced_path ~seed ~flowlinks () in
+      let report = Monitor.replay events in
+      let verdict =
+        Monitor.verdict Monitor.Always_eventually_flowing ~ends:(Pathlab.ends ~flowlinks)
+          events
+      in
+      Monitor.conformant report && verdict = Monitor.Satisfied)
+
+let prop_lossy_still_conformant =
+  QCheck2.Test.make
+    ~name:"lossy path run with the reliability layer: still protocol-conformant" ~count:40
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 1 25))
+    (fun (seed, loss_pct) ->
+      let events = traced_path ~seed ~loss:(float_of_int loss_pct /. 100.0) () in
+      Monitor.conformant (Monitor.replay events))
+
+(* --- the monitor: flagging violations -------------------------------- *)
+
+(* A run that closes cleanly: both ends flow, then both ends are told to
+   close (crossing closes, both acknowledged). *)
+let record_close_run () =
+  snd
+    (Trace.recording (fun () ->
+         let net, _ = Netsys.run (Pathlab.build ()) in
+         let net, _ = Netsys.bind_close net Pathlab.left_slot in
+         let net, _ = Netsys.bind_close net (Pathlab.right_slot ~flowlinks:0) in
+         ignore (Netsys.run net)))
+
+(* Drop R's closeack (its send, and its receipt at L), as a faulty
+   network without the reliability layer would. *)
+let drop_closeack events =
+  List.filter
+    (fun e ->
+      match e.Trace.kind with
+      | Trace.Sig_send { box = "R"; signal = Signal.Closeack; _ } -> false
+      | Trace.Sig_recv { box = "L"; signal = Signal.Closeack; _ } -> false
+      | _ -> true)
+    events
+
+let test_clean_close_is_conformant () =
+  let events = record_close_run () in
+  let report = Monitor.replay events in
+  check tbool "close run conformant" true (Monitor.conformant report);
+  check tbool "close run decides <>[] bothClosed" true
+    (Monitor.verdict Monitor.Eventually_always_closed ~ends:(Pathlab.ends ~flowlinks:0)
+       events
+    = Monitor.Satisfied)
+
+let test_dropped_closeack_is_flagged () =
+  let events = drop_closeack (record_close_run ()) in
+  let report = Monitor.replay events in
+  check tbool "mutated trace is non-conformant" false (Monitor.conformant report);
+  check tbool "stuck closing is reported" true
+    (List.exists
+       (fun v ->
+         let has needle =
+           let lv = String.length v and ln = String.length needle in
+           let rec go i = i + ln <= lv && (String.sub v i ln = needle || go (i + 1)) in
+           go 0
+         in
+         has "closing")
+       report.Monitor.violations);
+  match
+    Monitor.verdict Monitor.Eventually_always_closed ~ends:(Pathlab.ends ~flowlinks:0) events
+  with
+  | Monitor.Violated _ -> ()
+  | Monitor.Satisfied | Monitor.Undetermined _ ->
+    Alcotest.fail "obligation should be violated on the mutated trace"
+
+let test_injected_duplicate_open_is_flagged () =
+  let events = traced_path ~seed:7 () in
+  check tbool "base trace conformant" true (Monitor.conformant (Monitor.replay events));
+  let stray =
+    let d = Descriptor.make ~owner:"X" ~version:1 (Address.v "10.9.9.9" 9) [ Codec.G711 ] in
+    {
+      Trace.seq = 100_000;
+      at = 0.0;
+      kind =
+        Trace.Sig_recv
+          {
+            chan = "ch0";
+            tun = 0;
+            box = "L";
+            peer = "R";
+            initiator = true;
+            signal = Signal.Open (Medium.Audio, d);
+          };
+    }
+  in
+  let report = Monitor.replay (events @ [ stray ]) in
+  check tbool "injected duplicate open is flagged" false (Monitor.conformant report)
+
+(* --- the monitor vs the model checker -------------------------------- *)
+
+(* The acceptance round-trip: on the configurations the checker proves,
+   the monitor must reach the same verdict about the simulated run. *)
+let test_monitor_agrees_with_checker () =
+  List.iter
+    (fun flowlinks ->
+      let config =
+        {
+          Mediactl_mc.Path_model.left = Semantics.Open_end;
+          right = Semantics.Open_end;
+          flowlinks;
+          chaos = 0;
+          modifies = 0;
+          environment_ends = false;
+          faults = Mediactl_mc.Path_model.no_faults;
+        }
+      in
+      let mc = Mediactl_mc.Check.run config in
+      check tbool
+        (Printf.sprintf "checker passes openslot--%sopenslot"
+           (String.concat "" (List.init flowlinks (fun _ -> "fl--"))))
+        true
+        (Mediactl_mc.Check.passed mc);
+      let events = traced_path ~flowlinks ~seed:11 () in
+      let verdict =
+        Monitor.verdict Monitor.Always_eventually_flowing ~ends:(Pathlab.ends ~flowlinks)
+          events
+      in
+      check tbool "monitor reproduces the checker's verdict" true
+        (verdict = Monitor.Satisfied))
+    [ 0; 1 ]
+
+(* --------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "sink disabled" `Quick test_sink_disabled;
+          Alcotest.test_case "recording" `Quick test_recording_captures_and_numbers;
+          Alcotest.test_case "jsonl shape" `Quick test_jsonl_roundtrip_shape;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "clean run" `Quick test_metrics_clean_run;
+          QCheck_alcotest.to_alcotest prop_histogram_partitions;
+        ] );
+      ( "monitor",
+        [
+          QCheck_alcotest.to_alcotest prop_zero_loss_satisfies_monitor;
+          QCheck_alcotest.to_alcotest prop_lossy_still_conformant;
+          Alcotest.test_case "clean close conformant" `Quick test_clean_close_is_conformant;
+          Alcotest.test_case "dropped closeack flagged" `Quick
+            test_dropped_closeack_is_flagged;
+          Alcotest.test_case "injected duplicate open flagged" `Quick
+            test_injected_duplicate_open_is_flagged;
+        ] );
+      ( "round-trip",
+        [ Alcotest.test_case "agrees with model checker" `Slow test_monitor_agrees_with_checker ] );
+    ]
