@@ -15,6 +15,9 @@
    E9  convergence under loss: the reliability layer (mediactl.net)
    E10 the multicore model-checking engine (--json writes BENCH_mc.json)
    E11 observability: monitor verdicts under loss, tracing overhead
+   E12 the sharded many-session runtime: timer wheel vs heap on the
+       single-session kernel, fleet throughput scaling over domains
+       (--json writes BENCH_fleet.json)
    micro  Bechamel micro-benchmarks of the core machinery *)
 
 open Mediactl_types
@@ -392,12 +395,12 @@ let e8 () =
 (* The Figure-13 two-box relink of E1, but over an impaired network with
    the reliability layer attached.  Returns the convergence latency (nan
    if the run never converged) and the layer's counters. *)
-let fig13_impaired ~seed ~loss =
+let fig13_impaired ?sched ~seed ~loss () =
   let net = settle (Prepaid.build ()) in
   let net = settle (fst (Prepaid.snapshot1 net)) in
   let net = settle (fst (Prepaid.snapshot2 net)) in
   let net = settle (fst (Prepaid.snapshot3 net)) in
-  let sim = Timed.create ~seed ~n:paper_n ~c:paper_c net in
+  let sim = Timed.create ~seed ?sched ~n:paper_n ~c:paper_c net in
   let impair =
     Mediactl_net.Impair.create ~seed ~default:(Mediactl_net.Policy.lossy loss) ()
   in
@@ -461,7 +464,9 @@ let e9 () =
            else ""))
       loss_rates
   in
-  section "Figure-13 two-box relink" fig13_impaired ((2.0 *. paper_n) +. (3.0 *. paper_c));
+  section "Figure-13 two-box relink"
+    (fun ~seed ~loss -> fig13_impaired ~seed ~loss ())
+    ((2.0 *. paper_n) +. (3.0 *. paper_c));
   section "3-box chain relink (boxes=3, j=2)" chain3_impaired
     (Relink.formula ~p:(Relink.hops ~boxes:3 ~j:2) ~n:paper_n ~c:paper_c);
   (* Re-verify the two-box path models under a network-fault budget: the
@@ -718,7 +723,7 @@ let e11 () =
      a load and a branch when disabled, so the untraced runs here bound
      the cost the checker and the other experiments pay: zero. *)
   let reps = 400 in
-  let run_once ~seed = ignore (fig13_impaired ~seed ~loss:0.05) in
+  let run_once ~seed = ignore (fig13_impaired ~seed ~loss:0.05 ()) in
   let time f =
     let t0 = Unix.gettimeofday () in
     f ();
@@ -745,6 +750,135 @@ let e11 () =
     (!traced_events / reps)
     overhead
     (if overhead <= 10.0 then "(within the 10% budget)" else "(OVER the 10% budget)")
+
+(* ------------------------------------------------------------------ *)
+(* E12: the sharded many-session runtime                               *)
+
+type e12_row = {
+  f_jobs : int;
+  f_wall : float;
+  f_sessions_per_s : float;
+  f_events_per_s : float;
+  f_digest : string;  (* over every per-session outcome: must not vary with jobs *)
+}
+
+let e12_sessions = 128
+let e12_job_counts = [ 1; 2; 4 ]
+let e12_kernel_reps = 200
+
+(* A fingerprint of every per-session result — ids, event counts, end
+   times, and the full traces — so "deterministic across jobs" is
+   checked on everything observable, not just the aggregate counters. *)
+let e12_digest outcomes =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          (List.concat_map
+             (fun (o : Session.outcome) ->
+               Printf.sprintf "%d:%s:%d:%.6f:%d" o.Session.id o.Session.scenario
+                 o.Session.events o.Session.end_time o.Session.violations
+               :: List.map Mediactl_obs.Trace.event_to_json o.Session.trace)
+             outcomes)))
+
+let e12_write_json ~heap_s ~wheel_s ~kernel_agree rows deterministic =
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"experiment\": \"e12\",\n";
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc
+    "  \"kernel\": { \"runs\": %d, \"heap_s\": %.4f, \"wheel_s\": %.4f, \
+     \"wheel_speedup\": %.3f, \"agree\": %b },\n"
+    e12_kernel_reps heap_s wheel_s
+    (heap_s /. Float.max 1e-9 wheel_s)
+    kernel_agree;
+  Printf.fprintf oc
+    "  \"fleet\": { \"sessions\": %d, \"scenario\": \"mixed\", \"loss\": 0.05, \
+     \"deterministic\": %b, \"rows\": [\n"
+    e12_sessions deterministic;
+  let base = (List.hd rows).f_wall in
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"jobs\": %d, \"wall_s\": %.4f, \"sessions_per_s\": %.1f, \
+         \"events_per_s\": %.0f, \"speedup\": %.2f }%s\n"
+        r.f_jobs r.f_wall r.f_sessions_per_s r.f_events_per_s
+        (base /. Float.max 1e-9 r.f_wall)
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ] }\n}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_fleet.json@."
+
+let e12 () =
+  header "E12  Sharded many-session runtime: timer wheel and domain scaling";
+  (* Part 1: the engine's hot path.  The same E9 kernel (Figure-13
+     relink, 5% loss, reliability layer, so the queue churns with
+     retransmission timers) under the timer wheel and under the
+     reference leftist heap.  The wheel must agree event-for-event and
+     be no slower. *)
+  let kernel_agree =
+    List.for_all
+      (fun seed ->
+        let w, _ = fig13_impaired ~sched:Mediactl_sim.Engine.Wheel ~seed ~loss:0.05 () in
+        let h, _ = fig13_impaired ~sched:Mediactl_sim.Engine.Heap ~seed ~loss:0.05 () in
+        Float.equal w h)
+      (List.init 25 (fun i -> 7000 + i))
+  in
+  let time sched =
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to e12_kernel_reps do
+      ignore (fig13_impaired ~sched ~seed:(6000 + i) ~loss:0.05 ())
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  (* Warm both arms, then interleave-free timed passes. *)
+  ignore (time Mediactl_sim.Engine.Heap);
+  ignore (time Mediactl_sim.Engine.Wheel);
+  let heap_s = time Mediactl_sim.Engine.Heap in
+  let wheel_s = time Mediactl_sim.Engine.Wheel in
+  Format.printf "scheduler on the E9 kernel (%d runs): heap %.3fs, wheel %.3fs (%.2fx)%s@."
+    e12_kernel_reps heap_s wheel_s
+    (heap_s /. Float.max 1e-9 wheel_s)
+    (if kernel_agree then ", identical convergence latencies" else "  DISAGREE");
+  (* Part 2: aggregate throughput of a mixed lossy fleet as domains are
+     added, with the determinism guarantee checked on every row. *)
+  let mk ~id ~rng = Scenario.session ~loss:0.05 Scenario.Mixed ~id ~rng in
+  Format.printf "@.fleet of %d mixed sessions at 5%% loss (machine has %d recommended domains):@."
+    e12_sessions
+    (Domain.recommended_domain_count ());
+  Format.printf "%6s %10s %14s %14s %9s@." "jobs" "wall s" "sessions/s" "events/s" "speedup";
+  let rows =
+    List.map
+      (fun jobs ->
+        let outcomes, summary =
+          Fleet.run ~jobs ~until:60_000.0 ~sessions:e12_sessions ~seed:11 mk
+        in
+        {
+          f_jobs = jobs;
+          f_wall = summary.Fleet.wall_s;
+          f_sessions_per_s = summary.Fleet.sessions_per_s;
+          f_events_per_s = summary.Fleet.events_per_s;
+          f_digest = e12_digest outcomes;
+        })
+      e12_job_counts
+  in
+  let base = (List.hd rows).f_wall in
+  List.iter
+    (fun r ->
+      Format.printf "%6d %10.3f %14.1f %14.0f %8.2fx@." r.f_jobs r.f_wall r.f_sessions_per_s
+        r.f_events_per_s
+        (base /. Float.max 1e-9 r.f_wall))
+    rows;
+  let deterministic =
+    match rows with
+    | [] -> true
+    | r :: rest -> List.for_all (fun r' -> r'.f_digest = r.f_digest) rest
+  in
+  Format.printf "per-session results across job counts: %s@."
+    (if deterministic then "bit-identical (traces, end times, verdicts)"
+     else "DIFFER — determinism bug");
+  if !json_mode then e12_write_json ~heap_s ~wheel_s ~kernel_agree rows deterministic
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
@@ -830,7 +964,7 @@ let micro () =
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("micro", micro) ]
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -147,6 +147,18 @@ let run_path seed n c loss left right flowlinks =
   report_impairment net_layer;
   0
 
+(* The sharded many-session runtime: N independent sessions split from
+   one seed, partitioned across K domains.  Fleet sessions record their
+   own traces (domain-locally), so this path must not be wrapped in the
+   outer [Trace.recording] the single-scenario runs use. *)
+let run_fleet seed n c loss sessions jobs kind =
+  let mk ~id ~rng = Scenario.session ~n ~c ~loss kind ~id ~rng in
+  let outcomes, summary = Fleet.run ~jobs ~until:60_000.0 ~sessions ~seed mk in
+  Format.printf "%a@." Fleet.pp_summary summary;
+  let bad = List.filter (fun (o : Session.outcome) -> not o.Session.conformant) outcomes in
+  List.iter (fun o -> Format.printf "  %a@." Session.pp_outcome o) bad;
+  0
+
 (* --------------------------------------------------------------- *)
 (* Trace capture around a scenario run                              *)
 
@@ -177,7 +189,11 @@ let verify_trace scenario ~loss ~left ~right ~flowlinks events =
   in
   if Obs.Monitor.conformant report && obligation_ok then 0 else 1
 
-let run scenario n c boxes j seed loss left right flowlinks trace metrics verify =
+let run scenario n c boxes j seed loss left right flowlinks trace metrics verify sessions
+    jobs fleet_scenario =
+  match scenario with
+  | `Fleet -> run_fleet seed n c loss sessions jobs fleet_scenario
+  | (`Prepaid | `Fig13 | `Relink | `Sip | `Path) as scenario ->
   let go () =
     match scenario with
     | `Prepaid -> run_prepaid ()
@@ -207,8 +223,8 @@ let run scenario n c boxes j seed loss left right flowlinks trace metrics verify
   end
 
 let scenario =
-  Arg.(required & pos 0 (some (enum [ ("prepaid", `Prepaid); ("fig13", `Fig13); ("relink", `Relink); ("sip", `Sip); ("path", `Path) ])) None
-       & info [] ~docv:"SCENARIO" ~doc:"One of: prepaid, fig13, relink, sip, path.")
+  Arg.(required & pos 0 (some (enum [ ("prepaid", `Prepaid); ("fig13", `Fig13); ("relink", `Relink); ("sip", `Sip); ("path", `Path); ("fleet", `Fleet) ])) None
+       & info [] ~docv:"SCENARIO" ~doc:"One of: prepaid, fig13, relink, sip, path, fleet.")
 
 let n_arg = Arg.(value & opt float 34.0 & info [ "n" ] ~doc:"Network latency (ms).")
 let c_arg = Arg.(value & opt float 20.0 & info [ "c" ] ~doc:"Box compute time (ms).")
@@ -249,6 +265,26 @@ let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
        ~doc:"Aggregate per-run metrics from the captured trace and write them as JSON.")
 
+let sessions_arg =
+  Arg.(value & opt int 32 & info [ "sessions" ] ~doc:"Session count (fleet).")
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs" ]
+       ~doc:"Domains to shard the fleet across; per-session results are identical               for every value.")
+
+let fleet_scenario =
+  let kind_conv =
+    Arg.conv
+      ( (fun s ->
+          match Scenario.of_string s with
+          | Some k -> Ok k
+          | None -> Error (`Msg (Printf.sprintf "unknown fleet scenario %S" s))),
+        fun ppf k -> Format.pp_print_string ppf (Scenario.to_string k) )
+  in
+  Arg.(value & opt kind_conv Scenario.Mixed
+       & info [ "scenario" ] ~docv:"KIND"
+           ~doc:"What each fleet session runs: path, ctd, conf, prepaid, ctv, or mixed.")
+
 let verify_arg =
   Arg.(value & flag & info [ "verify" ]
        ~doc:"Replay the captured trace through the Fig. 5 conformance monitor; for the               path scenario also evaluate the configuration's temporal obligation.               Exits nonzero on a violation.")
@@ -258,6 +294,7 @@ let cmd =
   Cmd.v
     (Cmd.info "mediactl_sim" ~doc)
     Term.(const run $ scenario $ n_arg $ c_arg $ boxes_arg $ j_arg $ seed_arg $ loss_arg
-          $ left_arg $ right_arg $ flowlinks_arg $ trace_arg $ metrics_arg $ verify_arg)
+          $ left_arg $ right_arg $ flowlinks_arg $ trace_arg $ metrics_arg $ verify_arg
+          $ sessions_arg $ jobs_arg $ fleet_scenario)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,30 @@
+(* The sharded many-session runtime: 100 sessions cycling through all
+   five application scenarios, each over a 5%-lossy network with the
+   reliability layer attached, partitioned across two domains.
+
+   Per-session results are a pure function of the root seed — rerun
+   with any --jobs and the aggregate (minus wall-clock throughput) is
+   bit-identical.
+
+   Run with: dune exec examples/fleet_demo.exe [jobs] *)
+
+open Mediactl_runtime
+open Mediactl_apps
+module Obs = Mediactl_obs
+
+let () =
+  let jobs = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2 in
+  let mk ~id ~rng = Scenario.session ~loss:0.05 Scenario.Mixed ~id ~rng in
+  let outcomes, summary = Fleet.run ~jobs ~until:60_000.0 ~sessions:100 ~seed:11 mk in
+  Format.printf "%a@.@." Fleet.pp_summary summary;
+  let kinds = List.map Scenario.to_string Scenario.all in
+  List.iter
+    (fun kind ->
+      let mine = List.filter (fun (o : Session.outcome) -> o.Session.scenario = kind) outcomes in
+      let ok = List.filter (fun (o : Session.outcome) -> o.Session.conformant) mine in
+      Format.printf "  %-8s %3d session(s), %3d conformant, %5d engine events@." kind
+        (List.length mine) (List.length ok)
+        (List.fold_left (fun acc (o : Session.outcome) -> acc + o.Session.events) 0 mine))
+    kinds;
+  Format.printf "@.aggregate metrics over all sessions:@.%a@." Obs.Metrics.pp
+    summary.Fleet.metrics

@@ -1,0 +1,130 @@
+open Mediactl_types
+open Mediactl_core
+open Mediactl_runtime
+module Rng = Mediactl_sim.Rng
+
+type kind = Path | Ctd | Conf | Prepaid | Collab_tv | Mixed
+
+let all = [ Path; Ctd; Conf; Prepaid; Collab_tv ]
+
+let to_string = function
+  | Path -> "path"
+  | Ctd -> "ctd"
+  | Conf -> "conf"
+  | Prepaid -> "prepaid"
+  | Collab_tv -> "ctv"
+  | Mixed -> "mixed"
+
+let of_string = function
+  | "path" -> Some Path
+  | "ctd" -> Some Ctd
+  | "conf" -> Some Conf
+  | "prepaid" -> Some Prepaid
+  | "ctv" -> Some Collab_tv
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+(* Loss > 0 puts the session on the impaired network with the go-back-N
+   reliability layer on top, the impairment engine seeded from the
+   session's own stream — so a lossy fleet is exactly as deterministic
+   as a clean one. *)
+let attach_loss ~loss t =
+  if loss > 0.0 then begin
+    let seed = Rng.fork_seed (Session.rng t) in
+    let impair =
+      Mediactl_net.Impair.create ~seed ~default:(Mediactl_net.Policy.lossy loss) ()
+    in
+    ignore (Mediactl_net.Reliable.attach impair (Session.sim t))
+  end
+
+let settle net = fst (Netsys.run net)
+
+(* openslot--openslot path configuration, judged against its Section V
+   obligation ([]<> bothFlowing). *)
+let path ?sched ?n ?c ~loss ~id ~rng () =
+  Session.create ?sched ?n ?c ~id ~scenario:"path" ~rng
+    ~judge:
+      (Mediactl_obs.Monitor.verdict ~structural:(loss > 0.0)
+         (Pathlab.obligation Semantics.Open_end Semantics.Open_end)
+         ~ends:(Pathlab.ends ~flowlinks:0))
+    ~boot:(fun t ->
+      attach_loss ~loss t;
+      let sim = Session.sim t in
+      Timed.apply sim (Pathlab.engage_left Semantics.Open_end);
+      Timed.apply sim (Pathlab.engage_right Semantics.Open_end ~flowlinks:0))
+    (fun () -> Pathlab.topology ~flowlinks:0 ())
+
+(* Click-to-Dial (Figure 6).  The callee device answers or is busy,
+   drawn from the session stream, so a fleet exercises both program
+   branches deterministically. *)
+let ctd ?sched ?n ?c ~loss ~id ~rng () =
+  let local name = Local.endpoint ~owner:name (Address.v "10.0.0.7" 5000) [ Codec.G711 ] in
+  Session.create ?sched ?n ?c ~id ~scenario:"ctd" ~rng
+    ~boot:(fun t ->
+      attach_loss ~loss t;
+      let sim = Session.sim t in
+      let callee =
+        if Rng.float (Session.rng t) 1.0 < 0.2 then Device.Busy else Device.Answers
+      in
+      Device.install sim ~box:"phone1" (local "user1") Device.Answers;
+      Device.install sim ~box:"phone2" (local "user2") callee;
+      Device.install sim ~box:"tones" (local "tonegen") Device.Answers;
+      ignore
+        (Program.launch sim
+           (Click_to_dial.program ~box:"ctd" ~caller_device:"phone1" ~callee_device:"phone2"
+              ~tone_server:"tones" ~no_answer_timeout:30_000.0)))
+    (fun () ->
+      List.fold_left Netsys.add_box Netsys.empty [ "ctd"; "phone1"; "phone2"; "tones" ])
+
+(* Conference (Figure 7): three users settle their legs untimed at t=0
+   (inside the recording), then one user is fully muted and unmuted
+   under the timed driver. *)
+let conf ?sched ?n ?c ~loss ~id ~rng () =
+  let user name host =
+    (name, Local.endpoint ~owner:name (Address.v host 6000) [ Codec.G711; Codec.G726 ])
+  in
+  let users = [ user "ann" "10.4.0.1"; user "bob" "10.4.0.2"; user "cat" "10.4.0.3" ] in
+  Session.create ?sched ?n ?c ~id ~scenario:"conf" ~rng
+    ~boot:(fun t ->
+      attach_loss ~loss t;
+      let sim = Session.sim t in
+      let muted = fst (List.nth users (Rng.int (Session.rng t) (List.length users))) in
+      Timed.apply sim (Conference.full_mute ~user:muted);
+      Timed.after sim 400.0 (fun sim -> Timed.apply sim (Conference.unmute ~user:muted)))
+    (fun () -> settle (Conference.build ~users))
+
+(* The prepaid running example, snapshots 1-3 settled untimed, then the
+   Figure-13 concurrent snapshot-4 convergence under the clock. *)
+let prepaid ?sched ?n ?c ~loss ~id ~rng () =
+  Session.create ?sched ?n ?c ~id ~scenario:"prepaid" ~rng
+    ~boot:(fun t ->
+      attach_loss ~loss t;
+      let sim = Session.sim t in
+      Timed.apply sim Prepaid.snapshot4_pc;
+      Timed.apply sim Prepaid.snapshot4_pbx)
+    (fun () ->
+      let net = settle (Prepaid.build ()) in
+      let net = settle (fst (Prepaid.snapshot1 net)) in
+      let net = settle (fst (Prepaid.snapshot2 net)) in
+      settle (fst (Prepaid.snapshot3 net)))
+
+(* Collaborative TV (Figure 8): pause, play, and the daughter leaving,
+   spaced out under the timed driver. *)
+let collab_tv ?sched ?n ?c ~loss ~id ~rng () =
+  Session.create ?sched ?n ?c ~id ~scenario:"ctv" ~rng
+    ~boot:(fun t ->
+      attach_loss ~loss t;
+      let sim = Session.sim t in
+      Timed.apply sim Collab_tv.pause;
+      Timed.after sim 300.0 (fun sim -> Timed.apply sim Collab_tv.play);
+      Timed.after sim 600.0 (fun sim -> Timed.apply sim Collab_tv.daughter_leaves))
+    (fun () -> settle (Collab_tv.build ()))
+
+let rec session ?sched ?n ?c ?(loss = 0.0) kind ~id ~rng =
+  match kind with
+  | Path -> path ?sched ?n ?c ~loss ~id ~rng ()
+  | Ctd -> ctd ?sched ?n ?c ~loss ~id ~rng ()
+  | Conf -> conf ?sched ?n ?c ~loss ~id ~rng ()
+  | Prepaid -> prepaid ?sched ?n ?c ~loss ~id ~rng ()
+  | Collab_tv -> collab_tv ?sched ?n ?c ~loss ~id ~rng ()
+  | Mixed -> session ?sched ?n ?c ~loss (List.nth all (id mod List.length all)) ~id ~rng

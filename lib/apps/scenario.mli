@@ -1,0 +1,40 @@
+(** Fleet-facing session constructors for the application scenarios.
+
+    Each constructor packages one of the paper's applications as a
+    {!Mediactl_runtime.Session}: the network build (plus any untimed
+    settle) goes in the session's [make] thunk, goal engagement and
+    program launches in its [boot], and every random choice — the
+    engine seed, the impairment seed, a Click-to-Dial callee being
+    busy, which conference user gets muted — is drawn from the
+    session's private stream, so a fleet of these is deterministic
+    whatever the domain count. *)
+
+open Mediactl_runtime
+
+type kind =
+  | Path  (** openslot--openslot handshake, judged against []<>bothFlowing *)
+  | Ctd  (** Click-to-Dial, Figure 6 (callee answers or is busy) *)
+  | Conf  (** three-user conference with a full mute/unmute, Figure 7 *)
+  | Prepaid  (** the Figure-13 snapshot-4 convergence *)
+  | Collab_tv  (** collaborative TV: pause, play, daughter leaves, Figure 8 *)
+  | Mixed  (** cycle through all of the above by session id *)
+
+val all : kind list
+(** The concrete kinds, in [Mixed]'s cycling order. *)
+
+val to_string : kind -> string
+val of_string : string -> kind option
+
+val session :
+  ?sched:Mediactl_sim.Engine.sched ->
+  ?n:float ->
+  ?c:float ->
+  ?loss:float ->
+  kind ->
+  id:int ->
+  rng:Mediactl_sim.Rng.t ->
+  Session.t
+(** [session kind ~id ~rng] builds one session; the signature matches
+    what {!Mediactl_runtime.Fleet.run} expects from its factory (after
+    fixing the kind).  [loss] > 0 runs the session over the impaired
+    network with the reliability layer attached, seeded from [rng]. *)

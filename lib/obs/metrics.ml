@@ -108,6 +108,66 @@ let of_events events =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Merging per-session registries                                      *)
+
+let empty =
+  {
+    events = 0;
+    duration = 0.0;
+    sends_by_signal = [];
+    recvs = 0;
+    slot_transitions = 0;
+    goal_changes = 0;
+    open_races = 0;
+    drops = 0;
+    dups = 0;
+    retransmissions = 0;
+    retries_exhausted = 0;
+    dup_suppressed = 0;
+    acks = 0;
+    round_trip = Stats.create ();
+    time_to_flowing = Stats.create ();
+    violations = 0;
+  }
+
+let merge_stats a b =
+  let s = Stats.create () in
+  List.iter (Stats.add s) (Stats.samples a);
+  List.iter (Stats.add s) (Stats.samples b);
+  s
+
+let merge a b =
+  let sends =
+    List.fold_left
+      (fun acc (k, v) ->
+        match List.assoc_opt k acc with
+        | Some v0 -> (k, v0 + v) :: List.remove_assoc k acc
+        | None -> (k, v) :: acc)
+      a.sends_by_signal b.sends_by_signal
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    events = a.events + b.events;
+    duration = a.duration +. b.duration;
+    sends_by_signal = sends;
+    recvs = a.recvs + b.recvs;
+    slot_transitions = a.slot_transitions + b.slot_transitions;
+    goal_changes = a.goal_changes + b.goal_changes;
+    open_races = a.open_races + b.open_races;
+    drops = a.drops + b.drops;
+    dups = a.dups + b.dups;
+    retransmissions = a.retransmissions + b.retransmissions;
+    retries_exhausted = a.retries_exhausted + b.retries_exhausted;
+    dup_suppressed = a.dup_suppressed + b.dup_suppressed;
+    acks = a.acks + b.acks;
+    round_trip = merge_stats a.round_trip b.round_trip;
+    time_to_flowing = merge_stats a.time_to_flowing b.time_to_flowing;
+    violations = a.violations + b.violations;
+  }
+
+let merge_all = List.fold_left merge empty
+
+(* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 
 let pp ppf m =

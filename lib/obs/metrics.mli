@@ -27,6 +27,18 @@ type t = {
 }
 
 val of_events : Trace.event list -> t
+
+(** {2 Per-session registries}
+
+    A fleet computes one {!t} per session from that session's own trace,
+    then folds them into an aggregate: counters add, latency samples
+    pool (so percentiles are over all sessions), and [duration] sums to
+    total simulated milliseconds across sessions. *)
+
+val empty : t
+val merge : t -> t -> t
+val merge_all : t list -> t
+
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string

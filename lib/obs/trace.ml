@@ -32,30 +32,40 @@ type event = { seq : int; at : float; kind : kind }
 
 type sink = event -> unit
 
-(* The sink is deliberately a single global: instrumentation sites all
-   over the stack guard themselves with one flag read, so a disabled
-   trace costs one load and one branch per site and allocates nothing.
-   Tracing is not meant to be enabled during parallel exploration. *)
-let the_sink : sink option ref = ref None
-let seq_counter = ref 0
-let the_clock : (unit -> float) ref = ref (fun () -> 0.0)
+(* The sink, sequence counter, and clock are domain-local: one mutable
+   context per domain, reached through [Domain.DLS].  Instrumentation
+   sites all over the stack guard themselves with one [enabled] check —
+   a DLS lookup, a load, and a branch, no allocation — so a disabled
+   trace still costs almost nothing.  Domain-locality is what lets a
+   fleet run many sessions concurrently: each shard records its own
+   sessions into its own context, with its own independent [seq]
+   numbering, and can never observe (or interleave with) another
+   shard's events.  Within one domain, sessions record one at a time. *)
+type ctx = { mutable sink : sink option; mutable seq : int; mutable clock : unit -> float }
 
-let enabled () = !the_sink <> None
+let ctx_key =
+  Domain.DLS.new_key (fun () -> { sink = None; seq = 0; clock = (fun () -> 0.0) })
+
+let ctx () = Domain.DLS.get ctx_key
+
+let enabled () = (ctx ()).sink <> None
 
 let set_sink sink =
-  the_sink := sink;
-  seq_counter := 0
+  let c = ctx () in
+  c.sink <- sink;
+  c.seq <- 0
 
-let set_clock f = the_clock := f
-let reset_clock () = the_clock := (fun () -> 0.0)
+let set_clock f = (ctx ()).clock <- f
+let reset_clock () = (ctx ()).clock <- (fun () -> 0.0)
 
 let emit kind =
-  match !the_sink with
+  let c = ctx () in
+  match c.sink with
   | None -> ()
   | Some f ->
-    let seq = !seq_counter in
-    incr seq_counter;
-    f { seq; at = !the_clock (); kind }
+    let seq = c.seq in
+    c.seq <- seq + 1;
+    f { seq; at = c.clock (); kind }
 
 (* ------------------------------------------------------------------ *)
 (* Collector                                                           *)
@@ -109,7 +119,7 @@ let pp_kind ppf = function
     Format.fprintf ppf "goal %s at %s %s->%s" goal slot from_ to_
   | Net { chan; decision } -> Format.fprintf ppf "net %s %s" chan (decision_name decision)
 
-let pp_event ppf e = Format.fprintf ppf "#%d %8.1f  %a" e.seq e.at pp_kind e.kind
+let pp_event ppf (e : event) = Format.fprintf ppf "#%d %8.1f  %a" e.seq e.at pp_kind e.kind
 
 (* ------------------------------------------------------------------ *)
 (* JSONL export                                                        *)
@@ -182,7 +192,8 @@ let kind_json = function
       (str (decision_name decision))
       extra
 
-let event_to_json e = Printf.sprintf "{\"seq\":%d,\"t\":%.3f,%s}" e.seq e.at (kind_json e.kind)
+let event_to_json (e : event) =
+  Printf.sprintf "{\"seq\":%d,\"t\":%.3f,%s}" e.seq e.at (kind_json e.kind)
 
 let write_jsonl path events =
   let oc = open_out path in

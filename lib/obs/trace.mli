@@ -1,18 +1,27 @@
 (** Structured signal tracing.
 
     Every layer of the stack carries instrumentation points that emit
-    timestamped structured events into a single global sink: signal
+    timestamped structured events into the {e domain-local} sink: signal
     sends ({!Mediactl_signaling.Channel}), signal deliveries
     ({!Mediactl_runtime.Netsys}), slot-state transitions
     ({!Mediactl_protocol.Slot}), goal-state changes (the
     [Mediactl_core] goal objects), and drop / duplicate / retransmit
     decisions ([Mediactl_net]).
 
-    The design is zero-cost when disabled: each site guards itself with
-    {!enabled} — one load and one branch, no allocation — so the model
-    checker and the benchmarks pay nothing for the instrumentation.
-    Tracing is single-domain: do not enable a sink during parallel
-    exploration ([--jobs] > 1). *)
+    The design is near-zero-cost when disabled: each site guards itself
+    with {!enabled} — a domain-local lookup, a load, and a branch, no
+    allocation — so the model checker and the benchmarks pay essentially
+    nothing for the instrumentation.
+
+    The sink, its sequence counter, and the clock live in domain-local
+    storage ([Domain.DLS]), one independent context per domain.  A fleet
+    shard that records a session therefore cannot race with — or leak
+    events into — sessions recording on other domains: each session's
+    trace is numbered [0..n-1] by its own counter.  Ownership rule: a
+    sink is installed, fed, and removed by the domain that runs the
+    session; handing a sink to another domain is a programming error the
+    type system cannot catch, so don't.  Within one domain, sessions
+    record one at a time ({!recording} is not reentrant). *)
 
 type sig_event = {
   chan : string;  (** channel label, the [Netsys] channel name *)
@@ -46,12 +55,13 @@ type kind =
   | Net of { chan : string; decision : net_decision }
 
 type event = { seq : int; at : float; kind : kind }
-(** [seq] is a global emission counter (total order even at equal
-    timestamps); [at] is the current clock, in simulated milliseconds. *)
+(** [seq] is the recording domain's emission counter (a total order even
+    at equal timestamps, independent per domain); [at] is the current
+    clock, in simulated milliseconds. *)
 
 type sink = event -> unit
 
-(** {2 The global sink} *)
+(** {2 The domain-local sink} *)
 
 val enabled : unit -> bool
 (** Instrumentation sites call this before building an event. *)

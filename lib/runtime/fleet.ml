@@ -1,0 +1,97 @@
+open Mediactl_sim
+open Mediactl_obs
+
+type summary = {
+  sessions : int;
+  jobs : int;
+  wall_s : float;
+  engine_events : int;
+  sessions_per_s : float;
+  events_per_s : float;
+  metrics : Metrics.t;
+  conformant : int;
+  violations : int;
+  satisfied : int;
+  violated : int;
+  undetermined : int;
+}
+
+(* Sessions are assigned to shards round-robin by id.  Because every
+   session's stream is split from the root generator up front — in id
+   order, before any shard runs — and sessions share no mutable state,
+   the per-session outcomes are identical whatever [jobs] is; only the
+   wall-clock figures change. *)
+let run ?(jobs = 1) ?until ?max_events ~sessions ~seed mk =
+  if sessions < 0 then invalid_arg "Fleet.run: negative session count";
+  if jobs < 1 then invalid_arg "Fleet.run: jobs must be at least 1";
+  let root = Rng.create seed in
+  let streams = Array.make (max sessions 1) root in
+  for i = 0 to sessions - 1 do
+    streams.(i) <- Rng.split root
+  done;
+  let shard k () =
+    let acc = ref [] in
+    for i = sessions - 1 downto 0 do
+      if i mod jobs = k then
+        acc := Session.run ?until ?max_events (mk ~id:i ~rng:streams.(i)) :: !acc
+    done;
+    !acc
+  in
+  let t0 = Unix.gettimeofday () in
+  let per_shard =
+    if jobs = 1 then [ shard 0 () ]
+    else
+      let domains = Array.init jobs (fun k -> Domain.spawn (shard k)) in
+      Array.to_list (Array.map Domain.join domains)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let outcomes =
+    List.concat per_shard
+    |> List.sort (fun (a : Session.outcome) b -> compare a.Session.id b.Session.id)
+  in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  let engine_events = sum (fun (o : Session.outcome) -> o.Session.events) in
+  let per_s n = if wall_s > 0.0 then float_of_int n /. wall_s else 0.0 in
+  let verdict_count v =
+    sum (fun (o : Session.outcome) ->
+      match o.Session.verdict, v with
+      | Some Monitor.Satisfied, `S | Some (Monitor.Violated _), `V
+      | Some (Monitor.Undetermined _), `U ->
+        1
+      | _ -> 0)
+  in
+  let summary =
+    {
+      sessions;
+      jobs;
+      wall_s;
+      engine_events;
+      sessions_per_s = per_s sessions;
+      events_per_s = per_s engine_events;
+      metrics = Metrics.merge_all (List.map (fun (o : Session.outcome) -> o.Session.metrics) outcomes);
+      conformant = sum (fun (o : Session.outcome) -> if o.Session.conformant then 1 else 0);
+      violations = sum (fun (o : Session.outcome) -> o.Session.violations);
+      satisfied = verdict_count `S;
+      violated = verdict_count `V;
+      undetermined = verdict_count `U;
+    }
+  in
+  (outcomes, summary)
+
+let pp_summary ppf s =
+  let ttf = s.metrics.Metrics.time_to_flowing in
+  Format.fprintf ppf
+    "@[<v>fleet       %d session(s) on %d domain(s) in %.3f s@,\
+     throughput  %.1f sessions/s, %.0f events/s (%d engine events)@,\
+     to-flowing  %s@,\
+     monitor     %d/%d conformant, %d violation(s)%s@]"
+    s.sessions s.jobs s.wall_s s.sessions_per_s s.events_per_s s.engine_events
+    (if Stats.count ttf = 0 then "(no samples)"
+     else
+       Printf.sprintf "n=%d p50=%.1f ms p95=%.1f ms max=%.1f ms" (Stats.count ttf)
+         (Stats.percentile ttf 0.5) (Stats.percentile ttf 0.95) (Stats.max ttf))
+    s.conformant s.sessions s.violations
+    (if s.satisfied + s.violated + s.undetermined = 0 then ""
+     else
+       Printf.sprintf "; obligations %d satisfied / %d violated / %d undetermined" s.satisfied
+         s.violated s.undetermined)

@@ -1,0 +1,46 @@
+(** The sharded many-session runtime.
+
+    [run] drives [sessions] independent {!Session}s, partitioned
+    round-robin (by session id) across [jobs] domains, each shard
+    running its sessions sequentially on its own event loop with its
+    own domain-local trace context.
+
+    {b Determinism.}  Every session's random stream is {!Rng.split}
+    from the root seed up front, in id order, before any shard starts;
+    sessions share no mutable state; and observability is domain-local.
+    Per-session outcomes are therefore bit-identical whatever [jobs]
+    is — [--jobs 1] and [--jobs 4] differ only in wall-clock throughput
+    (a property the test suite asserts). *)
+
+open Mediactl_sim
+open Mediactl_obs
+
+type summary = {
+  sessions : int;
+  jobs : int;
+  wall_s : float;
+  engine_events : int;  (** total engine events across all sessions *)
+  sessions_per_s : float;
+  events_per_s : float;
+  metrics : Metrics.t;  (** all per-session registries merged *)
+  conformant : int;  (** sessions whose trace the monitor accepts *)
+  violations : int;  (** total monitor violations *)
+  satisfied : int;  (** judged sessions whose obligation held *)
+  violated : int;
+  undetermined : int;  (** judged sessions cut off before quiescence *)
+}
+
+val run :
+  ?jobs:int ->
+  ?until:float ->
+  ?max_events:int ->
+  sessions:int ->
+  seed:int ->
+  (id:int -> rng:Rng.t -> Session.t) ->
+  Session.outcome list * summary
+(** [run ~sessions ~seed mk] builds session [i] as
+    [mk ~id:i ~rng:stream_i] inside its shard and runs them all;
+    outcomes come back sorted by id.  [until] and [max_events] bound
+    each session individually.  Default [jobs] is 1. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,90 @@
+open Mediactl_sim
+open Mediactl_obs
+
+type outcome = {
+  id : int;
+  scenario : string;
+  events : int;
+  end_time : float;
+  trace : Trace.event list;
+  metrics : Metrics.t;
+  conformant : bool;
+  violations : int;
+  verdict : Monitor.verdict option;
+}
+
+(* The network build is deferred into [run] so that every signal of the
+   session — including the untimed settle a scenario may perform while
+   assembling its starting state — is emitted inside the session's own
+   recording, where the conformance monitor can see the handshakes from
+   the beginning. *)
+type t = {
+  s_id : int;
+  s_scenario : string;
+  s_rng : Rng.t;
+  s_seed : int;  (* engine seed, forked from the session stream at create *)
+  s_sched : Engine.sched option;
+  s_n : float;
+  s_c : float;
+  s_make : unit -> Netsys.t;
+  s_boot : t -> unit;
+  s_judge : (Trace.event list -> Monitor.verdict) option;
+  mutable s_sim : Timed.t option;
+}
+
+let create ?sched ?(n = 34.0) ?(c = 20.0) ?judge ~id ~scenario ~rng ~boot make =
+  {
+    s_id = id;
+    s_scenario = scenario;
+    s_rng = rng;
+    s_seed = Rng.fork_seed rng;
+    s_sched = sched;
+    s_n = n;
+    s_c = c;
+    s_make = make;
+    s_boot = boot;
+    s_judge = judge;
+    s_sim = None;
+  }
+
+let id t = t.s_id
+let scenario t = t.s_scenario
+let rng t = t.s_rng
+
+let sim t =
+  match t.s_sim with
+  | Some sim -> sim
+  | None -> invalid_arg "Session.sim: session not running (only valid from boot onward)"
+
+let run ?until ?max_events t =
+  let (events, end_time), trace =
+    Trace.recording (fun () ->
+      let sim = Timed.create ~seed:t.s_seed ?sched:t.s_sched ~n:t.s_n ~c:t.s_c (t.s_make ()) in
+      t.s_sim <- Some sim;
+      Timed.observe sim;
+      t.s_boot t;
+      let events = Timed.run ?until ?max_events sim in
+      (events, Timed.now sim))
+  in
+  let metrics = Metrics.of_events trace in
+  let report = Monitor.replay trace in
+  {
+    id = t.s_id;
+    scenario = t.s_scenario;
+    events;
+    end_time;
+    trace;
+    metrics;
+    conformant = Monitor.conformant report;
+    violations = List.length report.Monitor.violations;
+    verdict = Option.map (fun judge -> judge trace) t.s_judge;
+  }
+
+let pp_outcome ppf (o : outcome) =
+  Format.fprintf ppf "#%d %-8s %5d events, end %8.1f ms, %d trace, %s%a" o.id o.scenario
+    o.events o.end_time (List.length o.trace)
+    (if o.conformant then "conformant" else Printf.sprintf "%d violation(s)" o.violations)
+    (fun ppf -> function
+      | None -> ()
+      | Some v -> Format.fprintf ppf ", %a" Monitor.pp_verdict v)
+    o.verdict

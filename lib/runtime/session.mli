@@ -1,0 +1,75 @@
+(** A first-class call session: one scenario's network, timed driver,
+    goal programs, and private random stream, bundled so that many
+    sessions can run — sequentially or sharded across domains by
+    {!Fleet} — without sharing any mutable state.
+
+    A session is built from a network {e thunk} and a [boot] closure
+    rather than a live network: everything that emits signals (the
+    untimed settle of a prebuilt topology, goal engagement, impairment
+    attachment, program launch) runs inside the session's own trace
+    recording, so the captured trace is complete from the first [open]
+    and the Fig. 5 conformance monitor can replay it from scratch.
+
+    Determinism: the engine seed is forked from the session's stream at
+    {!create}, and all in-scenario draws come from the same stream, so a
+    session's outcome is a pure function of its [(id, rng)] pair — the
+    property {!Fleet} relies on to make results independent of the
+    domain count. *)
+
+open Mediactl_sim
+open Mediactl_obs
+
+type t
+
+val create :
+  ?sched:Engine.sched ->
+  ?n:float ->
+  ?c:float ->
+  ?judge:(Trace.event list -> Monitor.verdict) ->
+  id:int ->
+  scenario:string ->
+  rng:Rng.t ->
+  boot:(t -> unit) ->
+  (unit -> Netsys.t) ->
+  t
+(** [create ~id ~scenario ~rng ~boot make] bundles a session.  [make]
+    builds (and, if it likes, untimed-settles) the starting network;
+    [boot] then engages goals, attaches impairment, or launches box
+    programs against the live driver ({!sim} is valid from [boot]
+    onward).  [judge], if given, evaluates a temporal obligation on the
+    captured trace.  [n], [c], and [sched] are passed to
+    {!Timed.create}. *)
+
+val id : t -> int
+val scenario : t -> string
+
+val rng : t -> Rng.t
+(** The session's private stream; scenario code should draw all its
+    randomness here. *)
+
+val sim : t -> Timed.t
+(** The live driver.  @raise Invalid_argument before {!run} installs it. *)
+
+(** Everything observable about one finished session.  [events] counts
+    engine events processed; [violations] is the monitor's count (also
+    folded into [metrics]); [verdict] is the judge's, when a judge was
+    given.  Pure data — safe to ship across domains and to compare for
+    the fleet determinism guarantee. *)
+type outcome = {
+  id : int;
+  scenario : string;
+  events : int;
+  end_time : float;
+  trace : Trace.event list;
+  metrics : Metrics.t;
+  conformant : bool;
+  violations : int;
+  verdict : Monitor.verdict option;
+}
+
+val run : ?until:float -> ?max_events:int -> t -> outcome
+(** Build, boot, and drive the session to quiescence (or to the bound),
+    recording its trace; then derive metrics and monitor results.  A
+    session is single-use: run it once. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

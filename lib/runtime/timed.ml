@@ -36,9 +36,9 @@ type t = {
   mutable frame_seq : int;
 }
 
-let create ?(seed = 42) ?(n = 34.0) ?(c = 20.0) network =
+let create ?(seed = 42) ?sched ?(n = 34.0) ?(c = 20.0) network =
   {
-    engine = Engine.create ~seed ();
+    engine = Engine.create ~seed ?sched ();
     network;
     n;
     c;

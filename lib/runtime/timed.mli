@@ -15,9 +15,10 @@ open Mediactl_types
 
 type t
 
-val create : ?seed:int -> ?n:float -> ?c:float -> Netsys.t -> t
+val create : ?seed:int -> ?sched:Mediactl_sim.Engine.sched -> ?n:float -> ?c:float -> Netsys.t -> t
 (** [create net] wraps a network.  Defaults: [n] = 34.0, [c] = 20.0
-    (milliseconds). *)
+    (milliseconds), timer-wheel scheduler ([sched] selects the reference
+    heap for benchmarking). *)
 
 val net : t -> Netsys.t
 val now : t -> float

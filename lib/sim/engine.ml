@@ -1,35 +1,75 @@
+type sched = Wheel | Heap
+
+(* The timer wheel is the production scheduler; the persistent leftist
+   heap stays as the reference implementation (same ordering contract,
+   qcheck-checked) and as a bench comparison point. *)
+type 'e queue = Wheel_q of 'e Twheel.t | Heap_q of { mutable q : 'e Pqueue.t; mutable n : int }
+
 type 'e t = {
   mutable clock : float;
-  mutable queue : 'e Pqueue.t;
+  queue : 'e queue;
   mutable seq : int;
   rng : Rng.t;
 }
 
-let create ?(seed = 42) () = { clock = 0.0; queue = Pqueue.empty; seq = 0; rng = Rng.create seed }
+let create ?(seed = 42) ?(sched = Wheel) ?(resolution = 1.0) () =
+  let queue =
+    match sched with
+    | Wheel -> Wheel_q (Twheel.create ~resolution ())
+    | Heap -> Heap_q { q = Pqueue.empty; n = 0 }
+  in
+  { clock = 0.0; queue; seq = 0; rng = Rng.create seed }
 
 let now t = t.clock
 let rng t = t.rng
 
 let schedule t ~delay event =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  t.queue <- Pqueue.insert t.queue ~key:(t.clock +. delay) ~seq:t.seq event;
+  let key = t.clock +. delay in
+  (match t.queue with
+  | Wheel_q w -> Twheel.insert w ~key ~seq:t.seq event
+  | Heap_q h ->
+    h.q <- Pqueue.insert h.q ~key ~seq:t.seq event;
+    h.n <- h.n + 1);
   t.seq <- t.seq + 1
 
-let pending t = Pqueue.size t.queue
+let pending t =
+  match t.queue with
+  | Wheel_q w -> Twheel.size w
+  | Heap_q h -> h.n
+
+let peek_key t =
+  match t.queue with
+  | Wheel_q w -> Twheel.peek_key w
+  | Heap_q h -> Pqueue.peek_key h.q
+
+let pop t =
+  match t.queue with
+  | Wheel_q w -> (
+    match Twheel.pop w with
+    | None -> None
+    | Some (time, _, event) -> Some (time, event))
+  | Heap_q h -> (
+    match Pqueue.pop h.q with
+    | None -> None
+    | Some ((time, _, event), rest) ->
+      h.q <- rest;
+      h.n <- h.n - 1;
+      Some (time, event))
 
 let run t ?(until = infinity) ?(max_events = max_int) handler =
   let processed = ref 0 in
   let continue = ref true in
   while !continue && !processed < max_events do
-    match Pqueue.pop t.queue with
+    match peek_key t with
     | None -> continue := false
-    | Some ((time, _, event), rest) ->
-      if time > until then continue := false
-      else begin
-        t.queue <- rest;
+    | Some time when time > until -> continue := false
+    | Some _ -> (
+      match pop t with
+      | None -> continue := false
+      | Some (time, event) ->
         t.clock <- time;
         handler t event;
-        incr processed
-      end
+        incr processed)
   done;
   !processed

@@ -7,7 +7,16 @@
 
 type 'e t
 
-val create : ?seed:int -> unit -> 'e t
+(** Which event-queue implementation backs the engine.  [Wheel] (the
+    default) is the hierarchical timer wheel of {!Twheel}; [Heap] is the
+    persistent leftist heap of {!Pqueue}, kept as the reference
+    implementation.  Both pop in identical [(time, seq)] order, so the
+    choice affects performance only. *)
+type sched = Wheel | Heap
+
+val create : ?seed:int -> ?sched:sched -> ?resolution:float -> unit -> 'e t
+(** [resolution] is the wheel's tick width in simulated time units
+    (default 1.0); ignored by the heap. *)
 
 val now : 'e t -> float
 (** Current simulation time; starts at 0. *)

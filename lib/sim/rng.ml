@@ -11,6 +11,13 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* A split draws the child's whole state from the parent stream, so the
+   child is fixed at the moment of the split: consuming the parent or any
+   sibling afterwards cannot change what the child will produce. *)
+let split t = { state = next_int64 t }
+
+let fork_seed t = Int64.to_int (next_int64 t)
+
 let float t bound =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   (* 53 random bits into [0, 1) *)

@@ -9,6 +9,17 @@ type t
 val create : int -> t
 (** Seeded generator; equal seeds give equal streams. *)
 
+val split : t -> t
+(** [split t] derives an independent child stream by drawing the child's
+    state from [t].  The child is fully determined at the split: later
+    draws from [t] or from sibling streams do not affect it, so a fleet
+    of sessions split from one seed is deterministic regardless of the
+    order (or the domain) in which sessions consume their streams. *)
+
+val fork_seed : t -> int
+(** An integer seed drawn from the stream, for components that take an
+    [int] seed (e.g. [Impair.create]). *)
+
 val next_int64 : t -> int64
 val float : t -> float -> float
 (** [float t bound] draws uniformly from [0, bound). *)

@@ -1,0 +1,149 @@
+(* A hierarchical timer wheel over float timestamps.
+
+   Events are bucketed by tick = floor(key / resolution).  Level [l] has
+   32 slots, each spanning 32^l ticks; an event is stored at the highest
+   level where its tick still shares all more-significant digits with
+   the cursor, which keeps every stored slot strictly ahead of the
+   cursor within its level.  Advancing the cursor into a higher-level
+   slot redistributes ("cascades") its events into lower levels, so by
+   the time an event is delivered it sits in a level-0 slot of its exact
+   tick.  Buckets are sorted by (key, seq) as they become due, which
+   makes the pop order exactly the (key, seq) lexicographic order of the
+   reference heap ({!Pqueue}), including the FIFO tie-break. *)
+
+let bits = 5
+let wsize = 1 lsl bits (* 32 slots per level *)
+let wmask = wsize - 1
+let levels = 8 (* 32^8 ticks of horizon: ~35 years at 1 ms resolution *)
+
+type 'a cell = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  resolution : float;
+  slots : 'a cell list array array; (* [level].[slot], unsorted *)
+  occ : int array; (* per-level slot-occupancy bitmask *)
+  mutable cur : int; (* cursor tick, in level-0 granularity *)
+  mutable ready : 'a cell list; (* due cells, sorted by (key, seq) *)
+  mutable overflow : 'a cell list; (* beyond the wheel's horizon *)
+  mutable size : int;
+}
+
+let create ?(resolution = 1.0) () =
+  if resolution <= 0.0 then invalid_arg "Twheel.create: resolution must be positive";
+  {
+    resolution;
+    slots = Array.init levels (fun _ -> Array.make wsize []);
+    occ = Array.make levels 0;
+    cur = 0;
+    ready = [];
+    overflow = [];
+    size = 0;
+  }
+
+let size t = t.size
+let is_empty t = t.size = 0
+let tick_of t key = int_of_float (key /. t.resolution)
+let horizon = bits * levels
+
+let cell_precedes a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let rec insert_sorted cell = function
+  | [] -> [ cell ]
+  | c :: _ as l when cell_precedes cell c -> cell :: l
+  | c :: rest -> c :: insert_sorted cell rest
+
+let sort_cells cells = List.sort (fun a b -> if cell_precedes a b then -1 else 1) cells
+
+(* The level at which [tick] and the cursor first share every
+   more-significant digit; digits below it differ, so the slot index at
+   that level is strictly ahead of the cursor's. *)
+let place t cell =
+  let tick = tick_of t cell.key in
+  if tick <= t.cur then t.ready <- insert_sorted cell t.ready
+  else if tick lsr horizon <> t.cur lsr horizon then t.overflow <- cell :: t.overflow
+  else begin
+    let rec level l =
+      if l >= levels - 1 then levels - 1
+      else if tick lsr (bits * (l + 1)) = t.cur lsr (bits * (l + 1)) then l
+      else level (l + 1)
+    in
+    let l = level 0 in
+    let slot = (tick lsr (bits * l)) land wmask in
+    t.slots.(l).(slot) <- cell :: t.slots.(l).(slot);
+    t.occ.(l) <- t.occ.(l) lor (1 lsl slot)
+  end
+
+let insert t ~key ~seq value =
+  t.size <- t.size + 1;
+  place t { key; seq; value }
+
+let take_slot t l i =
+  let cells = t.slots.(l).(i) in
+  t.slots.(l).(i) <- [];
+  t.occ.(l) <- t.occ.(l) land lnot (1 lsl i);
+  cells
+
+(* The lowest set bit of [mask] at index >= [from], if any. *)
+let next_occupied mask from =
+  if from >= wsize then None
+  else
+    let m = mask land (-1 lsl from) in
+    if m = 0 then None
+    else begin
+      let rec idx m i = if m land 1 = 1 then i else idx (m lsr 1) (i + 1) in
+      Some (idx m 0)
+    end
+
+(* Move the next due bucket into [ready].  Precondition: [ready] is
+   empty and at least one cell is stored in the wheel or the overflow
+   list.  Scans each level from just past the cursor's digit; a hit at
+   level 0 is the bucket, a hit higher up jumps the cursor to that
+   slot's base tick and cascades its cells down before rescanning. *)
+let rec refill t l =
+  if l >= levels then begin
+    (* Wheel exhausted: everything left lives past the horizon.  Rebase
+       the cursor on the earliest overflow tick and re-place. *)
+    let cells = t.overflow in
+    t.overflow <- [];
+    t.cur <- List.fold_left (fun acc c -> min acc (tick_of t c.key)) max_int cells;
+    List.iter (place t) cells;
+    if t.ready = [] then refill t 0
+  end
+  else begin
+    let digit = (t.cur lsr (bits * l)) land wmask in
+    match next_occupied t.occ.(l) (digit + 1) with
+    | None -> refill t (l + 1)
+    | Some i ->
+      let prefix = t.cur lsr (bits * (l + 1)) in
+      t.cur <- ((prefix lsl bits) lor i) lsl (bits * l);
+      let cells = take_slot t l i in
+      if l = 0 then t.ready <- sort_cells cells
+      else begin
+        List.iter (place t) cells;
+        if t.ready = [] then refill t 0
+      end
+  end
+
+let rec pop t =
+  match t.ready with
+  | c :: rest ->
+    t.ready <- rest;
+    t.size <- t.size - 1;
+    Some (c.key, c.seq, c.value)
+  | [] ->
+    if t.size = 0 then None
+    else begin
+      refill t 0;
+      pop t
+    end
+
+let peek_key t =
+  if t.size = 0 then None
+  else begin
+    while t.ready = [] do
+      refill t 0
+    done;
+    match t.ready with
+    | c :: _ -> Some c.key
+    | [] -> None
+  end

@@ -1,0 +1,31 @@
+(** A hierarchical timer wheel: the simulation engine's hot-path
+    scheduler.
+
+    Eight levels of 32 slots bucket events by [floor (key /
+    resolution)]; becoming-due buckets are sorted by [(key, seq)], so
+    the pop order is {e exactly} the order of the reference leftist heap
+    ({!Pqueue}), including the FIFO tie-break among equal keys — a
+    property the test suite checks with qcheck.  Insert and pop are
+    amortised O(1) against the heap's O(log n), which matters because
+    per-event scheduling dominates the simulation kernels.
+
+    Resolution bounds: keys must be non-negative and the wheel spans
+    [32^8] ticks (about 35 years of simulated time at the default 1 ms
+    resolution); later events overflow to a spill list consulted only
+    when the wheel drains, preserving order at a cost.  The resolution
+    affects only performance, never ordering: a coarser tick puts more
+    events in one bucket and sorts more per pop. *)
+
+type 'a t
+
+val create : ?resolution:float -> unit -> 'a t
+(** Default resolution 1.0 (one tick per simulated millisecond). *)
+
+val insert : 'a t -> key:float -> seq:int -> 'a -> unit
+(** [key] must be [>= ] every key already popped (the engine's clock
+    never goes backward, so this always holds for [clock + delay]). *)
+
+val pop : 'a t -> (float * int * 'a) option
+val peek_key : 'a t -> float option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,205 @@
+(* Tests for the sharded many-session runtime: split random streams,
+   domain-local trace contexts, per-session metrics merging, and the
+   fleet determinism guarantee (identical per-session results whatever
+   the domain count). *)
+
+open Mediactl_sim
+open Mediactl_runtime
+open Mediactl_apps
+module Obs = Mediactl_obs
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* --- Rng.split -------------------------------------------------------- *)
+
+(* A child stream is fixed at the moment of the split: consuming the
+   parent or a sibling afterwards — in any amount — cannot change what
+   the child produces.  This is what makes fleet sessions independent
+   of shard assignment. *)
+let prop_split_sibling_independent =
+  QCheck2.Test.make ~name:"split streams ignore sibling consumption order" ~count:300
+    QCheck2.Gen.(triple (int_range 0 1_000_000) (int_range 0 16) (int_range 1 16))
+    (fun (seed, pre, post) ->
+      let direct =
+        let p = Rng.create seed in
+        for _ = 1 to pre do
+          ignore (Rng.next_int64 p)
+        done;
+        let child = Rng.split p in
+        List.init 8 (fun _ -> Rng.next_int64 child)
+      in
+      let interleaved =
+        let p = Rng.create seed in
+        for _ = 1 to pre do
+          ignore (Rng.next_int64 p)
+        done;
+        let child = Rng.split p in
+        let sibling = Rng.split p in
+        for _ = 1 to post do
+          ignore (Rng.next_int64 p);
+          ignore (Rng.next_int64 sibling)
+        done;
+        List.init 8 (fun _ -> Rng.next_int64 child)
+      in
+      direct = interleaved)
+
+let prop_split_children_distinct =
+  QCheck2.Test.make ~name:"sibling streams differ from each other and the parent" ~count:200
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = Rng.create seed in
+      let a = Rng.split p in
+      let b = Rng.split p in
+      let draws r = List.init 4 (fun _ -> Rng.next_int64 r) in
+      let da = draws a and db = draws b and dp = draws p in
+      da <> db && da <> dp && db <> dp)
+
+(* --- domain-local tracing --------------------------------------------- *)
+
+(* Regression for the old global [Trace.seq] counter: two domains
+   recording at the same time must each capture exactly their own
+   events, numbered 0..n-1 by their own counter, with nothing leaked
+   from the other domain. *)
+let test_trace_domains_isolated () =
+  let n = 2_000 in
+  let started = Atomic.make 0 in
+  let record tag () =
+    Atomic.incr started;
+    while Atomic.get started < 2 do
+      Domain.cpu_relax ()
+    done;
+    let (), events =
+      Obs.Trace.recording (fun () ->
+        for i = 0 to n - 1 do
+          Obs.Trace.emit (Obs.Trace.Meta_send { chan = tag; box = string_of_int i })
+        done)
+    in
+    events
+  in
+  let da = Domain.spawn (record "left") in
+  let db = Domain.spawn (record "right") in
+  let ea = Domain.join da and eb = Domain.join db in
+  let well_formed tag events =
+    List.length events = n
+    && List.for_all2
+         (fun want (e : Obs.Trace.event) ->
+           e.Obs.Trace.seq = want
+           &&
+           match e.Obs.Trace.kind with
+           | Obs.Trace.Meta_send { chan; _ } -> chan = tag
+           | _ -> false)
+         (List.init n Fun.id) events
+  in
+  check tbool "left trace isolated" true (well_formed "left" ea);
+  check tbool "right trace isolated" true (well_formed "right" eb)
+
+(* --- metrics merge ----------------------------------------------------- *)
+
+let test_metrics_merge () =
+  let stats xs =
+    let s = Stats.create () in
+    List.iter (Stats.add s) xs;
+    s
+  in
+  let a =
+    { Obs.Metrics.empty with
+      Obs.Metrics.events = 3;
+      duration = 10.0;
+      sends_by_signal = [ ("open", 2); ("close", 1) ];
+      drops = 1;
+      round_trip = stats [ 1.0; 5.0 ];
+    }
+  in
+  let b =
+    { Obs.Metrics.empty with
+      Obs.Metrics.events = 4;
+      duration = 7.0;
+      sends_by_signal = [ ("open", 1) ];
+      violations = 2;
+      round_trip = stats [ 3.0 ];
+    }
+  in
+  let m = Obs.Metrics.merge a b in
+  check tint "events add" 7 m.Obs.Metrics.events;
+  check tbool "duration adds" true (m.Obs.Metrics.duration = 17.0);
+  check tint "drops add" 1 m.Obs.Metrics.drops;
+  check tint "violations add" 2 m.Obs.Metrics.violations;
+  check tbool "sends merge by signal" true
+    (List.assoc "open" m.Obs.Metrics.sends_by_signal = 3
+    && List.assoc "close" m.Obs.Metrics.sends_by_signal = 1);
+  check tint "samples pool" 3 (Stats.count m.Obs.Metrics.round_trip);
+  check tbool "pooled max" true (Stats.max m.Obs.Metrics.round_trip = 5.0);
+  check tbool "merge_all of nothing is empty" true (Obs.Metrics.merge_all [] = Obs.Metrics.empty)
+
+(* --- sessions ----------------------------------------------------------- *)
+
+let test_session_sim_before_run () =
+  let s =
+    Session.create ~id:0 ~scenario:"x" ~rng:(Rng.create 1)
+      ~boot:(fun _ -> ())
+      (fun () -> Netsys.empty)
+  in
+  Alcotest.check_raises "sim before run"
+    (Invalid_argument "Session.sim: session not running (only valid from boot onward)")
+    (fun () -> ignore (Session.sim s))
+
+(* --- fleet determinism -------------------------------------------------- *)
+
+(* The acceptance property: per-session outcomes are bit-identical for
+   --jobs 1, 2, and 4 — same traces, same metrics, same verdicts — over
+   the mixed scenario set on a lossy network. *)
+let fingerprint (o : Session.outcome) =
+  ( o.Session.id,
+    o.Session.scenario,
+    o.Session.events,
+    o.Session.end_time,
+    o.Session.conformant,
+    o.Session.violations,
+    List.map Obs.Trace.event_to_json o.Session.trace,
+    Obs.Metrics.to_json o.Session.metrics,
+    match o.Session.verdict with
+    | None -> "none"
+    | Some v -> Format.asprintf "%a" Obs.Monitor.pp_verdict v )
+
+let run_fleet jobs =
+  let mk ~id ~rng = Scenario.session ~loss:0.04 Scenario.Mixed ~id ~rng in
+  let outcomes, summary = Fleet.run ~jobs ~until:30_000.0 ~sessions:10 ~seed:7 mk in
+  (List.map fingerprint outcomes, summary)
+
+let test_fleet_determinism () =
+  let f1, s1 = run_fleet 1 in
+  let f2, _ = run_fleet 2 in
+  let f4, _ = run_fleet 4 in
+  check tint "all sessions ran" 10 (List.length f1);
+  check tbool "jobs 1 = jobs 2" true (f1 = f2);
+  check tbool "jobs 1 = jobs 4" true (f1 = f4);
+  check tint "summary counts every session" 10 s1.Fleet.sessions;
+  check tbool "aggregate events match outcomes" true
+    (s1.Fleet.engine_events = List.fold_left (fun acc (_, _, e, _, _, _, _, _, _) -> acc + e) 0 f1)
+
+let test_fleet_shards_cover_all_ids () =
+  let mk ~id ~rng = Scenario.session Scenario.Path ~id ~rng in
+  let outcomes, _ = Fleet.run ~jobs:3 ~until:10_000.0 ~sessions:7 ~seed:3 mk in
+  check tbool "ids 0..6 in order" true
+    (List.map (fun (o : Session.outcome) -> o.Session.id) outcomes = List.init 7 Fun.id)
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "rng-split",
+        [
+          QCheck_alcotest.to_alcotest prop_split_sibling_independent;
+          QCheck_alcotest.to_alcotest prop_split_children_distinct;
+        ] );
+      ("trace", [ Alcotest.test_case "domain isolation" `Quick test_trace_domains_isolated ]);
+      ("metrics", [ Alcotest.test_case "merge" `Quick test_metrics_merge ]);
+      ( "session",
+        [ Alcotest.test_case "sim before run raises" `Quick test_session_sim_before_run ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "deterministic across jobs 1/2/4" `Quick test_fleet_determinism;
+          Alcotest.test_case "round-robin covers all ids" `Quick test_fleet_shards_cover_all_ids;
+        ] );
+    ]

@@ -56,6 +56,98 @@ let prop_pqueue_sorted =
       in
       drain q neg_infinity)
 
+(* --- timer wheel ------------------------------------------------------ *)
+
+(* The wheel must be observationally identical to the reference heap:
+   same (key, seq, value) pop sequence, including the FIFO tie-break at
+   equal keys, under any interleaving of inserts and pops. *)
+
+let pop_heap h =
+  match Pqueue.pop !h with
+  | None -> None
+  | Some ((k, s, v), rest) ->
+    h := rest;
+    Some (k, s, v)
+
+let test_twheel_order_and_ties () =
+  let w = Twheel.create () in
+  Twheel.insert w ~key:3.0 ~seq:0 "c";
+  Twheel.insert w ~key:1.0 ~seq:1 "a";
+  Twheel.insert w ~key:1.0 ~seq:2 "a2";
+  Twheel.insert w ~key:2.0 ~seq:3 "b";
+  let rec drain acc =
+    match Twheel.pop w with
+    | None -> List.rev acc
+    | Some (_, _, v) -> drain (v :: acc)
+  in
+  check tbool "sorted, fifo ties" true (drain [] = [ "a"; "a2"; "b"; "c" ])
+
+(* Keys drawn from a small integer grid so equal keys (exercising the
+   seq tie-break) are common; each insert is followed by 0-3 pops so
+   cursor advance interleaves with placement. *)
+let prop_twheel_heap_equiv =
+  QCheck2.Test.make ~name:"timer wheel pops exactly like the leftist heap" ~count:500
+    QCheck2.Gen.(
+      pair
+        (float_range 0.05 8.0)
+        (list_size (int_range 0 80) (pair (int_range 0 400) (int_range 0 3))))
+    (fun (resolution, script) ->
+      let w = Twheel.create ~resolution () in
+      let h = ref Pqueue.empty in
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_both () = if Twheel.pop w <> pop_heap h then ok := false in
+      List.iter
+        (fun (k, pops) ->
+          let key = float_of_int k /. 4.0 in
+          Twheel.insert w ~key ~seq:!seq !seq;
+          h := Pqueue.insert !h ~key ~seq:!seq !seq;
+          incr seq;
+          for _ = 1 to pops do
+            pop_both ()
+          done)
+        script;
+      while not (Twheel.is_empty w) || Pqueue.size !h > 0 do
+        pop_both ()
+      done;
+      !ok && Twheel.pop w = None)
+
+(* Far-future keys spill into the overflow list and are rebased back
+   onto the levels as the cursor reaches them. *)
+let prop_twheel_overflow =
+  QCheck2.Test.make ~name:"timer wheel overflow horizon preserves heap order" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 40) (float_range 0.0 5e12))
+    (fun keys ->
+      let w = Twheel.create ~resolution:1.0 () in
+      let h = ref Pqueue.empty in
+      List.iteri
+        (fun seq key ->
+          Twheel.insert w ~key ~seq ();
+          h := Pqueue.insert !h ~key ~seq ())
+        keys;
+      let ok = ref true in
+      while not (Twheel.is_empty w) do
+        if Twheel.pop w <> pop_heap h then ok := false
+      done;
+      !ok && pop_heap h = None)
+
+(* End-to-end: an engine under each scheduler, with handlers that keep
+   scheduling (including zero delays, which tie with the current time),
+   must deliver the identical event sequence. *)
+let test_engine_sched_equiv () =
+  let run sched =
+    let engine = Engine.create ~sched () in
+    let log = ref [] in
+    List.iteri (fun i d -> Engine.schedule engine ~delay:d i) [ 5.0; 1.0; 1.0; 9.0; 0.0 ];
+    let handler e v =
+      log := (Engine.now e, v) :: !log;
+      if v < 40 then Engine.schedule e ~delay:(float_of_int (v mod 7)) (v + 10)
+    in
+    let _ = Engine.run engine handler in
+    List.rev !log
+  in
+  check tbool "wheel and heap engines agree" true (run Engine.Wheel = run Engine.Heap)
+
 (* --- rng -------------------------------------------------------------- *)
 
 let test_rng_deterministic () =
@@ -179,6 +271,13 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_pqueue_ties_fifo;
           Alcotest.test_case "size/peek" `Quick test_pqueue_size;
           QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+        ] );
+      ( "twheel",
+        [
+          Alcotest.test_case "ordering and ties" `Quick test_twheel_order_and_ties;
+          Alcotest.test_case "engine scheduler equivalence" `Quick test_engine_sched_equiv;
+          QCheck_alcotest.to_alcotest prop_twheel_heap_equiv;
+          QCheck_alcotest.to_alcotest prop_twheel_overflow;
         ] );
       ( "rng",
         [
