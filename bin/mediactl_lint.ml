@@ -1,0 +1,57 @@
+(* mediactl_lint: the repo's static-analysis gate.
+
+   Examples:
+     mediactl_lint                             # whole tree, human-readable
+     mediactl_lint --format json --out lint-report.json
+     mediactl_lint --root test/lint_fixtures   # the golden fixture corpus
+     mediactl_lint --rules dsan,hygiene        # subset of analyzers
+
+   Exit status: 0 when no error-severity finding survives the
+   allowlist, 1 otherwise. *)
+
+open Cmdliner
+open Mediactl_lint_core
+
+let root =
+  Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR"
+         ~doc:"Root of the tree to lint; scoping is by path relative to it.")
+
+let fmt_conv = Arg.enum [ ("text", `Text); ("json", `Json) ]
+
+let format =
+  Arg.(value & opt fmt_conv `Text & info [ "format" ] ~docv:"FMT"
+         ~doc:"Report format: text or json.")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Also write the report to FILE (same format as stdout).")
+
+let rules =
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"R1,R2"
+         ~doc:"Comma-separated analyzer subset: dsan, totality, hygiene, iface, marshal.               Default: all.")
+
+let lint root format out rules =
+  let rules =
+    match rules with
+    | None -> Driver.all_rules
+    | Some csv -> Driver.rule_set_of_names (String.split_on_char ',' (String.lowercase_ascii csv))
+  in
+  let report = Driver.run ~rules ~root () in
+  let rendered =
+    match format with
+    | `Json -> Driver.to_json report ^ "\n"
+    | `Text -> Format.asprintf "%a" Driver.pp_text report
+  in
+  print_string rendered;
+  (match out with
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc rendered)
+  | None -> ());
+  if Driver.clean report then 0 else 1
+
+let cmd =
+  let doc = "static analysis: domain-safety, protocol totality, instrumentation hygiene" in
+  Cmd.v (Cmd.info "mediactl_lint" ~doc) Term.(const lint $ root $ format $ out $ rules)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,11 @@
+(** Goal-level trace events: which goal object drove (or observed) a
+    slot-state change.  The slot itself already emits a
+    [Slot_transition]; the [Goal] event adds the goal's identity, so a
+    trace shows e.g. that a close arriving at a flowing slot was an
+    openslot's cue to reopen. *)
+
+val observe :
+  goal:string -> Mediactl_protocol.Slot.t -> Mediactl_protocol.Slot.t -> Mediactl_protocol.Slot.t
+(** [observe ~goal before after] emits a [Goal] trace event when the
+    slot state changed (and tracing is enabled), then returns [after]
+    unchanged. *)

@@ -1,0 +1,26 @@
+(** Standard protocol reactions of a media endpoint, shared by the
+    endpoint-acting goal objects (openslot and holdslot) and
+    parameterized by the endpoint's local media face.
+
+    Each reaction returns the advanced slot plus the signals to send,
+    or a {!Goal_error.t} when the slot lacks the state the reaction
+    needs (e.g. no cached remote descriptor).  The result-plumbing
+    helpers these are built from stay private. *)
+
+open Mediactl_protocol
+
+val answer :
+  Local.t -> Slot.t -> (Slot.t * Mediactl_types.Signal.t list, Goal_error.t) result
+(** Answer the peer's current descriptor with a selector. *)
+
+val accept :
+  Local.t -> Slot.t -> (Slot.t * Mediactl_types.Signal.t list, Goal_error.t) result
+(** Accept a received open: oack with our descriptor, then select
+    answering the opener's descriptor (paper Figure 9: !oack /
+    !select). *)
+
+val re_describe :
+  Local.t -> Slot.t -> (Slot.t * Mediactl_types.Signal.t list, Goal_error.t) result
+(** The user changed mute flags while the channel is flowing:
+    advertise the new descriptor and re-select against the peer's
+    current descriptor so both directions reflect the new flags. *)

@@ -1,0 +1,134 @@
+open Parsetree
+
+(* Allowlist attribute grammar (DESIGN section 11):
+
+     [@@lint.allow "<tag>: <justification>"]
+
+   where <tag> is one of race | totality | hygiene | iface | marshal
+   and <justification> is a non-empty free-form string.  The attribute
+   may sit on a value binding ([@@...]), an expression or a pattern
+   ([@...]), or float at the top of a file ([@@@...], whole-file
+   scope).  A tag waives exactly one rule; the justification travels
+   into the JSON report so reviewers can audit every waiver. *)
+
+type tag = {
+  rule : Finding.rule;
+  justification : string;
+  attr_line : int;
+  attr_col : int;
+  mutable used : bool;
+}
+
+type parsed = Tag of tag | Malformed of string | Not_allow
+
+let attr_pos (a : attribute) =
+  let p = a.attr_name.Location.loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let payload_string (a : attribute) =
+  match a.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval ({ pexp_desc = Pexp_constant c; _ }, _); _ } ] -> (
+    match c with Pconst_string (s, _, _) -> Some s | _ -> None)
+  | _ -> None
+
+let parse (a : attribute) =
+  if not (String.equal a.attr_name.Location.txt "lint.allow") then Not_allow
+  else
+    let line, col = attr_pos a in
+    match payload_string a with
+    | None -> Malformed "payload must be a string literal \"<tag>: <justification>\""
+    | Some s -> (
+      match String.index_opt s ':' with
+      | None ->
+        Malformed
+          (Printf.sprintf "%S carries no justification; write \"<tag>: <why this is safe>\"" s)
+      | Some i -> (
+        let tag_name = String.trim (String.sub s 0 i) in
+        let justification = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+        match Finding.rule_of_tag tag_name with
+        | None ->
+          Malformed
+            (Printf.sprintf "unknown tag %S (use race|totality|hygiene|iface|marshal)" tag_name)
+        | Some rule ->
+          if String.equal justification "" then
+            Malformed (Printf.sprintf "tag %S carries an empty justification" tag_name)
+          else Tag { rule; justification; attr_line = line; attr_col = col; used = false }))
+
+(* ------------------------------------------------------------------ *)
+(* Per-file registry                                                   *)
+
+(* The registry holds every [lint.allow] attribute in a file, found by
+   a generic attribute sweep, so that (a) malformed attributes are
+   reported exactly once and (b) attributes that never suppressed a
+   finding surface as LINT002 at the end of the file's analysis. *)
+type registry = { file : string; mutable tags : tag list; mutable malformed : Finding.t list }
+
+let sweep ~file structure =
+  let reg = { file; tags = []; malformed = [] } in
+  let record a =
+    match parse a with
+    | Not_allow -> ()
+    | Tag t -> reg.tags <- t :: reg.tags
+    | Malformed msg ->
+      let line, col = attr_pos a in
+      reg.malformed <-
+        Finding.make ~rule:Finding.Bad_allow ~file ~line ~col
+          ("malformed [@@lint.allow]: " ^ msg)
+        :: reg.malformed
+  in
+  let iter =
+    { Ast_iterator.default_iterator with attribute = (fun _ a -> record a) }
+  in
+  iter.Ast_iterator.structure iter structure;
+  reg
+
+(* File-scope tags: floating [@@@lint.allow "..."] structure items. *)
+let file_tags structure =
+  List.filter_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute a -> ( match parse a with Tag t -> Some t | _ -> None)
+      | _ -> None)
+    structure
+
+(* Finds a registered tag matching [rule] among the given attribute
+   lists (host-node attributes first, then file scope), marks it used,
+   and returns its justification. *)
+let suppressor reg ~file_scope ~rule (attr_lists : attributes list) =
+  let matching attrs =
+    List.find_map
+      (fun a ->
+        match parse a with
+        | Tag t when t.rule = rule -> Some t
+        | Tag _ | Malformed _ | Not_allow -> None)
+      attrs
+  in
+  let found =
+    match List.find_map matching attr_lists with
+    | Some t -> Some t
+    | None -> List.find_opt (fun (t : tag) -> t.rule = rule) file_scope
+  in
+  match found with
+  | None -> None
+  | Some t ->
+    (* Mark the registry's copy (the [parse] above re-built a fresh
+       tag for host-node attributes; identity is by position). *)
+    List.iter
+      (fun (r : tag) ->
+        if r.attr_line = t.attr_line && r.attr_col = t.attr_col && r.rule = t.rule then
+          r.used <- true)
+      reg.tags;
+    t.used <- true;
+    Some t
+
+let unused_findings reg =
+  List.filter_map
+    (fun (t : tag) ->
+      if t.used then None
+      else
+        Some
+          (Finding.make ~rule:Finding.Unused_allow ~file:reg.file ~line:t.attr_line
+             ~col:t.attr_col
+             (Printf.sprintf "[@@lint.allow \"%s: ...\"] suppressed no finding; delete it"
+                (Finding.tag_of_rule t.rule))))
+    (List.rev reg.tags)

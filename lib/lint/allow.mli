@@ -1,0 +1,39 @@
+(** The [\[@@lint.allow "<tag>: <justification>"\]] waiver attribute.
+
+    Grammar: the payload is a single string literal of the form
+    ["<tag>: <justification>"] where [<tag>] is one of [race],
+    [totality], [hygiene], [iface], [marshal] (each waives exactly one
+    rule — see {!Finding.rule_of_tag}) and [<justification>] is
+    non-empty.  Placement: [@@] on value bindings, [@] on expressions
+    and patterns, [@@@] floating at the top of a file (whole-file
+    scope).  Malformed attributes are themselves findings (LINT001);
+    attributes that suppress nothing are findings too (LINT002). *)
+
+type tag = {
+  rule : Finding.rule;
+  justification : string;
+  attr_line : int;
+  attr_col : int;
+  mutable used : bool;
+}
+
+type parsed = Tag of tag | Malformed of string | Not_allow
+
+val parse : Parsetree.attribute -> parsed
+
+type registry = { file : string; mutable tags : tag list; mutable malformed : Finding.t list }
+
+val sweep : file:string -> Parsetree.structure -> registry
+(** Collects and validates every [lint.allow] attribute in the file. *)
+
+val file_tags : Parsetree.structure -> tag list
+(** The floating [@@@lint.allow] tags with whole-file scope. *)
+
+val suppressor :
+  registry -> file_scope:tag list -> rule:Finding.rule -> Parsetree.attributes list -> tag option
+(** [suppressor reg ~file_scope ~rule attr_lists] returns (and marks
+    used) a tag waiving [rule] from the host-node attribute lists or,
+    failing that, the file scope. *)
+
+val unused_findings : registry -> Finding.t list
+(** LINT002 findings for tags still unused after all analyzers ran. *)

@@ -1,0 +1,81 @@
+open Parsetree
+
+(* Helpers shared by the analyzers.  Everything here sticks to
+   Parsetree constructors whose shape is identical in OCaml 5.1 and
+   5.2 (the CI matrix); function-literal forms, which changed in 5.2,
+   are only ever reached through [Ast_iterator.default_iterator] or a
+   catch-all [_] case, never named. *)
+
+let rec flatten_ident = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> flatten_ident p @ [ s ]
+  | Longident.Lapply (_, p) -> flatten_ident p
+
+(* [has_suffix ["Trace";"emit"] path] holds for [Trace.emit],
+   [Mediactl_obs.Trace.emit], ... — module aliases keep the meaningful
+   tail. *)
+let has_suffix suffix path =
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+  let lp = List.length path and ls = List.length suffix in
+  lp >= ls && List.equal String.equal (drop (lp - ls) path) suffix
+
+let ident_path e = match e.pexp_desc with Pexp_ident l -> Some (flatten_ident l.txt) | _ -> None
+
+(* Does any identifier in the subtree satisfy [pred]?  Used to
+   recognise guard conditions that mention [Trace.enabled]. *)
+exception Found
+
+let expr_mentions ~pred e =
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident l -> if pred (flatten_ident l.txt) then raise Found
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  try
+    iter.expr iter e;
+    false
+  with Found -> true
+
+(* A pattern that silently swallows every remaining variant: [_],
+   tuples of such, or-patterns of such, possibly under a type
+   constraint or local open.  Variable and alias patterns are *not*
+   wildcards here — they name the value, which is the accepted idiom
+   for an intentional catch-all handler. *)
+let rec all_wildcard p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_tuple ps -> List.for_all all_wildcard ps
+  | Ppat_or (a, b) -> all_wildcard a && all_wildcard b
+  | Ppat_constraint (p, _) | Ppat_open (_, p) -> all_wildcard p
+  | _ -> false
+
+(* Constructor names appearing anywhere in a pattern (argument
+   positions included): the evidence that a match is over a protocol
+   type. *)
+let constructors_of_pattern p =
+  let acc = ref [] in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_construct (l, _) -> (
+            match List.rev (flatten_ident l.txt) with
+            | name :: _ -> acc := name :: !acc
+            | [] -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  iter.pat iter p;
+  !acc
+
+let constructors_of_cases cases =
+  List.concat_map (fun c -> constructors_of_pattern c.pc_lhs) cases

@@ -1,0 +1,22 @@
+(** Parsetree helpers shared by the analyzers (5.1/5.2-portable). *)
+
+val flatten_ident : Longident.t -> string list
+
+val has_suffix : string list -> string list -> bool
+(** [has_suffix suffix path]: does [path] end with [suffix]?  Matches
+    qualified uses through module aliases ([Mediactl_obs.Trace.emit]
+    ends with [Trace.emit]). *)
+
+val ident_path : Parsetree.expression -> string list option
+(** The flattened path when the expression is a bare identifier. *)
+
+val expr_mentions : pred:(string list -> bool) -> Parsetree.expression -> bool
+(** Does any identifier in the subtree satisfy [pred]? *)
+
+val all_wildcard : Parsetree.pattern -> bool
+(** [_], tuples/or-patterns of [_] (under constraints/opens): a branch
+    that silently swallows every remaining variant.  Variable and
+    alias patterns are not wildcards — they name the value. *)
+
+val constructors_of_pattern : Parsetree.pattern -> string list
+val constructors_of_cases : Parsetree.case list -> string list

@@ -1,0 +1,46 @@
+open Parsetree
+
+type t = {
+  file : string;
+  registry : Allow.registry;
+  file_scope : Allow.tag list;
+  mutable findings : Finding.t list;
+  mutable allowed : Finding.allowed list;
+}
+
+let create ~file structure =
+  {
+    file;
+    registry = Allow.sweep ~file structure;
+    file_scope = Allow.file_tags structure;
+    findings = [];
+    allowed = [];
+  }
+
+let loc_pos (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+(* Reports a finding of [rule] at [loc] unless one of the attribute
+   lists (host node first, then file scope) waives it; a waived
+   finding is recorded on the allowlisted side of the report. *)
+let flag t rule ?(attrs : attributes list = []) (loc : Location.t) message =
+  let line, col = loc_pos loc in
+  match Allow.suppressor t.registry ~file_scope:t.file_scope ~rule attrs with
+  | Some tag ->
+    t.allowed <-
+      {
+        Finding.a_rule = rule;
+        a_file = t.file;
+        a_line = line;
+        justification = tag.Allow.justification;
+      }
+      :: t.allowed
+  | None -> t.findings <- Finding.make ~rule ~file:t.file ~line ~col message :: t.findings
+
+(* Called once per file after every analyzer ran: malformed-attribute
+   and unused-allow findings, in source order. *)
+let close t =
+  t.findings <- List.rev_append t.registry.Allow.malformed t.findings;
+  t.findings <- List.rev_append (Allow.unused_findings t.registry) t.findings;
+  (List.sort Finding.compare t.findings, List.rev t.allowed)

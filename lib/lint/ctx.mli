@@ -1,0 +1,25 @@
+(** Per-file analysis context: accumulates findings and allowlisted
+    suppressions, and owns the file's [lint.allow] registry. *)
+
+type t = {
+  file : string;
+  registry : Allow.registry;
+  file_scope : Allow.tag list;
+  mutable findings : Finding.t list;
+  mutable allowed : Finding.allowed list;
+}
+
+val create : file:string -> Parsetree.structure -> t
+
+val loc_pos : Location.t -> int * int
+(** (line, column) of a location's start. *)
+
+val flag :
+  t -> Finding.rule -> ?attrs:Parsetree.attributes list -> Location.t -> string -> unit
+(** Report a finding unless an attribute list (or the file scope)
+    carries a matching [lint.allow] tag, in which case the suppression
+    is recorded as allowlisted. *)
+
+val close : t -> Finding.t list * Finding.allowed list
+(** Finish the file: append LINT001/LINT002 findings and return
+    everything sorted deterministically. *)

@@ -1,0 +1,61 @@
+(** The lint driver: walks a source tree, applies each analyzer to its
+    scoped files, and assembles a deterministic report.
+
+    Scoping is by path relative to [root] (always '/'-separated):
+    - DSAN001 and IFACE001: every [lib/**.ml]
+    - TOT001: [lib/protocol/], [lib/core/], [lib/obs/monitor.ml]
+    - HYG001: [lib/sim/], [lib/runtime/], [lib/net/], [lib/protocol/],
+      [lib/signaling/], [lib/core/]
+    - MARS001: every scanned file except the builtin path allowlist
+      ([bench/seed_baseline.ml]).
+
+    [_build], dot/underscore-prefixed entries and [test/lint_fixtures]
+    are never scanned, so the fixture corpus is linted only by its own
+    [--root test/lint_fixtures] invocation (whose mirrored [lib/...]
+    layout re-creates the scopes above). *)
+
+type rule_set = {
+  dsan : bool;
+  totality : bool;
+  hygiene : bool;
+  iface : bool;
+  marshal : bool;
+}
+
+val all_rules : rule_set
+
+val rule_set_of_names : string list -> rule_set
+(** From CLI names: [dsan], [totality], [hygiene], [iface], [marshal]. *)
+
+val scan_files : string -> string list
+(** Relative paths of every [.ml] under the root, sorted, exclusions
+    applied. *)
+
+val lint_source :
+  ?rules:rule_set ->
+  rel:string ->
+  has_mli:bool ->
+  string ->
+  Finding.t list * Finding.allowed list
+(** Lint one compilation unit from source text; [rel] drives scoping.
+    Used directly by the test suite. *)
+
+val lint_file :
+  ?rules:rule_set -> root:string -> string -> Finding.t list * Finding.allowed list
+
+type report = {
+  root : string;
+  files : int;
+  findings : Finding.t list;
+  allowed : Finding.allowed list;
+}
+
+val errors : report -> Finding.t list
+val warnings : report -> Finding.t list
+
+val clean : report -> bool
+(** No error-severity findings (warnings alone stay green). *)
+
+val run : ?rules:rule_set -> root:string -> unit -> report
+val pp_text : Format.formatter -> report -> unit
+val to_json : report -> string

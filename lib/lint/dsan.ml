@@ -1,0 +1,165 @@
+open Parsetree
+
+(* DSAN001 — domain-safety.
+
+   Every library under lib/ links into the multi-domain executables
+   ([Explorer.explore ~jobs], [Fleet.run ~jobs]), so mutable state
+   created while a module initialises is shared by every domain.  The
+   analyzer walks structure-level bindings and flags any mutable
+   constructor evaluated at module-initialisation time: [ref],
+   [Hashtbl.create], [Buffer.create], array literals, records with
+   fields this file declares [mutable], and friends.
+
+   What makes a binding safe — and invisible to this pass:
+   - creation inside a function body ([fun]/[function]/[lazy]): state
+     is per call, not shared at load time.  This is also why
+     [Domain.DLS.new_key (fun () -> Buffer.create n)] passes: the
+     buffer is born inside the per-domain init closure.
+   - [Atomic.make]/[Mutex.create]/[Condition.create] themselves: the
+     runtime makes those safe to share (their *arguments* are still
+     scanned — [Atomic.make (Array.make 8 0)] shares a plain array).
+   - an explicit [@@lint.allow "race: <why>"] waiver. *)
+
+(* (suffix, what-to-call-it) for applications that allocate mutable
+   state.  The list names stdlib entry points; suffix matching keeps
+   [Stdlib.ref] and aliased module paths covered. *)
+let mutable_ctors =
+  [
+    ([ "ref" ], "ref cell");
+    ([ "Hashtbl"; "create" ], "Hashtbl.create");
+    ([ "Hashtbl"; "of_seq" ], "Hashtbl.of_seq");
+    ([ "Hashtbl"; "copy" ], "Hashtbl.copy");
+    ([ "Buffer"; "create" ], "Buffer.create");
+    ([ "Bytes"; "create" ], "Bytes.create");
+    ([ "Bytes"; "make" ], "Bytes.make");
+    ([ "Bytes"; "of_string" ], "Bytes.of_string");
+    ([ "Array"; "make" ], "Array.make");
+    ([ "Array"; "create_float" ], "Array.create_float");
+    ([ "Array"; "init" ], "Array.init");
+    ([ "Array"; "make_matrix" ], "Array.make_matrix");
+    ([ "Array"; "of_list" ], "Array.of_list");
+    ([ "Array"; "copy" ], "Array.copy");
+    ([ "Array"; "append" ], "Array.append");
+    ([ "Array"; "concat" ], "Array.concat");
+    ([ "Array"; "sub" ], "Array.sub");
+    ([ "Queue"; "create" ], "Queue.create");
+    ([ "Queue"; "of_seq" ], "Queue.of_seq");
+    ([ "Stack"; "create" ], "Stack.create");
+    ([ "Stack"; "of_seq" ], "Stack.of_seq");
+    ([ "Random"; "State"; "make" ], "Random.State.make");
+    ([ "Random"; "State"; "make_self_init" ], "Random.State.make_self_init");
+    ([ "Weak"; "create" ], "Weak.create");
+  ]
+
+let mutable_ctor_of path =
+  List.find_map (fun (suffix, name) -> if Ast_util.has_suffix suffix path then Some name else None)
+    mutable_ctors
+
+let advice =
+  "shared by every domain of a multi-domain executable; wrap it in Atomic/Mutex/Domain.DLS \
+   or waive with [@@lint.allow \"race: <why>\"]"
+
+(* Field names this file declares [mutable]; [contents] covers the
+   stdlib's [ref] record literal form. *)
+let mutable_fields_of_types items =
+  let fields = ref [ "contents" ] in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_type (_, decls) ->
+        List.iter
+          (fun d ->
+            match d.ptype_kind with
+            | Ptype_record labels ->
+              List.iter
+                (fun l -> if l.pld_mutable = Asttypes.Mutable then fields := l.pld_name.txt :: !fields)
+                labels
+            | _ -> ())
+          decls
+      | _ -> ())
+    items;
+  !fields
+
+(* Scan an expression in module-initialisation position: descend only
+   into subexpressions evaluated when the structure loads.  The
+   catch-all covers every function-literal form (whose bodies run
+   later, per call) without naming constructors that changed shape
+   between 5.1 and 5.2. *)
+let rec init_scan ~flag ~mutable_fields e =
+  let scan = init_scan ~flag ~mutable_fields in
+  match e.pexp_desc with
+  | Pexp_apply (f, args) ->
+    (match Ast_util.ident_path f with
+    | Some path -> (
+      match mutable_ctor_of path with
+      | Some name -> flag ~attrs:[ e.pexp_attributes ] e.pexp_loc name
+      | None -> ())
+    | None -> ());
+    List.iter (fun (_, a) -> scan a) args
+  | Pexp_array els ->
+    flag ~attrs:[ e.pexp_attributes ] e.pexp_loc "array literal";
+    List.iter scan els
+  | Pexp_record (fields, base) ->
+    List.iter
+      (fun ((l : Longident.t Location.loc), v) ->
+        (match List.rev (Ast_util.flatten_ident l.txt) with
+        | name :: _ when List.mem name mutable_fields ->
+          flag ~attrs:[ e.pexp_attributes ] e.pexp_loc
+            (Printf.sprintf "record literal with mutable field '%s'" name)
+        | _ -> ());
+        scan v)
+      fields;
+    Option.iter scan base
+  | Pexp_let (_, vbs, body) ->
+    List.iter (fun vb -> scan vb.pvb_expr) vbs;
+    scan body
+  | Pexp_tuple els -> List.iter scan els
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> Option.iter scan arg
+  | Pexp_ifthenelse (c, t, eo) ->
+    scan c;
+    scan t;
+    Option.iter scan eo
+  | Pexp_sequence (a, b) ->
+    scan a;
+    scan b
+  | Pexp_match (scrutinee, cases) | Pexp_try (scrutinee, cases) ->
+    scan scrutinee;
+    List.iter (fun c -> scan c.pc_rhs) cases
+  | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _) | Pexp_open (_, inner) -> scan inner
+  | Pexp_field (inner, _) -> scan inner
+  | _ -> ()
+
+let check ctx structure =
+  let mutable_fields = mutable_fields_of_types structure in
+  let rec scan_structure items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let flag ~attrs loc what =
+                Ctx.flag ctx Finding.Dsan
+                  ~attrs:(vb.pvb_attributes :: attrs)
+                  loc
+                  (Printf.sprintf "module-toplevel mutable state (%s) %s" what advice)
+              in
+              init_scan ~flag ~mutable_fields vb.pvb_expr)
+            vbs
+        | Pstr_eval (e, attrs) ->
+          let flag ~attrs:inner loc what =
+            Ctx.flag ctx Finding.Dsan ~attrs:(attrs :: inner) loc
+              (Printf.sprintf "module-toplevel mutable state (%s) %s" what advice)
+          in
+          init_scan ~flag ~mutable_fields e
+        | Pstr_module { pmb_expr; _ } -> scan_module pmb_expr
+        | Pstr_recmodule mbs -> List.iter (fun mb -> scan_module mb.pmb_expr) mbs
+        | _ -> ())
+      items
+  and scan_module me =
+    match me.pmod_desc with
+    | Pmod_structure items -> scan_structure items
+    | Pmod_constraint (inner, _) -> scan_module inner
+    | _ -> ()
+  in
+  scan_structure structure

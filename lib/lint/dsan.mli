@@ -1,0 +1,8 @@
+(** DSAN001 — domain-safety: flags mutable state created at
+    module-initialisation time in libraries linked into multi-domain
+    executables.  Creation inside function bodies (including
+    [Domain.DLS.new_key] init closures) is per-call and passes;
+    [Atomic]/[Mutex]/[Condition] cells pass; everything else needs a
+    [@@lint.allow "race: <why>"] waiver. *)
+
+val check : Ctx.t -> Parsetree.structure -> unit

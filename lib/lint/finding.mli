@@ -1,0 +1,46 @@
+(** Findings: what a lint analyzer reports, with stable rule IDs.
+
+    Each rule has a fixed severity; only {!Unused_allow} is a warning
+    (reported but never failing), everything else is an error and makes
+    the lint exit non-zero. *)
+
+type severity = Error | Warning
+
+type rule =
+  | Dsan  (** DSAN001: module-toplevel mutable state in a multi-domain library *)
+  | Totality  (** TOT001: wildcard branch over [Signal.t]/[Slot_state.t] *)
+  | Hygiene  (** HYG001: unguarded [Trace.emit]/metrics bump on a hot path *)
+  | Iface  (** IFACE001: lib/ module without an [.mli] interface *)
+  | Marshal  (** MARS001: [Marshal] use outside the allowlisted seed baseline *)
+  | Bad_allow  (** LINT001: malformed [@@lint.allow] attribute *)
+  | Unused_allow  (** LINT002: [@@lint.allow] that suppressed nothing *)
+  | Parse_error  (** PARSE001: source file does not parse *)
+
+val rule_id : rule -> string
+val all_rules : rule list
+
+val rule_of_tag : string -> rule option
+(** Maps an allowlist tag ([race], [totality], [hygiene], [iface],
+    [marshal]) to the rule it waives. *)
+
+val tag_of_rule : rule -> string
+val severity_of_rule : rule -> severity
+
+type t = { rule : rule; file : string; line : int; col : int; message : string }
+
+val severity : t -> severity
+
+type allowed = { a_rule : rule; a_file : string; a_line : int; justification : string }
+
+val make : rule:rule -> file:string -> line:int -> col:int -> string -> t
+
+val compare : t -> t -> int
+(** Orders by (file, line, col, rule id) for deterministic reports. *)
+
+val severity_name : severity -> string
+val pp : Format.formatter -> t -> unit
+val str : string -> string
+(** JSON string literal with escaping (shared by the report writer). *)
+
+val to_json : t -> string
+val allowed_to_json : allowed -> string

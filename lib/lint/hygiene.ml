@@ -1,0 +1,79 @@
+open Parsetree
+
+(* HYG001 — instrumentation hygiene.
+
+   The tracing contract (DESIGN sections 8 and 10, budget measured by
+   E11) is zero-cost-when-disabled: every [Trace.emit] — and any
+   future metrics bump — on a hot path must be dominated by an
+   enabled-check, so a disabled trace costs one load and one branch
+   and never allocates an event.  The analyzer tracks lexical
+   domination: an emit site passes iff it sits inside the then-branch
+   of an [if] whose condition calls [Trace.enabled] (conjunctions
+   fine: [if Trace.enabled () && changed then ...]) or inside a match
+   case whose [when]-guard does.  Passing [Trace.emit] around as a
+   first-class value escapes the discipline and is flagged at the
+   identifier. *)
+
+let emit_suffixes =
+  [
+    [ "Trace"; "emit" ];
+    [ "Metrics"; "bump" ];
+    [ "Metrics"; "incr" ];
+    [ "Metrics"; "observe" ];
+    [ "Metrics"; "tick" ];
+  ]
+
+let guard_suffixes = [ [ "Trace"; "enabled" ]; [ "Metrics"; "enabled" ] ]
+
+let is_emit path = List.exists (fun s -> Ast_util.has_suffix s path) emit_suffixes
+let is_guard path = List.exists (fun s -> Ast_util.has_suffix s path) guard_suffixes
+let mentions_guard e = Ast_util.expr_mentions ~pred:is_guard e
+
+let message path =
+  Printf.sprintf
+    "%s not dominated by an enabled-guard: wrap in 'if %s () then ...' to keep tracing \
+     zero-cost when disabled ([@lint.allow \"hygiene: <why>\"] to waive)"
+    (String.concat "." path)
+    (match path with
+    | _ :: _ when Ast_util.has_suffix [ "emit" ] path -> "Trace.enabled"
+    | _ -> "Metrics.enabled")
+
+let check ctx structure =
+  let guarded = ref false in
+  let with_guard g f =
+    let saved = !guarded in
+    guarded := g;
+    f ();
+    guarded := saved
+  in
+  let site ?(attrs = []) loc path =
+    if not !guarded then Ctx.flag ctx Finding.Hygiene ~attrs loc (message path)
+  in
+  let rec expr it e =
+    match e.pexp_desc with
+    | Pexp_apply (f, args) when Option.fold ~none:false ~some:is_emit (Ast_util.ident_path f) ->
+      site ~attrs:[ e.pexp_attributes; f.pexp_attributes ] e.pexp_loc
+        (Option.get (Ast_util.ident_path f));
+      (* descend into arguments only: the callee ident is this site *)
+      List.iter (fun (_, a) -> expr it a) args
+    | Pexp_ident l when is_emit (Ast_util.flatten_ident l.txt) ->
+      site ~attrs:[ e.pexp_attributes ] e.pexp_loc (Ast_util.flatten_ident l.txt)
+    | Pexp_ifthenelse (cond, then_, else_) when mentions_guard cond ->
+      expr it cond;
+      with_guard true (fun () -> expr it then_);
+      Option.iter (expr it) else_
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let case it c =
+    it.Ast_iterator.pat it c.pc_lhs;
+    match c.pc_guard with
+    | Some g when mentions_guard g ->
+      expr it g;
+      with_guard true (fun () -> expr it c.pc_rhs)
+    | Some g ->
+      expr it g;
+      expr it c.pc_rhs
+    | None -> expr it c.pc_rhs
+  in
+  let iter = { Ast_iterator.default_iterator with expr; case } in
+  iter.Ast_iterator.structure iter structure

@@ -1,0 +1,6 @@
+(** HYG001 — instrumentation hygiene: in hot-path modules, every
+    [Trace.emit] (or metrics bump) must be lexically dominated by an
+    [if Trace.enabled () then ...] check or a [when]-guard mentioning
+    it, preserving the zero-cost-when-disabled tracing contract. *)
+
+val check : Ctx.t -> Parsetree.structure -> unit

@@ -1,0 +1,5 @@
+(** MARS001 — flags any [Marshal.*] use; the canonical packed codec
+    is the sanctioned serialisation, and the verbatim seed baseline is
+    allowlisted by the driver. *)
+
+val check : Ctx.t -> Parsetree.structure -> unit

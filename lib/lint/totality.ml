@@ -1,0 +1,61 @@
+open Parsetree
+
+(* TOT001 — protocol totality.
+
+   Section VI of the paper enumerates the signal set; the safety
+   argument leans on every handler treating every signal (and every
+   slot state) explicitly.  A wildcard [_] branch compiles silently
+   when a constructor is added — exactly how [describe]/[select]
+   handling rotted in the call-control APIs this pass exists to
+   protect.  In the scoped modules (lib/protocol, lib/core,
+   lib/obs/monitor.ml) any match whose patterns mention [Signal.t] or
+   [Slot_state.t] constructors must not contain a bare-wildcard
+   branch.  Binding a variable ([| signal, st -> ...]) is fine — the
+   value is named and handled, the idiom used by the monitor's
+   illegal-transition reporters. *)
+
+let signal_ctors = [ "Open"; "Oack"; "Close"; "Closeack"; "Describe"; "Select" ]
+let state_ctors = [ "Closed"; "Opening"; "Opened"; "Flowing"; "Closing" ]
+
+let interesting ctors =
+  let hits set = List.filter (fun c -> List.mem c ctors) set in
+  match (hits signal_ctors, hits state_ctors) with
+  | [], [] -> None
+  | sigs, states ->
+    let dedup l = List.sort_uniq String.compare l in
+    let what =
+      match (sigs, states) with
+      | _ :: _, [] -> "Signal.t"
+      | [], _ :: _ -> "Slot_state.t"
+      | _ -> "Signal.t/Slot_state.t"
+    in
+    Some (what, dedup (sigs @ states))
+
+let check ctx structure =
+  let check_cases cases =
+    match interesting (Ast_util.constructors_of_cases cases) with
+    | None -> ()
+    | Some (what, ctors) ->
+      List.iter
+        (fun c ->
+          if Ast_util.all_wildcard c.pc_lhs && c.pc_guard = None then
+            Ctx.flag ctx Finding.Totality
+              ~attrs:[ c.pc_lhs.ppat_attributes ]
+              c.pc_lhs.ppat_loc
+              (Printf.sprintf
+                 "wildcard branch in a match over %s (seen here: %s): enumerate the remaining \
+                  constructors or bind a variable so new variants force handling \
+                  ([@lint.allow \"totality: <why>\"] on the pattern to waive)"
+                 what (String.concat ", " ctors)))
+        cases
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      cases =
+        (fun it cs ->
+          check_cases cs;
+          Ast_iterator.default_iterator.cases it cs);
+    }
+  in
+  iter.Ast_iterator.structure iter structure

@@ -1,0 +1,6 @@
+(** TOT001 — protocol totality: in the scoped modules, flags bare
+    wildcard branches in matches whose patterns mention [Signal.t] or
+    [Slot_state.t] constructors.  Variable/alias catch-alls pass (the
+    value is named and handled). *)
+
+val check : Ctx.t -> Parsetree.structure -> unit

@@ -155,7 +155,7 @@ let note_flowing tun at =
 let quiescent_pair a b =
   match a.st, b.st with
   | Closed, Closed | Flowing, Flowing | Opening, Opened | Opened, Opening -> true
-  | _ -> false
+  | (Closed | Opening | Opened | Flowing | Closing), _ -> false
 
 let tunnel_quiescent tun =
   match tun.sides with

@@ -1,0 +1,5 @@
+(* Fixture: interning states under Marshal keys — the seed's
+   sharing-sensitive encoding that inflated state counts 1.71x (E10)
+   and that MARS001 confines to the verbatim baseline. *)
+
+let key state = Marshal.to_string state []

@@ -1,0 +1,1 @@
+val intern : string -> string

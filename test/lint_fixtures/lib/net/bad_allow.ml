@@ -1,0 +1,7 @@
+(* Fixture: waiver attributes the grammar rejects — a tag with no
+   justification (LINT001), and a well-formed waiver whose rule never
+   fires here (LINT002, stale allowlist). *)
+
+let table = Hashtbl.create 8 [@@lint.allow "race"]
+
+let limit = 512 [@@lint.allow "race: this binding is immutable, the waiver is stale"]

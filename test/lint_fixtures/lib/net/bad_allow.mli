@@ -1,0 +1,2 @@
+val table : (string, int) Hashtbl.t
+val limit : int

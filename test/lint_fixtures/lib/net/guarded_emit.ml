@@ -1,0 +1,15 @@
+(* Fixture: the accepted hygiene idioms — an if-guard calling
+   [Trace.enabled] (conjunctions included) and a [when]-guard. *)
+
+let note chan decision =
+  if Mediactl_obs.Trace.enabled () then
+    Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Net { chan; decision })
+
+let note_changed chan decision changed =
+  if Mediactl_obs.Trace.enabled () && changed then
+    Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Net { chan; decision })
+
+let note_opt chan = function
+  | Some decision when Mediactl_obs.Trace.enabled () ->
+    Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Net { chan; decision })
+  | Some _ | None -> ()

@@ -1,0 +1,3 @@
+val note : string -> Mediactl_obs.Trace.net_decision -> unit
+val note_changed : string -> Mediactl_obs.Trace.net_decision -> bool -> unit
+val note_opt : string -> Mediactl_obs.Trace.net_decision option -> unit

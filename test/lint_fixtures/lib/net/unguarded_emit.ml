@@ -1,0 +1,6 @@
+(* Fixture: a hot-path trace emission with no enabled-guard — every
+   call allocates and dispatches an event even when tracing is off,
+   breaking the zero-cost-when-disabled contract HYG001 protects. *)
+
+let note chan decision =
+  Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Net { chan; decision })

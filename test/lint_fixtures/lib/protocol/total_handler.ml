@@ -1,0 +1,15 @@
+(* Fixture: the two accepted totality idioms — full enumeration, and a
+   variable-bound catch-all that names and handles the value (the
+   monitor's illegal-transition reporter shape). *)
+
+open Mediactl_types
+
+let is_handshake (signal : Signal.t) =
+  match signal with
+  | Signal.Open (_, _) | Signal.Oack _ | Signal.Close | Signal.Closeack -> true
+  | Signal.Describe _ | Signal.Select _ -> false
+
+let describe_unhandled (signal : Signal.t) =
+  match signal with
+  | Signal.Open (_, _) -> "open"
+  | other -> "unhandled: " ^ Signal.name other

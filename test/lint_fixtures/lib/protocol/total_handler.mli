@@ -1,0 +1,2 @@
+val is_handshake : Mediactl_types.Signal.t -> bool
+val describe_unhandled : Mediactl_types.Signal.t -> string

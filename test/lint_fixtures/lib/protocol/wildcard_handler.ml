@@ -1,0 +1,12 @@
+(* Fixture: a signal handler that swallows the tail of the signal set
+   with a wildcard — the rot pattern TOT001 exists for.  When a new
+   signal is added, this compiles silently and drops it. *)
+
+open Mediactl_types
+
+let is_handshake (signal : Signal.t) =
+  match signal with
+  | Signal.Open (_, _) -> true
+  | Signal.Oack _ -> true
+  | Signal.Close | Signal.Closeack -> true
+  | _ -> false

@@ -1,0 +1,11 @@
+(* Fixture: the PR-4 fix for [racy_seq.ml] — the counter lives in
+   domain-local storage, created inside the per-domain init closure,
+   so nothing mutable is born at module-initialisation time. *)
+
+let seq_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let next () =
+  let seq = Domain.DLS.get seq_key in
+  let s = !seq in
+  seq := s + 1;
+  s

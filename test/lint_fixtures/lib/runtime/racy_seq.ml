@@ -1,0 +1,11 @@
+(* Fixture: the pre-PR-4 racy global trace sequence, verbatim in
+   shape — a module-toplevel ref bumped from every domain.  PR 4 moved
+   this into Domain.DLS ([dls_seq.ml] is the fixed counterpart); DSAN
+   exists so the pattern can never merge again. *)
+
+let seq = ref 0
+
+let next () =
+  let s = !seq in
+  seq := s + 1;
+  s

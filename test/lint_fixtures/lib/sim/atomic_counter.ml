@@ -1,0 +1,9 @@
+(* Fixture: domain-safe module-toplevel state — an Atomic cell needs
+   no waiver, and the guarded emit keeps sim-scope hygiene green. *)
+
+let hits = Atomic.make 0
+
+let bump () =
+  Atomic.incr hits;
+  if Mediactl_obs.Trace.enabled () then
+    Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Meta_send { chan = "sim"; box = "counter" })

@@ -1,0 +1,2 @@
+val hits : int Atomic.t
+val bump : unit -> unit

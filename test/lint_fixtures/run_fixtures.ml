@@ -1,0 +1,15 @@
+(* Runs the lint driver over the fixture corpus and prints the JSON
+   report, for the golden diff in this directory's dune rules.  Dune
+   executes actions from varying working directories, so probe for the
+   corpus relative to both the rule directory and the context root. *)
+
+let () =
+  let root =
+    if Sys.file_exists "lib" && Sys.is_directory "lib" then "."
+    else "test/lint_fixtures"
+  in
+  let report = Mediactl_lint_core.Driver.run ~root () in
+  (* Re-root so the golden file is stable whatever cwd dune picked. *)
+  let report = { report with Mediactl_lint_core.Driver.root = "test/lint_fixtures" } in
+  print_string (Mediactl_lint_core.Driver.to_json report);
+  print_newline ()

@@ -1,0 +1,246 @@
+(* Unit tests for mediactl.lint: each analyzer against inline sources,
+   scope routing, and the allowlist attribute grammar.  The golden
+   corpus under test/lint_fixtures locks full-report output; these
+   tests pin the per-rule semantics. *)
+
+module Lint = Mediactl_lint_core
+open Lint
+
+let lint ?(rel = "lib/runtime/fixture.ml") ?(has_mli = true) src =
+  Driver.lint_source ~rel ~has_mli src
+
+let rules fs = List.map (fun (f : Finding.t) -> Finding.rule_id f.Finding.rule) fs
+
+let check_rules ~msg expected (findings, _allowed) =
+  Alcotest.(check (list string)) msg expected (rules findings)
+
+(* ------------------------------------------------------------------ *)
+(* DSAN001                                                             *)
+
+let dsan_flags_toplevel_ref () =
+  check_rules ~msg:"racy Trace.seq pattern" [ "DSAN001" ]
+    (lint "let seq = ref 0\nlet next () = incr seq; !seq\n")
+
+let dsan_accepts_dls () =
+  check_rules ~msg:"DLS init closure is per-domain" []
+    (lint "let key = Domain.DLS.new_key (fun () -> ref 0)\n")
+
+let dsan_accepts_atomic () =
+  check_rules ~msg:"Atomic cell is domain-safe" [] (lint "let hits = Atomic.make 0\n")
+
+let dsan_flags_atomic_of_array () =
+  check_rules ~msg:"array inside Atomic.make is still plain mutable" [ "DSAN001" ]
+    (lint "let cells = Atomic.make (Array.make 8 0)\n")
+
+let dsan_flags_escaping_closure_state () =
+  check_rules ~msg:"ref born at init, captured by closure" [ "DSAN001" ]
+    (lint "let counter = let c = ref 0 in fun () -> incr c; !c\n")
+
+let dsan_accepts_per_call_state () =
+  check_rules ~msg:"ref born per call" [] (lint "let fresh () = ref 0\n")
+
+let dsan_flags_mutable_record_literal () =
+  check_rules ~msg:"literal of a record this file declares mutable" [ "DSAN001" ]
+    (lint "type cell = { mutable v : int }\nlet shared = { v = 0 }\n")
+
+let dsan_flags_array_literal () =
+  check_rules ~msg:"toplevel array literal" [ "DSAN001" ] (lint "let tbl = [| 1; 2; 3 |]\n")
+
+let dsan_flags_nested_module () =
+  check_rules ~msg:"structure level includes nested modules" [ "DSAN001" ]
+    (lint "module Pool = struct\n  let t = Hashtbl.create 16\nend\n")
+
+let dsan_out_of_scope_outside_lib () =
+  check_rules ~msg:"bin/ executables are out of DSAN scope" []
+    (lint ~rel:"bin/tool.ml" "let seq = ref 0\n")
+
+(* ------------------------------------------------------------------ *)
+(* TOT001                                                              *)
+
+let signal_match_wildcard =
+  "let f (s : Signal.t) = match s with Signal.Close -> 1 | Signal.Closeack -> 2 | _ -> 0\n"
+
+let tot_flags_wildcard () =
+  check_rules ~msg:"wildcard over Signal.t"
+    [ "TOT001" ]
+    (lint ~rel:"lib/protocol/handler.ml" signal_match_wildcard)
+
+let tot_accepts_enumeration () =
+  check_rules ~msg:"full enumeration" []
+    (lint ~rel:"lib/protocol/handler.ml"
+       "let f s = match s with\n\
+        | Signal.Open _ | Signal.Oack _ -> 1\n\
+        | Signal.Close | Signal.Closeack -> 2\n\
+        | Signal.Describe _ | Signal.Select _ -> 3\n")
+
+let tot_accepts_variable_catch_all () =
+  check_rules ~msg:"variable catch-all names and handles the value" []
+    (lint ~rel:"lib/protocol/handler.ml"
+       "let f s = match s with Signal.Close -> \"close\" | other -> Signal.name other\n")
+
+let tot_accepts_equal_idiom () =
+  check_rules ~msg:"enumerated first tuple component keeps the match total" []
+    (lint ~rel:"lib/protocol/state.ml"
+       "let equal a b = match a, b with\n\
+        | Closed, Closed | Opening, Opening | Opened, Opened -> true\n\
+        | (Closed | Opening | Opened | Flowing | Closing), _ -> false\n")
+
+let tot_out_of_scope () =
+  check_rules ~msg:"apps are out of totality scope" []
+    (lint ~rel:"lib/apps/handler.ml" signal_match_wildcard)
+
+let tot_pattern_allow () =
+  let findings, allowed =
+    lint ~rel:"lib/protocol/handler.ml"
+      "let f (s : Signal.t) = match s with\n\
+       | Signal.Close -> 1\n\
+       | (_ [@lint.allow \"totality: fixture demonstrates a waived wildcard\"]) -> 0\n"
+  in
+  Alcotest.(check (list string)) "suppressed" [] (rules findings);
+  Alcotest.(check int) "recorded as allowlisted" 1 (List.length allowed)
+
+(* ------------------------------------------------------------------ *)
+(* HYG001                                                              *)
+
+let unguarded = "let f chan = Trace.emit (Trace.Meta_send { chan; box = \"b\" })\n"
+
+let hyg_flags_unguarded () =
+  check_rules ~msg:"unguarded emit" [ "HYG001" ] (lint ~rel:"lib/net/layer.ml" unguarded)
+
+let hyg_accepts_guarded () =
+  check_rules ~msg:"if-guarded emit" []
+    (lint ~rel:"lib/net/layer.ml"
+       "let f chan = if Trace.enabled () then Trace.emit (Trace.Meta_send { chan; box = \"b\" })\n")
+
+let hyg_accepts_conjunction () =
+  check_rules ~msg:"enabled () && p guard" []
+    (lint ~rel:"lib/protocol/slot2.ml"
+       "let f x changed = if Trace.enabled () && changed then Trace.emit x\n")
+
+let hyg_accepts_when_guard () =
+  check_rules ~msg:"when-guard" []
+    (lint ~rel:"lib/sim/kernel.ml"
+       "let f = function Some e when Trace.enabled () -> Trace.emit e | Some _ | None -> ()\n")
+
+let hyg_flags_first_class_emit () =
+  check_rules ~msg:"emit escaping as a value" [ "HYG001" ]
+    (lint ~rel:"lib/runtime/loop.ml" "let f evs = List.iter Trace.emit evs\n")
+
+let hyg_out_of_scope () =
+  check_rules ~msg:"lib/obs is the implementation, exempt" []
+    (lint ~rel:"lib/obs/export.ml" unguarded)
+
+let hyg_else_branch_not_guarded () =
+  check_rules ~msg:"else branch of an enabled-check is not dominated" [ "HYG001" ]
+    (lint ~rel:"lib/net/layer.ml"
+       "let f x = if Trace.enabled () then () else Trace.emit x\n")
+
+(* ------------------------------------------------------------------ *)
+(* MARS001 / IFACE001 / allowlist grammar                              *)
+
+let mars_flags_use () =
+  check_rules ~msg:"Marshal use" [ "MARS001" ]
+    (lint ~rel:"lib/mc/keys.ml" "let key s = Marshal.to_string s []\n")
+
+let mars_seed_baseline_allowlisted () =
+  let findings, allowed =
+    lint ~rel:"bench/seed_baseline.ml" "let key s = Marshal.to_string s []\n"
+  in
+  Alcotest.(check (list string)) "no findings" [] (rules findings);
+  Alcotest.(check int) "driver-level waiver recorded" 1 (List.length allowed)
+
+let iface_flags_missing_mli () =
+  check_rules ~msg:"lib module without interface" [ "IFACE001" ]
+    (lint ~has_mli:false "let x = 1\n")
+
+let iface_ignores_executables () =
+  check_rules ~msg:"bin modules need no mli" []
+    (lint ~rel:"bin/tool.ml" ~has_mli:false "let x = 1\n")
+
+let allow_requires_justification () =
+  check_rules ~msg:"bare tag is malformed and suppresses nothing"
+    [ "DSAN001"; "LINT001" ]
+    (lint "let t = Hashtbl.create 8 [@@lint.allow \"race\"]\n")
+
+let allow_records_justification () =
+  let findings, allowed =
+    lint "let t = Hashtbl.create 8 [@@lint.allow \"race: guarded by the registry mutex\"]\n"
+  in
+  Alcotest.(check (list string)) "suppressed" [] (rules findings);
+  match allowed with
+  | [ a ] ->
+    Alcotest.(check string) "justification kept" "guarded by the registry mutex"
+      a.Finding.justification
+  | l -> Alcotest.failf "expected one allowlisted entry, got %d" (List.length l)
+
+let allow_unused_is_warning () =
+  let findings, _ = lint "let limit = 512 [@@lint.allow \"race: stale waiver\"]\n" in
+  Alcotest.(check (list string)) "LINT002" [ "LINT002" ] (rules findings);
+  match findings with
+  | [ f ] ->
+    Alcotest.(check string) "warning severity" "warning"
+      (Finding.severity_name (Finding.severity f))
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let file_scope_allow () =
+  check_rules ~msg:"floating attribute waives the whole file" []
+    (lint
+       "[@@@lint.allow \"race: fixture file, single-domain test harness only\"]\n\
+        let a = ref 0\n\
+        let b = Hashtbl.create 4\n")
+
+let parse_error_is_finding () =
+  check_rules ~msg:"unparseable source" [ "PARSE001" ] (lint "let let let\n")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "dsan",
+        [
+          Alcotest.test_case "flags toplevel ref" `Quick dsan_flags_toplevel_ref;
+          Alcotest.test_case "accepts DLS" `Quick dsan_accepts_dls;
+          Alcotest.test_case "accepts Atomic" `Quick dsan_accepts_atomic;
+          Alcotest.test_case "flags array inside Atomic.make" `Quick dsan_flags_atomic_of_array;
+          Alcotest.test_case "flags closure-captured init state" `Quick
+            dsan_flags_escaping_closure_state;
+          Alcotest.test_case "accepts per-call state" `Quick dsan_accepts_per_call_state;
+          Alcotest.test_case "flags mutable record literal" `Quick
+            dsan_flags_mutable_record_literal;
+          Alcotest.test_case "flags array literal" `Quick dsan_flags_array_literal;
+          Alcotest.test_case "flags nested module state" `Quick dsan_flags_nested_module;
+          Alcotest.test_case "out of scope outside lib/" `Quick dsan_out_of_scope_outside_lib;
+        ] );
+      ( "totality",
+        [
+          Alcotest.test_case "flags wildcard" `Quick tot_flags_wildcard;
+          Alcotest.test_case "accepts enumeration" `Quick tot_accepts_enumeration;
+          Alcotest.test_case "accepts variable catch-all" `Quick tot_accepts_variable_catch_all;
+          Alcotest.test_case "accepts the equal idiom" `Quick tot_accepts_equal_idiom;
+          Alcotest.test_case "out of scope in apps" `Quick tot_out_of_scope;
+          Alcotest.test_case "pattern-level waiver" `Quick tot_pattern_allow;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "flags unguarded emit" `Quick hyg_flags_unguarded;
+          Alcotest.test_case "accepts if-guard" `Quick hyg_accepts_guarded;
+          Alcotest.test_case "accepts conjunction guard" `Quick hyg_accepts_conjunction;
+          Alcotest.test_case "accepts when-guard" `Quick hyg_accepts_when_guard;
+          Alcotest.test_case "flags first-class emit" `Quick hyg_flags_first_class_emit;
+          Alcotest.test_case "obs implementation exempt" `Quick hyg_out_of_scope;
+          Alcotest.test_case "else branch not dominated" `Quick hyg_else_branch_not_guarded;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "marshal flagged" `Quick mars_flags_use;
+          Alcotest.test_case "seed baseline allowlisted" `Quick mars_seed_baseline_allowlisted;
+          Alcotest.test_case "missing mli flagged" `Quick iface_flags_missing_mli;
+          Alcotest.test_case "executables exempt from iface" `Quick iface_ignores_executables;
+          Alcotest.test_case "allow needs justification" `Quick allow_requires_justification;
+          Alcotest.test_case "allow keeps justification" `Quick allow_records_justification;
+          Alcotest.test_case "unused allow warns" `Quick allow_unused_is_warning;
+          Alcotest.test_case "file-scope allow" `Quick file_scope_allow;
+          Alcotest.test_case "parse error is a finding" `Quick parse_error_is_finding;
+        ] );
+    ]
