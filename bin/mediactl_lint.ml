@@ -28,7 +28,7 @@ let out =
 
 let rules =
   Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"R1,R2"
-         ~doc:"Comma-separated analyzer subset: dsan, totality, hygiene, iface, marshal.               Default: all.")
+         ~doc:"Comma-separated analyzer subset: dsan, totality, hygiene, iface, marshal, fmt.               Default: all.")
 
 let lint root format out rules =
   let rules =

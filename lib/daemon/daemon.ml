@@ -1,0 +1,366 @@
+open Mediactl_runtime
+open Mediactl_obs
+
+(* The daemon: one wall-clock select loop driving one shared network
+   that carries every call, one listening socket speaking both of the
+   daemon's protocols, and one long trace recording that the control
+   plane's STATUS verdicts are judged against.
+
+   A fresh inbound connection is sniffed on its first four bytes:
+   [Wire.magic] marks a binary wire peer (another daemon bridging a
+   call here); anything else is a newline-ASCII control client.  Wire
+   peers and control clients therefore share one address, which keeps
+   deployment to a single socket per daemon.
+
+   Bridged transport rides the runtime's impairment hook: once
+   installed, every emitted frame is popped from its tunnel and the
+   hook decides its fate.  Frames addressed to a proxy box are shipped
+   to the peer daemon ([Call.ship]) and get no local copy; all other
+   frames are delivered locally with zero extra delay, i.e. exactly
+   the reliable path. *)
+
+type conn_mode =
+  | Sniffing of string  (* bytes seen so far, fewer than 4 *)
+  | Ctl of string ref  (* partial-line buffer *)
+  | Peer of Wire.decoder
+
+type conn = {
+  fd : Unix.file_descr;
+  peer_name : string;
+  mutable mode : conn_mode;
+  mutable live : bool;
+}
+
+type t = {
+  loop : Wallclock.t;
+  driver : Timed.t;
+  collector : Trace.collector;
+  listen_fd : Unix.file_descr;
+  bound : Transport.addr;
+  calls : (string, Call.t) Hashtbl.t;  (* by call id = channel name *)
+  bridges : (string, conn) Hashtbl.t;  (* call id -> its wire connection *)
+  mutable conns : conn list;
+  mutable frame_seq : int;
+  mutable down : bool;
+  trace_path : string option;
+  log : string -> unit;
+}
+
+let loop t = t.loop
+let driver t = t.driver
+let bound t = t.bound
+let events t = Trace.events t.collector
+let calls t = Hashtbl.fold (fun _ c acc -> c :: acc) t.calls []
+let logf t fmt = Printf.ksprintf t.log fmt
+
+(* ------------------------------------------------------------------ *)
+(* Connection bookkeeping                                              *)
+
+let close_conn t conn =
+  if conn.live then begin
+    conn.live <- false;
+    Wallclock.remove_fd t.loop conn.fd;
+    Transport.close_quiet conn.fd;
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    (* a dead wire connection means the peer daemon is gone: close the
+       local end of every call bridged over it *)
+    let lost = Hashtbl.fold (fun id c acc -> if c == conn then id :: acc else acc) t.bridges [] in
+    List.iter
+      (fun id ->
+        Hashtbl.remove t.bridges id;
+        match Hashtbl.find_opt t.calls id with
+        | Some call when not (Call.torn call) ->
+          logf t "call %s: bridge lost, closing local end" id;
+          Call.on_bye t.driver call
+        | Some _ | None -> ())
+      lost
+  end
+
+let send_line t conn line =
+  match Transport.send_all conn.fd (line ^ "\n") with
+  | () -> ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+
+let send_frame t conn frame =
+  match Transport.send_all conn.fd (Wire.encode frame) with
+  | () -> ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+
+let next_frame_id t =
+  t.frame_seq <- t.frame_seq + 1;
+  t.frame_seq
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
+
+let shutdown t =
+  if not t.down then begin
+    t.down <- true;
+    Wallclock.remove_fd t.loop t.listen_fd;
+    Transport.close_quiet t.listen_fd;
+    List.iter (fun c -> close_conn t c) t.conns;
+    (match t.bound with
+    | Transport.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Transport.Tcp _ -> ());
+    (match t.trace_path with
+    | Some path ->
+      Trace.write_jsonl path (Trace.events t.collector);
+      logf t "trace: %d events -> %s" (Trace.count t.collector) path
+    | None -> ());
+    Trace.set_sink None;
+    Trace.reset_clock ();
+    Wallclock.stop t.loop
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Wire peers                                                          *)
+
+let handle_frame t conn frame =
+  match frame with
+  | Wire.Hello { chan; origin; accept } -> (
+    match Hashtbl.find_opt t.calls chan with
+    | Some _ ->
+      logf t "wire %s: hello for existing call %s, dropping connection" conn.peer_name chan;
+      close_conn t conn
+    | None ->
+      logf t "wire %s: %s" conn.peer_name (Format.asprintf "%a" Wire.pp frame);
+      (* register before [install]: the engage inside [install] emits
+         the end's first signal, and the impairment hook routes it by
+         looking the call up — it must already be in [calls]/[bridges]
+         or the signal is delivered to the local proxy slot instead of
+         crossing the wire *)
+      let call = Call.make ~id:chan ~role:Call.Acceptor ~left:origin ~right:accept in
+      Hashtbl.replace t.calls chan call;
+      Hashtbl.replace t.bridges chan conn;
+      ignore (Call.install t.driver call))
+  | Wire.Signal_f { chan; tun; signal } -> (
+    match Hashtbl.find_opt t.calls chan with
+    | Some call -> Call.receive t.driver call ~tun ~frame_id:(next_frame_id t) signal
+    | None -> logf t "wire %s: signal for unknown call %s, ignoring" conn.peer_name chan)
+  | Wire.Bye { chan } -> (
+    match Hashtbl.find_opt t.calls chan with
+    | Some call ->
+      logf t "wire %s: bye(%s)" conn.peer_name chan;
+      Call.on_bye t.driver call
+    | None -> logf t "wire %s: bye for unknown call %s, ignoring" conn.peer_name chan)
+
+let rec drain_frames t conn dec =
+  if conn.live then
+    match Wire.next dec with
+    | None -> ()
+    | Some (Ok frame) ->
+      handle_frame t conn frame;
+      drain_frames t conn dec
+    | Some (Error msg) ->
+      logf t "wire %s: protocol error: %s" conn.peer_name msg;
+      close_conn t conn
+
+(* ------------------------------------------------------------------ *)
+(* Control plane                                                       *)
+
+let status_lines t = function
+  | Some id -> (
+    match Hashtbl.find_opt t.calls id with
+    | Some call -> Ok [ Call.status_line (Timed.net t.driver) call (events t) ]
+    | None -> Error (Control.error "no such call %s" id))
+  | None ->
+    let lines =
+      List.sort String.compare
+        (List.map (fun c -> Call.status_line (Timed.net t.driver) c (events t)) (calls t))
+    in
+    Ok lines
+
+let with_call t conn id k =
+  match Hashtbl.find_opt t.calls id with
+  | Some call -> k call
+  | None -> send_line t conn (Control.error "no such call %s" id)
+
+let handle_wait t conn ~id ~what ~timeout_ms =
+  with_call t conn id (fun call ->
+    let pred = match what with `Flowing -> Call.flowing call | `Closed -> Call.closed call in
+    let answered = ref false in
+    Timed.when_true t.driver pred (fun at ->
+      if (not !answered) && conn.live then begin
+        answered := true;
+        send_line t conn (Control.ok "wait %s %s %.1f" id (Control.what_to_string what) at)
+      end);
+    Wallclock.after t.loop ~delay:timeout_ms (fun () ->
+      if not !answered then begin
+        answered := true;
+        if conn.live then
+          send_line t conn
+            (Control.error "wait %s %s timeout after %gms" id (Control.what_to_string what)
+               timeout_ms)
+      end))
+
+let rec handle_request t conn req =
+  match req with
+  | Control.Ping -> send_line t conn (Control.ok "pong %.1f" (Wallclock.now t.loop))
+  | Control.Create { id; left; right } ->
+    if Hashtbl.mem t.calls id then send_line t conn (Control.error "call %s already exists" id)
+    else begin
+      let call = Call.make ~id ~role:Call.Local_call ~left ~right in
+      Hashtbl.replace t.calls id call;
+      ignore (Call.install t.driver call);
+      send_line t conn (Control.ok "created %s" id)
+    end
+  | Control.Dial { id; addr; left; right } ->
+    if Hashtbl.mem t.calls id then send_line t conn (Control.error "call %s already exists" id)
+    else begin
+      match Transport.connect addr with
+      | exception Unix.Unix_error (e, _, _) ->
+        send_line t conn
+          (Control.error "dial %s: cannot reach %s: %s" id (Transport.addr_to_string addr)
+             (Unix.error_message e))
+      | fd ->
+        let peer = { fd; peer_name = Transport.addr_to_string addr; mode = Peer (Wire.decoder ()); live = true } in
+        t.conns <- peer :: t.conns;
+        watch_conn t peer;
+        Transport.send_all fd Wire.magic;
+        send_frame t peer (Wire.Hello { chan = id; origin = left; accept = right });
+        (* register before [install] so the engage's first emission
+           finds the bridge (see the Hello handler) *)
+        let call = Call.make ~id ~role:Call.Origin ~left ~right in
+        Hashtbl.replace t.calls id call;
+        Hashtbl.replace t.bridges id peer;
+        ignore (Call.install t.driver call);
+        send_line t conn (Control.ok "dialing %s via %s" id (Transport.addr_to_string addr))
+    end
+  | Control.Hold id ->
+    with_call t conn id (fun call ->
+      Call.hold t.driver call;
+      send_line t conn (Control.ok "held %s" id))
+  | Control.Resume id ->
+    with_call t conn id (fun call ->
+      Call.resume t.driver call;
+      send_line t conn (Control.ok "resumed %s" id))
+  | Control.Teardown id ->
+    with_call t conn id (fun call ->
+      Call.teardown t.driver call;
+      (match Hashtbl.find_opt t.bridges id with
+      | Some peer -> send_frame t peer (Wire.Bye { chan = id })
+      | None -> ());
+      send_line t conn (Control.ok "teardown %s" id))
+  | Control.Status which -> (
+    match status_lines t which with
+    | Ok lines ->
+      List.iter (send_line t conn) lines;
+      send_line t conn (Control.ok "%d call(s)" (List.length lines))
+    | Error line -> send_line t conn line)
+  | Control.Wait { id; what; timeout_ms } -> handle_wait t conn ~id ~what ~timeout_ms
+  | Control.Quit ->
+    send_line t conn (Control.ok "bye");
+    logf t "quit requested by %s" conn.peer_name;
+    shutdown t
+
+and handle_line t conn line =
+  if not (String.equal (String.trim line) "") then
+    match Control.parse line with
+    | Ok req -> handle_request t conn req
+    | Error msg -> send_line t conn (Control.error "%s" msg)
+
+(* Split buffered control bytes into complete lines, keeping the final
+   partial line buffered. *)
+and feed_ctl t conn buf data =
+  buf := !buf ^ data;
+  let rec go () =
+    match String.index_opt !buf '\n' with
+    | Some i ->
+      let line = String.sub !buf 0 i in
+      buf := String.sub !buf (i + 1) (String.length !buf - i - 1);
+      handle_line t conn line;
+      if conn.live then go ()
+    | None -> ()
+  in
+  go ()
+
+and ingest t conn data =
+  match conn.mode with
+  | Peer dec ->
+    Wire.feed dec data;
+    drain_frames t conn dec
+  | Ctl buf -> feed_ctl t conn buf data
+  | Sniffing seen ->
+    let seen = seen ^ data in
+    if String.length seen < 4 then conn.mode <- Sniffing seen
+    else if String.equal (String.sub seen 0 4) Wire.magic then begin
+      let dec = Wire.decoder () in
+      conn.mode <- Peer dec;
+      Wire.feed dec (String.sub seen 4 (String.length seen - 4));
+      drain_frames t conn dec
+    end
+    else begin
+      let buf = ref "" in
+      conn.mode <- Ctl buf;
+      feed_ctl t conn buf seen
+    end
+
+and on_conn_readable t conn () =
+  match Transport.recv conn.fd with
+  | `Retry -> ()
+  | `Eof -> close_conn t conn
+  | `Data data -> ingest t conn data
+
+and watch_conn t conn = Wallclock.on_readable t.loop conn.fd (on_conn_readable t conn)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let on_accept t () =
+  match Transport.accept t.listen_fd with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    let conn = { fd; peer_name = Printf.sprintf "conn#%d" (Hashtbl.hash fd); mode = Sniffing ""; live = true } in
+    t.conns <- conn :: t.conns;
+    watch_conn t conn
+
+(* The transport decision for every emitted frame: proxy-addressed
+   frames cross the wire and get no local copy; everything else is
+   delivered exactly as the reliable path would. *)
+let route_frames t (frame : Timed.frame) =
+  match Hashtbl.find_opt t.calls frame.Timed.f_send.Netsys.s_chan with
+  | Some call
+    when (match Call.proxy_box call with
+         | Some proxy -> String.equal proxy frame.Timed.f_send.Netsys.to_
+         | None -> false) -> (
+    match Hashtbl.find_opt t.bridges (Call.id call) with
+    | Some peer ->
+      Call.ship call ~send:(fun f -> send_frame t peer f) frame;
+      []
+    | None -> [] (* bridge gone; the frame has nowhere to go *))
+  | Some _ | None -> [ 0.0 ]
+
+let create ?(n = 34.0) ?(c = 20.0) ?trace_path ?(log = fun _ -> ()) ~listener () =
+  let listen_fd, bound_addr = listener in
+  (* a peer vanishing mid-write must surface as EPIPE, not kill the
+     process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let loop = Wallclock.create () in
+  let driver = Wallclock.driver ~n ~c loop Netsys.empty in
+  let collector = Trace.collector () in
+  let t =
+    {
+      loop;
+      driver;
+      collector;
+      listen_fd;
+      bound = bound_addr;
+      calls = Hashtbl.create 16;
+      bridges = Hashtbl.create 16;
+      conns = [];
+      frame_seq = 0;
+      down = false;
+      trace_path;
+      log;
+    }
+  in
+  Trace.set_sink (Some (Trace.sink_of collector));
+  Timed.observe driver;
+  Timed.set_impairment driver (fun _ frame -> route_frames t frame);
+  Wallclock.on_readable loop listen_fd (on_accept t);
+  logf t "listening on %s" (Transport.addr_to_string bound_addr);
+  t
+
+let run t =
+  Wallclock.run t.loop;
+  shutdown t

@@ -1,0 +1,116 @@
+(* Socket plumbing shared by the daemon, the control CLI, and the
+   tests: address parsing ([unix:PATH] / [tcp:HOST:PORT]), listeners,
+   blocking connects, and the two byte-level moves every connection
+   makes — a chunked nonblocking-tolerant read and a write-everything
+   send.  Framing lives one layer up ([Wire] for the binary protocol,
+   newline splitting for the control plane); this module never looks
+   inside the bytes. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let pp_addr ppf a = Format.pp_print_string ppf (addr_to_string a)
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S: expected unix:PATH or tcp:HOST:PORT" s)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" ->
+      if String.equal rest "" then Error "bad address: empty unix socket path"
+      else Ok (Unix_sock rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "bad address %S: tcp needs HOST:PORT" s)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 65535 && not (String.equal host "") ->
+          Ok (Tcp (host, p))
+        | Some _ | None -> Error (Printf.sprintf "bad address %S: invalid tcp port" s)))
+    | _ -> Error (Printf.sprintf "bad address %S: unknown scheme %S" s scheme))
+
+let sockaddr_of = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let ip =
+      match Unix.inet_addr_of_string host with
+      | ip -> ip
+      | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+        | _ -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host))
+        | exception Not_found ->
+          raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host)))
+    in
+    Unix.ADDR_INET (ip, port)
+
+let socket_for = function
+  | Unix_sock _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+  | Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+
+(* Remove a stale socket file left by a previous daemon — but only a
+   socket; any other kind of file at that path is the user's, and
+   binding over it should fail loudly instead. *)
+let unlink_stale_socket path =
+  match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let listen ?(backlog = 16) addr =
+  let fd = socket_for addr in
+  Unix.set_close_on_exec fd;
+  (match addr with
+  | Unix_sock path -> unlink_stale_socket path
+  | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd (sockaddr_of addr);
+  Unix.listen fd backlog;
+  let bound =
+    match (addr, Unix.getsockname fd) with
+    | Tcp (host, _), Unix.ADDR_INET (_, port) -> Tcp (host, port)
+    | (Unix_sock _ | Tcp _), _ -> addr
+  in
+  (fd, bound)
+
+let connect addr =
+  let fd = socket_for addr in
+  Unix.set_close_on_exec fd;
+  (match Unix.connect fd (sockaddr_of addr) with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  fd
+
+let accept listen_fd =
+  let fd, _ = Unix.accept ~cloexec:true listen_fd in
+  fd
+
+let chunk = 4096
+
+let recv fd =
+  let buf = Bytes.create chunk in
+  match Unix.read fd buf 0 chunk with
+  | 0 -> `Eof
+  | n -> `Data (Bytes.sub_string buf 0 n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> `Retry
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()

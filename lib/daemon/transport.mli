@@ -1,0 +1,38 @@
+(** Socket plumbing for the daemon and its CLI: address parsing,
+    listeners, connects, and chunked reads / complete writes.  Framing
+    — binary {!Wire} frames or newline-delimited control lines — lives
+    one layer up. *)
+
+type addr =
+  | Unix_sock of string  (** a Unix-domain socket path *)
+  | Tcp of string * int  (** host (name or dotted quad) and port *)
+
+val addr_of_string : string -> (addr, string) result
+(** Parse [unix:PATH] or [tcp:HOST:PORT]. *)
+
+val addr_to_string : addr -> string
+val pp_addr : Format.formatter -> addr -> unit
+
+val listen : ?backlog:int -> addr -> Unix.file_descr * addr
+(** Bind and listen; returns the listener and the bound address — for
+    [tcp:HOST:0] the actual kernel-chosen port, so tests can listen on
+    an ephemeral port and learn it.  A {e stale socket file} at a
+    Unix-domain path is unlinked first (only if it is a socket).
+    @raise Unix.Unix_error on bind/listen failure. *)
+
+val connect : addr -> Unix.file_descr
+(** Blocking connect.  @raise Unix.Unix_error on failure. *)
+
+val accept : Unix.file_descr -> Unix.file_descr
+(** Accept one connection (close-on-exec). *)
+
+val recv : Unix.file_descr -> [ `Data of string | `Eof | `Retry ]
+(** Read up to one chunk.  [`Retry] on EINTR/EAGAIN; [`Eof] also on
+    connection reset. *)
+
+val send_all : Unix.file_descr -> string -> unit
+(** Write the whole string, resuming across short writes and EINTR.
+    @raise Unix.Unix_error if the peer is gone. *)
+
+val close_quiet : Unix.file_descr -> unit
+(** Close, ignoring errors (already-closed, reset). *)

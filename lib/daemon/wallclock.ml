@@ -1,0 +1,105 @@
+open Mediactl_sim
+
+(* The wall-clock engine: a single-threaded select loop owning a timer
+   queue of thunks and a set of readable file descriptors.  Timers reuse
+   the simulator's leftist heap ([Pqueue]) keyed in wall milliseconds
+   since [create]; fd readiness comes from [Unix.select], with the
+   timeout clipped to the next deadline so timers fire on schedule even
+   while the loop sits in select.
+
+   Time is [Unix.gettimeofday]-based (the portable clock the stdlib
+   exposes); a backwards NTP step would delay timers, which is
+   acceptable for a control plane.  All mutation happens on the thread
+   running [run], so the module needs no locking. *)
+
+type t = {
+  origin : float;  (* gettimeofday at create *)
+  mutable timers : (unit -> unit) Pqueue.t;
+  mutable tseq : int;
+  mutable readers : (Unix.file_descr * (unit -> unit)) list;
+  mutable stopping : bool;
+  mutable spinning : bool;
+}
+
+let create () =
+  {
+    origin = Unix.gettimeofday ();
+    timers = Pqueue.empty;
+    tseq = 0;
+    readers = [];
+    stopping = false;
+    spinning = false;
+  }
+
+let now t = (Unix.gettimeofday () -. t.origin) *. 1000.0
+
+let after t ~delay thunk =
+  let key = now t +. Float.max 0.0 delay in
+  t.timers <- Pqueue.insert t.timers ~key ~seq:t.tseq thunk;
+  t.tseq <- t.tseq + 1
+
+let on_readable t fd callback =
+  t.readers <- (fd, callback) :: List.remove_assoc fd t.readers
+
+let remove_fd t fd = t.readers <- List.remove_assoc fd t.readers
+let watched t fd = List.mem_assoc fd t.readers
+let stop t = t.stopping <- true
+let pending_timers t = Pqueue.size t.timers
+
+(* Run every timer whose deadline has passed.  Timers may add timers
+   (they re-enter through [after]) and may stop the loop. *)
+let run_due t =
+  let rec go () =
+    if not t.stopping then
+      match Pqueue.peek_key t.timers with
+      | Some key when key <= now t -> (
+        match Pqueue.pop t.timers with
+        | None -> ()
+        | Some ((_, _, thunk), rest) ->
+          t.timers <- rest;
+          thunk ();
+          go ())
+      | Some _ | None -> ()
+  in
+  go ()
+
+(* Cap on one select sleep so a [stop] from a signal handler (rather
+   than from a callback) is noticed promptly. *)
+let max_slice = 0.25
+
+let select_once t =
+  let timeout =
+    match Pqueue.peek_key t.timers with
+    | Some key -> Float.min max_slice (Float.max 0.0 ((key -. now t) /. 1000.0))
+    | None -> max_slice
+  in
+  let fds = List.map fst t.readers in
+  match Unix.select fds [] [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | ready, _, _ ->
+    (* A callback may close or re-register fds; consult the current
+       table for each ready fd rather than the snapshot. *)
+    List.iter
+      (fun fd ->
+        if not t.stopping then
+          match List.assoc_opt fd t.readers with
+          | Some callback -> callback ()
+          | None -> ())
+      ready
+
+let run t =
+  if t.spinning then invalid_arg "Wallclock.run: already running";
+  t.spinning <- true;
+  Fun.protect
+    ~finally:(fun () -> t.spinning <- false)
+    (fun () ->
+      while (not t.stopping) && not (Pqueue.is_empty t.timers && t.readers = []) do
+        run_due t;
+        if (not t.stopping) && not (Pqueue.is_empty t.timers && t.readers = []) then
+          select_once t
+      done)
+
+let driver ?(n = 34.0) ?(c = 20.0) t network =
+  Mediactl_runtime.Timed.create_external ~now:(fun () -> now t)
+    ~schedule:(fun ~delay thunk -> after t ~delay thunk)
+    ~n ~c network

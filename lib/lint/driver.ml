@@ -10,9 +10,11 @@ type rule_set = {
   hygiene : bool;
   iface : bool;
   marshal : bool;
+  fmt : bool;
 }
 
-let all_rules = { dsan = true; totality = true; hygiene = true; iface = true; marshal = true }
+let all_rules =
+  { dsan = true; totality = true; hygiene = true; iface = true; marshal = true; fmt = true }
 
 let rule_set_of_names names =
   let has n = List.mem n names in
@@ -22,6 +24,7 @@ let rule_set_of_names names =
     hygiene = has "hygiene";
     iface = has "iface";
     marshal = has "marshal";
+    fmt = has "fmt";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -37,13 +40,17 @@ let totality_scope rel =
   || String.equal rel "lib/obs/monitor.ml"
 
 (* The hot-path set of the tracing budget (E11): the simulator kernel,
-   the runtime, the network layers, the protocol engine, plus the
-   signaling channel and the core goal objects that instrument slot
-   transitions.  lib/obs itself is the implementation and exempt. *)
+   the runtime, the network layers, the protocol engine, the signaling
+   channel and core goal objects that instrument slot transitions, and
+   the daemon, whose synthetic bridge events ride the live event loop.
+   lib/obs itself is the implementation and exempt. *)
 let hygiene_scope rel =
   List.exists
     (fun p -> starts_with p rel)
-    [ "lib/sim/"; "lib/runtime/"; "lib/net/"; "lib/protocol/"; "lib/signaling/"; "lib/core/" ]
+    [
+      "lib/sim/"; "lib/runtime/"; "lib/net/"; "lib/protocol/"; "lib/signaling/"; "lib/core/";
+      "lib/daemon/";
+    ]
 
 let iface_scope rel = starts_with "lib/" rel
 
@@ -94,6 +101,9 @@ let parse_structure ~path source =
    scoping; [has_mli] feeds IFACE001 (pass [true] outside iface
    scope). *)
 let lint_source ?(rules = all_rules) ~rel ~has_mli source =
+  (* FMT001 is textual: it runs before parsing and also covers files
+     the parser rejects. *)
+  let fmt_findings = if rules.fmt then Fmt_rule.check ~rel source else [] in
   match parse_structure ~path:rel source with
   | exception exn ->
     let line, msg =
@@ -103,7 +113,7 @@ let lint_source ?(rules = all_rules) ~rel ~has_mli source =
         (loc.Location.loc_start.Lexing.pos_lnum, Format.asprintf "%t" e.Location.main.Location.txt)
       | _ -> (1, Printexc.to_string exn)
     in
-    ([ Finding.make ~rule:Finding.Parse_error ~file:rel ~line ~col:0 msg ], [])
+    (fmt_findings @ [ Finding.make ~rule:Finding.Parse_error ~file:rel ~line ~col:0 msg ], [])
   | structure ->
     let ctx = Ctx.create ~file:rel structure in
     if rules.dsan && dsan_scope rel then Dsan.check ctx structure;
@@ -125,7 +135,8 @@ let lint_source ?(rules = all_rules) ~rel ~has_mli source =
         (Printf.sprintf
            "missing interface: every lib/ module exports an .mli (add %s)"
            (Filename.remove_extension (Filename.basename rel) ^ ".mli")));
-    Ctx.close ctx
+    let findings, allowed = Ctx.close ctx in
+    (fmt_findings @ findings, allowed)
 
 let read_file path =
   let ic = open_in_bin path in

@@ -20,12 +20,14 @@ type rule_set = {
   hygiene : bool;
   iface : bool;
   marshal : bool;
+  fmt : bool;
 }
 
 val all_rules : rule_set
 
 val rule_set_of_names : string list -> rule_set
-(** From CLI names: [dsan], [totality], [hygiene], [iface], [marshal]. *)
+(** From CLI names: [dsan], [totality], [hygiene], [iface], [marshal],
+    [fmt]. *)
 
 val scan_files : string -> string list
 (** Relative paths of every [.ml] under the root, sorted, exclusions

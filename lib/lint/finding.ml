@@ -6,6 +6,7 @@ type rule =
   | Hygiene  (** HYG001: unguarded [Trace.emit]/metrics bump on a hot path *)
   | Iface  (** IFACE001: lib/ module without an [.mli] interface *)
   | Marshal  (** MARS001: [Marshal] use outside the allowlisted seed baseline *)
+  | Fmt  (** FMT001: whitespace discipline (tabs, trailing space, CRLF, final newline) *)
   | Bad_allow  (** LINT001: malformed [@@lint.allow] attribute *)
   | Unused_allow  (** LINT002: [@@lint.allow] that suppressed nothing *)
   | Parse_error  (** PARSE001: source file does not parse *)
@@ -16,11 +17,12 @@ let rule_id = function
   | Hygiene -> "HYG001"
   | Iface -> "IFACE001"
   | Marshal -> "MARS001"
+  | Fmt -> "FMT001"
   | Bad_allow -> "LINT001"
   | Unused_allow -> "LINT002"
   | Parse_error -> "PARSE001"
 
-let all_rules = [ Dsan; Totality; Hygiene; Iface; Marshal; Bad_allow; Unused_allow; Parse_error ]
+let all_rules = [ Dsan; Totality; Hygiene; Iface; Marshal; Fmt; Bad_allow; Unused_allow; Parse_error ]
 
 let rule_of_tag = function
   | "race" -> Some Dsan
@@ -36,11 +38,11 @@ let tag_of_rule = function
   | Hygiene -> "hygiene"
   | Iface -> "iface"
   | Marshal -> "marshal"
-  | Bad_allow | Unused_allow | Parse_error -> "-"
+  | Fmt | Bad_allow | Unused_allow | Parse_error -> "-"
 
 let severity_of_rule = function
   | Unused_allow -> Warning
-  | Dsan | Totality | Hygiene | Iface | Marshal | Bad_allow | Parse_error -> Error
+  | Dsan | Totality | Hygiene | Iface | Marshal | Fmt | Bad_allow | Parse_error -> Error
 
 type t = { rule : rule; file : string; line : int; col : int; message : string }
 

@@ -12,6 +12,12 @@ type rule =
   | Hygiene  (** HYG001: unguarded [Trace.emit]/metrics bump on a hot path *)
   | Iface  (** IFACE001: lib/ module without an [.mli] interface *)
   | Marshal  (** MARS001: [Marshal] use outside the allowlisted seed baseline *)
+  | Fmt
+      (** FMT001: whitespace discipline — tabs, trailing whitespace, CRLF,
+          missing final newline.  The mechanical subset of the pinned
+          ocamlformat profile, enforced textually because the formatter
+          binary is not in the build image; no attribute waiver (the rule
+          runs before parsing), the fix is always mechanical. *)
   | Bad_allow  (** LINT001: malformed [@@lint.allow] attribute *)
   | Unused_allow  (** LINT002: [@@lint.allow] that suppressed nothing *)
   | Parse_error  (** PARSE001: source file does not parse *)

@@ -1,0 +1,40 @@
+(* FMT001 — the whitespace subset of the deferred ocamlformat pass.
+
+   The repo pins ocamlformat 0.26.2, but the binary is not present in
+   the build image and the tree must stay gate-able without it
+   (ROADMAP: formatting).  This rule enforces the uncontroversial,
+   purely mechanical subset of that profile that needs no parser: no
+   tab characters, no trailing whitespace, no carriage returns, and a
+   final newline.  It is explicitly not a substitute for the full
+   formatter — layout, line width, and break decisions stay unenforced
+   until the toolchain ships ocamlformat.
+
+   Text-level by design: it runs on the raw bytes before parsing, so
+   it also covers files the parser rejects, has no access to
+   attributes, and honours no [@@lint.allow] waiver — the fix is
+   always mechanical. *)
+
+let check ~rel source =
+  let findings = ref [] in
+  let flag ~line ~col msg =
+    findings := Finding.make ~rule:Finding.Fmt ~file:rel ~line ~col msg :: !findings
+  in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      let n = String.length line in
+      (match String.index_opt line '\t' with
+      | Some col -> flag ~line:ln ~col "tab character; indent with spaces"
+      | None -> ());
+      if n > 0 && Char.equal line.[n - 1] '\r' then
+        flag ~line:ln ~col:(n - 1) "carriage return (CRLF line ending); use LF"
+      else if n > 0 && (Char.equal line.[n - 1] ' ' || Char.equal line.[n - 1] '\t') then
+        flag ~line:ln ~col:(n - 1) "trailing whitespace")
+    lines;
+  let len = String.length source in
+  if len > 0 && not (Char.equal source.[len - 1] '\n') then begin
+    let last = List.length lines in
+    flag ~line:last ~col:(String.length (List.nth lines (last - 1))) "missing final newline"
+  end;
+  List.rev !findings

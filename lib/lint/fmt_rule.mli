@@ -1,0 +1,10 @@
+(** FMT001 — whitespace discipline: the mechanical subset of the pinned
+    ocamlformat profile (no tabs, no trailing whitespace, no CRLF, a
+    final newline), enforced on the raw source text because the
+    formatter binary is not part of the build image.  See
+    {!Finding.rule}. *)
+
+val check : rel:string -> string -> Finding.t list
+(** [check ~rel source] returns the FMT001 findings for one file.
+    Runs before (and independently of) parsing; offers no
+    [@@lint.allow] waiver. *)

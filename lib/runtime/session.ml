@@ -56,6 +56,25 @@ let sim t =
   | Some sim -> sim
   | None -> invalid_arg "Session.sim: session not running (only valid from boot onward)"
 
+let judge t = t.s_judge
+let latency_n t = t.s_n
+let latency_c t = t.s_c
+
+(* The wall-clock path: the caller owns the engine (and therefore the
+   loop), so the session only assembles its network, wraps it in the
+   driver the caller builds, and runs its boot closure against it.
+   Trace recording, monitoring, and judging stay with the caller — a
+   live daemon records one long trace for many concurrent calls, not
+   one recording per session. *)
+let boot_external t ~make_driver =
+  (match t.s_sim with
+  | Some _ -> invalid_arg "Session.boot_external: session already running"
+  | None -> ());
+  let sim = make_driver (t.s_make ()) in
+  t.s_sim <- Some sim;
+  t.s_boot t;
+  sim
+
 let run ?until ?max_events t =
   let (events, end_time), trace =
     Trace.recording (fun () ->

@@ -48,7 +48,26 @@ val rng : t -> Rng.t
     randomness here. *)
 
 val sim : t -> Timed.t
-(** The live driver.  @raise Invalid_argument before {!run} installs it. *)
+(** The live driver.  @raise Invalid_argument before {!run} (or
+    {!boot_external}) installs it. *)
+
+val judge : t -> (Trace.event list -> Monitor.verdict) option
+(** The temporal judge given at {!create}, for callers that drive the
+    session externally and must evaluate the verdict themselves. *)
+
+val latency_n : t -> float
+val latency_c : t -> float
+
+val boot_external : t -> make_driver:(Netsys.t -> Timed.t) -> Timed.t
+(** [boot_external t ~make_driver] runs the session on an engine the
+    {e caller} owns: builds the session's network, wraps it in the
+    driver [make_driver] returns — typically
+    [Timed.create_external ~now ~schedule] over a wall-clock event
+    loop — installs it as {!sim}, and runs the boot closure against it.
+    The same boot closure therefore runs unchanged on the simulated or
+    the wall clock.  The caller drives the loop to completion and owns
+    trace recording and verdict evaluation (see {!judge}); a session is
+    still single-use.  @raise Invalid_argument if already running. *)
 
 (** Everything observable about one finished session.  [events] counts
     engine events processed; [violations] is the monitor's count (also

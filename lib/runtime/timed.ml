@@ -20,8 +20,18 @@ type trace_entry = {
   signal : Mediactl_types.Signal.t;
 }
 
-type t = {
-  engine : event Engine.t;
+(* The driver runs over one of two engines: the discrete-event simulator
+   (virtual clock, [Engine.run] drives it) or an external scheduler —
+   typically the wall-clock select loop of [Mediactl_daemon_core.Wallclock] —
+   that owns the loop itself and is handed each due event as a thunk.
+   All of the protocol machinery below is engine-agnostic: it only ever
+   reads the clock and schedules events a delay from now. *)
+type engine =
+  | Sim of event Engine.t
+  | Ext of { ext_now : unit -> float; ext_schedule : delay:float -> (unit -> unit) -> unit }
+
+and t = {
+  engine : engine;
   mutable network : Netsys.t;
   n : float;
   c : float;
@@ -36,9 +46,9 @@ type t = {
   mutable frame_seq : int;
 }
 
-let create ?(seed = 42) ?sched ?(n = 34.0) ?(c = 20.0) network =
+let make engine ~n ~c network =
   {
-    engine = Engine.create ~seed ?sched ();
+    engine;
     network;
     n;
     c;
@@ -53,10 +63,20 @@ let create ?(seed = 42) ?sched ?(n = 34.0) ?(c = 20.0) network =
     frame_seq = 0;
   }
 
-let net t = t.network
-let now t = Engine.now t.engine
+let create ?(seed = 42) ?sched ?(n = 34.0) ?(c = 20.0) network =
+  make (Sim (Engine.create ~seed ?sched ())) ~n ~c network
 
-let observe t = Mediactl_obs.Trace.set_clock (fun () -> Engine.now t.engine)
+let create_external ~now ~schedule ?(n = 34.0) ?(c = 20.0) network =
+  make (Ext { ext_now = now; ext_schedule = schedule }) ~n ~c network
+
+let net t = t.network
+
+let now t =
+  match t.engine with
+  | Sim e -> Engine.now e
+  | Ext e -> e.ext_now ()
+
+let observe t = Mediactl_obs.Trace.set_clock (fun () -> now t)
 let n t = t.n
 let c t = t.c
 let error t = Netsys.err t.network
@@ -79,41 +99,6 @@ let fresh_frame t send signal =
   t.frame_seq <- id + 1;
   { f_id = id; f_send = send; f_signal = signal }
 
-let inject_frame t ~delay frame =
-  Engine.schedule t.engine ~delay:(Float.max 0.0 delay) (Frame_arrival frame)
-
-(* Emissions leave their box [lead] after now ([c] when the emission is
-   part of an externally applied operation, 0 when it is the output of a
-   Process/Frame_process reaction, whose compute cost is already paid). *)
-let emit t ~lead sends =
-  match t.impairment with
-  | None ->
-    List.iter (fun send -> Engine.schedule t.engine ~delay:(lead +. t.n) (Arrival send)) sends
-  | Some hook ->
-    List.iter
-      (fun send ->
-        match Netsys.take t.network send with
-        | None -> ()
-        | Some (signal, network) ->
-          t.network <- network;
-          let frame = fresh_frame t send signal in
-          List.iter
-            (fun offset ->
-              Engine.schedule t.engine
-                ~delay:(lead +. t.n +. Float.max 0.0 offset)
-                (Frame_arrival frame))
-            (hook t frame))
-      sends
-
-let apply t op =
-  (* The operation itself is a box computation: its emissions leave the
-     box c after now. *)
-  let network, sends = op t.network in
-  t.network <- network;
-  emit t ~lead:t.c sends
-
-let apply_quiet t op = t.network <- op t.network
-
 let register_scripted t f =
   t.scripted <- f :: t.scripted;
   List.length t.scripted - 1
@@ -122,26 +107,8 @@ let scripted_action t idx =
   let l = List.length t.scripted in
   List.nth t.scripted (l - 1 - idx)
 
-let at t time f =
-  let idx = register_scripted t f in
-  let delay = Float.max 0.0 (time -. Engine.now t.engine) in
-  Engine.schedule t.engine ~delay (Scripted idx)
-
-let after t delay f =
-  let idx = register_scripted t f in
-  Engine.schedule t.engine ~delay (Scripted idx)
-
-let send_meta t ~chan ~from meta =
-  t.network <- Netsys.send_meta t.network ~chan ~from meta;
-  match Netsys.peer_of_chan t.network ~chan ~box:from with
-  | None -> ()
-  | Some peer -> Engine.schedule t.engine ~delay:t.n (Meta_arrival { chan; at = peer })
-
-let on_meta t handler = t.meta_handlers <- t.meta_handlers @ [ handler ]
-let on_step t hook = t.step_hooks <- hook :: t.step_hooks
-
 let run_watches t =
-  let now = Engine.now t.engine in
+  let now = now t in
   let still =
     List.filter
       (fun (_, pred, callback) ->
@@ -160,9 +127,37 @@ let when_true t pred callback =
   t.watches <- (id, pred, callback) :: t.watches;
   run_watches t
 
-let handle t event =
+(* [sched]/[emit]/[handle] are mutually recursive because an external
+   engine carries events as thunks over [handle], while [handle]'s
+   reactions [emit] further signals, which [sched]ules their arrival. *)
+let rec sched t ~delay event =
+  match t.engine with
+  | Sim e -> Engine.schedule e ~delay event
+  | Ext e -> e.ext_schedule ~delay (fun () -> handle t event)
+
+(* Emissions leave their box [lead] after now ([c] when the emission is
+   part of an externally applied operation, 0 when it is the output of a
+   Process/Frame_process reaction, whose compute cost is already paid). *)
+and emit t ~lead sends =
+  match t.impairment with
+  | None -> List.iter (fun send -> sched t ~delay:(lead +. t.n) (Arrival send)) sends
+  | Some hook ->
+    List.iter
+      (fun send ->
+        match Netsys.take t.network send with
+        | None -> ()
+        | Some (signal, network) ->
+          t.network <- network;
+          let frame = fresh_frame t send signal in
+          List.iter
+            (fun offset ->
+              sched t ~delay:(lead +. t.n +. Float.max 0.0 offset) (Frame_arrival frame))
+            (hook t frame))
+      sends
+
+and handle t event =
   (match event with
-  | Arrival send -> Engine.schedule t.engine ~delay:t.c (Process send)
+  | Arrival send -> sched t ~delay:t.c (Process send)
   | Process send -> (
     (* Record the signal for message-sequence charts before consuming
        it from the tunnel. *)
@@ -175,7 +170,7 @@ let handle t event =
       | Some signal ->
         t.trace_rev <-
           {
-            at = Engine.now t.engine;
+            at = now t;
             from_box;
             to_box = send.Netsys.to_;
             chan = send.Netsys.s_chan;
@@ -190,7 +185,7 @@ let handle t event =
     | Some (network, sends) ->
       t.network <- network;
       emit t ~lead:0.0 sends)
-  | Frame_arrival frame -> Engine.schedule t.engine ~delay:t.c (Frame_process frame)
+  | Frame_arrival frame -> sched t ~delay:t.c (Frame_process frame)
   | Frame_process frame ->
     let deliverable =
       match t.delivery_filter with
@@ -205,7 +200,7 @@ let handle t event =
       | Some from_box ->
         t.trace_rev <-
           {
-            at = Engine.now t.engine;
+            at = now t;
             from_box;
             to_box = frame.f_send.Netsys.to_;
             chan = frame.f_send.Netsys.s_chan;
@@ -230,7 +225,40 @@ let handle t event =
   List.iter (fun hook -> hook t) t.step_hooks;
   run_watches t
 
-let run ?until ?max_events t = Engine.run t.engine ?until ?max_events (fun _ e -> handle t e)
+let inject_frame t ~delay frame = sched t ~delay:(Float.max 0.0 delay) (Frame_arrival frame)
+
+let apply t op =
+  (* The operation itself is a box computation: its emissions leave the
+     box c after now. *)
+  let network, sends = op t.network in
+  t.network <- network;
+  emit t ~lead:t.c sends
+
+let apply_quiet t op = t.network <- op t.network
+
+let at t time f =
+  let idx = register_scripted t f in
+  let delay = Float.max 0.0 (time -. now t) in
+  sched t ~delay (Scripted idx)
+
+let after t delay f =
+  let idx = register_scripted t f in
+  sched t ~delay (Scripted idx)
+
+let send_meta t ~chan ~from meta =
+  t.network <- Netsys.send_meta t.network ~chan ~from meta;
+  match Netsys.peer_of_chan t.network ~chan ~box:from with
+  | None -> ()
+  | Some peer -> sched t ~delay:t.n (Meta_arrival { chan; at = peer })
+
+let on_meta t handler = t.meta_handlers <- t.meta_handlers @ [ handler ]
+let on_step t hook = t.step_hooks <- hook :: t.step_hooks
+
+let run ?until ?max_events t =
+  match t.engine with
+  | Sim e -> Engine.run e ?until ?max_events (fun _ ev -> handle t ev)
+  | Ext _ ->
+    invalid_arg "Timed.run: externally driven engine (the owning event loop runs the driver)"
 
 let trace t = List.rev t.trace_rev
 

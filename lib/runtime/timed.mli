@@ -20,6 +20,24 @@ val create : ?seed:int -> ?sched:Mediactl_sim.Engine.sched -> ?n:float -> ?c:flo
     (milliseconds), timer-wheel scheduler ([sched] selects the reference
     heap for benchmarking). *)
 
+val create_external :
+  now:(unit -> float) ->
+  schedule:(delay:float -> (unit -> unit) -> unit) ->
+  ?n:float ->
+  ?c:float ->
+  Netsys.t ->
+  t
+(** [create_external ~now ~schedule net] wraps a network over an
+    {e external} engine — a clock and a one-shot timer facility owned by
+    the caller, typically the wall-clock select loop of
+    [Mediactl_daemon_core.Wallclock].  Every protocol event the driver would
+    have put on the simulation queue is instead handed to [schedule] as
+    a thunk to run when its delay (in the caller's time units,
+    conventionally milliseconds) elapses.  The caller drives the loop:
+    {!run} raises [Invalid_argument] on such a driver, and everything
+    else ({!apply}, {!when_true}, {!set_impairment}, traces...) behaves
+    identically on either engine. *)
+
 val net : t -> Netsys.t
 val now : t -> float
 val n : t -> float
@@ -60,7 +78,9 @@ val when_true : t -> (Netsys.t -> bool) -> (float -> unit) -> unit
     checked after every event and at registration time. *)
 
 val run : ?until:float -> ?max_events:int -> t -> int
-(** Run the engine; returns events processed. *)
+(** Run the engine; returns events processed.  @raise Invalid_argument
+    on an externally driven driver ({!create_external}), whose owning
+    event loop runs it instead. *)
 
 val error : t -> string option
 

@@ -1,0 +1,7 @@
+(* Fixture: the clean twin of unguarded_bridge.ml — the same synthetic
+   proxy event dominated by an enabled-guard, the idiom
+   [Mediactl_daemon_core.Call] uses around every wire crossing. *)
+
+let note_crossing chan box =
+  if Mediactl_obs.Trace.enabled () then
+    Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Meta_recv { chan; box })

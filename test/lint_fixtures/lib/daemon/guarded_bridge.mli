@@ -1,0 +1,1 @@
+val note_crossing : string -> string -> unit

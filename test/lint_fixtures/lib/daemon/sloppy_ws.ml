@@ -1,0 +1,9 @@
+(* Fixture: whitespace violations for FMT001 — a tab-indented line,
+   a line with trailing spaces, and no final newline.  Everything else
+   in the corpus is the clean twin. *)
+
+let tabbed () =
+	ignore "indented with a tab"
+
+let trailing = "this line ends in spaces"   
+let last_line_has_no_newline = ()

@@ -1,0 +1,3 @@
+val tabbed : unit -> unit
+val trailing : string
+val last_line_has_no_newline : unit

@@ -1,0 +1,7 @@
+(* Fixture: a daemon bridge crossing that records its synthetic proxy
+   event with no enabled-guard — the live event loop would allocate
+   and dispatch a trace event for every wire frame even with tracing
+   off.  lib/daemon is in HYG001 scope; this must be flagged. *)
+
+let note_crossing chan box =
+  Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Meta_recv { chan; box })

@@ -1,0 +1,375 @@
+(* Tests for the daemon subsystem (mediactl.daemon): the binary wire
+   codec (qcheck round-trip and malformed-input rejection), the
+   control-plane grammar, transport addresses, the wall-clock engine —
+   including a full session booted on it through [Session.boot_external]
+   — and a live in-process daemon serving a call over a real unix
+   socket, judged satisfied by the Fig. 5 monitor. *)
+
+open Mediactl_types
+open Mediactl_core
+open Mediactl_runtime
+open Mediactl_apps
+module Wire = Mediactl_daemon_core.Wire
+module Control = Mediactl_daemon_core.Control
+module Transport = Mediactl_daemon_core.Transport
+module Wallclock = Mediactl_daemon_core.Wallclock
+module Daemon = Mediactl_daemon_core.Daemon
+module Rng = Mediactl_sim.Rng
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+(* --- generators ------------------------------------------------------- *)
+
+let gen_kind =
+  QCheck2.Gen.oneofl [ Semantics.Open_end; Semantics.Close_end; Semantics.Hold_end ]
+
+let gen_name =
+  QCheck2.Gen.(map (fun s -> "b" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 11)))
+
+let gen_addr =
+  QCheck2.Gen.(
+    map2
+      (fun host port -> Address.v host port)
+      (oneofl [ "10.0.0.1"; "host.example"; "::1" ])
+      (int_range 1 65535))
+
+(* distinct codecs, best first: a nonempty prefix of a shuffle *)
+let gen_codecs =
+  QCheck2.Gen.(
+    map2
+      (fun l n -> List.filteri (fun i _ -> i < n) l)
+      (shuffle_l Codec.all)
+      (int_range 1 (List.length Codec.all)))
+
+let gen_desc =
+  QCheck2.Gen.(
+    bind (tup4 gen_name (int_range 0 0xffff) gen_addr bool) (fun (owner, version, addr, mute) ->
+        if mute then return (Descriptor.no_media ~owner ~version addr)
+        else map (fun codecs -> Descriptor.make ~owner ~version addr codecs) gen_codecs))
+
+let gen_sel =
+  QCheck2.Gen.(
+    map
+      (fun ((owner, version, sender), choice) ->
+        Selector.make ~responds_to:(owner, version) ~sender choice)
+      (pair
+         (tup3 gen_name (int_range 0 0xffff) gen_addr)
+         (oneof
+            [ return Selector.No_media; map (fun c -> Selector.Chosen c) (oneofl Codec.all) ])))
+
+let gen_medium = QCheck2.Gen.oneofl [ Medium.Audio; Medium.Video; Medium.Text; Medium.Audio_video ]
+
+let gen_signal =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun m d -> Signal.Open (m, d)) gen_medium gen_desc;
+        map (fun d -> Signal.Oack d) gen_desc;
+        return Signal.Close;
+        return Signal.Closeack;
+        map (fun d -> Signal.Describe d) gen_desc;
+        map (fun s -> Signal.Select s) gen_sel;
+      ])
+
+let gen_frame =
+  QCheck2.Gen.(
+    oneof
+      [
+        map3
+          (fun chan origin accept -> Wire.Hello { chan; origin; accept })
+          gen_name gen_kind gen_kind;
+        map3 (fun chan tun signal -> Wire.Signal_f { chan; tun; signal }) gen_name (int_range 0 7)
+          gen_signal;
+        map (fun chan -> Wire.Bye { chan }) gen_name;
+      ])
+
+let frame_print f = Format.asprintf "%a" Wire.pp f
+
+(* --- wire codec: round trip ------------------------------------------- *)
+
+(* encode, then feed the bytes back through the incremental decoder in
+   arbitrary chunkings: the same frames come out, in order, and no
+   bytes are left buffered. *)
+let prop_wire_roundtrip =
+  QCheck2.Test.make ~name:"wire: decode (encode frames) = frames under any chunking" ~count:300
+    ~print:(fun (frames, _) -> String.concat "; " (List.map frame_print frames))
+    QCheck2.Gen.(pair (list_size (int_range 1 5) gen_frame) (int_range 1 13))
+    (fun (frames, chunk) ->
+      let bytes = String.concat "" (List.map Wire.encode frames) in
+      let dec = Wire.decoder () in
+      let i = ref 0 in
+      while !i < String.length bytes do
+        let len = min chunk (String.length bytes - !i) in
+        Wire.feed dec (String.sub bytes !i len);
+        i := !i + len
+      done;
+      let rec drain acc =
+        match Wire.next dec with
+        | Some (Ok f) -> drain (f :: acc)
+        | Some (Error e) -> failwith ("decoder error: " ^ e)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      List.length out = List.length frames
+      && List.for_all2 Wire.equal out frames
+      && Wire.buffered dec = 0)
+
+(* any strict prefix of a valid encoding yields neither a frame nor an
+   error: the decoder just waits for the rest *)
+let prop_wire_truncation =
+  QCheck2.Test.make ~name:"wire: every strict prefix is incomplete, not an error" ~count:200
+    ~print:frame_print gen_frame (fun frame ->
+      let bytes = Wire.encode frame in
+      let ok = ref true in
+      for n = 0 to String.length bytes - 1 do
+        let dec = Wire.decoder () in
+        Wire.feed dec (String.sub bytes 0 n);
+        match Wire.next dec with
+        | None -> ()
+        | Some _ -> ok := false
+      done;
+      !ok)
+
+(* flipping the version or tag byte of a valid frame is rejected *)
+let prop_wire_garbage =
+  QCheck2.Test.make ~name:"wire: corrupted version/tag byte is rejected" ~count:200
+    ~print:frame_print gen_frame (fun frame ->
+      let bytes = Bytes.of_string (Wire.encode frame) in
+      (* byte 4 is the payload's version byte, byte 5 its tag *)
+      Bytes.set bytes 4 '\xee';
+      let dec = Wire.decoder () in
+      Wire.feed dec (Bytes.to_string bytes);
+      match Wire.next dec with
+      | Some (Error _) -> true
+      | Some (Ok _) | None -> false)
+
+let test_wire_decoder_errors_sticky () =
+  let dec = Wire.decoder () in
+  (* an impossible length prefix (> max_payload) kills the decoder *)
+  Wire.feed dec "\xff\xff\xff\xff";
+  (match Wire.next dec with
+  | Some (Error _) -> ()
+  | Some (Ok _) | None -> Alcotest.fail "oversized length accepted");
+  (* ... and it stays dead even when valid bytes follow *)
+  Wire.feed dec (Wire.encode (Wire.Bye { chan = "x" }));
+  check tbool "sticky error" true
+    (match Wire.next dec with Some (Error _) -> true | Some (Ok _) | None -> false)
+
+let test_wire_trailing_bytes_rejected () =
+  let payload_of frame =
+    let s = Wire.encode frame in
+    String.sub s 4 (String.length s - 4)
+  in
+  let p = payload_of (Wire.Bye { chan = "x" }) ^ "\x00" in
+  check tbool "trailing byte rejected" true (Result.is_error (Wire.decode_payload p))
+
+(* --- control grammar --------------------------------------------------- *)
+
+let test_control_roundtrip () =
+  let reqs =
+    [
+      Control.Ping;
+      Control.Create { id = "c1"; left = Semantics.Open_end; right = Semantics.Hold_end };
+      Control.Dial
+        {
+          id = "c2";
+          addr = Transport.Tcp ("127.0.0.1", 7040);
+          left = Semantics.Open_end;
+          right = Semantics.Close_end;
+        };
+      Control.Hold "c1";
+      Control.Resume "c1";
+      Control.Teardown "c1";
+      Control.Status None;
+      Control.Status (Some "c1");
+      Control.Wait { id = "c1"; what = `Flowing; timeout_ms = 1500.0 };
+      Control.Wait { id = "c1"; what = `Closed; timeout_ms = 100.0 };
+      Control.Quit;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let line = Control.render req in
+      match Control.parse line with
+      | Ok req' -> check tbool line true (req = req')
+      | Error e -> Alcotest.fail (line ^ ": " ^ e))
+    reqs
+
+let test_control_rejects_junk () =
+  List.iter
+    (fun line -> check tbool line true (Result.is_error (Control.parse line)))
+    [ "FROB c1"; "CREATE"; "CREATE c1 open sideways"; "WAIT c1 flowing not-a-number"; "DIAL c1" ]
+
+let test_control_response_shapes () =
+  check tbool "ok" true (Control.is_ok (Control.ok "fine"));
+  check tbool "err" false (Control.is_ok (Control.error "nope"));
+  check tbool "call lines are not final" false (Control.final_line "CALL c1 local ...");
+  check tbool "ok lines are final" true (Control.final_line (Control.ok "done"))
+
+(* --- transport addresses ----------------------------------------------- *)
+
+let test_addr_parse () =
+  (match Transport.addr_of_string "unix:/tmp/x.sock" with
+  | Ok (Transport.Unix_sock p) -> check tstr "unix path" "/tmp/x.sock" p
+  | Ok (Transport.Tcp _) | Error _ -> Alcotest.fail "unix: did not parse");
+  (match Transport.addr_of_string "tcp:::1:7040" with
+  | Ok (Transport.Tcp (h, p)) ->
+    check tstr "v6 host" "::1" h;
+    check tint "port" 7040 p
+  | Ok (Transport.Unix_sock _) | Error _ -> Alcotest.fail "tcp v6 did not parse");
+  List.iter
+    (fun s -> check tbool s true (Result.is_error (Transport.addr_of_string s)))
+    [ "tcp:localhost"; "tcp:localhost:war"; "sctp:foo"; "unix:"; "" ]
+
+(* --- wall-clock engine -------------------------------------------------- *)
+
+let test_wallclock_timer_order () =
+  let loop = Wallclock.create () in
+  let fired = ref [] in
+  let note tag () = fired := tag :: !fired in
+  Wallclock.after loop ~delay:30.0 (note "c");
+  Wallclock.after loop ~delay:5.0 (note "a");
+  Wallclock.after loop ~delay:12.0 (note "b");
+  Wallclock.run loop;
+  check tbool "delay order" true (List.rev !fired = [ "a"; "b"; "c" ]);
+  check tint "no timers left" 0 (Wallclock.pending_timers loop)
+
+let test_wallclock_stop () =
+  let loop = Wallclock.create () in
+  let late = ref false in
+  Wallclock.after loop ~delay:5.0 (fun () -> Wallclock.stop loop);
+  Wallclock.after loop ~delay:10_000.0 (fun () -> late := true);
+  Wallclock.run loop;
+  check tbool "stopped before the late timer" false !late
+
+(* A whole session — the simulator's Pathlab open/open handshake —
+   booted onto the wall clock through [Session.boot_external]: the same
+   boot closure, goals, and monitor, real time instead of virtual. *)
+let test_session_on_wallclock () =
+  let loop = Wallclock.create () in
+  let session =
+    Session.create ~id:1 ~scenario:"wallclock-open-open" ~rng:(Rng.create 7)
+      ~boot:(fun s ->
+        let sim = Session.sim s in
+        Timed.apply sim (Pathlab.engage_left Semantics.Open_end);
+        Timed.apply sim (Pathlab.engage_right Semantics.Open_end ~flowlinks:0))
+      (fun () -> Pathlab.topology ())
+  in
+  let driver = Session.boot_external session ~make_driver:(Wallclock.driver ~n:1.0 ~c:1.0 loop) in
+  let flowed = ref false in
+  Timed.when_true driver (Pathlab.both_flowing ~flowlinks:0) (fun _ ->
+      flowed := true;
+      Wallclock.stop loop);
+  Wallclock.after loop ~delay:5_000.0 (fun () -> Wallclock.stop loop);
+  Wallclock.run loop;
+  check tbool "bothFlowing reached on the wall clock" true !flowed
+
+(* --- a live daemon over a real unix socket ------------------------------ *)
+
+(* One process, one loop: the daemon serves a real unix socket, and the
+   test's scripted control client rides the same Wallclock loop —
+   [Daemon.run] drives both sides, so the whole lifecycle (create,
+   wait-flowing, hold, resume, teardown, wait-closed, status, quit)
+   crosses genuine socket I/O and ends with the monitor's verdict. *)
+let test_live_daemon_lifecycle () =
+  let path = Filename.temp_file "mediactl_test" ".sock" in
+  Unix.unlink path;
+  let listener = Transport.listen (Transport.Unix_sock path) in
+  let d = Daemon.create ~n:2.0 ~c:1.0 ~listener () in
+  let loop = Daemon.loop d in
+  let fd = Transport.connect (Transport.Unix_sock path) in
+  let script =
+    ref
+      [
+        Control.Create { id = "t1"; left = Semantics.Open_end; right = Semantics.Open_end };
+        Control.Wait { id = "t1"; what = `Flowing; timeout_ms = 5000.0 };
+        Control.Hold "t1";
+        Control.Resume "t1";
+        Control.Wait { id = "t1"; what = `Flowing; timeout_ms = 5000.0 };
+        Control.Teardown "t1";
+        Control.Wait { id = "t1"; what = `Closed; timeout_ms = 5000.0 };
+        Control.Status (Some "t1");
+        Control.Quit;
+      ]
+  in
+  let calls = ref [] and failures = ref [] in
+  let send_next () =
+    match !script with
+    | req :: rest ->
+      script := rest;
+      Transport.send_all fd (Control.render req ^ "\n")
+    | [] -> ()
+  in
+  let buf = ref "" in
+  let on_line line =
+    if Control.final_line line then begin
+      if not (Control.is_ok line) then failures := line :: !failures;
+      send_next ()
+    end
+    else calls := line :: !calls
+  in
+  let on_readable () =
+    match Transport.recv fd with
+    | `Retry -> ()
+    | `Eof -> Wallclock.remove_fd loop fd
+    | `Data data ->
+      buf := !buf ^ data;
+      let rec go () =
+        match String.index_opt !buf '\n' with
+        | Some i ->
+          let line = String.sub !buf 0 i in
+          buf := String.sub !buf (i + 1) (String.length !buf - i - 1);
+          on_line line;
+          go ()
+        | None -> ()
+      in
+      go ()
+  in
+  Wallclock.on_readable loop fd on_readable;
+  send_next ();
+  Daemon.run d;
+  Transport.close_quiet fd;
+  check tbool "every request answered OK" true (!failures = []);
+  match !calls with
+  | status :: _ ->
+    let n = String.length status in
+    check tbool
+      (Printf.sprintf "final status is satisfied: %s" status)
+      true
+      (n >= 9 && String.equal (String.sub status (n - 9) 9) "satisfied")
+  | [] -> Alcotest.fail "no CALL status line seen"
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "daemon"
+    [
+      ( "wire",
+        qsuite [ prop_wire_roundtrip; prop_wire_truncation; prop_wire_garbage ]
+        @ [
+            Alcotest.test_case "decoder errors are sticky" `Quick test_wire_decoder_errors_sticky;
+            Alcotest.test_case "trailing payload bytes rejected" `Quick
+              test_wire_trailing_bytes_rejected;
+          ] );
+      ( "control",
+        [
+          Alcotest.test_case "render/parse round trip" `Quick test_control_roundtrip;
+          Alcotest.test_case "junk is rejected" `Quick test_control_rejects_junk;
+          Alcotest.test_case "response shapes" `Quick test_control_response_shapes;
+        ] );
+      ("transport", [ Alcotest.test_case "address grammar" `Quick test_addr_parse ]);
+      ( "wallclock",
+        [
+          Alcotest.test_case "timers fire in delay order" `Quick test_wallclock_timer_order;
+          Alcotest.test_case "stop ends the loop" `Quick test_wallclock_stop;
+          Alcotest.test_case "session boots on the wall clock" `Quick test_session_on_wallclock;
+        ] );
+      ( "live",
+        [ Alcotest.test_case "unix-socket lifecycle is satisfied" `Quick test_live_daemon_lifecycle ]
+      );
+    ]

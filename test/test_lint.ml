@@ -193,6 +193,32 @@ let parse_error_is_finding () =
   check_rules ~msg:"unparseable source" [ "PARSE001" ] (lint "let let let\n")
 
 (* ------------------------------------------------------------------ *)
+(* FMT001                                                              *)
+
+let fmt_flags_tab () = check_rules ~msg:"tab indentation" [ "FMT001" ] (lint "let x =\n\t0\n")
+let fmt_flags_trailing_ws () = check_rules ~msg:"trailing space" [ "FMT001" ] (lint "let x = 0 \n")
+
+let fmt_flags_crlf () =
+  check_rules ~msg:"CRLF line ending" [ "FMT001" ] (lint "let x = 0\r\nlet y = 1\n")
+
+let fmt_flags_missing_final_newline () =
+  check_rules ~msg:"no final newline" [ "FMT001" ] (lint "let x = 0")
+
+let fmt_accepts_clean () = check_rules ~msg:"clean file" [] (lint "let x = 0\n\nlet y = 1\n")
+
+let fmt_runs_on_unparseable_source () =
+  check_rules ~msg:"textual rule still applies when parsing fails" [ "FMT001"; "PARSE001" ]
+    (lint "let let let \n")
+
+let fmt_positions () =
+  let findings, _ = lint "let x = 0  \n" in
+  match findings with
+  | [ f ] ->
+    Alcotest.(check (pair int int)) "line and column of the first trailing blank" (1, 10)
+      (f.Finding.line, f.Finding.col)
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "lint"
@@ -242,5 +268,15 @@ let () =
           Alcotest.test_case "unused allow warns" `Quick allow_unused_is_warning;
           Alcotest.test_case "file-scope allow" `Quick file_scope_allow;
           Alcotest.test_case "parse error is a finding" `Quick parse_error_is_finding;
+        ] );
+      ( "fmt",
+        [
+          Alcotest.test_case "flags tab" `Quick fmt_flags_tab;
+          Alcotest.test_case "flags trailing whitespace" `Quick fmt_flags_trailing_ws;
+          Alcotest.test_case "flags CRLF" `Quick fmt_flags_crlf;
+          Alcotest.test_case "flags missing final newline" `Quick fmt_flags_missing_final_newline;
+          Alcotest.test_case "accepts clean source" `Quick fmt_accepts_clean;
+          Alcotest.test_case "runs before the parser" `Quick fmt_runs_on_unparseable_source;
+          Alcotest.test_case "reports line and column" `Quick fmt_positions;
         ] );
     ]
