@@ -754,6 +754,36 @@ let e11 () =
     (if overhead <= 10.0 then "(within the 10% budget)" else "(OVER the 10% budget)")
 
 (* ------------------------------------------------------------------ *)
+(* Allocation accounting (E12's fleet row, E15's phase profile)        *)
+
+(* [Gc.quick_stat] deltas around a workload, on the calling domain —
+   which is why only the jobs-1 fleet row is profiled: under more
+   domains the shards' minor allocations land in their own counters.
+   Collection counts stand in for pause times (no pause instrumentation
+   in this container). *)
+type gc_delta = {
+  g_minor : float;  (* minor words allocated *)
+  g_promoted : float;  (* of which promoted to the major heap *)
+  g_minor_cols : int;
+  g_major_cols : int;
+}
+
+let gc_measure f =
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  let x = f () in
+  let s1 = Gc.quick_stat () in
+  ( x,
+    {
+      g_minor = s1.Gc.minor_words -. s0.Gc.minor_words;
+      g_promoted = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+      g_minor_cols = s1.Gc.minor_collections - s0.Gc.minor_collections;
+      g_major_cols = s1.Gc.major_collections - s0.Gc.major_collections;
+    } )
+
+let per_event x events = x /. float_of_int (max 1 events)
+
+(* ------------------------------------------------------------------ *)
 (* E12: the sharded many-session runtime                               *)
 
 type e12_row = {
@@ -779,10 +809,11 @@ let e12_digest outcomes =
              (fun (o : Session.outcome) ->
                Printf.sprintf "%d:%s:%d:%.6f:%d" o.Session.id o.Session.scenario
                  o.Session.events o.Session.end_time o.Session.violations
-               :: List.map Mediactl_obs.Trace.event_to_json o.Session.trace)
+               :: List.map Mediactl_obs.Trace.event_to_json
+                    (Mediactl_obs.Trace.Packed.to_events o.Session.trace))
              outcomes)))
 
-let e12_write_json ~heap_s ~wheel_s ~kernel_agree rows deterministic =
+let e12_write_json ~heap_s ~wheel_s ~kernel_agree ~alloc rows deterministic =
   let oc = open_out "BENCH_fleet.json" in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"experiment\": \"e12\",\n";
@@ -808,7 +839,20 @@ let e12_write_json ~heap_s ~wheel_s ~kernel_agree rows deterministic =
         (base /. Float.max 1e-9 r.f_wall)
         (if i = last then "" else ","))
     rows;
-  Printf.fprintf oc "  ] }\n}\n";
+  Printf.fprintf oc "  ] }";
+  (match alloc with
+  | None -> ()
+  | Some (d, events) ->
+    Printf.fprintf oc
+      ",\n\
+      \  \"alloc\": { \"jobs\": 1, \"events\": %d, \"minor_words_per_event\": %.1f, \
+       \"promoted_words_per_event\": %.2f, \"minor_collections\": %d, \
+       \"major_collections\": %d }"
+      events
+      (per_event d.g_minor events)
+      (per_event d.g_promoted events)
+      d.g_minor_cols d.g_major_cols);
+  Printf.fprintf oc "\n}\n";
   close_out oc;
   Format.printf "@.wrote BENCH_fleet.json@."
 
@@ -850,12 +894,22 @@ let e12 () =
     e12_sessions
     (Domain.recommended_domain_count ());
   Format.printf "%6s %10s %14s %14s %9s@." "jobs" "wall s" "sessions/s" "events/s" "speedup";
+  let alloc = ref None in
   let rows =
     List.map
       (fun jobs ->
-        let outcomes, summary =
-          Fleet.run ~jobs ~until:60_000.0 ~sessions:e12_sessions ~seed:11 mk
+        let (outcomes, summary), gc =
+          gc_measure (fun () ->
+              Fleet.run ~jobs ~until:60_000.0 ~sessions:e12_sessions ~seed:11 mk)
         in
+        (* Allocation accounting is per-domain, so only the jobs-1 row
+           (everything on this domain) is meaningful. *)
+        if jobs = 1 then begin
+          let events =
+            List.fold_left (fun acc o -> acc + o.Session.events) 0 outcomes
+          in
+          alloc := Some (gc, events)
+        end;
         {
           f_jobs = jobs;
           f_wall = summary.Fleet.wall_s;
@@ -880,7 +934,17 @@ let e12 () =
   Format.printf "per-session results across job counts: %s@."
     (if deterministic then "bit-identical (traces, end times, verdicts)"
      else "DIFFER — determinism bug");
-  if !json_mode then e12_write_json ~heap_s ~wheel_s ~kernel_agree rows deterministic
+  (match !alloc with
+  | Some (d, events) ->
+    Format.printf
+      "allocation (jobs 1): %.1f minor words/event, %.2f promoted words/event, %d minor \
+       / %d major GCs@."
+      (per_event d.g_minor events)
+      (per_event d.g_promoted events)
+      d.g_minor_cols d.g_major_cols
+  | None -> ());
+  if !json_mode then
+    e12_write_json ~heap_s ~wheel_s ~kernel_agree ~alloc:!alloc rows deterministic
 
 (* ------------------------------------------------------------------ *)
 (* E14: the wall-clock runtime                                         *)
@@ -1047,6 +1111,154 @@ let e14 () =
     "granularity, so the paper's analytic formulas apply unchanged to a real daemon.@."
 
 (* ------------------------------------------------------------------ *)
+(* E15: allocation profile of the hot path                             *)
+
+let e15_reps = 400
+let e15_sessions = 128
+
+let e15 () =
+  header "E15  Allocation profile: minor words per event on the hot path";
+  (* Part 1: the three tracing arms over the same E9 kernel workload
+     (Figure-13 relink under 5% loss with the reliability layer).  The
+     delta between a traced arm and the untraced run is the allocation
+     cost of observability itself; the ring arm is the zero-allocation
+     claim under test. *)
+  let run_once ~seed = ignore (fig13_impaired ~seed ~loss:0.05 ()) in
+  for i = 1 to 20 do
+    run_once ~seed:(8100 + i)
+  done;
+  let (), untraced =
+    gc_measure (fun () ->
+        for i = 1 to e15_reps do
+          run_once ~seed:(8200 + i)
+        done)
+  in
+  let sink_events = ref 0 in
+  let (), sinked =
+    gc_measure (fun () ->
+        for i = 1 to e15_reps do
+          let (), evs =
+            Mediactl_obs.Trace.recording (fun () -> run_once ~seed:(8200 + i))
+          in
+          sink_events := !sink_events + List.length evs
+        done)
+  in
+  let ring_events = ref 0 in
+  let (), ringed =
+    gc_measure (fun () ->
+        for i = 1 to e15_reps do
+          let (), p =
+            Mediactl_obs.Trace.recording_packed (fun () -> run_once ~seed:(8200 + i))
+          in
+          ring_events := !ring_events + Mediactl_obs.Trace.Packed.length p
+        done)
+  in
+  Format.printf "@.tracing arms on the E9 kernel (fig13 relink, loss=0.05, %d runs each):@."
+    e15_reps;
+  Format.printf "%10s %14s %10s %12s %10s %10s@." "arm" "minor words" "w/event"
+    "promoted/ev" "minor GCs" "major GCs";
+  let row name d events =
+    Format.printf "%10s %14.0f %10.1f %12.2f %10d %10d@." name d.g_minor
+      (per_event d.g_minor events)
+      (per_event d.g_promoted events)
+      d.g_minor_cols d.g_major_cols
+  in
+  row "untraced" untraced !ring_events;
+  row "sink" sinked !sink_events;
+  row "ring" ringed !ring_events;
+  let sink_cost = per_event (sinked.g_minor -. untraced.g_minor) !sink_events in
+  let ring_cost = per_event (ringed.g_minor -. untraced.g_minor) !ring_events in
+  Format.printf "tracing cost: sink %+.1f w/event, ring %+.1f w/event (%.0fx cheaper)@."
+    sink_cost ring_cost
+    (sink_cost /. Float.max 0.1 ring_cost);
+  (* Part 2: where a fleet session's allocations go.  [max_events 0]
+     stops the timed drive before its first event, so that arm buys
+     network build + untimed settle + boot (plus the analysis of the
+     tiny settle trace); the analyze arm re-runs metrics and monitor
+     replay over captured traces; the drive share is what remains of a
+     full run. *)
+  let mk ~id ~rng = Scenario.session ~loss:0.05 Scenario.Mixed ~id ~rng in
+  let run_arm ?max_events () =
+    gc_measure (fun () ->
+        let total_events = ref 0 and total_trace = ref 0 in
+        for id = 0 to e15_sessions - 1 do
+          let s = mk ~id ~rng:(Mediactl_sim.Rng.create (9000 + id)) in
+          let o = Session.run ~until:60_000.0 ?max_events s in
+          total_events := !total_events + o.Session.events;
+          total_trace := !total_trace + Mediactl_obs.Trace.Packed.length o.Session.trace
+        done;
+        (!total_events, !total_trace))
+  in
+  ignore (run_arm ());
+  let (_ : int * int), setup = run_arm ~max_events:0 () in
+  let (full_events, full_trace), full = run_arm () in
+  let outcomes =
+    List.init e15_sessions (fun id ->
+        Session.run ~until:60_000.0 (mk ~id ~rng:(Mediactl_sim.Rng.create (9000 + id))))
+  in
+  let (), analyze =
+    gc_measure (fun () ->
+        List.iter
+          (fun o ->
+            ignore (Mediactl_obs.Metrics.of_packed o.Session.trace);
+            ignore (Mediactl_obs.Monitor.replay_packed o.Session.trace))
+          outcomes)
+  in
+  let drive_minor = Float.max 0.0 (full.g_minor -. setup.g_minor -. analyze.g_minor) in
+  let share x = 100.0 *. x /. Float.max 1.0 full.g_minor in
+  Format.printf
+    "@.fleet session phases (%d mixed sessions at 5%% loss, %d engine events, %d trace \
+     entries):@."
+    e15_sessions full_events full_trace;
+  Format.printf "%10s %14s %8s %10s@." "phase" "minor words" "share" "w/event";
+  Format.printf "%10s %14.0f %7.1f%% %10.1f@." "setup" setup.g_minor (share setup.g_minor)
+    (per_event setup.g_minor full_events);
+  Format.printf "%10s %14.0f %7.1f%% %10.1f@." "drive" drive_minor (share drive_minor)
+    (per_event drive_minor full_events);
+  Format.printf "%10s %14.0f %7.1f%% %10.1f@." "analyze" analyze.g_minor
+    (share analyze.g_minor)
+    (per_event analyze.g_minor full_events);
+  Format.printf "%10s %14.0f %7.1f%% %10.1f@." "total" full.g_minor 100.0
+    (per_event full.g_minor full_events);
+  if !json_mode then begin
+    let oc = open_out "BENCH_alloc.json" in
+    let arm name d events =
+      Printf.sprintf
+        "    { \"arm\": %S, \"minor_words\": %.0f, \"minor_words_per_event\": %.1f, \
+         \"promoted_words_per_event\": %.2f, \"minor_collections\": %d, \
+         \"major_collections\": %d }"
+        name d.g_minor
+        (per_event d.g_minor events)
+        (per_event d.g_promoted events)
+        d.g_minor_cols d.g_major_cols
+    in
+    Printf.fprintf oc
+      "{\n\
+      \  \"experiment\": \"e15\",\n\
+      \  \"kernel_runs\": %d,\n\
+      \  \"arms\": [\n\
+       %s,\n\
+       %s,\n\
+       %s\n\
+      \  ],\n\
+      \  \"tracing_cost_w_per_event\": { \"sink\": %.1f, \"ring\": %.1f },\n\
+      \  \"fleet_phases\": { \"sessions\": %d, \"events\": %d, \"trace_entries\": %d,\n\
+      \    \"setup_minor_words\": %.0f, \"drive_minor_words\": %.0f, \
+       \"analyze_minor_words\": %.0f, \"total_minor_words\": %.0f,\n\
+      \    \"total_minor_words_per_event\": %.1f }\n\
+       }\n"
+      e15_reps
+      (arm "untraced" untraced !ring_events)
+      (arm "sink" sinked !sink_events)
+      (arm "ring" ringed !ring_events)
+      sink_cost ring_cost e15_sessions full_events full_trace setup.g_minor drive_minor
+      analyze.g_minor full.g_minor
+      (per_event full.g_minor full_events);
+    close_out oc;
+    Format.printf "@.wrote BENCH_alloc.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 
 let micro () =
@@ -1131,7 +1343,7 @@ let micro () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e14", e14);
-    ("micro", micro) ]
+    ("e15", e15); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

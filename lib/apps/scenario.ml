@@ -44,7 +44,7 @@ let settle net = fst (Netsys.run net)
 let path ?sched ?n ?c ~loss ~id ~rng () =
   Session.create ?sched ?n ?c ~id ~scenario:"path" ~rng
     ~judge:
-      (Mediactl_obs.Monitor.verdict ~structural:(loss > 0.0)
+      (Mediactl_obs.Monitor.verdict_packed ~structural:(loss > 0.0)
          (Pathlab.obligation Semantics.Open_end Semantics.Open_end)
          ~ends:(Pathlab.ends ~flowlinks:0))
     ~boot:(fun t ->

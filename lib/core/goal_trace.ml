@@ -11,12 +11,7 @@ let observe ~goal (before : Slot.t) (after : Slot.t) =
     Mediactl_obs.Trace.enabled ()
     && not (Slot_state.equal after.Slot.state before.Slot.state)
   then
-    Mediactl_obs.Trace.emit
-      (Mediactl_obs.Trace.Goal
-         {
-           goal;
-           slot = before.Slot.label;
-           from_ = Slot_state.to_string before.Slot.state;
-           to_ = Slot_state.to_string after.Slot.state;
-         });
+    Mediactl_obs.Trace.goal ~goal ~slot:before.Slot.label
+      ~from_:(Slot_state.to_string before.Slot.state)
+      ~to_:(Slot_state.to_string after.Slot.state);
   after

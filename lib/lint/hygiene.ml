@@ -17,6 +17,13 @@ open Parsetree
 let emit_suffixes =
   [
     [ "Trace"; "emit" ];
+    [ "Trace"; "sig_send" ];
+    [ "Trace"; "sig_recv" ];
+    [ "Trace"; "meta_send" ];
+    [ "Trace"; "meta_recv" ];
+    [ "Trace"; "slot_transition" ];
+    [ "Trace"; "goal" ];
+    [ "Trace"; "net" ];
     [ "Metrics"; "bump" ];
     [ "Metrics"; "incr" ];
     [ "Metrics"; "observe" ];
@@ -34,9 +41,7 @@ let message path =
     "%s not dominated by an enabled-guard: wrap in 'if %s () then ...' to keep tracing \
      zero-cost when disabled ([@lint.allow \"hygiene: <why>\"] to waive)"
     (String.concat "." path)
-    (match path with
-    | _ :: _ when Ast_util.has_suffix [ "emit" ] path -> "Trace.enabled"
-    | _ -> "Metrics.enabled")
+    (if List.mem "Trace" path then "Trace.enabled" else "Metrics.enabled")
 
 let check ctx structure =
   let guarded = ref false in

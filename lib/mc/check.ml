@@ -77,7 +77,9 @@ let trace_to graph witness =
 
 let run ?max_states ?jobs config =
   let t0 = Unix.gettimeofday () in
-  let graph = E.explore ?max_states ?jobs (Path_model.initial config) in
+  let graph =
+    E.explore ?max_states ?jobs ~unpack:(Path_model.unpack config) (Path_model.initial config)
+  in
   let spec = Path_model.spec config in
   let safety =
     if graph.E.capped then Safe

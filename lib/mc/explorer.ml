@@ -138,7 +138,13 @@ module Make (S : SYSTEM) = struct
      during the expand phase and drained by the receiver during the
      absorb phase; the level barrier between the phases is the only
      synchronisation the exchange needs, so messages cost no mutex
-     traffic and no per-message allocation beyond the vec slots. *)
+     traffic and no per-message allocation beyond the vec slots.
+
+     [bst] is the sender's live successor value.  It is stored by the
+     receiver only when no [unpack] is available; systems whose states
+     embed domain-local interned values (packed signal words in tunnel
+     queues) must supply [unpack] so the receiver rebuilds the state
+     from its canonical key in its own domain's tables. *)
   type batch = {
     bsrc : int vec;
     blab : S.label vec;
@@ -165,7 +171,16 @@ module Make (S : SYSTEM) = struct
      the same graph — only message traffic changes. *)
   let prefix_len = 8
 
-  let explore_par ~max_states ~jobs initial =
+  let explore_par ~max_states ~jobs ~unpack initial =
+    (* Every state stored in a shard must have been {e built} by the
+       owning domain when the system interns values into domain-local
+       tables; [local_state] re-canonicalizes a state that crossed a
+       domain boundary from its packed key. *)
+    let local_state =
+      match unpack with
+      | Some u -> fun key (_ : S.state) -> u key
+      | None -> fun _ st -> st
+    in
     let shard_of key =
       let n = min prefix_len (String.length key) in
       let h = ref 0 in
@@ -186,11 +201,8 @@ module Make (S : SYSTEM) = struct
       }
     in
     let shards = Array.init jobs (fun _ -> mk_shard ()) in
-    let owner0 = shard_of (S.pack initial) in
-    let sh0 = shards.(owner0) in
-    vec_push sh0.sstates initial;
-    Hashtbl.add sh0.table (S.pack initial) 0;
-    vec_push sh0.frontier 0;
+    let key0 = S.pack initial in
+    let owner0 = shard_of key0 in
     (* mail.(src).(dst): one reusable batch per ordered pair. *)
     let mail =
       Array.init jobs (fun _ ->
@@ -218,6 +230,13 @@ module Make (S : SYSTEM) = struct
     let body d =
       let sh = shards.(d) in
       let out = mail.(d) in
+      (* The initial state is interned here, not at setup, so that it
+         too is built by its owning domain. *)
+      if d = owner0 then begin
+        vec_push sh.sstates (local_state key0 initial);
+        Hashtbl.add sh.table key0 0;
+        vec_push sh.frontier 0
+      end;
       let running = ref true in
       while !running do
         (* Expand: successors of every frontier state.  The pack buffer
@@ -255,7 +274,19 @@ module Make (S : SYSTEM) = struct
         for src = 0 to jobs - 1 do
           let b = mail.(src).(d) in
           for k = 0 to b.bsrc.len - 1 do
-            let g_v = intern_local sh d b.bkey.data.(k) b.bst.data.(k) in
+            (* Inlined [intern_local] so [local_state] (which may decode
+               the key) runs only on a genuine miss. *)
+            let key = b.bkey.data.(k) in
+            let g_v =
+              match Hashtbl.find_opt sh.table key with
+              | Some i -> (i * jobs) + d
+              | None ->
+                let i = sh.sstates.len in
+                vec_push sh.sstates (local_state key b.bst.data.(k));
+                Hashtbl.add sh.table key i;
+                vec_push sh.fresh i;
+                (i * jobs) + d
+            in
             vec_push sh.esrc b.bsrc.data.(k);
             vec_push sh.edst g_v;
             vec_push sh.elab b.blab.data.(k)
@@ -340,9 +371,9 @@ module Make (S : SYSTEM) = struct
       capped = Array.exists Fun.id capped;
     }
 
-  let explore ?(max_states = 1_000_000) ?(jobs = 1) initial =
+  let explore ?(max_states = 1_000_000) ?(jobs = 1) ?unpack initial =
     if jobs <= 1 then explore_seq ~max_states initial
-    else explore_par ~max_states ~jobs initial
+    else explore_par ~max_states ~jobs ~unpack initial
 
   (* ---------------------------------------------------------------- *)
 

@@ -54,11 +54,24 @@ module Make (S : SYSTEM) : sig
     capped : bool;  (** true when [max_states] was hit — results are partial *)
   }
 
-  val explore : ?max_states:int -> ?jobs:int -> S.state -> graph
+  val explore : ?max_states:int -> ?jobs:int -> ?unpack:(string -> S.state) -> S.state -> graph
   (** Breadth-first reachability from the given initial state.  Default
       [max_states] is 1_000_000; default [jobs] is 1 (sequential).
       [jobs > 1] explores with that many domains (see module
-      description for the isomorphism guarantee). *)
+      description for the isomorphism guarantee).
+
+      [unpack] inverts {!SYSTEM.pack}.  It is required for correctness
+      under [jobs > 1] whenever states embed {e domain-local} interned
+      values — e.g. tunnels holding {!Mediactl_types.Signal_pack} words,
+      whose intern ids are meaningless on another domain.  When given,
+      the parallel explorer rebuilds every state that crosses a domain
+      boundary from its canonical key on the owning domain, so each
+      shard only ever expands states whose interned parts live in its
+      own domain's tables.  Note the returned [graph.states] still
+      holds values built by several domains: inspect them only through
+      functions that do not decode interned parts (the path-model
+      predicates and printers qualify), or re-canonicalize with
+      [unpack (pack s)] first. *)
 
   val succs : graph -> int -> (S.label * int) list
   (** The outgoing transitions of one state, materialized as a list

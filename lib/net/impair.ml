@@ -66,8 +66,7 @@ let fate t ~chan =
     c.dropped <- c.dropped + 1;
     t.total.dropped <- t.total.dropped + 1;
     if Mediactl_obs.Trace.enabled () then
-      Mediactl_obs.Trace.emit
-        (Mediactl_obs.Trace.Net { chan; decision = Mediactl_obs.Trace.Dropped });
+      Mediactl_obs.Trace.net ~chan Mediactl_obs.Trace.Dropped;
     []
   end
   else begin
@@ -84,8 +83,7 @@ let fate t ~chan =
     c.delivered <- c.delivered + n;
     t.total.delivered <- t.total.delivered + n;
     if Mediactl_obs.Trace.enabled () then
-      Mediactl_obs.Trace.emit
-        (Mediactl_obs.Trace.Net { chan; decision = Mediactl_obs.Trace.Passed n });
+      Mediactl_obs.Trace.net ~chan (Mediactl_obs.Trace.Passed n);
     copies
   end
 

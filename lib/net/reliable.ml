@@ -1,8 +1,7 @@
 open Mediactl_runtime
 
 let trace chan decision =
-  if Mediactl_obs.Trace.enabled () then
-    Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Net { chan; decision })
+  if Mediactl_obs.Trace.enabled () then Mediactl_obs.Trace.net ~chan decision
 
 type config = { rto : float; backoff : float; max_retries : int }
 
@@ -20,43 +19,60 @@ type counters = {
   mutable timeouts : int;
 }
 
-type out_frame = { frame : Timed.frame; mutable attempts : int; mutable settled : bool }
-
 (* Sender and receiver state of one directed link: frames from one box
-   toward its peer on one channel. *)
+   toward its peer on one channel.  The link carries its own channel
+   label so the timer and trace paths never rebuild a key string. *)
 type link = {
+  l_chan : string;
   mutable next_seq : int;
   outstanding : (int, out_frame) Hashtbl.t;
   mutable expected : int;  (* receiver side: next in-order sequence number *)
+}
+
+and out_frame = {
+  frame : Timed.frame;
+  o_link : link;
+  o_seq : int;
+  mutable attempts : int;
+  mutable settled : bool;
 }
 
 type t = {
   impair : Impair.t;
   config : config;
   counters : counters;
-  links : (string, link) Hashtbl.t;  (* key: chan + direction *)
-  seq_of_id : (int, string * int) Hashtbl.t;  (* frame id -> (link key, seq) *)
+  links : (string, (string, link) Hashtbl.t) Hashtbl.t;  (* chan -> destination box -> link *)
+  seq_of_id : (int, out_frame) Hashtbl.t;  (* frame id -> its send-side record *)
 }
 
 let counters t = t.counters
 
 let pending t =
   Hashtbl.fold
-    (fun _ link acc ->
-      Hashtbl.fold (fun _ f acc -> if f.settled then acc else acc + 1) link.outstanding acc)
+    (fun _ by_to acc ->
+      Hashtbl.fold
+        (fun _ link acc ->
+          Hashtbl.fold (fun _ f acc -> if f.settled then acc else acc + 1) link.outstanding acc)
+        by_to acc)
     t.links 0
 
-let link_key (frame : Timed.frame) =
-  frame.Timed.f_send.Netsys.s_chan ^ "/" ^ frame.Timed.f_send.Netsys.to_
-
-let chan_of_key key = String.sub key 0 (String.index key '/')
-
-let link t key =
-  match Hashtbl.find_opt t.links key with
+(* The seed keyed links by [chan ^ "/" ^ to_], rebuilding (and hashing)
+   that string for every frame, timer, and trace line.  Two nested
+   tables look up the same identity allocation-free. *)
+let link t ~chan ~to_ =
+  let by_to =
+    match Hashtbl.find_opt t.links chan with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.add t.links chan h;
+      h
+  in
+  match Hashtbl.find_opt by_to to_ with
   | Some l -> l
   | None ->
-    let l = { next_seq = 0; outstanding = Hashtbl.create 8; expected = 0 } in
-    Hashtbl.add t.links key l;
+    let l = { l_chan = chan; next_seq = 0; outstanding = Hashtbl.create 8; expected = 0 } in
+    Hashtbl.add by_to to_ l;
     l
 
 (* Cumulative acknowledgement: every frame up to [seq] is settled. *)
@@ -64,80 +80,80 @@ let on_ack link seq =
   Hashtbl.iter (fun s f -> if s <= seq then f.settled <- true) link.outstanding;
   Hashtbl.filter_map_inplace (fun s f -> if s <= seq then None else Some f) link.outstanding
 
-let send_ack t sim key seq =
+let send_ack t sim lnk seq =
   t.counters.acks_sent <- t.counters.acks_sent + 1;
-  match Impair.ack_fate t.impair ~chan:(chan_of_key key) with
+  match Impair.ack_fate t.impair ~chan:lnk.l_chan with
   | None ->
     t.counters.acks_lost <- t.counters.acks_lost + 1;
-    trace (chan_of_key key) Mediactl_obs.Trace.Ack_dropped
+    trace lnk.l_chan Mediactl_obs.Trace.Ack_dropped
   | Some jitter ->
-    trace (chan_of_key key) Mediactl_obs.Trace.Ack_sent;
-    let l = link t key in
-    Timed.after sim (Timed.n sim +. jitter) (fun _sim -> on_ack l seq)
+    trace lnk.l_chan Mediactl_obs.Trace.Ack_sent;
+    Timed.after sim (Timed.n sim +. jitter) (fun _sim -> on_ack lnk seq)
 
-let rec arm t sim key lnk seq ofr =
+let rec arm t sim ofr =
   let rto = t.config.rto *. (t.config.backoff ** float_of_int (ofr.attempts - 1)) in
   Timed.after sim rto (fun sim ->
       if not ofr.settled then
         if ofr.attempts > t.config.max_retries then begin
           t.counters.timeouts <- t.counters.timeouts + 1;
           ofr.settled <- true;
-          Hashtbl.remove lnk.outstanding seq;
-          trace (chan_of_key key) Mediactl_obs.Trace.Retry_exhausted
+          Hashtbl.remove ofr.o_link.outstanding ofr.o_seq;
+          trace ofr.o_link.l_chan Mediactl_obs.Trace.Retry_exhausted
         end
         else begin
           t.counters.retransmits <- t.counters.retransmits + 1;
-          trace (chan_of_key key) (Mediactl_obs.Trace.Retransmit ofr.attempts);
-          transmit t sim key lnk seq ofr
+          trace ofr.o_link.l_chan (Mediactl_obs.Trace.Retransmit ofr.attempts);
+          transmit t sim ofr
         end)
 
-and transmit t sim key lnk seq ofr =
+and transmit t sim ofr =
   ofr.attempts <- ofr.attempts + 1;
   t.counters.transmissions <- t.counters.transmissions + 1;
-  let offsets = Impair.fate t.impair ~chan:(chan_of_key key) in
+  let offsets = Impair.fate t.impair ~chan:ofr.o_link.l_chan in
   List.iter
     (fun offset -> Timed.inject_frame sim ~delay:(Timed.n sim +. offset) ofr.frame)
     offsets;
-  arm t sim key lnk seq ofr
+  arm t sim ofr
 
 let on_emit t sim (frame : Timed.frame) =
-  let key = link_key frame in
-  let lnk = link t key in
+  let chan = frame.Timed.f_send.Netsys.s_chan in
+  let lnk = link t ~chan ~to_:frame.Timed.f_send.Netsys.to_ in
   let seq = lnk.next_seq in
   lnk.next_seq <- seq + 1;
-  Hashtbl.replace t.seq_of_id frame.Timed.f_id (key, seq);
-  let ofr = { frame; attempts = 1; settled = false } in
+  let ofr = { frame; o_link = lnk; o_seq = seq; attempts = 1; settled = false } in
+  Hashtbl.replace t.seq_of_id frame.Timed.f_id ofr;
   Hashtbl.replace lnk.outstanding seq ofr;
   t.counters.sends <- t.counters.sends + 1;
   t.counters.transmissions <- t.counters.transmissions + 1;
-  arm t sim key lnk seq ofr;
+  arm t sim ofr;
   (* The first transmission's copies are scheduled by the driver. *)
-  Impair.fate t.impair ~chan:(chan_of_key key)
+  Impair.fate t.impair ~chan
 
 let on_deliver t sim (frame : Timed.frame) =
   match Hashtbl.find_opt t.seq_of_id frame.Timed.f_id with
   | None -> true  (* emitted before the layer was attached: pass through *)
-  | Some (key, seq) ->
-    let lnk = link t key in
+  | Some ofr ->
+    let lnk = ofr.o_link in
+    let seq = ofr.o_seq in
     if seq = lnk.expected then begin
       lnk.expected <- seq + 1;
       t.counters.delivered <- t.counters.delivered + 1;
-      send_ack t sim key seq;
+      send_ack t sim lnk seq;
       true
     end
     else if seq < lnk.expected then begin
       (* A retransmission whose ack was lost, or a network duplicate:
          suppress it and re-acknowledge cumulatively. *)
       t.counters.dup_suppressed <- t.counters.dup_suppressed + 1;
-      trace (chan_of_key key) Mediactl_obs.Trace.Dup_suppressed;
-      send_ack t sim key (lnk.expected - 1);
+      trace lnk.l_chan Mediactl_obs.Trace.Dup_suppressed;
+      send_ack t sim lnk (lnk.expected - 1);
       false
     end
     else begin
       (* Out of order: go-back-N receivers discard; the sender's timer
          will retransmit once the gap frame is through. *)
       t.counters.reorder_suppressed <- t.counters.reorder_suppressed + 1;
-      trace (chan_of_key key) Mediactl_obs.Trace.Reorder_suppressed;
+      trace lnk.l_chan Mediactl_obs.Trace.Reorder_suppressed;
       false
     end
 

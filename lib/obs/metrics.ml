@@ -108,6 +108,103 @@ let of_events events =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Packed traces                                                       *)
+
+(* The packed twins scan the flat ring capture through the
+   [Trace.Packed] field accessors: no per-event record is built, so a
+   fleet session's metrics pass allocates O(tunnels), not O(events). *)
+
+let round_trips_packed p =
+  let open_at : (string * int, float) Hashtbl.t = Hashtbl.create 8 in
+  let stats = Stats.create () in
+  let n = Trace.Packed.length p in
+  for i = 0 to n - 1 do
+    let tg = Trace.Packed.tag p i in
+    if tg = 0 then begin
+      match Trace.Packed.sig_signal p i with
+      | Mediactl_types.Signal.Open _ ->
+        let key = (Trace.Packed.sig_chan p i, Trace.Packed.sig_tun p i) in
+        if not (Hashtbl.mem open_at key) then Hashtbl.add open_at key (Trace.Packed.at p i)
+      | _ -> ()
+    end
+    else if tg = 1 then
+      match Trace.Packed.sig_signal p i with
+      | Mediactl_types.Signal.Oack _ -> (
+        let key = (Trace.Packed.sig_chan p i, Trace.Packed.sig_tun p i) in
+        match Hashtbl.find_opt open_at key with
+        | Some t0 ->
+          Stats.add stats (Trace.Packed.at p i -. t0);
+          Hashtbl.remove open_at key
+        | None -> ())
+      | _ -> ()
+  done;
+  stats
+
+let of_packed p =
+  let sends = Hashtbl.create 8 in
+  let recvs = ref 0 in
+  let slot_transitions = ref 0 in
+  let goal_changes = ref 0 in
+  let drops = ref 0 in
+  let dups = ref 0 in
+  let retransmissions = ref 0 in
+  let retries_exhausted = ref 0 in
+  let dup_suppressed = ref 0 in
+  let acks = ref 0 in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  let n = Trace.Packed.length p in
+  for i = 0 to n - 1 do
+    let at = Trace.Packed.at p i in
+    if at < !t_min then t_min := at;
+    if at > !t_max then t_max := at;
+    match Trace.Packed.tag p i with
+    | 0 -> bump sends (Mediactl_types.Signal.name (Trace.Packed.sig_signal p i)) 1
+    | 1 -> incr recvs
+    | 4 -> incr slot_transitions
+    | 5 -> incr goal_changes
+    | 6 -> (
+      match Trace.Packed.net_decision p i with
+      | Trace.Dropped -> incr drops
+      | Trace.Passed n -> if n > 1 then incr dups
+      | Trace.Retransmit _ -> incr retransmissions
+      | Trace.Retry_exhausted -> incr retries_exhausted
+      | Trace.Dup_suppressed | Trace.Reorder_suppressed -> incr dup_suppressed
+      | Trace.Ack_sent -> incr acks
+      | Trace.Ack_dropped -> ())
+    | _ -> ()
+  done;
+  let monitor = Monitor.replay_packed p in
+  let time_to_flowing = Stats.create () in
+  let start = if !t_min = infinity then 0.0 else !t_min in
+  List.iter
+    (fun (r : Monitor.tunnel_report) ->
+      match r.Monitor.first_both_flowing with
+      | Some t -> Stats.add time_to_flowing (t -. start)
+      | None -> ())
+    monitor.Monitor.tunnels;
+  {
+    events = n;
+    duration = (if !t_max >= !t_min then !t_max -. !t_min else 0.0);
+    sends_by_signal =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) sends []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+    recvs = !recvs;
+    slot_transitions = !slot_transitions;
+    goal_changes = !goal_changes;
+    open_races =
+      List.fold_left (fun acc r -> acc + r.Monitor.races) 0 monitor.Monitor.tunnels;
+    drops = !drops;
+    dups = !dups;
+    retransmissions = !retransmissions;
+    retries_exhausted = !retries_exhausted;
+    dup_suppressed = !dup_suppressed;
+    acks = !acks;
+    round_trip = round_trips_packed p;
+    time_to_flowing;
+    violations = List.length monitor.Monitor.violations;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Merging per-session registries                                      *)
 
 let empty =
@@ -165,7 +262,46 @@ let merge a b =
     violations = a.violations + b.violations;
   }
 
-let merge_all = List.fold_left merge empty
+(* One pass, not a pairwise fold: folding [merge] copies every
+   accumulated latency sample (and rebuilds the sends assoc) per
+   session, which is quadratic in fleet size. *)
+let merge_all ms =
+  let sends = Hashtbl.create 8 in
+  let round_trip = Stats.create () in
+  let time_to_flowing = Stats.create () in
+  let acc = ref empty in
+  List.iter
+    (fun m ->
+      List.iter (fun (k, v) -> bump sends k v) m.sends_by_signal;
+      List.iter (Stats.add round_trip) (Stats.samples m.round_trip);
+      List.iter (Stats.add time_to_flowing) (Stats.samples m.time_to_flowing);
+      let a = !acc in
+      acc :=
+        {
+          a with
+          events = a.events + m.events;
+          duration = a.duration +. m.duration;
+          recvs = a.recvs + m.recvs;
+          slot_transitions = a.slot_transitions + m.slot_transitions;
+          goal_changes = a.goal_changes + m.goal_changes;
+          open_races = a.open_races + m.open_races;
+          drops = a.drops + m.drops;
+          dups = a.dups + m.dups;
+          retransmissions = a.retransmissions + m.retransmissions;
+          retries_exhausted = a.retries_exhausted + m.retries_exhausted;
+          dup_suppressed = a.dup_suppressed + m.dup_suppressed;
+          acks = a.acks + m.acks;
+          violations = a.violations + m.violations;
+        })
+    ms;
+  {
+    !acc with
+    sends_by_signal =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) sends []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+    round_trip;
+    time_to_flowing;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

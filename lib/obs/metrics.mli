@@ -28,6 +28,11 @@ type t = {
 
 val of_events : Trace.event list -> t
 
+val of_packed : Trace.Packed.t -> t
+(** [of_events] over a packed ring capture, scanning through the
+    {!Trace.Packed} field accessors so no per-event records are built.
+    Same result as [of_events (Trace.Packed.to_events p)]. *)
+
 (** {2 Per-session registries}
 
     A fleet computes one {!t} per session from that session's own trace,

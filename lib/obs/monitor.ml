@@ -218,6 +218,48 @@ let run_machines events =
   List.iter finalize ordered;
   ordered
 
+(* The packed-trace twin of [run_machines]: reads sig entries through
+   the flat accessors, so replaying a fleet session's trace never
+   materializes per-event records.  [seq] in violation messages is the
+   entry index — exactly the seq a sink recording would have given. *)
+let run_machines_packed (p : Trace.Packed.t) =
+  let tunnels : (string * int, tunnel) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let tunnel chan tun =
+    match Hashtbl.find_opt tunnels (chan, tun) with
+    | Some t -> t
+    | None ->
+      let t =
+        {
+          t_chan = chan;
+          t_tun = tun;
+          sides = [];
+          races = 0;
+          violations = [];
+          both_flowing_at = None;
+        }
+      in
+      Hashtbl.add tunnels (chan, tun) t;
+      order := t :: !order;
+      t
+  in
+  let n = Trace.Packed.length p in
+  for i = 0 to n - 1 do
+    let tg = Trace.Packed.tag p i in
+    if tg <= 1 then begin
+      let t = tunnel (Trace.Packed.sig_chan p i) (Trace.Packed.sig_tun p i) in
+      let side =
+        side_of t ~box:(Trace.Packed.sig_box p i) ~initiator:(Trace.Packed.sig_initiator p i)
+      in
+      let signal = Trace.Packed.sig_signal p i in
+      if tg = 0 then on_send t ~seq:i side signal else on_recv t ~seq:i side signal;
+      note_flowing t (Trace.Packed.at p i)
+    end
+  done;
+  let ordered = List.rev !order in
+  List.iter finalize ordered;
+  ordered
+
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
 
@@ -243,7 +285,7 @@ type tunnel_report = {
 
 type report = { tunnels : tunnel_report list; violations : string list }
 
-let replay events =
+let report_of_tunnels machines =
   let reports =
     List.map
       (fun t ->
@@ -268,9 +310,12 @@ let replay events =
           first_both_flowing = t.both_flowing_at;
           tunnel_violations = List.rev t.violations;
         })
-      (run_machines events)
+      machines
   in
   { tunnels = reports; violations = List.concat_map (fun r -> r.tunnel_violations) reports }
+
+let replay events = report_of_tunnels (run_machines events)
+let replay_packed p = report_of_tunnels (run_machines_packed p)
 
 let conformant r = r.violations = []
 
@@ -328,8 +373,7 @@ let both_flowing l r =
    sole continuation the system itself would produce — exactly the
    terminal-state checks of the model checker ([Temporal]).  A
    non-quiescent cutoff leaves every obligation undetermined. *)
-let verdict ?(structural = false) obligation ~ends events =
-  let tunnels = run_machines events in
+let verdict_of_machines ~structural obligation ~ends tunnels =
   let all_violations = List.concat_map (fun (t : tunnel) -> List.rev t.violations) tunnels in
   match all_violations with
   | v :: _ -> Violated ("protocol violation: " ^ v)
@@ -355,6 +399,12 @@ let verdict ?(structural = false) obligation ~ends events =
         | Always_eventually_flowing -> sat flowing "terminal state violates bothFlowing"
         | Closed_or_flowing ->
           sat (closed || flowing) "terminal state is neither bothClosed nor bothFlowing"))
+
+let verdict ?(structural = false) obligation ~ends events =
+  verdict_of_machines ~structural obligation ~ends (run_machines events)
+
+let verdict_packed ?(structural = false) obligation ~ends p =
+  verdict_of_machines ~structural obligation ~ends (run_machines_packed p)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -36,6 +36,12 @@ val replay : Trace.event list -> report
     inconsistent quiescent state pairs (e.g. one side stuck in
     [closing] because its [closeack] was lost). *)
 
+val replay_packed : Trace.Packed.t -> report
+(** [replay] over a packed ring capture, reading signal entries through
+    the flat {!Trace.Packed} accessors so no per-event records are
+    materialized.  Produces the same report as
+    [replay (Trace.Packed.to_events p)]. *)
+
 val conformant : report -> bool
 (** No violations anywhere in the trace. *)
 
@@ -68,6 +74,12 @@ val verdict : ?structural:bool -> obligation -> ends:ends -> Trace.event list ->
     [bothFlowing] to "both end states are Flowing", dropping the
     descriptor/selector agreement refinement — the form the model
     checker falls back to under loss budgets. *)
+
+val verdict_packed :
+  ?structural:bool -> obligation -> ends:ends -> Trace.Packed.t -> verdict
+(** [verdict] over a packed ring capture; same result as
+    [verdict ?structural obligation ~ends (Trace.Packed.to_events p)]
+    without materializing event records. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_tunnel_report : Format.formatter -> tunnel_report -> unit

@@ -32,40 +32,389 @@ type event = { seq : int; at : float; kind : kind }
 
 type sink = event -> unit
 
-(* The sink, sequence counter, and clock are domain-local: one mutable
-   context per domain, reached through [Domain.DLS].  Instrumentation
-   sites all over the stack guard themselves with one [enabled] check —
-   a DLS lookup, a load, and a branch, no allocation — so a disabled
-   trace still costs almost nothing.  Domain-locality is what lets a
-   fleet run many sessions concurrently: each shard records its own
-   sessions into its own context, with its own independent [seq]
-   numbering, and can never observe (or interleave with) another
-   shard's events.  Within one domain, sessions record one at a time. *)
-type ctx = { mutable sink : sink option; mutable seq : int; mutable clock : unit -> float }
+(* ------------------------------------------------------------------ *)
+(* The flat ring buffer
+
+   The hot path of a recording session writes fixed-width entries into
+   a per-domain flat int array — [stride] words per event: a tag and up
+   to six int fields — with timestamps in a parallel float array (so
+   they stay unboxed).  Strings are interned into a domain-lifetime
+   append-only table and stored as ids; signals are stored as
+   {!Mediactl_types.Signal_pack} words.  An emission therefore
+   allocates nothing in steady state: every field is an immediate, and
+   both arrays and the intern tables persist (and keep their capacity)
+   across sessions on the same domain.
+
+   The buffer is drained at session quiesce by {!capture}, which
+   snapshots the entries into a self-contained {!Packed.t}: intern ids
+   and packed signal words are per-domain artifacts that must never
+   cross a domain boundary, so capture — always on the owning domain —
+   resolves string ids against a copied table slice and rewrites each
+   signal word into an index into a per-capture array of decoded
+   (interned) [Signal.t] values.  A packed trace can then be shipped to
+   and decoded on any domain. *)
+
+let stride = 7
+
+(* Entry tags (word 0 of each entry). *)
+let tag_sig_send = 0
+let tag_sig_recv = 1
+let tag_meta_send = 2
+let tag_meta_recv = 3
+let tag_slot = 4
+let tag_goal = 5
+let tag_net = 6
+
+(* Net-decision codes (field 2 of a [tag_net] entry; field 3 carries
+   the copy count or attempt number). *)
+let code_of_decision = function
+  | Dropped -> 0
+  | Passed _ -> 1
+  | Retransmit _ -> 2
+  | Retry_exhausted -> 3
+  | Dup_suppressed -> 4
+  | Reorder_suppressed -> 5
+  | Ack_sent -> 6
+  | Ack_dropped -> 7
+
+let decision_of_code code extra =
+  match code with
+  | 0 -> Dropped
+  | 1 -> Passed extra
+  | 2 -> Retransmit extra
+  | 3 -> Retry_exhausted
+  | 4 -> Dup_suppressed
+  | 5 -> Reorder_suppressed
+  | 6 -> Ack_sent
+  | _ -> Ack_dropped
+
+type ring = {
+  mutable ints : int array;  (* [stride] words per event *)
+  mutable ats : float array;  (* one unboxed timestamp per event *)
+  mutable rlen : int;  (* events recorded so far *)
+  str_ids : (string, int) Hashtbl.t;  (* append-only, domain lifetime *)
+  mutable strs : string array;  (* id -> string *)
+  mutable nstrs : int;
+}
+
+let fresh_ring () =
+  {
+    ints = [||];
+    ats = [||];
+    rlen = 0;
+    str_ids = Hashtbl.create 64;
+    strs = [||];
+    nstrs = 0;
+  }
+
+(* [Hashtbl.find] rather than [find_opt]: the hit path must not
+   allocate the option. *)
+let str_id r s =
+  match Hashtbl.find r.str_ids s with
+  | i -> i
+  | exception Not_found ->
+    let i = r.nstrs in
+    Hashtbl.add r.str_ids s i;
+    (let cap = Array.length r.strs in
+     if i >= cap then begin
+       let strs = Array.make (if cap = 0 then 32 else 2 * cap) s in
+       Array.blit r.strs 0 strs 0 i;
+       r.strs <- strs
+     end);
+    r.strs.(i) <- s;
+    r.nstrs <- i + 1;
+    i
+
+(* Reserve the next entry, growing both arrays together; returns the
+   base index into [ints]. *)
+let ring_slot r =
+  let base = r.rlen * stride in
+  if base + stride > Array.length r.ints then begin
+    let cap = Array.length r.ints in
+    let cap' = if cap = 0 then 1024 * stride else 2 * cap in
+    let ints = Array.make cap' 0 in
+    Array.blit r.ints 0 ints 0 (r.rlen * stride);
+    r.ints <- ints;
+    let ats = Array.make (cap' / stride) 0.0 in
+    Array.blit r.ats 0 ats 0 r.rlen;
+    r.ats <- ats
+  end;
+  r.rlen <- r.rlen + 1;
+  base
+
+(* The recording mode, sequence counter, clock, and ring are
+   domain-local: one mutable context per domain, reached through
+   [Domain.DLS].  Instrumentation sites all over the stack guard
+   themselves with one [enabled] check — a DLS lookup, a load, and a
+   branch, no allocation — so a disabled trace still costs almost
+   nothing.  Domain-locality is what lets a fleet run many sessions
+   concurrently: each shard records its own sessions into its own
+   context, with its own independent numbering, and can never observe
+   (or interleave with) another shard's events.  Within one domain,
+   sessions record one at a time. *)
+type mode = Off | To_sink of sink | To_ring
+
+type ctx = { mutable mode : mode; mutable seq : int; mutable clock : unit -> float; ring : ring }
 
 let ctx_key =
-  Domain.DLS.new_key (fun () -> { sink = None; seq = 0; clock = (fun () -> 0.0) })
+  Domain.DLS.new_key (fun () ->
+      { mode = Off; seq = 0; clock = (fun () -> 0.0); ring = fresh_ring () })
 
 let ctx () = Domain.DLS.get ctx_key
 
-let enabled () = (ctx ()).sink <> None
+let enabled () =
+  match (ctx ()).mode with
+  | Off -> false
+  | To_sink _ | To_ring -> true
 
 let set_sink sink =
   let c = ctx () in
-  c.sink <- sink;
+  (c.mode <- match sink with None -> Off | Some f -> To_sink f);
   c.seq <- 0
 
 let set_clock f = (ctx ()).clock <- f
 let reset_clock () = (ctx ()).clock <- (fun () -> 0.0)
 
+(* Ring writers, one per entry shape.  Unused fields stay 0. *)
+
+let ring_sig c tag ~chan ~tun ~box ~peer ~initiator signal =
+  let r = c.ring in
+  let base = ring_slot r in
+  r.ats.(r.rlen - 1) <- c.clock ();
+  let ints = r.ints in
+  ints.(base) <- tag;
+  ints.(base + 1) <- str_id r chan;
+  ints.(base + 2) <- tun;
+  ints.(base + 3) <- str_id r box;
+  ints.(base + 4) <- str_id r peer;
+  ints.(base + 5) <- (if initiator then 1 else 0);
+  ints.(base + 6) <- Signal_pack.pack signal
+
+let ring_meta c tag ~chan ~box =
+  let r = c.ring in
+  let base = ring_slot r in
+  r.ats.(r.rlen - 1) <- c.clock ();
+  let ints = r.ints in
+  ints.(base) <- tag;
+  ints.(base + 1) <- str_id r chan;
+  ints.(base + 2) <- str_id r box
+
+let ring_quad c tag a b d e =
+  let r = c.ring in
+  let base = ring_slot r in
+  r.ats.(r.rlen - 1) <- c.clock ();
+  let ints = r.ints in
+  ints.(base) <- tag;
+  ints.(base + 1) <- str_id r a;
+  ints.(base + 2) <- str_id r b;
+  ints.(base + 3) <- str_id r d;
+  ints.(base + 4) <- str_id r e
+
+let ring_net c ~chan decision =
+  let r = c.ring in
+  let base = ring_slot r in
+  r.ats.(r.rlen - 1) <- c.clock ();
+  let ints = r.ints in
+  ints.(base) <- tag_net;
+  ints.(base + 1) <- str_id r chan;
+  ints.(base + 2) <- code_of_decision decision;
+  ints.(base + 3) <- (match decision with Passed n -> n | Retransmit a -> a | _ -> 0)
+
+let emit_to_sink c f kind =
+  let seq = c.seq in
+  c.seq <- seq + 1;
+  f { seq; at = c.clock (); kind }
+
 let emit kind =
   let c = ctx () in
-  match c.sink with
-  | None -> ()
-  | Some f ->
-    let seq = c.seq in
-    c.seq <- seq + 1;
-    f { seq; at = c.clock (); kind }
+  match c.mode with
+  | Off -> ()
+  | To_sink f -> emit_to_sink c f kind
+  | To_ring -> (
+    match kind with
+    | Sig_send { chan; tun; box; peer; initiator; signal } ->
+      ring_sig c tag_sig_send ~chan ~tun ~box ~peer ~initiator signal
+    | Sig_recv { chan; tun; box; peer; initiator; signal } ->
+      ring_sig c tag_sig_recv ~chan ~tun ~box ~peer ~initiator signal
+    | Meta_send { chan; box } -> ring_meta c tag_meta_send ~chan ~box
+    | Meta_recv { chan; box } -> ring_meta c tag_meta_recv ~chan ~box
+    | Slot_transition { slot; from_; to_; cause } -> ring_quad c tag_slot slot from_ to_ cause
+    | Goal { goal; slot; from_; to_ } -> ring_quad c tag_goal goal slot from_ to_
+    | Net { chan; decision } -> ring_net c ~chan decision)
+
+(* The allocation-free emitters: in ring mode the arguments go straight
+   into the flat buffer without ever building the [kind] value.  In
+   sink mode they fall back to the structured record, so a streaming
+   consumer (the daemon) sees identical events. *)
+
+let sig_send ~chan ~tun ~box ~peer ~initiator signal =
+  let c = ctx () in
+  match c.mode with
+  | Off -> ()
+  | To_ring -> ring_sig c tag_sig_send ~chan ~tun ~box ~peer ~initiator signal
+  | To_sink f -> emit_to_sink c f (Sig_send { chan; tun; box; peer; initiator; signal })
+
+let sig_recv ~chan ~tun ~box ~peer ~initiator signal =
+  let c = ctx () in
+  match c.mode with
+  | Off -> ()
+  | To_ring -> ring_sig c tag_sig_recv ~chan ~tun ~box ~peer ~initiator signal
+  | To_sink f -> emit_to_sink c f (Sig_recv { chan; tun; box; peer; initiator; signal })
+
+let meta_send ~chan ~box =
+  let c = ctx () in
+  match c.mode with
+  | Off -> ()
+  | To_ring -> ring_meta c tag_meta_send ~chan ~box
+  | To_sink f -> emit_to_sink c f (Meta_send { chan; box })
+
+let meta_recv ~chan ~box =
+  let c = ctx () in
+  match c.mode with
+  | Off -> ()
+  | To_ring -> ring_meta c tag_meta_recv ~chan ~box
+  | To_sink f -> emit_to_sink c f (Meta_recv { chan; box })
+
+let slot_transition ~slot ~from_ ~to_ ~cause =
+  let c = ctx () in
+  match c.mode with
+  | Off -> ()
+  | To_ring -> ring_quad c tag_slot slot from_ to_ cause
+  | To_sink f -> emit_to_sink c f (Slot_transition { slot; from_; to_; cause })
+
+let goal ~goal ~slot ~from_ ~to_ =
+  let c = ctx () in
+  match c.mode with
+  | Off -> ()
+  | To_ring -> ring_quad c tag_goal goal slot from_ to_
+  | To_sink f -> emit_to_sink c f (Goal { goal; slot; from_; to_ })
+
+let net ~chan decision =
+  let c = ctx () in
+  match c.mode with
+  | Off -> ()
+  | To_ring -> ring_net c ~chan decision
+  | To_sink f -> emit_to_sink c f (Net { chan; decision })
+
+(* ------------------------------------------------------------------ *)
+(* Packed traces                                                       *)
+
+module Packed = struct
+  type t = {
+    p_len : int;
+    p_ints : int array;
+        (* [stride] words per event; the signal field of sig entries is
+           rewritten by capture to index [p_sigs] *)
+    p_ats : float array;
+    p_strs : string array;  (* intern-table slice: string id -> string *)
+    p_sigs : Signal.t array;  (* per-capture: signal index -> signal *)
+  }
+
+  let length t = t.p_len
+  let tag t i = t.p_ints.(i * stride)
+  let at t i = t.p_ats.(i)
+
+  let field t i k = t.p_ints.((i * stride) + k)
+  let str t i k = t.p_strs.(field t i k)
+
+  (* Accessors for the two signal entry shapes (tags 0 and 1) — the
+     hot consumers (monitor replay, metrics) read fields directly so
+     that scanning a packed trace allocates nothing per event. *)
+  let sig_chan t i = str t i 1
+  let sig_tun t i = field t i 2
+  let sig_box t i = str t i 3
+  let sig_peer t i = str t i 4
+  let sig_initiator t i = field t i 5 = 1
+  let sig_signal t i = t.p_sigs.(field t i 6)
+
+  (* Net entry (tag 6) accessors, for metrics accumulation. *)
+  let net_chan t i = str t i 1
+  let net_decision t i = decision_of_code (field t i 2) (field t i 3)
+
+  let kind t i =
+    let tg = tag t i in
+    if tg = tag_sig_send || tg = tag_sig_recv then begin
+      let s =
+        {
+          chan = sig_chan t i;
+          tun = sig_tun t i;
+          box = sig_box t i;
+          peer = sig_peer t i;
+          initiator = sig_initiator t i;
+          signal = sig_signal t i;
+        }
+      in
+      if tg = tag_sig_send then Sig_send s else Sig_recv s
+    end
+    else if tg = tag_meta_send then Meta_send { chan = str t i 1; box = str t i 2 }
+    else if tg = tag_meta_recv then Meta_recv { chan = str t i 1; box = str t i 2 }
+    else if tg = tag_slot then
+      Slot_transition { slot = str t i 1; from_ = str t i 2; to_ = str t i 3; cause = str t i 4 }
+    else if tg = tag_goal then
+      Goal { goal = str t i 1; slot = str t i 2; from_ = str t i 3; to_ = str t i 4 }
+    else Net { chan = str t i 1; decision = decision_of_code (field t i 2) (field t i 3) }
+
+  let event t i = { seq = i; at = at t i; kind = kind t i }
+
+  let to_events t = List.init t.p_len (event t)
+
+  let iter f t =
+    for i = 0 to t.p_len - 1 do
+      f (event t i)
+    done
+end
+
+(* Drain the ring into a self-contained snapshot.  Must run on the
+   domain that recorded (ids and signal words are domain-local). *)
+let capture r =
+  let len = r.rlen in
+  let ints = Array.sub r.ints 0 (len * stride) in
+  let ats = Array.sub r.ats 0 len in
+  let strs = Array.sub r.strs 0 r.nstrs in
+  let sig_idx : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let sigs_rev = ref [] in
+  let nsigs = ref 0 in
+  for i = 0 to len - 1 do
+    let base = i * stride in
+    let tg = ints.(base) in
+    if tg = tag_sig_send || tg = tag_sig_recv then begin
+      let word = ints.(base + 6) in
+      let idx =
+        match Hashtbl.find_opt sig_idx word with
+        | Some idx -> idx
+        | None ->
+          let idx = !nsigs in
+          Hashtbl.add sig_idx word idx;
+          sigs_rev := Signal_pack.unpack word :: !sigs_rev;
+          incr nsigs;
+          idx
+      in
+      ints.(base + 6) <- idx
+    end
+  done;
+  {
+    Packed.p_len = len;
+    p_ints = ints;
+    p_ats = ats;
+    p_strs = strs;
+    p_sigs = Array.of_list (List.rev !sigs_rev);
+  }
+
+let recording_packed f =
+  let c = ctx () in
+  (match c.mode with
+  | Off -> ()
+  | To_sink _ | To_ring -> invalid_arg "Trace.recording_packed: a recording is already active");
+  c.ring.rlen <- 0;
+  c.seq <- 0;
+  c.mode <- To_ring;
+  Fun.protect
+    ~finally:(fun () ->
+      c.mode <- Off;
+      reset_clock ())
+    (fun () ->
+      let x = f () in
+      (x, capture c.ring))
 
 (* ------------------------------------------------------------------ *)
 (* Collector                                                           *)

@@ -73,6 +73,30 @@ val set_sink : sink option -> unit
 val emit : kind -> unit
 (** Timestamp, number, and dispatch an event.  No-op when disabled. *)
 
+(** {2 Allocation-free emitters}
+
+    One per event shape.  Inside {!recording_packed} these write fixed
+    width int entries straight into the domain's flat ring buffer —
+    strings interned, the signal as a {!Mediactl_types.Signal_pack}
+    word — allocating nothing; under a plain sink they build the same
+    structured {!event} that {!emit} would.  Hot instrumentation sites
+    use these; {!emit} remains for call sites that already hold a
+    [kind] value. *)
+
+val sig_send :
+  chan:string -> tun:int -> box:string -> peer:string -> initiator:bool ->
+  Mediactl_types.Signal.t -> unit
+
+val sig_recv :
+  chan:string -> tun:int -> box:string -> peer:string -> initiator:bool ->
+  Mediactl_types.Signal.t -> unit
+
+val meta_send : chan:string -> box:string -> unit
+val meta_recv : chan:string -> box:string -> unit
+val slot_transition : slot:string -> from_:string -> to_:string -> cause:string -> unit
+val goal : goal:string -> slot:string -> from_:string -> to_:string -> unit
+val net : chan:string -> net_decision -> unit
+
 val set_clock : (unit -> float) -> unit
 (** Timestamp source, typically [fun () -> Timed.now sim] (see
     {!Mediactl_runtime.Timed.observe}).  Defaults to a constant [0.];
@@ -95,6 +119,63 @@ val recording : (unit -> 'a) -> 'a * event list
 (** [recording f] runs [f] with a fresh collector installed as the sink
     and returns its result with the captured events; the previous sink
     and clock are cleared afterwards, also on exceptions. *)
+
+(** {2 Packed traces}
+
+    The zero-allocation recording path.  {!recording_packed} directs
+    every emission into the domain's flat ring buffer (reused, with its
+    capacity, across recordings on the same domain) and drains it at
+    the end into a {!Packed.t}: a self-contained snapshot whose intern
+    ids have been resolved, safe to ship across domains and to decode
+    anywhere.  Event [i] of a packed trace is identical — field for
+    field, including [seq = i] — to the [i]-th event the same run would
+    have handed a sink. *)
+
+module Packed : sig
+  type t
+
+  val length : t -> int
+  val tag : t -> int -> int
+  (** Entry shape: 0 [Sig_send], 1 [Sig_recv], 2 [Meta_send],
+      3 [Meta_recv], 4 [Slot_transition], 5 [Goal], 6 [Net]. *)
+
+  val at : t -> int -> float
+
+  (** Field accessors for signal entries (tags 0 and 1); the returned
+      strings and signals are shared (interned), so scanning a packed
+      trace through these allocates nothing per event. *)
+
+  val sig_chan : t -> int -> string
+  val sig_tun : t -> int -> int
+  val sig_box : t -> int -> string
+  val sig_peer : t -> int -> string
+  val sig_initiator : t -> int -> bool
+  val sig_signal : t -> int -> Mediactl_types.Signal.t
+
+  (** Net-entry (tag 6) accessors.  [net_decision] rebuilds the
+      decision value (one small allocation for the payload-carrying
+      constructors). *)
+
+  val net_chan : t -> int -> string
+  val net_decision : t -> int -> net_decision
+
+  val kind : t -> int -> kind
+  (** Decode one entry to the structured form (allocates). *)
+
+  val event : t -> int -> event
+
+  val to_events : t -> event list
+  (** The whole trace as the equivalent event list — byte-compatible
+      with what a sink recording of the same run would have collected. *)
+
+  val iter : (event -> unit) -> t -> unit
+end
+
+val recording_packed : (unit -> 'a) -> 'a * Packed.t
+(** Ring-buffer variant of {!recording}: emissions write int entries
+    into the domain-local ring; the trace is drained at the end into a
+    portable {!Packed.t}.  Not reentrant, and must not be nested with
+    {!recording}. *)
 
 (** {2 Rendering} *)
 

@@ -133,14 +133,8 @@ let observe ~cause before after =
   if
     Mediactl_obs.Trace.enabled () && not (Slot_state.equal after.state before.state)
   then
-    Mediactl_obs.Trace.emit
-      (Mediactl_obs.Trace.Slot_transition
-         {
-           slot = before.label;
-           from_ = Slot_state.to_string before.state;
-           to_ = Slot_state.to_string after.state;
-           cause;
-         });
+    Mediactl_obs.Trace.slot_transition ~slot:before.label
+      ~from_:(Slot_state.to_string before.state) ~to_:(Slot_state.to_string after.state) ~cause;
   after
 
 let receive t signal =

@@ -147,17 +147,58 @@ let disconnect t ~chan =
 (* ------------------------------------------------------------------ *)
 (* Emission routing                                                    *)
 
+(* Interned delivery work-items.  A [send] names (channel, tunnel,
+   direction) — a tiny static population per topology — yet the seed
+   allocated a fresh record per emitted signal on the hottest path in
+   the fleet kernel.  Each domain interns the records in a DLS table
+   keyed by channel label, slotted [2 * tun + side]; the records are
+   immutable, so reuse across sessions sharing a label on the same
+   domain is safe as long as the box names still match — which the
+   [to_] check below re-validates, self-healing when two scenarios
+   reuse a label for differently-named boxes. *)
+let send_tables_key : (string, send option array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let interned_send channel ~chan ~tun ~to_ =
+  let tbl = Domain.DLS.get send_tables_key in
+  let idx = (2 * tun) + if String.equal to_ (Channel.initiator channel) then 0 else 1 in
+  let arr =
+    match Hashtbl.find_opt tbl chan with
+    | Some arr when idx < Array.length arr -> arr
+    | Some old ->
+      let arr = Array.make (idx + 1) None in
+      Array.blit old 0 arr 0 (Array.length old);
+      Hashtbl.replace tbl chan arr;
+      arr
+    | None ->
+      let arr = Array.make (max (2 * Channel.tunnel_count channel) (idx + 1)) None in
+      Hashtbl.add tbl chan arr;
+      arr
+  in
+  match arr.(idx) with
+  | Some s when String.equal s.to_ to_ -> s
+  | Some _ | None ->
+    let s = { s_chan = chan; s_tun = tun; to_ } in
+    arr.(idx) <- Some s;
+    s
+
 let emit_signals t box_name key signals =
-  List.fold_left
-    (fun (t, sends) signal ->
+  let rec go t acc = function
+    | [] -> (t, List.rev acc)
+    | signal :: rest -> (
       match t.error, find_chan t key.chan with
-      | Some _, _ -> (t, sends)
-      | None, None -> (fail t (Printf.sprintf "unknown channel %s" key.chan), sends)
+      | Some _, _ -> go t acc rest
+      | None, None -> go (fail t (Printf.sprintf "unknown channel %s" key.chan)) acc rest
       | None, Some channel ->
         let channel = Channel.send_signal channel ~from_box:box_name ~tunnel:key.tun signal in
         let t = set_chan t key.chan channel in
-        (t, sends @ [ { s_chan = key.chan; s_tun = key.tun; to_ = Channel.peer_of channel box_name } ]))
-    (t, []) signals
+        let s =
+          interned_send channel ~chan:key.chan ~tun:key.tun
+            ~to_:(Channel.peer_of channel box_name)
+        in
+        go t (s :: acc) rest)
+  in
+  match signals with [] -> (t, []) | signals -> go t [] signals
 
 let with_slot box key slot = { box with slots = assoc_replace key slot box.slots }
 
@@ -212,12 +253,15 @@ let bind_hold t r local =
         (Hold_slot.start local slot))
 
 let route_link_emissions t box_name k1 k2 out =
-  List.fold_left
-    (fun (t, sends) (side, signal) ->
-      let key = match side with Flow_link.Left -> k1 | Flow_link.Right -> k2 in
-      let t, more = emit_signals t box_name key [ signal ] in
-      (t, sends @ more))
-    (t, []) out
+  let t, rev =
+    List.fold_left
+      (fun (t, acc) (side, signal) ->
+        let key = match side with Flow_link.Left -> k1 | Flow_link.Right -> k2 in
+        let t, more = emit_signals t box_name key [ signal ] in
+        (t, List.rev_append more acc))
+      (t, []) out
+  in
+  (t, List.rev rev)
 
 let bind_link t ~box:box_name ~id k1 k2 =
   if t.error <> None then (t, [])
@@ -296,8 +340,7 @@ let take_meta t ~chan ~at =
     match Channel.receive_meta channel ~at_box:at with
     | None -> None
     | Some (meta, channel) ->
-      if Mediactl_obs.Trace.enabled () then
-        Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Meta_recv { chan; box = at });
+      if Mediactl_obs.Trace.enabled () then Mediactl_obs.Trace.meta_recv ~chan ~box:at;
       Some (meta, set_chan t chan channel))
 
 (* ------------------------------------------------------------------ *)
@@ -310,15 +353,44 @@ let deliverables t =
         (fun tun ->
           let pending_at box_name =
             let at = Channel.end_of channel box_name in
-            Tunnel.pending ~toward:at (Channel.tunnel channel tun) <> []
+            Tunnel.has_pending ~toward:at (Channel.tunnel channel tun)
           in
           let one box_name =
-            if pending_at box_name then [ { s_chan = name; s_tun = tun; to_ = box_name } ]
+            if pending_at box_name then [ interned_send channel ~chan:name ~tun ~to_:box_name ]
             else []
           in
           one (Channel.initiator channel) @ one (Channel.acceptor channel))
         (List.init (Channel.tunnel_count channel) Fun.id))
     (List.rev t.chans)
+
+(* The head of [deliverables] without building the list: the untimed
+   settle loop below pops one send per step, so materializing every
+   pending (channel, tunnel, direction) each step made settling a
+   topology quadratic in pending work.  Traversal order matches
+   [deliverables] exactly — reversed channel list, tunnels in order,
+   initiator before acceptor — so settles deliver in the same order. *)
+let first_deliverable t =
+  let rec chan_loop = function
+    | [] -> None
+    | (name, channel) :: rest -> (
+      let tunnels = Channel.tunnel_count channel in
+      let rec tun_loop tun =
+        if tun >= tunnels then None
+        else
+          let tunnel = Channel.tunnel channel tun in
+          let pending_at box_name =
+            Tunnel.has_pending ~toward:(Channel.end_of channel box_name) tunnel
+          in
+          let ini = Channel.initiator channel in
+          if pending_at ini then Some (interned_send channel ~chan:name ~tun ~to_:ini)
+          else
+            let acc = Channel.acceptor channel in
+            if pending_at acc then Some (interned_send channel ~chan:name ~tun ~to_:acc)
+            else tun_loop (tun + 1)
+      in
+      match tun_loop 0 with Some _ as s -> s | None -> chan_loop rest)
+  in
+  chan_loop (List.rev t.chans)
 
 let dispatch_signal t box_name key signal =
   match find_box t box_name with
@@ -396,16 +468,10 @@ let dispatch_signal t box_name key signal =
   if Mediactl_obs.Trace.enabled () then
     (match find_chan t key.chan with
     | Some channel ->
-      Mediactl_obs.Trace.emit
-        (Mediactl_obs.Trace.Sig_recv
-           {
-             chan = Channel.label channel;
-             tun = key.tun;
-             box = box_name;
-             peer = Channel.peer_of channel box_name;
-             initiator = String.equal (Channel.initiator channel) box_name;
-             signal;
-           })
+      Mediactl_obs.Trace.sig_recv ~chan:(Channel.label channel) ~tun:key.tun ~box:box_name
+        ~peer:(Channel.peer_of channel box_name)
+        ~initiator:(String.equal (Channel.initiator channel) box_name)
+        signal
     | None -> ());
   dispatch_signal t box_name key signal
 
@@ -455,9 +521,9 @@ let run ?(max_steps = 100_000) t =
     if t.error <> None then (t, false)
     else if steps >= max_steps then (t, false)
     else
-      match deliverables t with
-      | [] -> (t, true)
-      | send :: _ -> (
+      match first_deliverable t with
+      | None -> (t, true)
+      | Some send -> (
         match deliver t send with
         | None -> (t, true)
         | Some (t, _) -> loop t (steps + 1))

@@ -6,7 +6,7 @@ type outcome = {
   scenario : string;
   events : int;
   end_time : float;
-  trace : Trace.event list;
+  trace : Trace.Packed.t;
   metrics : Metrics.t;
   conformant : bool;
   violations : int;
@@ -28,7 +28,7 @@ type t = {
   s_c : float;
   s_make : unit -> Netsys.t;
   s_boot : t -> unit;
-  s_judge : (Trace.event list -> Monitor.verdict) option;
+  s_judge : (Trace.Packed.t -> Monitor.verdict) option;
   mutable s_sim : Timed.t option;
 }
 
@@ -77,16 +77,21 @@ let boot_external t ~make_driver =
 
 let run ?until ?max_events t =
   let (events, end_time), trace =
-    Trace.recording (fun () ->
-      let sim = Timed.create ~seed:t.s_seed ?sched:t.s_sched ~n:t.s_n ~c:t.s_c (t.s_make ()) in
+    Trace.recording_packed (fun () ->
+      (* Sessions never read the driver's message-sequence chart — the
+         observation trace is the record — so skip building it. *)
+      let sim =
+        Timed.create ~seed:t.s_seed ?sched:t.s_sched ~record_msc:false ~n:t.s_n ~c:t.s_c
+          (t.s_make ())
+      in
       t.s_sim <- Some sim;
       Timed.observe sim;
       t.s_boot t;
       let events = Timed.run ?until ?max_events sim in
       (events, Timed.now sim))
   in
-  let metrics = Metrics.of_events trace in
-  let report = Monitor.replay trace in
+  let metrics = Metrics.of_packed trace in
+  let report = Monitor.replay_packed trace in
   {
     id = t.s_id;
     scenario = t.s_scenario;
@@ -101,7 +106,7 @@ let run ?until ?max_events t =
 
 let pp_outcome ppf (o : outcome) =
   Format.fprintf ppf "#%d %-8s %5d events, end %8.1f ms, %d trace, %s%a" o.id o.scenario
-    o.events o.end_time (List.length o.trace)
+    o.events o.end_time (Trace.Packed.length o.trace)
     (if o.conformant then "conformant" else Printf.sprintf "%d violation(s)" o.violations)
     (fun ppf -> function
       | None -> ()

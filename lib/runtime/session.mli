@@ -25,7 +25,7 @@ val create :
   ?sched:Engine.sched ->
   ?n:float ->
   ?c:float ->
-  ?judge:(Trace.event list -> Monitor.verdict) ->
+  ?judge:(Trace.Packed.t -> Monitor.verdict) ->
   id:int ->
   scenario:string ->
   rng:Rng.t ->
@@ -51,7 +51,7 @@ val sim : t -> Timed.t
 (** The live driver.  @raise Invalid_argument before {!run} (or
     {!boot_external}) installs it. *)
 
-val judge : t -> (Trace.event list -> Monitor.verdict) option
+val judge : t -> (Trace.Packed.t -> Monitor.verdict) option
 (** The temporal judge given at {!create}, for callers that drive the
     session externally and must evaluate the verdict themselves. *)
 
@@ -79,7 +79,7 @@ type outcome = {
   scenario : string;
   events : int;
   end_time : float;
-  trace : Trace.event list;
+  trace : Trace.Packed.t;
   metrics : Metrics.t;
   conformant : bool;
   violations : int;
@@ -88,7 +88,9 @@ type outcome = {
 
 val run : ?until:float -> ?max_events:int -> t -> outcome
 (** Build, boot, and drive the session to quiescence (or to the bound),
-    recording its trace; then derive metrics and monitor results.  A
-    session is single-use: run it once. *)
+    recording its trace into the domain-local ring buffer
+    ({!Trace.recording_packed}); then derive metrics and monitor
+    results through the packed accessors.  A session is single-use:
+    run it once. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

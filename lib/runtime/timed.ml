@@ -35,7 +35,8 @@ and t = {
   mutable network : Netsys.t;
   n : float;
   c : float;
-  mutable scripted : (t -> unit) list;  (* reversed; index from the end *)
+  record_msc : bool;  (* build [trace_entry]s for message-sequence charts *)
+  scripted : (t -> unit) Vec.t;  (* index = registration order *)
   mutable meta_handlers : (t -> chan:string -> at:string -> Meta.t -> unit) list;
   mutable step_hooks : (t -> unit) list;
   mutable watches : (int * (Netsys.t -> bool) * (float -> unit)) list;
@@ -46,13 +47,14 @@ and t = {
   mutable frame_seq : int;
 }
 
-let make engine ~n ~c network =
+let make engine ~record_msc ~n ~c network =
   {
     engine;
     network;
     n;
     c;
-    scripted = [];
+    record_msc;
+    scripted = Vec.create ();
     meta_handlers = [];
     step_hooks = [];
     watches = [];
@@ -63,11 +65,11 @@ let make engine ~n ~c network =
     frame_seq = 0;
   }
 
-let create ?(seed = 42) ?sched ?(n = 34.0) ?(c = 20.0) network =
-  make (Sim (Engine.create ~seed ?sched ())) ~n ~c network
+let create ?(seed = 42) ?sched ?(record_msc = true) ?(n = 34.0) ?(c = 20.0) network =
+  make (Sim (Engine.create ~seed ?sched ())) ~record_msc ~n ~c network
 
-let create_external ~now ~schedule ?(n = 34.0) ?(c = 20.0) network =
-  make (Ext { ext_now = now; ext_schedule = schedule }) ~n ~c network
+let create_external ~now ~schedule ?(record_msc = true) ?(n = 34.0) ?(c = 20.0) network =
+  make (Ext { ext_now = now; ext_schedule = schedule }) ~record_msc ~n ~c network
 
 let net t = t.network
 
@@ -99,27 +101,31 @@ let fresh_frame t send signal =
   t.frame_seq <- id + 1;
   { f_id = id; f_send = send; f_signal = signal }
 
+(* Scripted actions live in a growable array: registration is a push
+   and dispatch an index — the seed's reversed list made every timer
+   fire O(#timers), which the reliability layer's per-frame timers turn
+   quadratic. *)
 let register_scripted t f =
-  t.scripted <- f :: t.scripted;
-  List.length t.scripted - 1
+  Vec.push t.scripted f;
+  Vec.length t.scripted - 1
 
-let scripted_action t idx =
-  let l = List.length t.scripted in
-  List.nth t.scripted (l - 1 - idx)
+let scripted_action t idx = Vec.get t.scripted idx
 
 let run_watches t =
-  let now = now t in
-  let still =
-    List.filter
-      (fun (_, pred, callback) ->
-        if pred t.network then begin
-          callback now;
-          false
-        end
-        else true)
-      t.watches
-  in
-  t.watches <- still
+  if t.watches <> [] then begin
+    let now = now t in
+    let still =
+      List.filter
+        (fun (_, pred, callback) ->
+          if pred t.network then begin
+            callback now;
+            false
+          end
+          else true)
+        t.watches
+    in
+    t.watches <- still
+  end
 
 let when_true t pred callback =
   let id = t.watch_seq in
@@ -161,25 +167,26 @@ and handle t event =
   | Process send -> (
     (* Record the signal for message-sequence charts before consuming
        it from the tunnel. *)
-    (match Netsys.peer_of_chan t.network ~chan:send.Netsys.s_chan ~box:send.Netsys.to_ with
-    | Some from_box -> (
-      match
-        Netsys.peek_signal t.network ~chan:send.Netsys.s_chan ~tun:send.Netsys.s_tun
-          ~at:send.Netsys.to_
-      with
-      | Some signal ->
-        t.trace_rev <-
-          {
-            at = now t;
-            from_box;
-            to_box = send.Netsys.to_;
-            chan = send.Netsys.s_chan;
-            tun = send.Netsys.s_tun;
-            signal;
-          }
-          :: t.trace_rev
-      | None -> ())
-    | None -> ());
+    (if t.record_msc then
+       match Netsys.peer_of_chan t.network ~chan:send.Netsys.s_chan ~box:send.Netsys.to_ with
+       | Some from_box -> (
+         match
+           Netsys.peek_signal t.network ~chan:send.Netsys.s_chan ~tun:send.Netsys.s_tun
+             ~at:send.Netsys.to_
+         with
+         | Some signal ->
+           t.trace_rev <-
+             {
+               at = now t;
+               from_box;
+               to_box = send.Netsys.to_;
+               chan = send.Netsys.s_chan;
+               tun = send.Netsys.s_tun;
+               signal;
+             }
+             :: t.trace_rev
+         | None -> ())
+       | None -> ());
     match Netsys.deliver t.network send with
     | None -> ()
     | Some (network, sends) ->
@@ -193,22 +200,23 @@ and handle t event =
       | Some filter -> filter t frame
     in
     if deliverable then begin
-      (match
-         Netsys.peer_of_chan t.network ~chan:frame.f_send.Netsys.s_chan
-           ~box:frame.f_send.Netsys.to_
-       with
-      | Some from_box ->
-        t.trace_rev <-
-          {
-            at = now t;
-            from_box;
-            to_box = frame.f_send.Netsys.to_;
-            chan = frame.f_send.Netsys.s_chan;
-            tun = frame.f_send.Netsys.s_tun;
-            signal = frame.f_signal;
-          }
-          :: t.trace_rev
-      | None -> ());
+      (if t.record_msc then
+         match
+           Netsys.peer_of_chan t.network ~chan:frame.f_send.Netsys.s_chan
+             ~box:frame.f_send.Netsys.to_
+         with
+         | Some from_box ->
+           t.trace_rev <-
+             {
+               at = now t;
+               from_box;
+               to_box = frame.f_send.Netsys.to_;
+               chan = frame.f_send.Netsys.s_chan;
+               tun = frame.f_send.Netsys.s_tun;
+               signal = frame.f_signal;
+             }
+             :: t.trace_rev
+         | None -> ());
       match Netsys.inject t.network frame.f_send frame.f_signal with
       | None -> ()
       | Some (network, sends) ->
@@ -222,7 +230,7 @@ and handle t event =
       t.network <- network;
       List.iter (fun handler -> handler t ~chan ~at meta) t.meta_handlers)
   | Scripted idx -> scripted_action t idx t);
-  List.iter (fun hook -> hook t) t.step_hooks;
+  (match t.step_hooks with [] -> () | hooks -> List.iter (fun hook -> hook t) hooks);
   run_watches t
 
 let inject_frame t ~delay frame = sched t ~delay:(Float.max 0.0 delay) (Frame_arrival frame)

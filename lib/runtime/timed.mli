@@ -15,14 +15,25 @@ open Mediactl_types
 
 type t
 
-val create : ?seed:int -> ?sched:Mediactl_sim.Engine.sched -> ?n:float -> ?c:float -> Netsys.t -> t
+val create :
+  ?seed:int ->
+  ?sched:Mediactl_sim.Engine.sched ->
+  ?record_msc:bool ->
+  ?n:float ->
+  ?c:float ->
+  Netsys.t ->
+  t
 (** [create net] wraps a network.  Defaults: [n] = 34.0, [c] = 20.0
     (milliseconds), timer-wheel scheduler ([sched] selects the reference
-    heap for benchmarking). *)
+    heap for benchmarking).  [record_msc] (default [true]) keeps the
+    per-delivery {!trace_entry} log behind {!trace}/{!pp_trace}; drivers
+    that never read it (the fleet kernel) pass [false], which removes a
+    record allocation per delivery from the hot path. *)
 
 val create_external :
   now:(unit -> float) ->
   schedule:(delay:float -> (unit -> unit) -> unit) ->
+  ?record_msc:bool ->
   ?n:float ->
   ?c:float ->
   Netsys.t ->

@@ -49,16 +49,8 @@ let with_tunnel t i tun =
 let send_signal t ~from_box ~tunnel:i signal =
   let from = end_of t from_box in
   if Mediactl_obs.Trace.enabled () then
-    Mediactl_obs.Trace.emit
-      (Mediactl_obs.Trace.Sig_send
-         {
-           chan = t.label;
-           tun = i;
-           box = from_box;
-           peer = peer_of t from_box;
-           initiator = from = Tunnel.A;
-           signal;
-         });
+    Mediactl_obs.Trace.sig_send ~chan:t.label ~tun:i ~box:from_box ~peer:(peer_of t from_box)
+      ~initiator:(from = Tunnel.A) signal;
   with_tunnel t i (Tunnel.send ~from signal (tunnel t i))
 
 let receive_signal t ~at_box ~tunnel:i =
@@ -69,7 +61,7 @@ let receive_signal t ~at_box ~tunnel:i =
 
 let send_meta t ~from_box meta =
   if Mediactl_obs.Trace.enabled () then
-    Mediactl_obs.Trace.emit (Mediactl_obs.Trace.Meta_send { chan = t.label; box = from_box });
+    Mediactl_obs.Trace.meta_send ~chan:t.label ~box:from_box;
   match end_of t from_box with
   | Tunnel.A -> { t with meta_to_acceptor = t.meta_to_acceptor @ [ meta ] }
   | Tunnel.B -> { t with meta_to_initiator = t.meta_to_initiator @ [ meta ] }

@@ -29,7 +29,12 @@ val receive : at:end_ -> t -> (Signal.t * t) option
 val peek : at:end_ -> t -> Signal.t option
 
 val pending : toward:end_ -> t -> Signal.t list
-(** Signals in flight toward that end, oldest first. *)
+(** Signals in flight toward that end, oldest first.  Decodes the
+    packed queue, so it allocates; hot paths that only need emptiness
+    should use {!has_pending}. *)
+
+val has_pending : toward:end_ -> t -> bool
+(** Allocation-free [pending ~toward t <> []]. *)
 
 val in_flight : t -> int
 (** Total signals in both directions. *)

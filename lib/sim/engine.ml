@@ -57,19 +57,53 @@ let pop t =
       h.n <- h.n - 1;
       Some (time, event))
 
+(* The wheel path drains due events in equal-key batches through a
+   reused scratch vector: one [drain_due] replaces a peek/pop pair per
+   event, so the steady-state loop allocates nothing per event (the
+   scratch grows to the largest batch once and is then reused).  Batch
+   dispatch is order-identical to per-event pops — see
+   {!Twheel.drain_due} for the argument.  The heap stays on the
+   original per-event loop: it is the reference implementation the
+   qcheck suite compares against. *)
 let run t ?(until = infinity) ?(max_events = max_int) handler =
-  let processed = ref 0 in
-  let continue = ref true in
-  while !continue && !processed < max_events do
-    match peek_key t with
-    | None -> continue := false
-    | Some time when time > until -> continue := false
-    | Some _ -> (
-      match pop t with
+  match t.queue with
+  | Wheel_q w ->
+    let scratch = Vec.create () in
+    let processed = ref 0 in
+    let continue = ref true in
+    while !continue && !processed < max_events do
+      if Twheel.is_empty w then continue := false
+      else begin
+        let time = Twheel.next_key w in
+        if not (time <= until) then continue := false
+        else begin
+          Vec.clear scratch;
+          let n = Twheel.drain_due w ~max:(max_events - !processed) scratch in
+          if n = 0 then continue := false
+          else begin
+            t.clock <- time;
+            for i = 0 to n - 1 do
+              handler t (Vec.get scratch i)
+            done;
+            processed := !processed + n
+          end
+        end
+      end
+    done;
+    !processed
+  | Heap_q _ ->
+    let processed = ref 0 in
+    let continue = ref true in
+    while !continue && !processed < max_events do
+      match peek_key t with
       | None -> continue := false
-      | Some (time, event) ->
-        t.clock <- time;
-        handler t event;
-        incr processed)
-  done;
-  !processed
+      | Some time when time > until -> continue := false
+      | Some _ -> (
+        match pop t with
+        | None -> continue := false
+        | Some (time, event) ->
+          t.clock <- time;
+          handler t event;
+          incr processed)
+    done;
+    !processed

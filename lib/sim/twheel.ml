@@ -147,3 +147,55 @@ let peek_key t =
     | c :: _ -> Some c.key
     | [] -> None
   end
+
+(* ------------------------------------------------------------------ *)
+(* Batch draining                                                      *)
+
+(* Non-allocating peek for the batch loop: a bare float instead of an
+   option.  [nan] when empty (every comparison with nan is false, so an
+   empty wheel naturally fails both the [<= until] and drain guards). *)
+let next_key t =
+  if t.size = 0 then nan
+  else begin
+    while t.ready = [] do
+      refill t 0
+    done;
+    match t.ready with
+    | c :: _ -> c.key
+    | [] -> nan
+  end
+
+(* Pop every due cell sharing the earliest key — and only that key —
+   into [out], preserving (key, seq) order; returns the count.
+
+   The equal-key bound is what makes batch dispatch equivalent to
+   per-event pops: a handler reacting to a drained event can only
+   schedule at [key + delay >= key], and an insert {e at} the batch key
+   necessarily carries a seq greater than every drained cell (the
+   engine's counter is monotonic), so it sorts after the whole batch —
+   exactly where per-event popping would deliver it.  A batch spanning
+   {e distinct} keys would break this: a reschedule landing between two
+   batch keys would fire late.  [max] caps the batch so callers can
+   honour an event budget mid-batch; the remainder keeps its order. *)
+let drain_due t ~max out =
+  if max <= 0 || t.size = 0 then 0
+  else begin
+    while t.ready = [] do
+      refill t 0
+    done;
+    match t.ready with
+    | [] -> 0
+    | first :: _ ->
+      let key = first.key in
+      let n = ref 0 in
+      let rec go = function
+        | c :: rest when !n < max && c.key = key ->
+          Vec.push out c.value;
+          incr n;
+          go rest
+        | remainder -> remainder
+      in
+      t.ready <- go t.ready;
+      t.size <- t.size - !n;
+      !n
+  end

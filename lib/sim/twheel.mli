@@ -27,5 +27,22 @@ val insert : 'a t -> key:float -> seq:int -> 'a -> unit
 
 val pop : 'a t -> (float * int * 'a) option
 val peek_key : 'a t -> float option
+
+val next_key : 'a t -> float
+(** Non-allocating {!peek_key} for the batch loop: the earliest stored
+    key, or [nan] when the wheel is empty (nan fails every comparison,
+    so an empty wheel falls out of drain guards naturally). *)
+
+val drain_due : 'a t -> max:int -> 'a Vec.t -> int
+(** [drain_due t ~max out] pops up to [max] cells that all share the
+    earliest key — and only that key — appending their values to [out]
+    in [(key, seq)] order; returns the count.  Draining one equal-key
+    batch and dispatching it in order is observably identical to
+    per-event {!pop}s: reactions can only schedule at [key] or later,
+    and an insert at exactly [key] carries a higher seq than the whole
+    batch (the engine's counter is monotonic), so it lands in the next
+    batch — where per-event popping would also deliver it.  The suite's
+    qcheck equivalence property exercises exactly this. *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool

@@ -1,0 +1,50 @@
+(* A minimal growable array for hot-path scratch storage.
+
+   The stdlib gains [Dynarray] only in 5.2; this is the subset the
+   simulation kernels need, tuned for reuse: [clear] keeps the backing
+   store, so a vector used as a per-batch scratch buffer stops
+   allocating once it has grown to its steady-state capacity.  Cleared
+   slots keep their old elements reachable until overwritten — fine for
+   scratch buffers whose elements die with the enclosing run, wrong for
+   long-lived caches (use [reset] there). *)
+
+type 'a t = { mutable arr : 'a array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  Array.unsafe_get t.arr i
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  Array.unsafe_set t.arr i x
+
+let push t x =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    (* Grow by doubling, seeding fresh slots with [x] (the stdlib has no
+       uninitialised arrays; using the pushed element avoids needing a
+       dummy of type ['a]). *)
+    let arr = Array.make (if cap = 0 then 8 else 2 * cap) x in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end;
+  Array.unsafe_set t.arr t.len x;
+  t.len <- t.len + 1
+
+let clear t = t.len <- 0
+
+let reset t =
+  t.arr <- [||];
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.arr i)
+  done
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (Array.unsafe_get t.arr i :: acc) in
+  go (t.len - 1) []

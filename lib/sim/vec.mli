@@ -1,0 +1,25 @@
+(** A minimal growable array ([Dynarray] arrives only in OCaml 5.2),
+    tuned for hot-path scratch reuse: {!clear} keeps the backing store,
+    so a buffer that has reached its steady-state capacity never
+    allocates again.  Cleared slots keep their old elements reachable
+    until overwritten; use {!reset} to drop the store entirely. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+val clear : 'a t -> unit
+(** Forget the elements but keep the capacity. *)
+
+val reset : 'a t -> unit
+(** Forget elements {e and} capacity (drops references). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

@@ -1,0 +1,151 @@
+(* Interned, int-packed signals.
+
+   A signal in flight is a handful of immutable facts — constructor,
+   medium, and a descriptor or selector payload drawn from a tiny
+   per-session population — yet the heap representation costs several
+   blocks per copy.  This module interns the payloads the way the model
+   checker's codec ([Path_model.pack]) interns whole states, packing a
+   signal into one immediate int:
+
+     bits 0-2   constructor tag
+     bits 3-4   medium (Open only)
+     bits 5+    descriptor intern id     (Open)
+     bits 3+    descriptor / selector id (Oack, Describe, Select)
+
+   The intern tables are domain-local ([Domain.DLS]): each fleet shard
+   interns independently, so there is no cross-domain mutable state and
+   no locking.  The ids are therefore {e per-domain} artifacts — two
+   domains number the same descriptor differently — and must never leak
+   into digests, traces on disk, or cross-domain comparisons: always
+   {!unpack} back to structural values first.  [unpack] returns the
+   {e interned} signal block for its word, so repeated unpacking of the
+   same word allocates nothing and physical equality coincides with
+   structural equality within a domain. *)
+
+type tables = {
+  desc_ids : (Descriptor.t, int) Hashtbl.t;
+  mutable descs : Descriptor.t array;  (* id -> descriptor *)
+  mutable ndescs : int;
+  sel_ids : (Selector.t, int) Hashtbl.t;
+  mutable sels : Selector.t array;
+  mutable nsels : int;
+  sigs : (int, Signal.t) Hashtbl.t;  (* packed word -> interned signal *)
+}
+
+let tables_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        desc_ids = Hashtbl.create 32;
+        descs = [||];
+        ndescs = 0;
+        sel_ids = Hashtbl.create 32;
+        sels = [||];
+        nsels = 0;
+        sigs = Hashtbl.create 64;
+      })
+
+let tables () = Domain.DLS.get tables_key
+
+let grow_store arr n x =
+  let cap = Array.length arr in
+  if n < cap then begin
+    arr.(n) <- x;
+    arr
+  end
+  else begin
+    let arr' = Array.make (if cap = 0 then 16 else 2 * cap) x in
+    Array.blit arr 0 arr' 0 n;
+    arr'
+  end
+
+let desc_id d =
+  let t = tables () in
+  match Hashtbl.find_opt t.desc_ids d with
+  | Some id -> id
+  | None ->
+    let id = t.ndescs in
+    Hashtbl.add t.desc_ids d id;
+    t.descs <- grow_store t.descs id d;
+    t.ndescs <- id + 1;
+    id
+
+let desc_of_id id =
+  let t = tables () in
+  if id < 0 || id >= t.ndescs then invalid_arg "Signal_pack.desc_of_id: unknown id";
+  t.descs.(id)
+
+let sel_id s =
+  let t = tables () in
+  match Hashtbl.find_opt t.sel_ids s with
+  | Some id -> id
+  | None ->
+    let id = t.nsels in
+    Hashtbl.add t.sel_ids s id;
+    t.sels <- grow_store t.sels id s;
+    t.nsels <- id + 1;
+    id
+
+let sel_of_id id =
+  let t = tables () in
+  if id < 0 || id >= t.nsels then invalid_arg "Signal_pack.sel_of_id: unknown id";
+  t.sels.(id)
+
+(* Constructor tags.  Kept stable so packed words are comparable within
+   a domain's lifetime. *)
+let tag_close = 0
+let tag_closeack = 1
+let tag_open = 2
+let tag_oack = 3
+let tag_describe = 4
+let tag_select = 5
+
+let medium_code = function
+  | Medium.Audio -> 0
+  | Medium.Video -> 1
+  | Medium.Text -> 2
+  | Medium.Audio_video -> 3
+
+let medium_of_code = function
+  | 0 -> Medium.Audio
+  | 1 -> Medium.Video
+  | 2 -> Medium.Text
+  | _ -> Medium.Audio_video
+
+let pack = function
+  | Signal.Close -> tag_close
+  | Signal.Closeack -> tag_closeack
+  | Signal.Open (m, d) -> tag_open lor (medium_code m lsl 3) lor (desc_id d lsl 5)
+  | Signal.Oack d -> tag_oack lor (desc_id d lsl 3)
+  | Signal.Describe d -> tag_describe lor (desc_id d lsl 3)
+  | Signal.Select s -> tag_select lor (sel_id s lsl 3)
+
+let tag word = word land 7
+
+let rebuild word =
+  match word land 7 with
+  | 0 -> Signal.Close
+  | 1 -> Signal.Closeack
+  | 2 -> Signal.Open (medium_of_code ((word lsr 3) land 3), desc_of_id (word lsr 5))
+  | 3 -> Signal.Oack (desc_of_id (word lsr 3))
+  | 4 -> Signal.Describe (desc_of_id (word lsr 3))
+  | 5 -> Signal.Select (sel_of_id (word lsr 3))
+  | _ -> invalid_arg "Signal_pack.unpack: bad tag"
+
+let unpack word =
+  let t = tables () in
+  match Hashtbl.find_opt t.sigs word with
+  | Some s -> s
+  | None ->
+    let s = rebuild word in
+    Hashtbl.add t.sigs word s;
+    s
+
+let name word =
+  match word land 7 with
+  | 0 -> "close"
+  | 1 -> "closeack"
+  | 2 -> "open"
+  | 3 -> "oack"
+  | 4 -> "describe"
+  | 5 -> "select"
+  | _ -> invalid_arg "Signal_pack.name: bad tag"

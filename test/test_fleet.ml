@@ -157,7 +157,7 @@ let fingerprint (o : Session.outcome) =
     o.Session.end_time,
     o.Session.conformant,
     o.Session.violations,
-    List.map Obs.Trace.event_to_json o.Session.trace,
+    List.map Obs.Trace.event_to_json (Obs.Trace.Packed.to_events o.Session.trace),
     Obs.Metrics.to_json o.Session.metrics,
     match o.Session.verdict with
     | None -> "none"

@@ -112,6 +112,15 @@ let hyg_accepts_guarded () =
     (lint ~rel:"lib/net/layer.ml"
        "let f chan = if Trace.enabled () then Trace.emit (Trace.Meta_send { chan; box = \"b\" })\n")
 
+let hyg_flags_unguarded_fast_emitter () =
+  check_rules ~msg:"unguarded fast emitter" [ "HYG001" ]
+    (lint ~rel:"lib/net/layer.ml" "let f chan = Trace.net ~chan Trace.Dropped\n")
+
+let hyg_accepts_guarded_fast_emitter () =
+  check_rules ~msg:"if-guarded fast emitter" []
+    (lint ~rel:"lib/net/layer.ml"
+       "let f chan = if Trace.enabled () then Trace.net ~chan Trace.Dropped\n")
+
 let hyg_accepts_conjunction () =
   check_rules ~msg:"enabled () && p guard" []
     (lint ~rel:"lib/protocol/slot2.ml"
@@ -251,6 +260,10 @@ let () =
         [
           Alcotest.test_case "flags unguarded emit" `Quick hyg_flags_unguarded;
           Alcotest.test_case "accepts if-guard" `Quick hyg_accepts_guarded;
+          Alcotest.test_case "flags unguarded fast emitter" `Quick
+            hyg_flags_unguarded_fast_emitter;
+          Alcotest.test_case "accepts guarded fast emitter" `Quick
+            hyg_accepts_guarded_fast_emitter;
           Alcotest.test_case "accepts conjunction guard" `Quick hyg_accepts_conjunction;
           Alcotest.test_case "accepts when-guard" `Quick hyg_accepts_when_guard;
           Alcotest.test_case "flags first-class emit" `Quick hyg_flags_first_class_emit;

@@ -73,6 +73,130 @@ let test_jsonl_roundtrip_shape () =
   Sys.remove path;
   check tint "one line per event" (List.length events) !lines
 
+(* --- the packed ring -------------------------------------------------- *)
+
+(* The same timed run as [traced_path], recorded through the
+   zero-allocation ring instead of the event-list sink. *)
+let traced_path_packed ?(flowlinks = 0) ?(loss = 0.0) ~seed () =
+  snd
+    (Trace.recording_packed (fun () ->
+         let sim = Timed.create ~seed ~n:34.0 ~c:20.0 (Pathlab.topology ~flowlinks ()) in
+         Timed.observe sim;
+         if loss > 0.0 then begin
+           let impair = Impair.create ~seed ~default:(Policy.lossy loss) () in
+           ignore (Reliable.attach impair sim)
+         end;
+         Timed.apply sim (Pathlab.engage_left Semantics.Open_end);
+         Timed.apply sim (Pathlab.engage_right Semantics.Open_end ~flowlinks);
+         ignore (Timed.run ~until:60_000.0 sim)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* The flush-at-quiesce contract: a ring capture of a fixed-seed run,
+   decoded to JSONL, is byte-for-byte what the legacy sink would have
+   written for the same run. *)
+let test_ring_matches_sink_jsonl () =
+  let seed = 21 and loss = 0.05 in
+  let sink_events = traced_path ~seed ~loss () in
+  let packed = traced_path_packed ~seed ~loss () in
+  check tint "same event count" (List.length sink_events) (Trace.Packed.length packed);
+  let p1 = Filename.temp_file "obs_sink" ".jsonl" in
+  let p2 = Filename.temp_file "obs_ring" ".jsonl" in
+  Trace.write_jsonl p1 sink_events;
+  Trace.write_jsonl p2 (Trace.Packed.to_events packed);
+  let a = read_file p1 and b = read_file p2 in
+  Sys.remove p1;
+  Sys.remove p2;
+  check tbool "byte-identical JSONL" true (String.equal a b)
+
+(* The packed consumers must agree with their event-list twins on the
+   same capture. *)
+let test_packed_consumers_agree () =
+  let packed = traced_path_packed ~seed:13 ~loss:0.08 () in
+  let events = Trace.Packed.to_events packed in
+  check tbool "nonempty" true (Trace.Packed.length packed > 0);
+  check tbool "metrics agree" true
+    (String.equal
+       (Metrics.to_json (Metrics.of_packed packed))
+       (Metrics.to_json (Metrics.of_events events)));
+  check tbool "monitor reports agree" true
+    (Monitor.replay_packed packed = Monitor.replay events);
+  check tbool "verdicts agree" true
+    (Monitor.verdict_packed Monitor.Always_eventually_flowing
+       ~ends:(Pathlab.ends ~flowlinks:0) packed
+    = Monitor.verdict Monitor.Always_eventually_flowing ~ends:(Pathlab.ends ~flowlinks:0)
+        events)
+
+(* Entries must survive buffer doubling (the ring starts at 1024
+   entries), and a later recording on the same domain reuses the ring
+   without leaking the previous capture's entries. *)
+let test_ring_growth_and_reuse () =
+  let n = 5000 in
+  let (), big =
+    Trace.recording_packed (fun () ->
+        for i = 0 to n - 1 do
+          Trace.net ~chan:(if i mod 2 = 0 then "even" else "odd") Trace.Ack_sent
+        done)
+  in
+  check tint "all entries captured across growth" n (Trace.Packed.length big);
+  let ok = ref true in
+  List.iteri
+    (fun i e ->
+      if e.Trace.seq <> i then ok := false;
+      match e.Trace.kind with
+      | Trace.Net { chan; decision = Trace.Ack_sent } ->
+        if chan <> (if i mod 2 = 0 then "even" else "odd") then ok := false
+      | _ -> ok := false)
+    (Trace.Packed.to_events big);
+  check tbool "entries survive buffer growth in order" true !ok;
+  let (), small =
+    Trace.recording_packed (fun () -> Trace.net ~chan:"fresh" Trace.Dropped)
+  in
+  check tint "reused ring starts empty" 1 (Trace.Packed.length small);
+  match (Trace.Packed.event small 0).Trace.kind with
+  | Trace.Net { chan = "fresh"; decision = Trace.Dropped } -> ()
+  | _ -> Alcotest.fail "stale entries leaked from the previous recording"
+
+(* Two domains recording concurrently must produce disjoint captures,
+   and a capture (including its interned signals) must decode correctly
+   after being shipped to the joining domain. *)
+let test_ring_two_domain_isolation () =
+  let record chan count =
+    snd
+      (Trace.recording_packed (fun () ->
+           let d =
+             Descriptor.make ~owner:chan ~version:1 (Address.v "10.0.0.1" 7) [ Codec.G711 ]
+           in
+           Trace.sig_send ~chan ~tun:0 ~box:"A" ~peer:"B" ~initiator:true
+             (Signal.Open (Medium.Audio, d));
+           for _ = 1 to count do
+             Trace.net ~chan Trace.Ack_sent
+           done))
+  in
+  let d1 = Domain.spawn (fun () -> record "dom1" 300) in
+  let d2 = Domain.spawn (fun () -> record "dom2" 500) in
+  let p1 = Domain.join d1 and p2 = Domain.join d2 in
+  let only chan p =
+    let ok = ref true in
+    Trace.Packed.iter
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Net { chan = c; decision = Trace.Ack_sent } -> if c <> chan then ok := false
+        | Trace.Sig_send { chan = c; signal = Signal.Open (Medium.Audio, d); _ } ->
+          if c <> chan || d.Descriptor.owner <> chan then ok := false
+        | _ -> ok := false)
+      p;
+    !ok
+  in
+  check tint "domain 1 count" 301 (Trace.Packed.length p1);
+  check tint "domain 2 count" 501 (Trace.Packed.length p2);
+  check tbool "no cross-domain leakage, signals decode after join" true
+    (only "dom1" p1 && only "dom2" p2)
+
 (* --- metrics ---------------------------------------------------------- *)
 
 let test_metrics_clean_run () =
@@ -239,6 +363,11 @@ let () =
           Alcotest.test_case "sink disabled" `Quick test_sink_disabled;
           Alcotest.test_case "recording" `Quick test_recording_captures_and_numbers;
           Alcotest.test_case "jsonl shape" `Quick test_jsonl_roundtrip_shape;
+          Alcotest.test_case "ring matches sink jsonl" `Quick test_ring_matches_sink_jsonl;
+          Alcotest.test_case "packed consumers agree" `Quick test_packed_consumers_agree;
+          Alcotest.test_case "ring growth and reuse" `Quick test_ring_growth_and_reuse;
+          Alcotest.test_case "ring two-domain isolation" `Quick
+            test_ring_two_domain_isolation;
         ] );
       ( "metrics",
         [

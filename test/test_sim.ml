@@ -131,6 +131,125 @@ let prop_twheel_overflow =
       done;
       !ok && pop_heap h = None)
 
+(* Batch draining must be observationally identical to per-event pops:
+   [drain_due] takes the maximal equal-earliest-key run, in (key, seq)
+   order, and leaves nothing at that key behind. *)
+let prop_twheel_drain_batch =
+  QCheck2.Test.make ~name:"drain_due takes the whole due batch in heap order" ~count:300
+    QCheck2.Gen.(
+      pair (float_range 0.05 8.0) (list_size (int_range 1 60) (int_range 0 40)))
+    (fun (resolution, keys) ->
+      let w = Twheel.create ~resolution () in
+      let h = ref Pqueue.empty in
+      List.iteri
+        (fun seq k ->
+          let key = float_of_int k /. 4.0 in
+          Twheel.insert w ~key ~seq seq;
+          h := Pqueue.insert !h ~key ~seq seq)
+        keys;
+      let out = Vec.create () in
+      let ok = ref true in
+      while not (Twheel.is_empty w) do
+        let due = Twheel.next_key w in
+        Vec.clear out;
+        let n = Twheel.drain_due w ~max:max_int out in
+        if n = 0 || n <> Vec.length out then ok := false;
+        (* The batch is exactly the heap's run of [due]-keyed cells. *)
+        for i = 0 to n - 1 do
+          match pop_heap h with
+          | Some (k, _, v) ->
+            if not (Float.equal k due) || v <> Vec.get out i then ok := false
+          | None -> ok := false
+        done;
+        (* Nothing at the due key may remain in either structure. *)
+        (match Pqueue.pop !h with
+        | Some ((k, _, _), _) -> if Float.equal k due then ok := false
+        | None -> ());
+        (match Twheel.peek_key w with
+        | Some k -> if k <= due then ok := false
+        | None -> ())
+      done;
+      !ok && Pqueue.size !h = 0)
+
+(* The engine pattern over [drain_due]: dispatching a batch makes its
+   handlers reschedule at exactly the drained key.  Those cells carry
+   higher seqs than the whole batch, so they land in the {e next}
+   batch — precisely where per-event popping (reschedule after each
+   pop) would deliver them.  Both arms must log the same sequence. *)
+let prop_twheel_drain_reschedule =
+  QCheck2.Test.make ~name:"drain_due with same-key reschedules matches per-pop order"
+    ~count:200
+    QCheck2.Gen.(
+      pair (float_range 0.05 4.0) (list_size (int_range 1 40) (int_range 0 15)))
+    (fun (resolution, keys) ->
+      let cap = List.length keys + 60 in
+      let reschedules v = v mod 3 = 0 in
+      (* Arm 1: the wheel, whole-batch drain, reschedules after drain. *)
+      let w = Twheel.create ~resolution () in
+      let seqw = ref 0 in
+      let insw key v =
+        Twheel.insert w ~key ~seq:!seqw v;
+        incr seqw
+      in
+      List.iteri (fun i k -> insw (float_of_int k /. 2.0) i) keys;
+      let out = Vec.create () in
+      let logw = ref [] in
+      let nextw = ref (List.length keys) in
+      while not (Twheel.is_empty w) do
+        let due = Twheel.next_key w in
+        Vec.clear out;
+        let _ = Twheel.drain_due w ~max:max_int out in
+        Vec.iter
+          (fun v ->
+            logw := (due, v) :: !logw;
+            if reschedules v && !nextw < cap then begin
+              insw due !nextw;
+              incr nextw
+            end)
+          out
+      done;
+      (* Arm 2: the reference heap, one pop (and reschedule) at a time. *)
+      let h = ref Pqueue.empty in
+      let seqh = ref 0 in
+      let insh key v =
+        h := Pqueue.insert !h ~key ~seq:!seqh v;
+        incr seqh
+      in
+      List.iteri (fun i k -> insh (float_of_int k /. 2.0) i) keys;
+      let logh = ref [] in
+      let nexth = ref (List.length keys) in
+      let continue = ref true in
+      while !continue do
+        match pop_heap h with
+        | None -> continue := false
+        | Some (k, _, v) ->
+          logh := (k, v) :: !logh;
+          if reschedules v && !nexth < cap then begin
+            insh k !nexth;
+            incr nexth
+          end
+      done;
+      !logw = !logh)
+
+(* [max] caps one drain without reordering: the rest of the batch
+   stays due and comes out first on the next call. *)
+let test_twheel_drain_max () =
+  let w = Twheel.create () in
+  for seq = 0 to 4 do
+    Twheel.insert w ~key:2.0 ~seq seq
+  done;
+  Twheel.insert w ~key:5.0 ~seq:5 5;
+  let out = Vec.create () in
+  let n1 = Twheel.drain_due w ~max:2 out in
+  check tint "capped drain" 2 n1;
+  let n2 = Twheel.drain_due w ~max:10 out in
+  check tint "rest of the batch" 3 n2;
+  check tbool "batch in seq order" true (Vec.to_list out = [ 0; 1; 2; 3; 4 ]);
+  Vec.clear out;
+  let n3 = Twheel.drain_due w ~max:10 out in
+  check tint "next key drains alone" 1 n3;
+  check tbool "later key untouched until due" true (Vec.to_list out = [ 5 ])
+
 (* End-to-end: an engine under each scheduler, with handlers that keep
    scheduling (including zero delays, which tie with the current time),
    must deliver the identical event sequence. *)
@@ -276,8 +395,11 @@ let () =
         [
           Alcotest.test_case "ordering and ties" `Quick test_twheel_order_and_ties;
           Alcotest.test_case "engine scheduler equivalence" `Quick test_engine_sched_equiv;
+          Alcotest.test_case "drain_due max cap" `Quick test_twheel_drain_max;
           QCheck_alcotest.to_alcotest prop_twheel_heap_equiv;
           QCheck_alcotest.to_alcotest prop_twheel_overflow;
+          QCheck_alcotest.to_alcotest prop_twheel_drain_batch;
+          QCheck_alcotest.to_alcotest prop_twheel_drain_reschedule;
         ] );
       ( "rng",
         [
