@@ -1259,6 +1259,144 @@ let e15 () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E16: steady-state churn                                             *)
+
+(* How many sessions can stay resident in one process while arrivals
+   and hangups keep turning the population over?  Each cell holds a
+   target population for a churn horizon (shorter at the larger
+   populations so the whole sweep stays CI-sized); the paper-relevant
+   numbers are events/s against resident count, the max observed pause
+   proxy, and the fleet digest — which must not move across job
+   counts. *)
+
+type e16_row = {
+  ch_pop : int;
+  ch_duration : float;
+  ch_jobs : int;
+  ch_wall : float;
+  ch_started : int;
+  ch_retired : int;
+  ch_peak : int;
+  ch_events : int;
+  ch_events_per_s : float;
+  ch_sessions_per_s : float;
+  ch_max_pause_ms : float;
+  ch_max_batch_ms : float;
+  ch_minor_words : float;
+  ch_minor_cols : int;
+  ch_major_cols : int;
+  ch_conformant : int;
+  ch_satisfied : int;
+  ch_digest : string;
+}
+
+let e16_cells = [ (1_000, 4_000.0); (10_000, 1_500.0); (100_000, 300.0) ]
+let e16_job_counts = [ 1; 2; 4 ]
+let e16_mean_holding = 4_000.0
+
+let e16_run ~pop ~duration ~jobs =
+  let mk ~id ~rng = Scenario.churn_session Scenario.Path ~id ~rng in
+  let s =
+    Fleet.churn ~jobs ~target_population:pop ~mean_holding:e16_mean_holding ~duration
+      ~seed:11 mk
+  in
+  {
+    ch_pop = pop;
+    ch_duration = duration;
+    ch_jobs = jobs;
+    ch_wall = s.Fleet.c_wall_s;
+    ch_started = s.Fleet.c_started;
+    ch_retired = s.Fleet.c_retired;
+    ch_peak = s.Fleet.c_peak_resident;
+    ch_events = s.Fleet.c_engine_events;
+    ch_events_per_s = s.Fleet.c_events_per_s;
+    ch_sessions_per_s = s.Fleet.c_sessions_per_s;
+    ch_max_pause_ms = s.Fleet.c_gc.Fleet.max_pause_s *. 1000.0;
+    ch_max_batch_ms = s.Fleet.c_gc.Fleet.max_batch_s *. 1000.0;
+    ch_minor_words = s.Fleet.c_gc.Fleet.minor_words;
+    ch_minor_cols = s.Fleet.c_gc.Fleet.minor_collections;
+    ch_major_cols = s.Fleet.c_gc.Fleet.major_collections;
+    ch_conformant = s.Fleet.c_conformant;
+    ch_satisfied = s.Fleet.c_satisfied;
+    ch_digest = s.Fleet.c_digest;
+  }
+
+let e16_write_json rows deterministic =
+  let oc = open_out "BENCH_churn.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"experiment\": \"e16\",\n";
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"scenario\": \"path\",\n";
+  Printf.fprintf oc "  \"mean_holding_ms\": %.0f,\n" e16_mean_holding;
+  Printf.fprintf oc "  \"deterministic\": %b,\n" deterministic;
+  Printf.fprintf oc "  \"rows\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"population\": %d, \"duration_ms\": %.0f, \"jobs\": %d, \"wall_s\": %.4f, \
+         \"started\": %d, \"retired\": %d, \"peak_resident\": %d, \"events\": %d, \
+         \"events_per_s\": %.0f, \"sessions_per_s\": %.1f, \"max_pause_ms\": %.3f, \
+         \"max_quiet_batch_ms\": %.3f, \"minor_words\": %.0f, \"minor_collections\": %d, \
+         \"major_collections\": %d, \"conformant\": %d, \"satisfied\": %d, \"digest\": \
+         \"%s\" }%s\n"
+        r.ch_pop r.ch_duration r.ch_jobs r.ch_wall r.ch_started r.ch_retired r.ch_peak
+        r.ch_events r.ch_events_per_s r.ch_sessions_per_s r.ch_max_pause_ms
+        r.ch_max_batch_ms r.ch_minor_words r.ch_minor_cols r.ch_major_cols r.ch_conformant
+        r.ch_satisfied r.ch_digest
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_churn.json@."
+
+let e16 () =
+  header "E16  Churn: steady-state populations, slot recycling, GC pauses";
+  Format.printf
+    "path sessions, mean holding %.0f ms, arrivals at the steady-state rate (machine has \
+     %d recommended domains):@."
+    e16_mean_holding
+    (Domain.recommended_domain_count ());
+  Format.printf "%10s %5s %9s %9s %9s %12s %11s %11s@." "population" "jobs" "wall s"
+    "started" "peak" "events/s" "pause ms" "quiet ms";
+  let rows =
+    List.concat_map
+      (fun (pop, duration) ->
+        let rows =
+          List.map
+            (fun jobs ->
+              let r = e16_run ~pop ~duration ~jobs in
+              Format.printf "%10d %5d %9.2f %9d %9d %12.0f %11.3f %11.3f@." r.ch_pop
+                r.ch_jobs r.ch_wall r.ch_started r.ch_peak r.ch_events_per_s
+                r.ch_max_pause_ms r.ch_max_batch_ms;
+              r)
+            e16_job_counts
+        in
+        (match rows with
+        | r :: rest ->
+          let same = List.for_all (fun r' -> r'.ch_digest = r.ch_digest) rest in
+          Format.printf "%10d %5s digest %s across jobs %s@." pop ""
+            (String.sub r.ch_digest 0 12)
+            (if same then "(bit-identical)" else "DIFFERS — determinism bug")
+        | [] -> ());
+        rows)
+      e16_cells
+  in
+  let deterministic =
+    List.for_all
+      (fun (pop, _) ->
+        match List.filter (fun r -> r.ch_pop = pop) rows with
+        | [] -> true
+        | r :: rest -> List.for_all (fun r' -> r'.ch_digest = r.ch_digest) rest)
+      e16_cells
+  in
+  let peak = List.fold_left (fun acc r -> max acc r.ch_peak) 0 rows in
+  Format.printf "peak resident sessions in one process: %d; per-session digests %s@." peak
+    (if deterministic then "independent of the job count"
+     else "VARY with the job count — determinism bug");
+  if !json_mode then e16_write_json rows deterministic
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 
 let micro () =
@@ -1343,7 +1481,7 @@ let micro () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e14", e14);
-    ("e15", e15); ("micro", micro) ]
+    ("e15", e15); ("e16", e16); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -159,6 +159,19 @@ let run_fleet seed n c loss sessions jobs kind =
   List.iter (fun o -> Format.printf "  %a@." Session.pp_outcome o) bad;
   0
 
+(* Steady-state churn: hold --target-population resident sessions under
+   Poisson arrival / exponential-holding turnover for --duration
+   simulated ms.  The printed digest is the job-count-independent
+   fleet digest CI smoke-compares across runs. *)
+let run_churn seed n c loss jobs kind target duration mean_holding arrival_rate =
+  let mk ~id ~rng = Scenario.churn_session ~n ~c ~loss kind ~id ~rng in
+  let summary =
+    Fleet.churn ~jobs ?arrival_rate ~target_population:target ~mean_holding ~duration ~seed
+      mk
+  in
+  Format.printf "%a@." Fleet.pp_churn_summary summary;
+  0
+
 (* --------------------------------------------------------------- *)
 (* Trace capture around a scenario run                              *)
 
@@ -190,9 +203,13 @@ let verify_trace scenario ~loss ~left ~right ~flowlinks events =
   if Obs.Monitor.conformant report && obligation_ok then 0 else 1
 
 let run scenario n c boxes j seed loss left right flowlinks trace metrics verify sessions
-    jobs fleet_scenario =
+    jobs fleet_scenario churn target_population duration mean_holding arrival_rate =
   match scenario with
-  | `Fleet -> run_fleet seed n c loss sessions jobs fleet_scenario
+  | `Fleet ->
+    if churn then
+      run_churn seed n c loss jobs fleet_scenario target_population duration mean_holding
+        arrival_rate
+    else run_fleet seed n c loss sessions jobs fleet_scenario
   | (`Prepaid | `Fig13 | `Relink | `Sip | `Path) as scenario ->
   let go () =
     match scenario with
@@ -285,6 +302,26 @@ let fleet_scenario =
        & info [ "scenario" ] ~docv:"KIND"
            ~doc:"What each fleet session runs: path, ctd, conf, prepaid, ctv, or mixed.")
 
+let churn_arg =
+  Arg.(value & flag & info [ "churn" ]
+       ~doc:"Run the fleet as a steady-state churn workload (Poisson arrivals,               exponential holding times) instead of a fixed batch; see               --target-population, --duration, --mean-holding, --arrival-rate.")
+
+let target_population_arg =
+  Arg.(value & opt int 1000 & info [ "target-population" ]
+       ~doc:"Resident sessions the churn workload holds in steady state (fleet --churn).")
+
+let duration_arg =
+  Arg.(value & opt float 10_000.0 & info [ "duration" ] ~docv:"MS"
+       ~doc:"Churn horizon in simulated milliseconds (fleet --churn).")
+
+let mean_holding_arg =
+  Arg.(value & opt float 4_000.0 & info [ "mean-holding" ] ~docv:"MS"
+       ~doc:"Mean exponential session holding time in simulated ms (fleet --churn).")
+
+let arrival_rate_arg =
+  Arg.(value & opt (some float) None & info [ "arrival-rate" ] ~docv:"PER_MS"
+       ~doc:"Poisson arrival rate in sessions per simulated ms (fleet --churn);               defaults to target-population / mean-holding, the steady-state balance.")
+
 let verify_arg =
   Arg.(value & flag & info [ "verify" ]
        ~doc:"Replay the captured trace through the Fig. 5 conformance monitor; for the               path scenario also evaluate the configuration's temporal obligation.               Exits nonzero on a violation.")
@@ -295,6 +332,7 @@ let cmd =
     (Cmd.info "mediactl_sim" ~doc)
     Term.(const run $ scenario $ n_arg $ c_arg $ boxes_arg $ j_arg $ seed_arg $ loss_arg
           $ left_arg $ right_arg $ flowlinks_arg $ trace_arg $ metrics_arg $ verify_arg
-          $ sessions_arg $ jobs_arg $ fleet_scenario)
+          $ sessions_arg $ jobs_arg $ fleet_scenario $ churn_arg $ target_population_arg
+          $ duration_arg $ mean_holding_arg $ arrival_rate_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -128,3 +128,42 @@ let rec session ?sched ?n ?c ?(loss = 0.0) kind ~id ~rng =
   | Prepaid -> prepaid ?sched ?n ?c ~loss ~id ~rng ()
   | Collab_tv -> collab_tv ?sched ?n ?c ~loss ~id ~rng ()
   | Mixed -> session ?sched ?n ?c ~loss (List.nth all (id mod List.length all)) ~id ~rng
+
+(* The churned path: opened at arrival, torn down at hangup by
+   re-engaging both ends to [Close_end].  The obligation weakens from
+   [[]<> bothFlowing] — which any torn-down call would "violate" at
+   its closed quiescent cutoff — to the §V disjunction
+   [(<>[] bothClosed) \/ ([]<> bothFlowing)], the same shape the
+   daemon judges hung-up calls against. *)
+let path_churn ?sched ?n ?c ~loss ~id ~rng () =
+  Session.create ?sched ?n ?c ~id ~scenario:"path" ~rng
+    ~judge:
+      (Mediactl_obs.Monitor.verdict_packed ~structural:(loss > 0.0)
+         Mediactl_obs.Monitor.Closed_or_flowing
+         ~ends:(Pathlab.ends ~flowlinks:0))
+    ~hangup:(fun t ->
+      let sim = Session.sim t in
+      Timed.apply sim (Pathlab.engage_left Semantics.Close_end);
+      Timed.apply sim (Pathlab.engage_right Semantics.Close_end ~flowlinks:0))
+    ~boot:(fun t ->
+      attach_loss ~loss t;
+      let sim = Session.sim t in
+      Timed.apply sim (Pathlab.engage_left Semantics.Open_end);
+      Timed.apply sim (Pathlab.engage_right Semantics.Open_end ~flowlinks:0))
+    (fun () -> Pathlab.topology ~flowlinks:0 ())
+
+(* Churn default scheduler is the heap: a quiesced resident's leftist
+   heap is an empty leaf, while a per-session timer wheel pins its
+   8x32 slot arrays for the whole residency — dead weight times 100k
+   residents.  The wheel still drives the churn timeline itself (one
+   per shard, in [Fleet.churn]). *)
+let rec churn_session ?(sched = Mediactl_sim.Engine.Heap) ?n ?c ?(loss = 0.0) kind ~id ~rng
+    =
+  match kind with
+  | Path -> path_churn ~sched ?n ?c ~loss ~id ~rng ()
+  | Mixed ->
+    churn_session ~sched ?n ?c ~loss (List.nth all (id mod List.length all)) ~id ~rng
+  | (Ctd | Conf | Prepaid | Collab_tv) as k ->
+    (* These scenarios run their whole story at setup and have no
+       separate teardown goals; retirement just finalizes them. *)
+    session ~sched ?n ?c ~loss k ~id ~rng

@@ -38,3 +38,23 @@ val session :
     what {!Mediactl_runtime.Fleet.run} expects from its factory (after
     fixing the kind).  [loss] > 0 runs the session over the impaired
     network with the reliability layer attached, seeded from [rng]. *)
+
+val churn_session :
+  ?sched:Mediactl_sim.Engine.sched ->
+  ?n:float ->
+  ?c:float ->
+  ?loss:float ->
+  kind ->
+  id:int ->
+  rng:Mediactl_sim.Rng.t ->
+  Session.t
+(** Like {!session}, but built for the phased churn lifecycle
+    ({!Mediactl_runtime.Fleet.churn}): a [Path] session carries a
+    hangup closure that re-engages both ends to [Close_end] at
+    retirement and is judged against the §V disjunction
+    [(<>[] bothClosed) \/ ([]<> bothFlowing)] instead of
+    [[]<> bothFlowing]; the program scenarios run their whole story at
+    setup and retire as a bare finalization.  [sched] defaults to the
+    {e heap} engine: a quiesced resident's heap is an empty leaf,
+    where a per-session timer wheel would pin ~2 KB of slot arrays per
+    resident for the whole holding time. *)

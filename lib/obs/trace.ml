@@ -362,6 +362,68 @@ module Packed = struct
     for i = 0 to t.p_len - 1 do
       f (event t i)
     done
+
+  let empty = { p_len = 0; p_ints = [||]; p_ats = [||]; p_strs = [||]; p_sigs = [||] }
+  [@@lint.allow "race: the arrays are zero-length — nothing to mutate, safe to share"]
+
+  (* Join two captures into one trace.  Both snapshots carry their own
+     intern slice, so the second segment's string ids and signal
+     indices are rewritten against the merged tables; timestamps are
+     kept verbatim (the segments come from consecutive recording
+     brackets over one session clock). *)
+  let append a b =
+    if a.p_len = 0 then b
+    else if b.p_len = 0 then a
+    else begin
+      let ids : (string, int) Hashtbl.t = Hashtbl.create (Array.length a.p_strs) in
+      Array.iteri (fun i s -> if not (Hashtbl.mem ids s) then Hashtbl.add ids s i) a.p_strs;
+      let extra = ref [] in
+      let nextra = ref 0 in
+      let remap =
+        Array.map
+          (fun s ->
+            match Hashtbl.find_opt ids s with
+            | Some i -> i
+            | None ->
+              let i = Array.length a.p_strs + !nextra in
+              Hashtbl.add ids s i;
+              extra := s :: !extra;
+              incr nextra;
+              i)
+          b.p_strs
+      in
+      let strs = Array.append a.p_strs (Array.of_list (List.rev !extra)) in
+      let sigs = Array.append a.p_sigs b.p_sigs in
+      let sig_off = Array.length a.p_sigs in
+      let len = a.p_len + b.p_len in
+      let ints = Array.make (len * stride) 0 in
+      Array.blit a.p_ints 0 ints 0 (a.p_len * stride);
+      Array.blit b.p_ints 0 ints (a.p_len * stride) (b.p_len * stride);
+      let ats = Array.append a.p_ats b.p_ats in
+      for i = a.p_len to len - 1 do
+        let base = i * stride in
+        let tg = ints.(base) in
+        let s k = ints.(base + k) <- remap.(ints.(base + k)) in
+        if tg = tag_sig_send || tg = tag_sig_recv then begin
+          s 1;
+          s 3;
+          s 4;
+          ints.(base + 6) <- ints.(base + 6) + sig_off
+        end
+        else if tg = tag_meta_send || tg = tag_meta_recv then begin
+          s 1;
+          s 2
+        end
+        else if tg = tag_slot || tg = tag_goal then begin
+          s 1;
+          s 2;
+          s 3;
+          s 4
+        end
+        else s 1
+      done;
+      { p_len = len; p_ints = ints; p_ats = ats; p_strs = strs; p_sigs = sigs }
+    end
 end
 
 (* Drain the ring into a self-contained snapshot.  Must run on the

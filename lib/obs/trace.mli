@@ -169,6 +169,18 @@ module Packed : sig
       with what a sink recording of the same run would have collected. *)
 
   val iter : (event -> unit) -> t -> unit
+
+  val empty : t
+  (** The zero-length trace ([append empty t = t]); a cheap slot filler
+      for pooled per-session bookkeeping. *)
+
+  val append : t -> t -> t
+  (** [append a b] is the events of [a] followed by those of [b] as one
+      self-contained trace: the second segment's string ids and signal
+      indices are rewritten against the merged tables, timestamps are
+      preserved verbatim, and event [i] of the result reads [seq = i].
+      This is how a churned session's setup and teardown recording
+      brackets are joined into one session trace at retirement. *)
 end
 
 val recording_packed : (unit -> 'a) -> 'a * Packed.t

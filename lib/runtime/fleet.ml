@@ -16,11 +16,24 @@ type summary = {
   undetermined : int;
 }
 
-(* Sessions are assigned to shards round-robin by id.  Because every
-   session's stream is split from the root generator up front — in id
-   order, before any shard runs — and sessions share no mutable state,
-   the per-session outcomes are identical whatever [jobs] is; only the
-   wall-clock figures change. *)
+(* Block-cyclic shard assignment.  Plain round-robin ([i mod jobs])
+   resonates with anything periodic in the id sequence: the [Mixed]
+   scenario assigns the scenario kind by [id mod 5], so with [jobs]
+   sharing a factor with the period one shard would collect all the
+   expensive collab-tv sessions and the others would idle.  Walking
+   ids in blocks breaks the resonance while staying cost-blind and
+   independent of anything but [(jobs, sessions)]; the block is capped
+   so small fleets still spread over all shards. *)
+let shard_block ~jobs ~sessions =
+  if jobs <= 1 then 1 else Stdlib.max 1 (Stdlib.min 8 (sessions / (2 * jobs)))
+
+let shard_of ~jobs ~sessions i = i / shard_block ~jobs ~sessions mod jobs
+
+(* Sessions are assigned to shards block-cyclically by id.  Because
+   every session's stream is split from the root generator up front —
+   in id order, before any shard runs — and sessions share no mutable
+   state, the per-session outcomes are identical whatever [jobs] is;
+   only the wall-clock figures change. *)
 let run ?(jobs = 1) ?until ?max_events ~sessions ~seed mk =
   if sessions < 0 then invalid_arg "Fleet.run: negative session count";
   if jobs < 1 then invalid_arg "Fleet.run: jobs must be at least 1";
@@ -32,7 +45,7 @@ let run ?(jobs = 1) ?until ?max_events ~sessions ~seed mk =
   let shard k () =
     let acc = ref [] in
     for i = sessions - 1 downto 0 do
-      if i mod jobs = k then
+      if shard_of ~jobs ~sessions i = k then
         acc := Session.run ?until ?max_events (mk ~id:i ~rng:streams.(i)) :: !acc
     done;
     !acc
@@ -95,3 +108,472 @@ let pp_summary ppf s =
      else
        Printf.sprintf "; obligations %d satisfied / %d violated / %d undetermined" s.satisfied
          s.violated s.undetermined)
+
+(* ------------------------------------------------------------------ *)
+(* Churn: steady-state populations under arrival/hangup turnover.
+
+   The whole arrival schedule is drawn on the calling domain before
+   any shard runs: ids [0 .. target-1] arrive at t = 0 (the pre-filled
+   steady state), later ids at cumulative exponential inter-arrivals
+   from the root stream, each id's private stream split off in id
+   order — so, exactly as in [run], a session's outcome is a pure
+   function of [(id, stream)] and the fleet digest is independent of
+   [jobs].  Each shard then drives its own timer wheel of arrival and
+   hangup ticks: an arrival draws the session's holding time from the
+   session stream (before [mk] consumes it, fixing the draw order),
+   launches the session, and parks it in a pooled slot; the hangup
+   tick retires it — teardown bracket, metrics, monitor, digest — into
+   the shard accumulator and recycles the slot.  Nothing per-session
+   survives retirement except the accumulator's counters, so memory
+   tracks the peak resident population, not the total arrivals. *)
+
+type cell = {
+  mutable cl_id : int;
+  mutable cl_session : Session.t option;
+  mutable cl_setup : Trace.Packed.t;
+  mutable cl_setup_events : int;
+}
+
+let fresh_cell () =
+  { cl_id = -1; cl_session = None; cl_setup = Trace.Packed.empty; cl_setup_events = 0 }
+
+let clear_cell cl =
+  cl.cl_id <- -1;
+  cl.cl_session <- None;
+  cl.cl_setup <- Trace.Packed.empty;
+  cl.cl_setup_events <- 0
+
+(* Retired sessions fold into flat counters — a running [Metrics.merge]
+   would recopy every pooled latency sample per retirement, quadratic
+   in the session count (the same reason [Metrics.merge_all] is a
+   single pass). *)
+type macc = {
+  mutable ma_events : int;
+  mutable ma_duration : float;
+  ma_sends : (string, int) Hashtbl.t;
+  mutable ma_recvs : int;
+  mutable ma_slots : int;
+  mutable ma_goals : int;
+  mutable ma_races : int;
+  mutable ma_drops : int;
+  mutable ma_dups : int;
+  mutable ma_retrans : int;
+  mutable ma_exhausted : int;
+  mutable ma_suppressed : int;
+  mutable ma_acks : int;
+  ma_rt : Stats.t;
+  ma_ttf : Stats.t;
+  mutable ma_viol : int;
+}
+
+let macc () =
+  {
+    ma_events = 0;
+    ma_duration = 0.0;
+    ma_sends = Hashtbl.create 16;
+    ma_recvs = 0;
+    ma_slots = 0;
+    ma_goals = 0;
+    ma_races = 0;
+    ma_drops = 0;
+    ma_dups = 0;
+    ma_retrans = 0;
+    ma_exhausted = 0;
+    ma_suppressed = 0;
+    ma_acks = 0;
+    ma_rt = Stats.create ();
+    ma_ttf = Stats.create ();
+    ma_viol = 0;
+  }
+
+let macc_bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let macc_add a (m : Metrics.t) =
+  a.ma_events <- a.ma_events + m.Metrics.events;
+  a.ma_duration <- a.ma_duration +. m.Metrics.duration;
+  List.iter (fun (k, v) -> macc_bump a.ma_sends k v) m.Metrics.sends_by_signal;
+  a.ma_recvs <- a.ma_recvs + m.Metrics.recvs;
+  a.ma_slots <- a.ma_slots + m.Metrics.slot_transitions;
+  a.ma_goals <- a.ma_goals + m.Metrics.goal_changes;
+  a.ma_races <- a.ma_races + m.Metrics.open_races;
+  a.ma_drops <- a.ma_drops + m.Metrics.drops;
+  a.ma_dups <- a.ma_dups + m.Metrics.dups;
+  a.ma_retrans <- a.ma_retrans + m.Metrics.retransmissions;
+  a.ma_exhausted <- a.ma_exhausted + m.Metrics.retries_exhausted;
+  a.ma_suppressed <- a.ma_suppressed + m.Metrics.dup_suppressed;
+  a.ma_acks <- a.ma_acks + m.Metrics.acks;
+  List.iter (Stats.add a.ma_rt) (Stats.samples m.Metrics.round_trip);
+  List.iter (Stats.add a.ma_ttf) (Stats.samples m.Metrics.time_to_flowing);
+  a.ma_viol <- a.ma_viol + m.Metrics.violations
+
+let macc_total accs =
+  let t = macc () in
+  List.iter
+    (fun a ->
+      t.ma_events <- t.ma_events + a.ma_events;
+      t.ma_duration <- t.ma_duration +. a.ma_duration;
+      Hashtbl.iter (fun k v -> macc_bump t.ma_sends k v) a.ma_sends;
+      t.ma_recvs <- t.ma_recvs + a.ma_recvs;
+      t.ma_slots <- t.ma_slots + a.ma_slots;
+      t.ma_goals <- t.ma_goals + a.ma_goals;
+      t.ma_races <- t.ma_races + a.ma_races;
+      t.ma_drops <- t.ma_drops + a.ma_drops;
+      t.ma_dups <- t.ma_dups + a.ma_dups;
+      t.ma_retrans <- t.ma_retrans + a.ma_retrans;
+      t.ma_exhausted <- t.ma_exhausted + a.ma_exhausted;
+      t.ma_suppressed <- t.ma_suppressed + a.ma_suppressed;
+      t.ma_acks <- t.ma_acks + a.ma_acks;
+      List.iter (Stats.add t.ma_rt) (Stats.samples a.ma_rt);
+      List.iter (Stats.add t.ma_ttf) (Stats.samples a.ma_ttf);
+      t.ma_viol <- t.ma_viol + a.ma_viol)
+    accs;
+  {
+    Metrics.events = t.ma_events;
+    duration = t.ma_duration;
+    sends_by_signal =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ma_sends []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+    recvs = t.ma_recvs;
+    slot_transitions = t.ma_slots;
+    goal_changes = t.ma_goals;
+    open_races = t.ma_races;
+    drops = t.ma_drops;
+    dups = t.ma_dups;
+    retransmissions = t.ma_retrans;
+    retries_exhausted = t.ma_exhausted;
+    dup_suppressed = t.ma_suppressed;
+    acks = t.ma_acks;
+    round_trip = t.ma_rt;
+    time_to_flowing = t.ma_ttf;
+    violations = t.ma_viol;
+  }
+
+(* One MD5 per retired session over the {e resolved} outcome — decoded
+   event JSON, never raw intern ids, which are domain-history artifacts
+   — then XOR-combined.  XOR is commutative, so the fleet digest does
+   not depend on retirement interleaving or shard count: the property
+   E16 and the CI smoke assert across [jobs]. *)
+let digest_outcome buf (o : Session.outcome) =
+  Buffer.clear buf;
+  Buffer.add_string buf (string_of_int o.Session.id);
+  Buffer.add_char buf ':';
+  Buffer.add_string buf o.Session.scenario;
+  Buffer.add_char buf ':';
+  Buffer.add_string buf (string_of_int o.Session.events);
+  Buffer.add_char buf ':';
+  Buffer.add_string buf (Printf.sprintf "%.6f" o.Session.end_time);
+  Buffer.add_char buf ':';
+  Buffer.add_string buf (if o.Session.conformant then "ok" else "bad");
+  Buffer.add_string buf (string_of_int o.Session.violations);
+  (match o.Session.verdict with
+  | None -> Buffer.add_string buf ":-"
+  | Some Monitor.Satisfied -> Buffer.add_string buf ":S"
+  | Some (Monitor.Violated m) ->
+    Buffer.add_string buf ":V";
+    Buffer.add_string buf m
+  | Some (Monitor.Undetermined m) ->
+    Buffer.add_string buf ":U";
+    Buffer.add_string buf m);
+  Trace.Packed.iter
+    (fun e ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Trace.event_to_json e))
+    o.Session.trace;
+  Digest.string (Buffer.contents buf)
+
+(* Digest.t is a 16-byte string; XOR it into the accumulator. *)
+let digest_xor acc (d : string) =
+  for i = 0 to 15 do
+    Bytes.unsafe_set acc i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get acc i) lxor Char.code (String.unsafe_get d i)))
+  done
+
+type gc_report = {
+  minor_words : float;  (** allocated in minor heaps, summed over shards *)
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  heap_words : int;  (** shared major heap at end of run *)
+  top_heap_words : int;  (** shared major heap peak *)
+  max_pause_s : float;
+  max_batch_s : float;
+  pause_batches : int;
+}
+
+type churn_summary = {
+  c_target : int;
+  c_jobs : int;
+  c_duration : float;
+  c_mean_holding : float;
+  c_wall_s : float;
+  c_started : int;
+  c_retired : int;
+  c_peak_resident : int;
+  c_pool_slots : int;
+  c_engine_events : int;
+  c_events_per_s : float;
+  c_sessions_per_s : float;
+  c_digest : string;
+  c_metrics : Metrics.t;
+  c_conformant : int;
+  c_violations : int;
+  c_satisfied : int;
+  c_violated : int;
+  c_undetermined : int;
+  c_gc : gc_report;
+}
+
+(* What one shard hands back to the combiner. *)
+type shard_report = {
+  sr_macc : macc;
+  sr_started : int;
+  sr_retired : int;
+  sr_events : int;
+  sr_conformant : int;
+  sr_violations : int;
+  sr_sat : int;
+  sr_vio : int;
+  sr_und : int;
+  sr_digest : Bytes.t;
+  sr_peak : int;
+  sr_slots : int;
+  sr_minor : float;
+  sr_promoted : float;
+  sr_minor_cols : int;
+  sr_major_cols : int;
+  sr_max_pause : float;
+  sr_max_batch : float;
+  sr_pause_batches : int;
+}
+
+(* Wheel ticks are packed into one immediate int — bit 0 tags the
+   shape, the rest carries the payload — so the churn timeline itself
+   allocates nothing per scheduled event, the same discipline
+   [Signal_pack] applies to signal words. *)
+let tick_arrive i = i lsl 1
+let tick_hangup slot = (slot lsl 1) lor 1
+
+(* Bounding the drain keeps the timed window tight: the t = 0 prefill
+   puts the whole initial population at one key, and timing it as a
+   single batch would report seconds of mutator work as a "pause". *)
+let churn_batch = 64
+
+let churn ?(jobs = 1) ?arrival_rate ?(session_until = 60_000.0) ?(grace = 30_000.0)
+    ~target_population ~mean_holding ~duration ~seed mk =
+  if target_population < 0 then invalid_arg "Fleet.churn: negative target population";
+  if jobs < 1 then invalid_arg "Fleet.churn: jobs must be at least 1";
+  if mean_holding <= 0.0 then invalid_arg "Fleet.churn: mean holding time must be positive";
+  if duration < 0.0 then invalid_arg "Fleet.churn: negative duration";
+  let rate =
+    match arrival_rate with
+    | Some r ->
+      if r < 0.0 then invalid_arg "Fleet.churn: negative arrival rate";
+      r
+    | None -> float_of_int target_population /. mean_holding
+  in
+  (* The plan: arrival time and private stream per session id. *)
+  let root = Rng.create seed in
+  let ats = Vec.create () in
+  let streams = Vec.create () in
+  for _ = 1 to target_population do
+    Vec.push ats 0.0;
+    Vec.push streams (Rng.split root)
+  done;
+  if rate > 0.0 && duration > 0.0 then begin
+    let t = ref (Rng.exponential root ~mean:(1.0 /. rate)) in
+    while !t < duration do
+      Vec.push ats !t;
+      Vec.push streams (Rng.split root);
+      t := !t +. Rng.exponential root ~mean:(1.0 /. rate)
+    done
+  end;
+  let total = Vec.length ats in
+  let shard k () =
+    let wheel = Twheel.create () in
+    let seqr = ref 0 in
+    for i = 0 to total - 1 do
+      if shard_of ~jobs ~sessions:total i = k then begin
+        Twheel.insert wheel ~key:(Vec.get ats i) ~seq:!seqr (tick_arrive i);
+        incr seqr
+      end
+    done;
+    let pool = Spool.create ~make:fresh_cell ~clear:clear_cell () in
+    let acc = macc () in
+    let buf = Buffer.create 4096 in
+    let digest = Bytes.make 16 '\000' in
+    let started = ref 0 in
+    let retired = ref 0 in
+    let events = ref 0 in
+    let conformant = ref 0 in
+    let violations = ref 0 in
+    let sat = ref 0 in
+    let vio = ref 0 in
+    let und = ref 0 in
+    let retire_slot slot =
+      let cl = Spool.get pool slot in
+      (match cl.cl_session with
+      | None -> ()
+      | Some s ->
+        let o = Session.retire ~grace ~setup:cl.cl_setup ~setup_events:cl.cl_setup_events s in
+        incr retired;
+        events := !events + o.Session.events;
+        if o.Session.conformant then incr conformant;
+        violations := !violations + o.Session.violations;
+        (match o.Session.verdict with
+        | Some Monitor.Satisfied -> incr sat
+        | Some (Monitor.Violated _) -> incr vio
+        | Some (Monitor.Undetermined _) -> incr und
+        | None -> ());
+        macc_add acc o.Session.metrics;
+        digest_xor digest (digest_outcome buf o));
+      Spool.release pool slot
+    in
+    let scratch = Vec.create () in
+    let g0 = Gc.quick_stat () in
+    let max_pause = ref 0.0 in
+    let max_batch = ref 0.0 in
+    let pause_batches = ref 0 in
+    let collections () =
+      let g = Gc.quick_stat () in
+      g.Gc.minor_collections + g.Gc.major_collections
+    in
+    while not (Twheel.is_empty wheel) do
+      Vec.clear scratch;
+      let n = Twheel.drain_due wheel ~max:churn_batch scratch in
+      let c0 = collections () in
+      let t0 = Unix.gettimeofday () in
+      for j = 0 to n - 1 do
+        let w = Vec.get scratch j in
+        if w land 1 = 1 then retire_slot (w asr 1)
+        else begin
+          let i = w asr 1 in
+          let rng = Vec.get streams i in
+          (* Holding time first: the draw order on the session stream
+             must not depend on what [mk] consumes. *)
+          let holding = Rng.exponential rng ~mean:mean_holding in
+          let s = mk ~id:i ~rng in
+          let slot, cl = Spool.acquire pool in
+          let ev, setup = Session.launch ~until:session_until s in
+          cl.cl_id <- i;
+          cl.cl_session <- Some s;
+          cl.cl_setup <- setup;
+          cl.cl_setup_events <- ev;
+          incr started;
+          let hang = Vec.get ats i +. holding in
+          if hang < duration then begin
+            Twheel.insert wheel ~key:hang ~seq:!seqr (tick_hangup slot);
+            incr seqr
+          end
+          (* else: still resident at the horizon; the final drain
+             below retires it. *)
+        end
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if collections () > c0 then begin
+        if dt > !max_pause then max_pause := dt;
+        incr pause_batches
+      end
+      else if dt > !max_batch then max_batch := dt
+    done;
+    Spool.iter_live (fun slot _ -> retire_slot slot) pool;
+    let g1 = Gc.quick_stat () in
+    {
+      sr_macc = acc;
+      sr_started = !started;
+      sr_retired = !retired;
+      sr_events = !events;
+      sr_conformant = !conformant;
+      sr_violations = !violations;
+      sr_sat = !sat;
+      sr_vio = !vio;
+      sr_und = !und;
+      sr_digest = digest;
+      sr_peak = Spool.peak pool;
+      sr_slots = Spool.capacity pool;
+      sr_minor = g1.Gc.minor_words -. g0.Gc.minor_words;
+      sr_promoted = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      sr_minor_cols = g1.Gc.minor_collections - g0.Gc.minor_collections;
+      sr_major_cols = g1.Gc.major_collections - g0.Gc.major_collections;
+      sr_max_pause = !max_pause;
+      sr_max_batch = !max_batch;
+      sr_pause_batches = !pause_batches;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    if jobs = 1 then [ shard 0 () ]
+    else
+      let domains = Array.init jobs (fun k -> Domain.spawn (shard k)) in
+      Array.to_list (Array.map Domain.join domains)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let g_end = Gc.quick_stat () in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+  let sumf f = List.fold_left (fun a r -> a +. f r) 0.0 reports in
+  let maxf f = List.fold_left (fun a r -> Float.max a (f r)) 0.0 reports in
+  let digest = Bytes.make 16 '\000' in
+  List.iter (fun r -> digest_xor digest (Bytes.to_string r.sr_digest)) reports;
+  let started = sum (fun r -> r.sr_started) in
+  let retired = sum (fun r -> r.sr_retired) in
+  let engine_events = sum (fun r -> r.sr_events) in
+  let per_s n = if wall_s > 0.0 then float_of_int n /. wall_s else 0.0 in
+  {
+    c_target = target_population;
+    c_jobs = jobs;
+    c_duration = duration;
+    c_mean_holding = mean_holding;
+    c_wall_s = wall_s;
+    c_started = started;
+    c_retired = retired;
+    c_peak_resident = sum (fun r -> r.sr_peak);
+    c_pool_slots = sum (fun r -> r.sr_slots);
+    c_engine_events = engine_events;
+    c_events_per_s = per_s engine_events;
+    c_sessions_per_s = per_s retired;
+    c_digest = Digest.to_hex (Bytes.to_string digest);
+    c_metrics = macc_total (List.map (fun r -> r.sr_macc) reports);
+    c_conformant = sum (fun r -> r.sr_conformant);
+    c_violations = sum (fun r -> r.sr_violations);
+    c_satisfied = sum (fun r -> r.sr_sat);
+    c_violated = sum (fun r -> r.sr_vio);
+    c_undetermined = sum (fun r -> r.sr_und);
+    c_gc =
+      {
+        minor_words = sumf (fun r -> r.sr_minor);
+        promoted_words = sumf (fun r -> r.sr_promoted);
+        minor_collections = sum (fun r -> r.sr_minor_cols);
+        major_collections = sum (fun r -> r.sr_major_cols);
+        heap_words = g_end.Gc.heap_words;
+        top_heap_words = g_end.Gc.top_heap_words;
+        max_pause_s = maxf (fun r -> r.sr_max_pause);
+        max_batch_s = maxf (fun r -> r.sr_max_batch);
+        pause_batches = sum (fun r -> r.sr_pause_batches);
+      };
+  }
+
+let pp_churn_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>churn       target %d resident, %d started / %d retired on %d domain(s)@,\
+     horizon     %.0f ms simulated (mean holding %.0f ms), %.3f s wall@,\
+     resident    peak %d session(s) in %d pooled slot(s)@,\
+     throughput  %.1f sessions/s, %.0f events/s (%d engine events)@,\
+     gc          %.2e minor words (%d minor / %d major collections), heap %d words (peak \
+     %d)@,\
+     pauses      max %.3f ms over %d collecting batch(es); max quiet batch %.3f ms@,\
+     monitor     %d/%d conformant, %d violation(s)%s@,\
+     digest      %s@]"
+    s.c_target s.c_started s.c_retired s.c_jobs s.c_duration s.c_mean_holding s.c_wall_s
+    s.c_peak_resident s.c_pool_slots s.c_sessions_per_s s.c_events_per_s s.c_engine_events
+    s.c_gc.minor_words s.c_gc.minor_collections s.c_gc.major_collections s.c_gc.heap_words
+    s.c_gc.top_heap_words
+    (s.c_gc.max_pause_s *. 1000.0)
+    s.c_gc.pause_batches
+    (s.c_gc.max_batch_s *. 1000.0)
+    s.c_conformant s.c_retired s.c_violations
+    (if s.c_satisfied + s.c_violated + s.c_undetermined = 0 then ""
+     else
+       Printf.sprintf "; obligations %d satisfied / %d violated / %d undetermined"
+         s.c_satisfied s.c_violated s.c_undetermined)
+    s.c_digest

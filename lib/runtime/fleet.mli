@@ -30,6 +30,13 @@ type summary = {
   undetermined : int;  (** judged sessions cut off before quiescence *)
 }
 
+val shard_of : jobs:int -> sessions:int -> int -> int
+(** The shard session [i] runs on: block-cyclic by id, not plain
+    round-robin — [i mod jobs] resonates with periodic cost patterns
+    in the id sequence (the mixed scenario assigns its kind by
+    [id mod 5]), piling the expensive kind onto one shard.  Pure in
+    [(jobs, sessions, i)], so tests can assert coverage and balance. *)
+
 val run :
   ?jobs:int ->
   ?until:float ->
@@ -44,3 +51,94 @@ val run :
     each session individually.  Default [jobs] is 1. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {2 Churn}
+
+    [churn] holds a {e steady-state} population under continuous
+    arrival/hangup turnover instead of running a fixed batch: session
+    ids [0 .. target_population - 1] arrive at t = 0, later ids as a
+    Poisson process (default rate [target_population /. mean_holding],
+    the steady-state balance), and each session stays resident for an
+    exponential holding time drawn from its own split stream.  A
+    resident session lives in a pooled per-shard slot
+    ({!Mediactl_runtime.Spool}); at hangup it is retired — teardown
+    recording bracket, metrics, monitor, digest — into the shard
+    accumulator and its slot recycled, so memory tracks the peak
+    resident population, not total arrivals.
+
+    {b Determinism.}  The whole arrival plan and every per-session
+    stream are drawn from the root seed on the calling domain before
+    any shard runs, holding times are drawn from the session stream
+    before the session constructor consumes it, and the per-session
+    digests combine by XOR (commutative), so [c_digest] — and every
+    per-session outcome behind it — is bit-identical whatever [jobs]
+    is. *)
+
+(** GC observation aggregated over the shard drive loops.  Word and
+    collection counts are [Gc.quick_stat] deltas summed across shards
+    (minor figures are per-domain in OCaml 5; heap figures describe
+    the shared major heap).  [max_pause_s] is a {e proxy}, not a
+    stop-the-world measurement: the wall time of the slowest
+    [Twheel.drain_due] batch (at most {!churn} batch size events)
+    during which the collection count advanced — an upper bound that
+    includes the batch's own mutator work, which [max_batch_s], the
+    slowest collection-free batch, baselines. *)
+type gc_report = {
+  minor_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  heap_words : int;
+  top_heap_words : int;
+  max_pause_s : float;
+  max_batch_s : float;
+  pause_batches : int;  (** batches whose window saw a collection *)
+}
+
+type churn_summary = {
+  c_target : int;
+  c_jobs : int;
+  c_duration : float;  (** churn horizon, simulated ms *)
+  c_mean_holding : float;
+  c_wall_s : float;
+  c_started : int;
+  c_retired : int;
+  c_peak_resident : int;
+      (** summed per-shard peaks — exact at [jobs = 1], an upper bound
+          on the instantaneous global peak otherwise *)
+  c_pool_slots : int;  (** pooled slots ever allocated, all shards *)
+  c_engine_events : int;
+  c_events_per_s : float;
+  c_sessions_per_s : float;  (** retirements per wall second *)
+  c_digest : string;  (** hex; independent of [jobs] *)
+  c_metrics : Metrics.t;
+  c_conformant : int;
+  c_violations : int;
+  c_satisfied : int;
+  c_violated : int;
+  c_undetermined : int;
+  c_gc : gc_report;
+}
+
+val churn :
+  ?jobs:int ->
+  ?arrival_rate:float ->
+  ?session_until:float ->
+  ?grace:float ->
+  target_population:int ->
+  mean_holding:float ->
+  duration:float ->
+  seed:int ->
+  (id:int -> rng:Rng.t -> Session.t) ->
+  churn_summary
+(** [churn ~target_population ~mean_holding ~duration ~seed mk] drives
+    the workload described above for [duration] simulated ms of churn
+    time; sessions still resident at the horizon are retired by a
+    final drain.  [arrival_rate] (arrivals per simulated ms) overrides
+    the steady-state default; [session_until] bounds each session's
+    own setup clock (default 60000 ms) and [grace] its teardown
+    (default 30000 ms, see {!Session.retire}).  [mk] is the same
+    constructor shape {!run} takes; give it a hangup-capable session
+    (see {!Session.create}) or retirement degrades to a bare cutoff. *)
+
+val pp_churn_summary : Format.formatter -> churn_summary -> unit

@@ -28,11 +28,12 @@ type t = {
   s_c : float;
   s_make : unit -> Netsys.t;
   s_boot : t -> unit;
+  s_hangup : (t -> unit) option;
   s_judge : (Trace.Packed.t -> Monitor.verdict) option;
   mutable s_sim : Timed.t option;
 }
 
-let create ?sched ?(n = 34.0) ?(c = 20.0) ?judge ~id ~scenario ~rng ~boot make =
+let create ?sched ?(n = 34.0) ?(c = 20.0) ?hangup ?judge ~id ~scenario ~rng ~boot make =
   {
     s_id = id;
     s_scenario = scenario;
@@ -43,6 +44,7 @@ let create ?sched ?(n = 34.0) ?(c = 20.0) ?judge ~id ~scenario ~rng ~boot make =
     s_c = c;
     s_make = make;
     s_boot = boot;
+    s_hangup = hangup;
     s_judge = judge;
     s_sim = None;
   }
@@ -75,6 +77,21 @@ let boot_external t ~make_driver =
   t.s_boot t;
   sim
 
+let analyze t ~events ~end_time trace =
+  let metrics = Metrics.of_packed trace in
+  let report = Monitor.replay_packed trace in
+  {
+    id = t.s_id;
+    scenario = t.s_scenario;
+    events;
+    end_time;
+    trace;
+    metrics;
+    conformant = Monitor.conformant report;
+    violations = List.length report.Monitor.violations;
+    verdict = Option.map (fun judge -> judge trace) t.s_judge;
+  }
+
 let run ?until ?max_events t =
   let (events, end_time), trace =
     Trace.recording_packed (fun () ->
@@ -90,19 +107,51 @@ let run ?until ?max_events t =
       let events = Timed.run ?until ?max_events sim in
       (events, Timed.now sim))
   in
-  let metrics = Metrics.of_packed trace in
-  let report = Monitor.replay_packed trace in
-  {
-    id = t.s_id;
-    scenario = t.s_scenario;
-    events;
-    end_time;
-    trace;
-    metrics;
-    conformant = Monitor.conformant report;
-    violations = List.length report.Monitor.violations;
-    verdict = Option.map (fun judge -> judge trace) t.s_judge;
-  }
+  analyze t ~events ~end_time trace
+
+(* ------------------------------------------------------------------ *)
+(* Phased lifecycle (churn)
+
+   A churned session lives as a {e resident} between two recording
+   brackets on the same domain: [launch] builds, boots, and drives it
+   to quiescence, capturing the setup segment; the session then sits
+   dormant — no scheduled work, so it emits nothing while other
+   sessions record — until [retire] opens the second bracket, runs the
+   hangup closure (if any), drives the teardown to quiescence, and
+   joins the two segments with {!Trace.Packed.append} before deriving
+   metrics and verdicts exactly as {!run} does.  The dormancy invariant
+   is what makes two brackets lossless: between them the session's
+   engine queue is empty, so there is nothing to record. *)
+
+let launch ?until ?max_events t =
+  (match t.s_sim with
+  | Some _ -> invalid_arg "Session.launch: session already running"
+  | None -> ());
+  Trace.recording_packed (fun () ->
+    let sim =
+      Timed.create ~seed:t.s_seed ?sched:t.s_sched ~record_msc:false ~n:t.s_n ~c:t.s_c
+        (t.s_make ())
+    in
+    t.s_sim <- Some sim;
+    Timed.observe sim;
+    t.s_boot t;
+    Timed.run ?until ?max_events sim)
+
+let retire ?(grace = 30_000.0) ?max_events ~setup ~setup_events t =
+  let sim =
+    match t.s_sim with
+    | Some sim -> sim
+    | None -> invalid_arg "Session.retire: session was never launched"
+  in
+  let (events, end_time), teardown =
+    Trace.recording_packed (fun () ->
+      Timed.observe sim;
+      (match t.s_hangup with Some h -> h t | None -> ());
+      let events = Timed.run ~until:(Timed.now sim +. grace) ?max_events sim in
+      (events, Timed.now sim))
+  in
+  t.s_sim <- None;
+  analyze t ~events:(setup_events + events) ~end_time (Trace.Packed.append setup teardown)
 
 let pp_outcome ppf (o : outcome) =
   Format.fprintf ppf "#%d %-8s %5d events, end %8.1f ms, %d trace, %s%a" o.id o.scenario

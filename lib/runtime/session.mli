@@ -25,6 +25,7 @@ val create :
   ?sched:Engine.sched ->
   ?n:float ->
   ?c:float ->
+  ?hangup:(t -> unit) ->
   ?judge:(Trace.Packed.t -> Monitor.verdict) ->
   id:int ->
   scenario:string ->
@@ -36,9 +37,11 @@ val create :
     builds (and, if it likes, untimed-settles) the starting network;
     [boot] then engages goals, attaches impairment, or launches box
     programs against the live driver ({!sim} is valid from [boot]
-    onward).  [judge], if given, evaluates a temporal obligation on the
-    captured trace.  [n], [c], and [sched] are passed to
-    {!Timed.create}. *)
+    onward).  [hangup], if given, is the teardown counterpart of
+    [boot], run by {!retire} at the start of the second recording
+    bracket (typically re-engaging the path goals to [Close_end]).
+    [judge], if given, evaluates a temporal obligation on the captured
+    trace.  [n], [c], and [sched] are passed to {!Timed.create}. *)
 
 val id : t -> int
 val scenario : t -> string
@@ -91,6 +94,39 @@ val run : ?until:float -> ?max_events:int -> t -> outcome
     recording its trace into the domain-local ring buffer
     ({!Trace.recording_packed}); then derive metrics and monitor
     results through the packed accessors.  A session is single-use:
-    run it once. *)
+    run it once.  [run] does not execute the [hangup] closure — use
+    the phased {!launch}/{!retire} pair for churned lifecycles. *)
+
+(** {2 Phased lifecycle (churn)}
+
+    A churned session is {e resident} between two recording brackets
+    on its owning domain: {!launch} captures the setup segment and
+    leaves the session quiescent (its engine queue empty, so it emits
+    nothing while other sessions record on the same domain);
+    {!retire} later opens the second bracket, runs the [hangup]
+    closure, drives the teardown to quiescence, and joins the two
+    segments with {!Trace.Packed.append} into one outcome.  The
+    outcome is the same pure function of [(id, rng)] as {!run}'s, so
+    churn results stay independent of the domain count. *)
+
+val launch : ?until:float -> ?max_events:int -> t -> int * Trace.Packed.t
+(** Build, boot, and drive to quiescence (or the bound) inside the
+    first recording bracket; returns the engine events processed and
+    the captured setup segment.  The session stays live — {!sim}
+    remains valid — until {!retire}. *)
+
+val retire :
+  ?grace:float ->
+  ?max_events:int ->
+  setup:Trace.Packed.t ->
+  setup_events:int ->
+  t ->
+  outcome
+(** [retire ~setup ~setup_events t] opens the second recording
+    bracket on the session launched earlier: runs the [hangup]
+    closure, drives at most [grace] further simulated milliseconds
+    (default 30000) to let the close handshakes quiesce, appends the
+    teardown segment to [setup], and derives the combined outcome.
+    @raise Invalid_argument if the session was never launched. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

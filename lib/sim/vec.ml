@@ -36,6 +36,11 @@ let push t x =
 
 let clear t = t.len <- 0
 
+let pop_last t =
+  if t.len = 0 then invalid_arg "Vec.pop_last: empty vector";
+  t.len <- t.len - 1;
+  Array.unsafe_get t.arr t.len
+
 let reset t =
   t.arr <- [||];
   t.len <- 0

@@ -18,6 +18,11 @@ val push : 'a t -> 'a -> unit
 val clear : 'a t -> unit
 (** Forget the elements but keep the capacity. *)
 
+val pop_last : 'a t -> 'a
+(** Remove and return the last element (LIFO).  Like {!clear}, the
+    vacated slot keeps its element reachable until overwritten.
+    @raise Invalid_argument on an empty vector. *)
+
 val reset : 'a t -> unit
 (** Forget elements {e and} capacity (drops references). *)
 

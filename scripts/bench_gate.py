@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""CI regression gates over the committed bench baselines.
+
+One gate per bench artifact family:
+
+  bench_gate.py --gate mc    --fresh BENCH_mc.json    --baseline bench-baseline.json
+  bench_gate.py --gate fleet --fresh BENCH_fleet.json --baseline fleet-baseline.json
+  bench_gate.py --gate churn --fresh BENCH_churn.json --baseline churn-baseline.json
+
+Each gate prints what it measured and exits non-zero on the first
+regression class it finds.  Thresholds carry generous slack for runner
+variance: correctness properties (determinism, verdict agreement) are
+exact, throughput gates allow 25% slowdown against the committed
+baseline, allocation and pause gates allow more because Gc deltas are
+quantized and shared runners stall unpredictably.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def gate_mc(fresh, base):
+    """Model-checker bench (E10): verdict agreement + packed time."""
+    ok = True
+    ft, bt = fresh["totals"], base["totals"]
+    ratio = ft["packed_s"] / bt["packed_s"]
+    print(f"packed_s: fresh {ft['packed_s']:.2f}s vs committed {bt['packed_s']:.2f}s (x{ratio:.2f})")
+    if not ft["all_agree"]:
+        print("FAIL: jobs:1 and jobs:4 runs disagree")
+        ok = False
+    if not ft["all_passed"]:
+        print("FAIL: a path model failed its obligation")
+        ok = False
+    if ratio > 1.25:
+        print("FAIL: packed_s regressed more than 25% against the committed baseline")
+        ok = False
+    return ok
+
+
+def gate_fleet(fresh, base):
+    """Fleet bench (E12/E15): determinism, kernel, throughput, allocation."""
+    ok = True
+    if not fresh["fleet"]["deterministic"]:
+        print("FAIL: per-session fleet results differ across job counts")
+        ok = False
+    if not fresh["kernel"]["agree"]:
+        print("FAIL: timer wheel and heap disagree on the E9 kernel")
+        ok = False
+    if fresh["kernel"]["wheel_speedup"] < 0.90:
+        print(f"FAIL: timer wheel more than 10% slower than the heap "
+              f"(speedup {fresh['kernel']['wheel_speedup']:.2f})")
+        ok = False
+    # Throughput gate: jobs-1 rows against the committed baseline, with
+    # 25% slack for runner variance.
+    f1 = next(r for r in fresh["fleet"]["rows"] if r["jobs"] == 1)
+    b1 = next(r for r in base["fleet"]["rows"] if r["jobs"] == 1)
+    ratio = f1["sessions_per_s"] / b1["sessions_per_s"]
+    print(f"sessions/s (jobs 1): fresh {f1['sessions_per_s']:.0f} vs committed "
+          f"{b1['sessions_per_s']:.0f} (x{ratio:.2f})")
+    if ratio < 0.75:
+        print("FAIL: sessions/sec regressed more than 25% against the committed baseline")
+        ok = False
+    ev_ratio = f1["events_per_s"] / b1["events_per_s"]
+    print(f"events/s (jobs 1): fresh {f1['events_per_s']:.0f} vs committed "
+          f"{b1['events_per_s']:.0f} (x{ev_ratio:.2f})")
+    if ev_ratio < 0.75:
+        print("FAIL: events/sec regressed more than 25% against the committed baseline")
+        ok = False
+    # Allocation gate: minor words/event on the jobs-1 run.  Gc deltas
+    # are quantized to the minor-heap size, hence the 2x slack.
+    if "alloc" in base:
+        aratio = fresh["alloc"]["minor_words_per_event"] / base["alloc"]["minor_words_per_event"]
+        print(f"minor words/event (jobs 1): fresh {fresh['alloc']['minor_words_per_event']:.1f} "
+              f"vs committed {base['alloc']['minor_words_per_event']:.1f} (x{aratio:.2f})")
+        if aratio > 2.0:
+            print("FAIL: allocation per event regressed more than 2x against the committed baseline")
+            ok = False
+    else:
+        print("no alloc section in the committed baseline; skipping the allocation gate")
+    rows = {r["jobs"]: r for r in fresh["fleet"]["rows"]}
+    if 4 in rows:
+        print(f"events/s scaling jobs 1 -> 4: x{rows[4]['events_per_s'] / f1['events_per_s']:.2f} "
+              f"on {fresh['cores']} core(s)")
+    return ok
+
+
+def gate_churn(fresh, base):
+    """Churn bench (E16): digest stability across jobs, throughput, pauses."""
+    ok = True
+    if not fresh["deterministic"]:
+        print("FAIL: churn digests differ across job counts")
+        ok = False
+    # Per-population digest check, belt-and-braces over the aggregate
+    # flag: every row of a population must carry the same digest.
+    by_pop = {}
+    for r in fresh["rows"]:
+        by_pop.setdefault(r["population"], set()).add(r["digest"])
+    for pop, digests in sorted(by_pop.items()):
+        if len(digests) != 1:
+            print(f"FAIL: population {pop} digests differ across jobs: {sorted(digests)}")
+            ok = False
+        else:
+            print(f"population {pop}: digest {next(iter(digests))[:12]} stable across jobs")
+    # Throughput gate on the largest jobs-1 cell — the row most exposed
+    # to major-GC marking of the big live heap, which is what E16
+    # measures.  25% slack for runner variance.
+    def biggest_j1(doc):
+        rows = [r for r in doc["rows"] if r["jobs"] == 1]
+        return max(rows, key=lambda r: r["population"])
+    f1, b1 = biggest_j1(fresh), biggest_j1(base)
+    if f1["population"] != b1["population"]:
+        print(f"note: largest jobs-1 population changed "
+              f"({b1['population']} -> {f1['population']}); comparing anyway")
+    ratio = f1["events_per_s"] / b1["events_per_s"]
+    print(f"events/s (pop {f1['population']}, jobs 1): fresh {f1['events_per_s']:.0f} "
+          f"vs committed {b1['events_per_s']:.0f} (x{ratio:.2f})")
+    if ratio < 0.75:
+        print("FAIL: churn events/sec regressed more than 25% against the committed baseline")
+        ok = False
+    # Pause gate: the max observed batch-pause proxy across all rows.
+    # Shared runners stall for tens of milliseconds on their own, so
+    # the floor is a flat 250 ms and the baseline multiplier is 5x.
+    fresh_pause = max(r["max_pause_ms"] for r in fresh["rows"])
+    base_pause = max(r["max_pause_ms"] for r in base["rows"])
+    limit = max(250.0, 5.0 * base_pause)
+    print(f"max pause proxy: fresh {fresh_pause:.1f} ms vs committed {base_pause:.1f} ms "
+          f"(limit {limit:.0f} ms)")
+    if fresh_pause > limit:
+        print("FAIL: max GC-pause proxy exceeded the gate")
+        ok = False
+    peak = max(r["peak_resident"] for r in fresh["rows"])
+    print(f"peak resident sessions: {peak}")
+    return ok
+
+
+GATES = {"mc": gate_mc, "fleet": gate_fleet, "churn": gate_churn}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--gate", required=True, choices=sorted(GATES))
+    ap.add_argument("--fresh", required=True, help="freshly generated bench JSON")
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    args = ap.parse_args()
+    ok = GATES[args.gate](load(args.fresh), load(args.baseline))
+    print(f"gate {args.gate}: {'OK' if ok else 'FAILED'}")
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -185,6 +185,135 @@ let test_fleet_shards_cover_all_ids () =
   check tbool "ids 0..6 in order" true
     (List.map (fun (o : Session.outcome) -> o.Session.id) outcomes = List.init 7 Fun.id)
 
+(* Block-cyclic sharding: with [jobs = 5] over the mixed scenario set
+   (kind = id mod 5), plain round-robin would pin every copy of kind k
+   onto shard k — the expensive kind lands on one domain.  The
+   block-cyclic map must give every shard the same session count AND
+   all five kinds. *)
+let test_shard_balance () =
+  let jobs = 5 and sessions = 200 in
+  let tally = Array.make jobs 0 in
+  let kinds = Array.make_matrix jobs 5 false in
+  for i = 0 to sessions - 1 do
+    let k = Fleet.shard_of ~jobs ~sessions i in
+    check tbool "shard in range" true (0 <= k && k < jobs);
+    tally.(k) <- tally.(k) + 1;
+    kinds.(k).(i mod 5) <- true
+  done;
+  Array.iteri (fun k n -> check tint (Printf.sprintf "shard %d balanced" k) 40 n) tally;
+  Array.iteri
+    (fun k seen ->
+      check tbool (Printf.sprintf "shard %d sees all five kinds" k) true
+        (Array.for_all Fun.id seen))
+    kinds
+
+(* --- slot pool ---------------------------------------------------------- *)
+
+(* A released slot's cell is physically reused by the next acquire —
+   scrubbed, so nothing (trace entries, session state) leaks into the
+   next occupant — and the pool never makes a cell it could recycle. *)
+let test_spool_recycles () =
+  let made = ref 0 in
+  let pool =
+    Spool.create
+      ~make:(fun () ->
+        incr made;
+        ref [])
+      ~clear:(fun cell -> cell := [])
+      ()
+  in
+  let s0, c0 = Spool.acquire pool in
+  let s1, c1 = Spool.acquire pool in
+  c0 := [ "occupant0-trace" ];
+  c1 := [ "occupant1-trace" ];
+  check tint "two fresh cells" 2 !made;
+  check tint "live" 2 (Spool.live pool);
+  Spool.release pool s0;
+  check tint "live after release" 1 (Spool.live pool);
+  let s0', c0' = Spool.acquire pool in
+  check tint "freed slot recycled" s0 s0';
+  check tbool "cell physically reused" true (c0 == c0');
+  check tbool "no trace entries leak into the next occupant" true (!c0' = []);
+  check tint "recycle makes no new cell" 2 !made;
+  check tint "peak tracks max live" 2 (Spool.peak pool);
+  check tint "capacity = slots ever issued" 2 (Spool.capacity pool);
+  let visited = ref [] in
+  Spool.iter_live (fun slot _ -> visited := slot :: !visited) pool;
+  check tbool "iter_live in slot order" true (List.rev !visited = List.sort compare [ s0'; s1 ])
+
+(* --- packed trace append ------------------------------------------------ *)
+
+(* Joining two recording brackets must read back exactly like one
+   continuous recording: seq renumbered across the seam, the second
+   segment's interned strings remapped (shared labels dedup into the
+   first segment's table). *)
+let test_packed_append () =
+  let module T = Obs.Trace in
+  let burst_a () =
+    T.emit (T.Meta_send { chan = "ctrl"; box = "left" });
+    T.emit (T.Slot_transition { slot = "s1"; from_ = "closed"; to_ = "open"; cause = "open" })
+  in
+  let burst_b () =
+    T.emit (T.Meta_recv { chan = "ctrl"; box = "right" });
+    T.emit (T.Goal { goal = "g"; slot = "s1"; from_ = "open"; to_ = "flowing" })
+  in
+  let (), a = T.recording_packed burst_a in
+  let (), b = T.recording_packed burst_b in
+  let joined = T.Packed.append a b in
+  let (), whole =
+    T.recording_packed (fun () ->
+      burst_a ();
+      burst_b ())
+  in
+  check tbool "append reads back as one continuous recording" true
+    (List.map T.event_to_json (T.Packed.to_events joined)
+    = List.map T.event_to_json (T.Packed.to_events whole));
+  (* "ctrl" appears in both brackets; after the remap the two decoded
+     events must share one interned string (physical equality). *)
+  check tbool "shared strings dedup into one intern slot" true
+    (match (T.Packed.kind joined 0, T.Packed.kind joined 2) with
+    | T.Meta_send { chan = ca; _ }, T.Meta_recv { chan = cb; _ } -> ca == cb
+    | _ -> false);
+  check tbool "append onto empty is identity" true
+    (T.Packed.append T.Packed.empty a == a && T.Packed.append a T.Packed.empty == a)
+
+(* --- churn -------------------------------------------------------------- *)
+
+(* The churn acceptance property: interleaved create/retire with slot
+   reuse yields per-session outcomes — rolled up in the XOR digest and
+   the started/retired counts — independent of the job count. *)
+let prop_churn_jobs_independent =
+  QCheck2.Test.make ~name:"churn digest independent of job count" ~count:8
+    QCheck2.Gen.(triple (int_range 8 40) (int_range 500 2_500) (int_range 0 10_000))
+    (fun (pop, duration, seed) ->
+      let mk ~id ~rng = Scenario.churn_session Scenario.Path ~id ~rng in
+      let run jobs =
+        let s =
+          Fleet.churn ~jobs ~target_population:pop ~mean_holding:1_000.0
+            ~duration:(float_of_int duration) ~seed mk
+        in
+        (s.Fleet.c_digest, s.Fleet.c_started, s.Fleet.c_retired, s.Fleet.c_conformant)
+      in
+      let r1 = run 1 in
+      r1 = run 2 && r1 = run 3)
+
+(* Every arrival is retired by the horizon drain, pooled slots track
+   the peak population (not total arrivals), and a lossy mixed churn
+   stays conformant under the reliability layer. *)
+let test_churn_retires_everything () =
+  let mk ~id ~rng = Scenario.churn_session ~loss:0.04 Scenario.Mixed ~id ~rng in
+  let s =
+    Fleet.churn ~jobs:2 ~target_population:30 ~mean_holding:800.0 ~duration:2_000.0 ~seed:5
+      mk
+  in
+  check tint "every arrival retired" s.Fleet.c_started s.Fleet.c_retired;
+  check tbool "turnover happened" true (s.Fleet.c_started > 30);
+  check tbool "slots recycled below total arrivals" true
+    (s.Fleet.c_pool_slots < s.Fleet.c_started);
+  check tbool "pool tracks peak population" true
+    (s.Fleet.c_peak_resident <= s.Fleet.c_pool_slots);
+  check tint "lossy mixed churn conformant" s.Fleet.c_retired s.Fleet.c_conformant
+
 let () =
   Alcotest.run "fleet"
     [
@@ -200,6 +329,18 @@ let () =
       ( "fleet",
         [
           Alcotest.test_case "deterministic across jobs 1/2/4" `Quick test_fleet_determinism;
-          Alcotest.test_case "round-robin covers all ids" `Quick test_fleet_shards_cover_all_ids;
+          Alcotest.test_case "sharding covers all ids" `Quick test_fleet_shards_cover_all_ids;
+          Alcotest.test_case "block-cyclic balance and kind spread" `Quick test_shard_balance;
+        ] );
+      ( "spool",
+        [
+          Alcotest.test_case "slot recycling scrubs cells" `Quick test_spool_recycles;
+          Alcotest.test_case "packed append joins brackets" `Quick test_packed_append;
+        ] );
+      ( "churn",
+        [
+          QCheck_alcotest.to_alcotest prop_churn_jobs_independent;
+          Alcotest.test_case "horizon drain retires everything" `Quick
+            test_churn_retires_everything;
         ] );
     ]
