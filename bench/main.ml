@@ -490,15 +490,9 @@ let e9 () =
      finds the protocol error immediately. *)
   let unrestricted =
     Mediactl_mc.Check.run ~max_states:4_000_000
-      {
-        Mediactl_mc.Path_model.left = Semantics.Open_end;
-        right = Semantics.Hold_end;
-        flowlinks = 0;
-        chaos = 1;
-        modifies = 0;
-        environment_ends = false;
-        faults = { Mediactl_mc.Path_model.losses = 0; dups = 1; unrestricted = true };
-      }
+      (Mediactl_mc.Path_model.path_config
+         ~faults:{ Mediactl_mc.Path_model.losses = 0; dups = 1; unrestricted = true }
+         ~left:Semantics.Open_end ~right:Semantics.Hold_end ~flowlinks:0 ~chaos:1 ~modifies:0 ())
   in
   Format.printf "@.without the restriction (a duplicated handshake signal):@.  %a@."
     Mediactl_mc.Check.pp_report unrestricted;
@@ -1397,6 +1391,191 @@ let e16 () =
   if !json_mode then e16_write_json rows deterministic
 
 (* ------------------------------------------------------------------ *)
+(* E17: N-party topologies — 3-party checking and the conference fleet *)
+
+type e17_check_row = {
+  n_name : string;
+  n_states : int;
+  n_transitions : int;
+  n_terminals : int;
+  n_seq_s : float;
+  n_par_s : float;
+  n_agree : bool;
+  n_passed : bool;
+}
+
+let e17_jobs = 4
+let e17_parties = 3
+let e17_sessions = 256
+let e17_job_counts = [ 1; 2; 4 ]
+let e17_churn_pop = 500
+let e17_churn_duration = 4_000.0
+
+(* The N=3 star configurations: every leg an openslot facing the mixer,
+   one interior flowlink per leg (clean, then under a loss+dup budget).
+   The reachable space is the product of the three leg spaces coupled
+   through the shared fault budgets, so these are the smallest
+   conference models that still exercise every cross-leg interleaving
+   class; EXPERIMENTS.md E17 records the larger chaos-1 sweep. *)
+let e17_configs () =
+  let parties = List.init e17_parties (fun _ -> Semantics.Open_end) in
+  [
+    PM.conf_config ~parties ~flowlinks:1 ~chaos:0 ~modifies:0 ();
+    PM.conf_config
+      ~faults:{ PM.losses = 1; dups = 1; unrestricted = false }
+      ~parties ~flowlinks:1 ~chaos:0 ~modifies:0 ();
+  ]
+
+let e17_check config =
+  let r1 = MC_check.run ~max_states:e10_cap ~jobs:1 config in
+  let r4 = MC_check.run ~max_states:e10_cap ~jobs:e17_jobs config in
+  {
+    n_name = PM.config_name config;
+    n_states = r1.MC_check.states;
+    n_transitions = r1.MC_check.transitions;
+    n_terminals = r1.MC_check.terminals;
+    n_seq_s = r1.MC_check.time_s;
+    n_par_s = r4.MC_check.time_s;
+    n_agree =
+      r1.MC_check.states = r4.MC_check.states
+      && r1.MC_check.transitions = r4.MC_check.transitions
+      && r1.MC_check.terminals = r4.MC_check.terminals
+      && MC_check.passed r1 = MC_check.passed r4;
+    n_passed = MC_check.passed r1;
+  }
+
+let e17_write_json checks fleet_rows fleet_det churn_rows churn_det =
+  let rate s t = float_of_int s /. Float.max 1e-9 t in
+  let seq = List.fold_left (fun acc r -> acc +. r.n_seq_s) 0.0 checks in
+  let par = List.fold_left (fun acc r -> acc +. r.n_par_s) 0.0 checks in
+  let oc = open_out "BENCH_conf.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"experiment\": \"e17\",\n";
+  Printf.fprintf oc "  \"parties\": %d,\n" e17_parties;
+  Printf.fprintf oc "  \"jobs\": %d,\n" e17_jobs;
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc
+    "  \"note\": \"3-party star configs checked exhaustively at jobs:1 and jobs:%d \
+     (agree = bit-identical counts and equal verdicts), plus the N-party conference \
+     fleet and churn digests across job counts.\",\n"
+    e17_jobs;
+  Printf.fprintf oc "  \"checks\": [\n";
+  let last = List.length checks - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"config\": %S, \"states\": %d, \"transitions\": %d, \"terminals\": %d, \
+         \"seq_s\": %.4f, \"par_s\": %.4f, \"seq_states_per_s\": %.0f, \
+         \"par_states_per_s\": %.0f, \"agree\": %b, \"passed\": %b }%s\n"
+        r.n_name r.n_states r.n_transitions r.n_terminals r.n_seq_s r.n_par_s
+        (rate r.n_states r.n_seq_s) (rate r.n_states r.n_par_s) r.n_agree r.n_passed
+        (if i = last then "" else ","))
+    checks;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"check_totals\": { \"seq_s\": %.4f, \"par_s\": %.4f, \"all_agree\": %b, \
+     \"all_passed\": %b },\n"
+    seq par
+    (List.for_all (fun r -> r.n_agree) checks)
+    (List.for_all (fun r -> r.n_passed) checks);
+  Printf.fprintf oc
+    "  \"fleet\": { \"scenario\": \"conf\", \"sessions\": %d, \"deterministic\": %b, \
+     \"rows\": [\n"
+    e17_sessions fleet_det;
+  let last = List.length fleet_rows - 1 in
+  List.iteri
+    (fun i (jobs, (s : Fleet.summary), digest) ->
+      Printf.fprintf oc
+        "    { \"jobs\": %d, \"wall_s\": %.4f, \"sessions_per_s\": %.1f, \
+         \"events_per_s\": %.0f, \"conformant\": %d, \"satisfied\": %d, \"digest\": \
+         \"%s\" }%s\n"
+        jobs s.Fleet.wall_s s.Fleet.sessions_per_s s.Fleet.events_per_s s.Fleet.conformant
+        s.Fleet.satisfied digest
+        (if i = last then "" else ","))
+    fleet_rows;
+  Printf.fprintf oc "  ] },\n";
+  Printf.fprintf oc
+    "  \"churn\": { \"population\": %d, \"duration_ms\": %.0f, \"deterministic\": %b, \
+     \"rows\": [\n"
+    e17_churn_pop e17_churn_duration churn_det;
+  let last = List.length churn_rows - 1 in
+  List.iteri
+    (fun i (jobs, (s : Fleet.churn_summary)) ->
+      Printf.fprintf oc
+        "    { \"jobs\": %d, \"wall_s\": %.4f, \"started\": %d, \"retired\": %d, \
+         \"events_per_s\": %.0f, \"conformant\": %d, \"satisfied\": %d, \"digest\": \
+         \"%s\" }%s\n"
+        jobs s.Fleet.c_wall_s s.Fleet.c_started s.Fleet.c_retired s.Fleet.c_events_per_s
+        s.Fleet.c_conformant s.Fleet.c_satisfied s.Fleet.c_digest
+        (if i = last then "" else ","))
+    churn_rows;
+  Printf.fprintf oc "  ] }\n}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_conf.json@."
+
+let e17 () =
+  header "E17  N-party topologies: 3-party checking and the conference fleet";
+  Format.printf "3-party star configurations, exhaustive, jobs 1 vs %d:@.@." e17_jobs;
+  Format.printf "%-40s %9s %9s | %8s %8s@." "config" "states" "trans" "seq" "par";
+  let checks =
+    List.map
+      (fun config ->
+        let r = e17_check config in
+        Format.printf "%-40s %9d %9d | %7.2fs %7.2fs%s%s@." r.n_name r.n_states
+          r.n_transitions r.n_seq_s r.n_par_s
+          (if r.n_agree then "" else "  DISAGREE")
+          (if r.n_passed then "" else "  FAILED");
+        r)
+      (e17_configs ())
+  in
+  Format.printf "@.conference fleet: %d sessions of %d-party conf, loss-free:@."
+    e17_sessions e17_parties;
+  Format.printf "%6s %10s %14s %14s@." "jobs" "wall s" "sessions/s" "events/s";
+  let fleet_rows =
+    List.map
+      (fun jobs ->
+        let outcomes, summary =
+          Fleet.run ~jobs ~until:60_000.0 ~sessions:e17_sessions ~seed:11 (fun ~id ~rng ->
+            Scenario.session ~parties:e17_parties Scenario.Conf ~id ~rng)
+        in
+        Format.printf "%6d %10.3f %14.1f %14.0f@." jobs summary.Fleet.wall_s
+          summary.Fleet.sessions_per_s summary.Fleet.events_per_s;
+        (jobs, summary, e12_digest outcomes))
+      e17_job_counts
+  in
+  let fleet_det =
+    match fleet_rows with
+    | (_, _, d) :: rest -> List.for_all (fun (_, _, d') -> d' = d) rest
+    | [] -> true
+  in
+  Format.printf "fleet digests across jobs: %s@."
+    (if fleet_det then "bit-identical" else "DIFFER — determinism bug");
+  Format.printf "@.conference churn: target %d resident, %.0f ms horizon:@." e17_churn_pop
+    e17_churn_duration;
+  let churn_rows =
+    List.map
+      (fun jobs ->
+        let s =
+          Fleet.churn ~jobs ~target_population:e17_churn_pop ~mean_holding:e16_mean_holding
+            ~duration:e17_churn_duration ~seed:11 (fun ~id ~rng ->
+              Scenario.churn_session ~parties:e17_parties Scenario.Conf ~id ~rng)
+        in
+        Format.printf "jobs %d: %d started / %d retired, digest %s@." jobs s.Fleet.c_started
+          s.Fleet.c_retired
+          (String.sub s.Fleet.c_digest 0 12);
+        (jobs, s))
+      e17_job_counts
+  in
+  let churn_det =
+    match churn_rows with
+    | (_, r) :: rest -> List.for_all (fun (_, r') -> r'.Fleet.c_digest = r.Fleet.c_digest) rest
+    | [] -> true
+  in
+  Format.printf "churn digests across jobs: %s@."
+    (if churn_det then "bit-identical" else "DIFFER — determinism bug");
+  if !json_mode then e17_write_json checks fleet_rows fleet_det churn_rows churn_det
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 
 let micro () =
@@ -1427,15 +1606,8 @@ let micro () =
   let mc_small () =
     ignore
       (Mediactl_mc.Check.run
-         {
-           Mediactl_mc.Path_model.left = Semantics.Open_end;
-           right = Semantics.Close_end;
-           flowlinks = 0;
-           chaos = 0;
-           modifies = 0;
-           environment_ends = false;
-           faults = Mediactl_mc.Path_model.no_faults;
-         })
+         (Mediactl_mc.Path_model.path_config ~left:Semantics.Open_end ~right:Semantics.Close_end
+            ~flowlinks:0 ~chaos:0 ~modifies:0 ()))
   in
   let prepaid_replay () =
     let net = settle (Prepaid.build ()) in
@@ -1481,7 +1653,7 @@ let micro () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e14", e14);
-    ("e15", e15); ("e16", e16); ("micro", micro) ]
+    ("e15", e15); ("e16", e16); ("e17", e17); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -53,6 +53,14 @@ let unrestricted =
   Arg.(value & flag & info [ "unrestricted" ]
          ~doc:"Allow faulting any signal, including the handshake signals —                demonstrates why the reliability layer (retransmission and                deduplication) is necessary.")
 
+let parties =
+  Arg.(value & opt int 0 & info [ "parties" ] ~docv:"N"
+         ~doc:"Check an N-party conference star instead of a path: one leg per                party, fanned through --flowlinks interior flowlinks into a holding                mixer-bridge end. Each party runs the --party goal.")
+
+let party =
+  Arg.(value & opt kind_conv Semantics.Open_end & info [ "party" ] ~docv:"GOAL"
+         ~doc:"Goal controlling every conference party (open|close|hold), with --parties.")
+
 let max_states =
   Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N"
          ~doc:"Exploration cap; results are inconclusive beyond it.")
@@ -61,22 +69,24 @@ let jobs =
   Arg.(value & opt int (Domain.recommended_domain_count ()) & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Exploration domains. The default is the recommended domain count of                this machine. Verdicts and counts are identical for every value;                only wall-clock time changes.")
 
-let run left right flowlinks chaos modifies max_states jobs segment losses dups unrestricted =
+let run left right flowlinks chaos modifies max_states jobs segment losses dups unrestricted
+    parties party =
   let faults = { Path_model.losses; dups; unrestricted } in
   let reports =
     match left, right with
     | _ when segment -> [ Check.run_segment ~max_states ~jobs ~flowlinks ~chaos () ]
+    | _ when parties > 0 ->
+      if parties < 2 then begin
+        prerr_endline "--parties needs at least 2";
+        exit 2
+      end;
+      [ Check.run ~max_states ~jobs
+          (Path_model.conf_config ~faults ~flowlinks
+             ~parties:(List.init parties (fun _ -> party))
+             ~chaos ~modifies ()) ]
     | Some l, Some r ->
       [ Check.run ~max_states ~jobs
-          {
-            Path_model.left = l;
-            right = r;
-            flowlinks;
-            chaos;
-            modifies;
-            environment_ends = false;
-            faults;
-          } ]
+          (Path_model.path_config ~faults ~left:l ~right:r ~flowlinks ~chaos ~modifies ()) ]
     | None, None -> Check.run_standard ~max_states ~jobs ~faults ~chaos ~modifies ()
     | Some _, None | None, Some _ ->
       prerr_endline "specify both --left and --right, or neither (for the 12 standard models)";
@@ -102,6 +112,6 @@ let cmd =
     (Cmd.info "mediactl_check" ~doc)
     Term.(
       const run $ left $ right $ flowlinks $ chaos $ modifies $ max_states $ jobs $ segment
-      $ losses $ dups $ unrestricted)
+      $ losses $ dups $ unrestricted $ parties $ party)
 
 let () = exit (Cmd.eval' cmd)

@@ -151,8 +151,8 @@ let run_path seed n c loss left right flowlinks =
    one seed, partitioned across K domains.  Fleet sessions record their
    own traces (domain-locally), so this path must not be wrapped in the
    outer [Trace.recording] the single-scenario runs use. *)
-let run_fleet seed n c loss sessions jobs kind =
-  let mk ~id ~rng = Scenario.session ~n ~c ~loss kind ~id ~rng in
+let run_fleet seed n c loss sessions jobs kind parties =
+  let mk ~id ~rng = Scenario.session ~n ~c ~loss ~parties kind ~id ~rng in
   let outcomes, summary = Fleet.run ~jobs ~until:60_000.0 ~sessions ~seed mk in
   Format.printf "%a@." Fleet.pp_summary summary;
   let bad = List.filter (fun (o : Session.outcome) -> not o.Session.conformant) outcomes in
@@ -163,8 +163,8 @@ let run_fleet seed n c loss sessions jobs kind =
    Poisson arrival / exponential-holding turnover for --duration
    simulated ms.  The printed digest is the job-count-independent
    fleet digest CI smoke-compares across runs. *)
-let run_churn seed n c loss jobs kind target duration mean_holding arrival_rate =
-  let mk ~id ~rng = Scenario.churn_session ~n ~c ~loss kind ~id ~rng in
+let run_churn seed n c loss jobs kind parties target duration mean_holding arrival_rate =
+  let mk ~id ~rng = Scenario.churn_session ~n ~c ~loss ~parties kind ~id ~rng in
   let summary =
     Fleet.churn ~jobs ?arrival_rate ~target_population:target ~mean_holding ~duration ~seed
       mk
@@ -203,13 +203,14 @@ let verify_trace scenario ~loss ~left ~right ~flowlinks events =
   if Obs.Monitor.conformant report && obligation_ok then 0 else 1
 
 let run scenario n c boxes j seed loss left right flowlinks trace metrics verify sessions
-    jobs fleet_scenario churn target_population duration mean_holding arrival_rate =
+    jobs fleet_scenario parties churn target_population duration mean_holding arrival_rate
+    =
   match scenario with
   | `Fleet ->
     if churn then
-      run_churn seed n c loss jobs fleet_scenario target_population duration mean_holding
-        arrival_rate
-    else run_fleet seed n c loss sessions jobs fleet_scenario
+      run_churn seed n c loss jobs fleet_scenario parties target_population duration
+        mean_holding arrival_rate
+    else run_fleet seed n c loss sessions jobs fleet_scenario parties
   | (`Prepaid | `Fig13 | `Relink | `Sip | `Path) as scenario ->
   let go () =
     match scenario with
@@ -300,7 +301,11 @@ let fleet_scenario =
   in
   Arg.(value & opt kind_conv Scenario.Mixed
        & info [ "scenario" ] ~docv:"KIND"
-           ~doc:"What each fleet session runs: path, ctd, conf, prepaid, ctv, or mixed.")
+           ~doc:"What each fleet session runs: path, ctd, conf, conf2, prepaid, ctv,               transfer, barge, moh, or mixed.")
+
+let parties_arg =
+  Arg.(value & opt int 3 & info [ "parties" ]
+       ~doc:"Conference roster size (fleet --scenario conf).")
 
 let churn_arg =
   Arg.(value & flag & info [ "churn" ]
@@ -332,7 +337,7 @@ let cmd =
     (Cmd.info "mediactl_sim" ~doc)
     Term.(const run $ scenario $ n_arg $ c_arg $ boxes_arg $ j_arg $ seed_arg $ loss_arg
           $ left_arg $ right_arg $ flowlinks_arg $ trace_arg $ metrics_arg $ verify_arg
-          $ sessions_arg $ jobs_arg $ fleet_scenario $ churn_arg $ target_population_arg
-          $ duration_arg $ mean_holding_arg $ arrival_rate_arg)
+          $ sessions_arg $ jobs_arg $ fleet_scenario $ parties_arg $ churn_arg
+          $ target_population_arg $ duration_arg $ mean_holding_arg $ arrival_rate_arg)
 
 let () = exit (Cmd.eval' cmd)

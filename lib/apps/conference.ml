@@ -37,6 +37,12 @@ let mixing_matrix policy ~participants =
   in
   List.map row participants
 
+let policy_name = function
+  | Open_floor -> "open-floor"
+  | Business _ -> "business"
+  | Emergency _ -> "emergency"
+  | Whisper _ -> "whisper"
+
 let user_chan user = user ^ "-conf"
 let bridge_chan user = "conf-bridge-" ^ user
 
@@ -46,6 +52,35 @@ let bridge_local user port =
 let link_id user = "leg-" ^ user
 
 let key chan = (Netsys.slot_ref ~box:"conf" ~chan ()).Netsys.key
+
+let default_users parties =
+  if parties < 2 then invalid_arg "Conference.default_users: need at least 2 users";
+  List.init parties (fun i ->
+    let name = Printf.sprintf "u%d" i in
+    ( name,
+      Local.endpoint ~owner:name
+        (Address.v (Printf.sprintf "10.4.0.%d" (i + 1)) 6000)
+        [ Codec.G711; Codec.G726 ] ))
+
+let legs ~users =
+  List.map
+    (fun u ->
+      { Mediactl_obs.Monitor.left = (u, user_chan u, 0); right = ("bridge", bridge_chan u, 0) })
+    users
+
+(* Partial muting is the bridge's job, not the signaling primitives':
+   the server pushes each listener's mixing row to the bridge as a
+   standardized meta-signal on that listener's bridge channel. *)
+let matrix_metas policy ~participants =
+  List.map
+    (fun (listener, heard) ->
+      let gains =
+        String.concat ","
+          (List.map (fun (speaker, gain) -> Printf.sprintf "%s:%.2f" speaker gain) heard)
+      in
+      ( bridge_chan listener,
+        Meta.Info (Printf.sprintf "mix/%s %s<-%s" (policy_name policy) listener gains) ))
+    (mixing_matrix policy ~participants)
 
 let build ~users =
   let net = Netsys.add_box (Netsys.add_box Netsys.empty "conf") "bridge" in
@@ -74,6 +109,34 @@ let build ~users =
       (net, 6000) users
   in
   net
+
+(* A late join (the barge-in feature chain): the same per-user wiring
+   [build] performs, applied to an already-running conference.  The new
+   leg handshakes while the established ones keep flowing. *)
+let add_user ~user:(u, local) ~port net =
+  let net = Netsys.add_box net u in
+  let net = Netsys.connect net ~chan:(user_chan u) ~initiator:u ~acceptor:"conf" () in
+  let net = Netsys.connect net ~chan:(bridge_chan u) ~initiator:"conf" ~acceptor:"bridge" () in
+  let net, s1 =
+    Netsys.bind_hold net (Netsys.slot_ref ~box:"bridge" ~chan:(bridge_chan u) ())
+      (bridge_local u port)
+  in
+  let net, s2 =
+    Netsys.bind_link net ~box:"conf" ~id:(link_id u) (key (user_chan u)) (key (bridge_chan u))
+  in
+  let net, s3 =
+    Netsys.bind_open net (Netsys.slot_ref ~box:u ~chan:(user_chan u) ()) local Medium.Audio
+  in
+  (net, s1 @ s2 @ s3)
+
+(* Tear a leg down from both ends; the server's flowlink relays the
+   teardown between the two tunnels. *)
+let hangup_user ~user net =
+  let net, s1 = Netsys.bind_close net (Netsys.slot_ref ~box:user ~chan:(user_chan user) ()) in
+  let net, s2 =
+    Netsys.bind_close net (Netsys.slot_ref ~box:"bridge" ~chan:(bridge_chan user) ())
+  in
+  (net, s1 @ s2)
 
 let full_mute ~user net =
   let server = Local.server ~owner:("conf." ^ user) in

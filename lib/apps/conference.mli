@@ -29,10 +29,36 @@ val mixing_matrix : policy -> participants:string list -> (string * (string * fl
 (** [(listener, [(speaker, gain); ...])] rows: which inputs the bridge
     mixes into the stream toward each listener, with what gain. *)
 
+val policy_name : policy -> string
+
+val matrix_metas : policy -> participants:string list -> (string * Mediactl_types.Meta.t) list
+(** The mixing matrix rendered as the meta-signals the server sends the
+    bridge: one [(channel, Info row)] per listener, on that listener's
+    bridge channel.  Meta-signals model channel-scoped control state,
+    so they ride outside the four goal-object primitives — exactly the
+    paper's split between full muting (signaling) and partial muting
+    (bridge instruction). *)
+
+val default_users : int -> (string * Local.t) list
+(** [u0 .. uN-1] with distinct addresses, the N-party fleet roster.
+    Raises [Invalid_argument] below 2 users. *)
+
 val build : users:(string * Local.t) list -> Netsys.t
 (** Boxes [conf] and [bridge] plus one box per user; for user [u],
     channel [u-conf] links to channel [conf-bridge-u] inside the server.
     Running the result to quiescence establishes every leg. *)
+
+val add_user : user:string * Local.t -> port:int -> Netsys.t -> Netsys.t * Netsys.send list
+(** Join one more user to a running conference (the barge-in feature):
+    the same wiring [build] performs per user, returning the sends so a
+    timed driver can play the new leg's handshake out mid-call. *)
+
+val hangup_user : user:string -> Netsys.t -> Netsys.t * Netsys.send list
+(** Close a leg from both the user and bridge ends (churn teardown). *)
+
+val legs : users:string list -> Mediactl_obs.Monitor.ends list
+(** Each user's leg in trace coordinates — [(user, u-conf, 0)] facing
+    [(bridge, conf-bridge-u, 0)] — for the N-way monitor verdicts. *)
 
 val full_mute : user:string -> Netsys.t -> Netsys.t * Netsys.send list
 (** Replace the user's flowlink by two holdslots (paper: full muting). *)

@@ -1,0 +1,91 @@
+open Mediactl_types
+open Mediactl_core
+open Mediactl_runtime
+
+(* Feature chains: box programs stacked in the signaling path between
+   two parties, exercising the paper's compositional claim — a feature
+   box that owns a flowlink can re-route, park, or tear down the media
+   path with the same four goal objects the endpoints use, without the
+   endpoints' cooperation or knowledge. *)
+
+let audio = [ Codec.G711; Codec.G726 ]
+
+let ref_ box chan = Netsys.slot_ref ~box ~chan ()
+let k chan = { Netsys.chan; tun = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Attended transfer.
+
+   The customer reaches an agent through a service box that flowlinks
+   the customer channel to the agent channel.  Transferring moves the
+   flowlink to a supervisor channel and closes the agent leg from both
+   of its ends; the customer's slot re-describes through the relink and
+   ends up flowing with the supervisor. *)
+
+let cust_local = Local.endpoint ~owner:"cust" (Address.v "10.5.0.1" 5000) audio
+let agent_local = Local.endpoint ~owner:"agent" (Address.v "10.5.0.2" 5000) audio
+let sup_local = Local.endpoint ~owner:"sup" (Address.v "10.5.0.3" 5000) audio
+
+(* Channels: cs = cust--svc, sa = svc--agent, ssup = svc--sup. *)
+let transfer_build () =
+  let net = List.fold_left Netsys.add_box Netsys.empty [ "cust"; "svc"; "agent"; "sup" ] in
+  let net = Netsys.connect net ~chan:"cs" ~initiator:"cust" ~acceptor:"svc" () in
+  let net = Netsys.connect net ~chan:"sa" ~initiator:"svc" ~acceptor:"agent" () in
+  let net = Netsys.connect net ~chan:"ssup" ~initiator:"svc" ~acceptor:"sup" () in
+  let net, _ = Netsys.bind_link net ~box:"svc" ~id:"xfer" (k "cs") (k "sa") in
+  let net, _ = Netsys.bind_open net (ref_ "cust" "cs") cust_local Medium.Audio in
+  let net, _ = Netsys.bind_open net (ref_ "agent" "sa") agent_local Medium.Audio in
+  net
+
+let transfer net =
+  let net, s1 = Netsys.bind_open net (ref_ "sup" "ssup") sup_local Medium.Audio in
+  let net, s2 = Netsys.bind_link net ~box:"svc" ~id:"xfer" (k "cs") (k "ssup") in
+  (* The relink released the service box's agent-side slot; close that
+     leg cleanly from both ends. *)
+  let net, s3 = Netsys.bind_close net (ref_ "svc" "sa") in
+  let net, s4 = Netsys.bind_close net (ref_ "agent" "sa") in
+  (net, s1 @ s2 @ s3 @ s4)
+
+(* The customer's media path after the transfer completes. *)
+let transfer_leg = { Mediactl_obs.Monitor.left = ("cust", "cs", 0); right = ("sup", "ssup", 0) }
+
+(* ------------------------------------------------------------------ *)
+(* Music on hold, stacked behind hold.
+
+   A hold box sits between customer and agent; a music server hangs off
+   a third channel.  Putting the call on hold parks the agent on a
+   holdslot and relinks the customer to the music channel, where the
+   music server answers with a holdslot of its own — the customer's
+   tunnel never closes, it just re-describes toward the new source.
+   Resuming parks the music side and restores the original flowlink. *)
+
+let moh_cust_local = Local.endpoint ~owner:"cust" (Address.v "10.5.1.1" 5000) audio
+let moh_agent_local = Local.endpoint ~owner:"agent" (Address.v "10.5.1.2" 5000) audio
+let music_local = Local.endpoint ~owner:"music" (Address.v "10.5.1.9" 7000) audio
+
+(* Channels: cm = cust--moh, ma = moh--agent, mm = moh--music. *)
+let moh_build () =
+  let net = List.fold_left Netsys.add_box Netsys.empty [ "cust"; "moh"; "agent"; "music" ] in
+  let net = Netsys.connect net ~chan:"cm" ~initiator:"cust" ~acceptor:"moh" () in
+  let net = Netsys.connect net ~chan:"ma" ~initiator:"moh" ~acceptor:"agent" () in
+  let net = Netsys.connect net ~chan:"mm" ~initiator:"moh" ~acceptor:"music" () in
+  let net, _ = Netsys.bind_link net ~box:"moh" ~id:"talk" (k "cm") (k "ma") in
+  let net, _ = Netsys.bind_open net (ref_ "cust" "cm") moh_cust_local Medium.Audio in
+  let net, _ = Netsys.bind_open net (ref_ "agent" "ma") moh_agent_local Medium.Audio in
+  net
+
+let hold net =
+  let net, s1 = Netsys.bind_hold net (ref_ "moh" "ma") (Local.server ~owner:"moh.park") in
+  let net, s2 = Netsys.bind_link net ~box:"moh" ~id:"talk" (k "cm") (k "mm") in
+  let net, s3 = Netsys.bind_hold net (ref_ "music" "mm") music_local in
+  (net, s1 @ s2 @ s3)
+
+let resume net =
+  let net, s1 = Netsys.bind_hold net (ref_ "moh" "mm") (Local.server ~owner:"moh.music") in
+  let net, s2 = Netsys.bind_link net ~box:"moh" ~id:"talk" (k "cm") (k "ma") in
+  (net, s1 @ s2)
+
+(* The talk path the obligation judges: customer facing agent. *)
+let moh_leg = { Mediactl_obs.Monitor.left = ("cust", "cm", 0); right = ("agent", "ma", 0) }
+
+let flows net = Mediactl_media.Flow.edges (Paths.flows net)

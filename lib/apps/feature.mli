@@ -1,0 +1,44 @@
+(** Feature chains: box programs stacked in the signaling path.
+
+    Each feature here owns a flowlink in the middle of a path and
+    exercises the paper's compositional claim: re-routing (transfer),
+    parking (music on hold), and late joining (barge-in, which lives in
+    {!Conference.add_user}) are all expressed with the same four goal
+    objects the endpoints use, without endpoint cooperation. *)
+
+open Mediactl_runtime
+
+(** {2 Attended transfer} *)
+
+val transfer_build : unit -> Netsys.t
+(** Boxes [cust], [svc], [agent], [sup]; the service box flowlinks the
+    customer channel [cs] to the agent channel [sa] ([ssup] is wired
+    but idle).  Running to quiescence establishes customer--agent. *)
+
+val transfer : Netsys.t -> Netsys.t * Netsys.send list
+(** The supervisor answers, the service box moves the flowlink from the
+    agent channel to the supervisor channel, and the agent leg is
+    closed from both ends. *)
+
+val transfer_leg : Mediactl_obs.Monitor.ends
+(** The customer's path after transfer: [(cust, cs)] -- [(sup, ssup)]. *)
+
+(** {2 Music on hold} *)
+
+val moh_build : unit -> Netsys.t
+(** Boxes [cust], [moh], [agent], [music]; the hold box flowlinks
+    customer channel [cm] to agent channel [ma], with music channel
+    [mm] wired but idle. *)
+
+val hold : Netsys.t -> Netsys.t * Netsys.send list
+(** Park the agent on a holdslot and relink the customer to the music
+    channel, where the music server answers with a holdslot. *)
+
+val resume : Netsys.t -> Netsys.t * Netsys.send list
+(** Park the music side and restore the customer--agent flowlink. *)
+
+val moh_leg : Mediactl_obs.Monitor.ends
+(** The talk path the obligation judges: [(cust, cm)] -- [(agent, ma)]. *)
+
+val flows : Netsys.t -> (string * string) list
+(** Established media edges as [(sender, receiver)] box pairs. *)

@@ -3,24 +3,46 @@ open Mediactl_core
 open Mediactl_runtime
 module Rng = Mediactl_sim.Rng
 
-type kind = Path | Ctd | Conf | Prepaid | Collab_tv | Mixed
+type kind =
+  | Path
+  | Ctd
+  | Conf
+  | Conf2
+  | Prepaid
+  | Collab_tv
+  | Transfer
+  | Barge
+  | Moh
+  | Mixed
 
+(* The Mixed pool.  Kept at the historical five members (the new
+   N-party [Conf] replacing the path-shaped stand-in) so [Mixed]'s
+   [id mod 5] kind assignment is stable; the feature chains and the
+   legacy [Conf2] shape are selectable but stay out of the pool. *)
 let all = [ Path; Ctd; Conf; Prepaid; Collab_tv ]
 
 let to_string = function
   | Path -> "path"
   | Ctd -> "ctd"
   | Conf -> "conf"
+  | Conf2 -> "conf2"
   | Prepaid -> "prepaid"
   | Collab_tv -> "ctv"
+  | Transfer -> "transfer"
+  | Barge -> "barge"
+  | Moh -> "moh"
   | Mixed -> "mixed"
 
 let of_string = function
   | "path" -> Some Path
   | "ctd" -> Some Ctd
   | "conf" -> Some Conf
+  | "conf2" -> Some Conf2
   | "prepaid" -> Some Prepaid
   | "ctv" -> Some Collab_tv
+  | "transfer" -> Some Transfer
+  | "barge" -> Some Barge
+  | "moh" -> Some Moh
   | "mixed" -> Some Mixed
   | _ -> None
 
@@ -76,15 +98,51 @@ let ctd ?sched ?n ?c ~loss ~id ~rng () =
     (fun () ->
       List.fold_left Netsys.add_box Netsys.empty [ "ctd"; "phone1"; "phone2"; "tones" ])
 
-(* Conference (Figure 7): three users settle their legs untimed at t=0
-   (inside the recording), then one user is fully muted and unmuted
-   under the timed driver. *)
-let conf ?sched ?n ?c ~loss ~id ~rng () =
+(* A partial-muting policy drawn from the session stream, so a fleet
+   exercises all four mixing-matrix shapes deterministically.  Always
+   one draw, whatever the roster size. *)
+let draw_policy names rng =
+  match (names, Rng.int rng 4) with
+  | a :: b :: c :: _, 0 -> Conference.Emergency { calltaker = a; caller = b; responder = c }
+  | a :: b :: c :: _, 1 -> Conference.Whisper { trainee = a; customer = b; coach = c }
+  | _ :: b :: _, 2 -> Conference.Business [ b ]
+  | _, _ -> Conference.Open_floor
+
+(* Conference (Figure 7), the real N-party mixer: N legs settle untimed
+   at t=0 (inside the recording), the server pushes the drawn policy's
+   mixing matrix to the bridge as meta-signals, and one user is fully
+   muted and unmuted under the timed driver.  Judged N-way: []<>
+   allFlowing over every participant leg. *)
+let conf_boot ~loss ~names ~parties t =
+  attach_loss ~loss t;
+  let sim = Session.sim t in
+  let policy = draw_policy names (Session.rng t) in
+  List.iter
+    (fun (chan, meta) -> Timed.send_meta sim ~chan ~from:"conf" meta)
+    (Conference.matrix_metas policy ~participants:names);
+  let muted = List.nth names (Rng.int (Session.rng t) parties) in
+  Timed.apply sim (Conference.full_mute ~user:muted);
+  Timed.after sim 400.0 (fun sim -> Timed.apply sim (Conference.unmute ~user:muted))
+
+let conf ?sched ?n ?c ?(parties = 3) ~loss ~id ~rng () =
+  let users = Conference.default_users parties in
+  let names = List.map fst users in
+  Session.create ?sched ?n ?c ~id ~scenario:"conf" ~rng
+    ~judge:
+      (Mediactl_obs.Monitor.verdict_packed_legs ~structural:(loss > 0.0)
+         Mediactl_obs.Monitor.Always_eventually_flowing ~legs:(Conference.legs ~users:names))
+    ~boot:(conf_boot ~loss ~names ~parties)
+    (fun () -> settle (Conference.build ~users))
+
+(* The pre-generalization conference shape — three named users, no
+   policy wiring, no verdict — kept runnable so its fleet digests stay
+   comparable with historical baselines. *)
+let conf2 ?sched ?n ?c ~loss ~id ~rng () =
   let user name host =
     (name, Local.endpoint ~owner:name (Address.v host 6000) [ Codec.G711; Codec.G726 ])
   in
   let users = [ user "ann" "10.4.0.1"; user "bob" "10.4.0.2"; user "cat" "10.4.0.3" ] in
-  Session.create ?sched ?n ?c ~id ~scenario:"conf" ~rng
+  Session.create ?sched ?n ?c ~id ~scenario:"conf2" ~rng
     ~boot:(fun t ->
       attach_loss ~loss t;
       let sim = Session.sim t in
@@ -92,6 +150,60 @@ let conf ?sched ?n ?c ~loss ~id ~rng () =
       Timed.apply sim (Conference.full_mute ~user:muted);
       Timed.after sim 400.0 (fun sim -> Timed.apply sim (Conference.unmute ~user:muted)))
     (fun () -> settle (Conference.build ~users))
+
+(* Attended transfer: customer--agent established untimed, the transfer
+   fires at 300 ms, and the obligation judges the customer's final path
+   to the supervisor. *)
+let transfer ?sched ?n ?c ~loss ~id ~rng () =
+  Session.create ?sched ?n ?c ~id ~scenario:"transfer" ~rng
+    ~judge:
+      (Mediactl_obs.Monitor.verdict_packed ~structural:(loss > 0.0)
+         Mediactl_obs.Monitor.Always_eventually_flowing ~ends:Feature.transfer_leg)
+    ~boot:(fun t ->
+      attach_loss ~loss t;
+      let sim = Session.sim t in
+      Timed.after sim 300.0 (fun sim -> Timed.apply sim Feature.transfer))
+    (fun () -> settle (Feature.transfer_build ()))
+
+(* Barge-in: a two-party conference becomes three-party mid-call when a
+   supervisor joins through [Conference.add_user]; every leg including
+   the late one must end up flowing. *)
+let barge ?sched ?n ?c ~loss ~id ~rng () =
+  let users = Conference.default_users 2 in
+  let names = List.map fst users in
+  let joiner = List.nth (Conference.default_users 3) 2 in
+  let roster = names @ [ fst joiner ] in
+  Session.create ?sched ?n ?c ~id ~scenario:"barge" ~rng
+    ~judge:
+      (Mediactl_obs.Monitor.verdict_packed_legs ~structural:(loss > 0.0)
+         Mediactl_obs.Monitor.Always_eventually_flowing ~legs:(Conference.legs ~users:roster))
+    ~boot:(fun t ->
+      attach_loss ~loss t;
+      let sim = Session.sim t in
+      List.iter
+        (fun (chan, meta) -> Timed.send_meta sim ~chan ~from:"conf" meta)
+        (Conference.matrix_metas Conference.Open_floor ~participants:names);
+      Timed.after sim 250.0 (fun sim ->
+        Timed.apply sim (Conference.add_user ~user:joiner ~port:6004);
+        List.iter
+          (fun (chan, meta) -> Timed.send_meta sim ~chan ~from:"conf" meta)
+          (Conference.matrix_metas Conference.Open_floor ~participants:roster)))
+    (fun () -> settle (Conference.build ~users))
+
+(* Music on hold: the hold box parks the agent and relinks the customer
+   to the music server at 250 ms, then restores the talk path at
+   600 ms; the customer--agent leg must end flowing. *)
+let moh ?sched ?n ?c ~loss ~id ~rng () =
+  Session.create ?sched ?n ?c ~id ~scenario:"moh" ~rng
+    ~judge:
+      (Mediactl_obs.Monitor.verdict_packed ~structural:(loss > 0.0)
+         Mediactl_obs.Monitor.Always_eventually_flowing ~ends:Feature.moh_leg)
+    ~boot:(fun t ->
+      attach_loss ~loss t;
+      let sim = Session.sim t in
+      Timed.after sim 250.0 (fun sim -> Timed.apply sim Feature.hold);
+      Timed.after sim 600.0 (fun sim -> Timed.apply sim Feature.resume))
+    (fun () -> settle (Feature.moh_build ()))
 
 (* The prepaid running example, snapshots 1-3 settled untimed, then the
    Figure-13 concurrent snapshot-4 convergence under the clock. *)
@@ -120,14 +232,19 @@ let collab_tv ?sched ?n ?c ~loss ~id ~rng () =
       Timed.after sim 600.0 (fun sim -> Timed.apply sim Collab_tv.daughter_leaves))
     (fun () -> settle (Collab_tv.build ()))
 
-let rec session ?sched ?n ?c ?(loss = 0.0) kind ~id ~rng =
+let rec session ?sched ?n ?c ?(loss = 0.0) ?parties kind ~id ~rng =
   match kind with
   | Path -> path ?sched ?n ?c ~loss ~id ~rng ()
   | Ctd -> ctd ?sched ?n ?c ~loss ~id ~rng ()
-  | Conf -> conf ?sched ?n ?c ~loss ~id ~rng ()
+  | Conf -> conf ?sched ?n ?c ?parties ~loss ~id ~rng ()
+  | Conf2 -> conf2 ?sched ?n ?c ~loss ~id ~rng ()
   | Prepaid -> prepaid ?sched ?n ?c ~loss ~id ~rng ()
   | Collab_tv -> collab_tv ?sched ?n ?c ~loss ~id ~rng ()
-  | Mixed -> session ?sched ?n ?c ~loss (List.nth all (id mod List.length all)) ~id ~rng
+  | Transfer -> transfer ?sched ?n ?c ~loss ~id ~rng ()
+  | Barge -> barge ?sched ?n ?c ~loss ~id ~rng ()
+  | Moh -> moh ?sched ?n ?c ~loss ~id ~rng ()
+  | Mixed ->
+    session ?sched ?n ?c ~loss ?parties (List.nth all (id mod List.length all)) ~id ~rng
 
 (* The churned path: opened at arrival, torn down at hangup by
    re-engaging both ends to [Close_end].  The obligation weakens from
@@ -152,18 +269,38 @@ let path_churn ?sched ?n ?c ~loss ~id ~rng () =
       Timed.apply sim (Pathlab.engage_right Semantics.Open_end ~flowlinks:0))
     (fun () -> Pathlab.topology ~flowlinks:0 ())
 
+(* The churned conference: the N legs come up at launch exactly as in
+   [conf]; retirement hangs every leg up from both ends, so the §V
+   disjunction (<>[] allClosed) \/ ([]<> allFlowing) — quantified over
+   all N legs — is what a torn-down conference is judged against. *)
+let conf_churn ?sched ?n ?c ?(parties = 3) ~loss ~id ~rng () =
+  let users = Conference.default_users parties in
+  let names = List.map fst users in
+  Session.create ?sched ?n ?c ~id ~scenario:"conf" ~rng
+    ~judge:
+      (Mediactl_obs.Monitor.verdict_packed_legs ~structural:(loss > 0.0)
+         Mediactl_obs.Monitor.Closed_or_flowing ~legs:(Conference.legs ~users:names))
+    ~hangup:(fun t ->
+      let sim = Session.sim t in
+      List.iter (fun u -> Timed.apply sim (Conference.hangup_user ~user:u)) names)
+    ~boot:(conf_boot ~loss ~names ~parties)
+    (fun () -> settle (Conference.build ~users))
+
 (* Churn default scheduler is the heap: a quiesced resident's leftist
    heap is an empty leaf, while a per-session timer wheel pins its
    8x32 slot arrays for the whole residency — dead weight times 100k
    residents.  The wheel still drives the churn timeline itself (one
    per shard, in [Fleet.churn]). *)
-let rec churn_session ?(sched = Mediactl_sim.Engine.Heap) ?n ?c ?(loss = 0.0) kind ~id ~rng
-    =
+let rec churn_session ?(sched = Mediactl_sim.Engine.Heap) ?n ?c ?(loss = 0.0) ?parties kind
+    ~id ~rng =
   match kind with
   | Path -> path_churn ~sched ?n ?c ~loss ~id ~rng ()
+  | Conf -> conf_churn ~sched ?n ?c ?parties ~loss ~id ~rng ()
   | Mixed ->
-    churn_session ~sched ?n ?c ~loss (List.nth all (id mod List.length all)) ~id ~rng
-  | (Ctd | Conf | Prepaid | Collab_tv) as k ->
+    churn_session ~sched ?n ?c ~loss ?parties
+      (List.nth all (id mod List.length all))
+      ~id ~rng
+  | (Ctd | Conf2 | Prepaid | Collab_tv | Transfer | Barge | Moh) as k ->
     (* These scenarios run their whole story at setup and have no
        separate teardown goals; retirement just finalizes them. *)
     session ~sched ?n ?c ~loss k ~id ~rng

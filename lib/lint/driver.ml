@@ -37,6 +37,7 @@ let dsan_scope rel = starts_with "lib/" rel
 
 let totality_scope rel =
   starts_with "lib/protocol/" rel || starts_with "lib/core/" rel
+  || starts_with "lib/mc/" rel
   || String.equal rel "lib/obs/monitor.ml"
 
 (* The hot-path set of the tracing budget (E11): the simulator kernel,
@@ -49,7 +50,7 @@ let hygiene_scope rel =
     (fun p -> starts_with p rel)
     [
       "lib/sim/"; "lib/runtime/"; "lib/net/"; "lib/protocol/"; "lib/signaling/"; "lib/core/";
-      "lib/daemon/";
+      "lib/daemon/"; "lib/apps/";
     ]
 
 let iface_scope rel = starts_with "lib/" rel

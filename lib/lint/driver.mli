@@ -3,9 +3,9 @@
 
     Scoping is by path relative to [root] (always '/'-separated):
     - DSAN001 and IFACE001: every [lib/**.ml]
-    - TOT001: [lib/protocol/], [lib/core/], [lib/obs/monitor.ml]
+    - TOT001: [lib/protocol/], [lib/core/], [lib/mc/], [lib/obs/monitor.ml]
     - HYG001: [lib/sim/], [lib/runtime/], [lib/net/], [lib/protocol/],
-      [lib/signaling/], [lib/core/]
+      [lib/signaling/], [lib/core/], [lib/daemon/], [lib/apps/]
     - MARS001: every scanned file except the builtin path allowlist
       ([bench/seed_baseline.ml]).
 

@@ -92,24 +92,41 @@ let run ?max_states ?jobs config =
      E9), while the signaling obligation — the slot state machines still
      converge — remains checkable and must hold. *)
   let lossy = config.Path_model.faults.Path_model.losses > 0 in
-  let flowing_pred =
-    if lossy then Path_model.ends_flowing else Path_model.both_flowing
-  in
   let spec_result, spec_witness =
     if graph.E.capped then (Inconclusive "state space capped", None)
     else if config.Path_model.environment_ends then (Spec_holds, None)
       (* segment mode: only the safety lemma is meaningful — path
          specifications quantify over goal-controlled ends *)
     else
-      let both_closed id = Path_model.both_closed graph.E.states.(id) in
-      let both_flowing id = flowing_pred graph.E.states.(id) in
-      match Temporal.check spec graph.E.csr ~both_closed ~both_flowing with
-      | Temporal.Holds -> (Spec_holds, None)
-      | Temporal.Violated { witness; reason } ->
-        ( Spec_violated
-            (Format.asprintf "%s; witness %d: %a" reason witness Path_model.pp_state
-               graph.E.states.(witness)),
-          Some witness )
+      (* Each leg carries its own obligation; a path has exactly one
+         leg, reproducing the historical single check.  Under a loss
+         budget the structural per-leg flowing predicate stands in for
+         the agreement refinement (see {!Path_model.ends_flowing}). *)
+      let legs = List.length (Path_model.leg_specs config) in
+      let check_leg k leg_spec =
+        let both_closed id = Path_model.leg_both_closed k graph.E.states.(id) in
+        let both_flowing id =
+          if lossy then Path_model.leg_ends_flowing k graph.E.states.(id)
+          else Path_model.leg_both_flowing k graph.E.states.(id)
+        in
+        match Temporal.check leg_spec graph.E.csr ~both_closed ~both_flowing with
+        | Temporal.Holds -> None
+        | Temporal.Violated { witness; reason } ->
+          let where = if legs > 1 then Printf.sprintf "leg %d: " k else "" in
+          Some
+            ( Spec_violated
+                (Format.asprintf "%s%s; witness %d: %a" where reason witness Path_model.pp_state
+                   graph.E.states.(witness)),
+              Some witness )
+      in
+      let rec first_violation k = function
+        | [] -> (Spec_holds, None)
+        | leg_spec :: rest -> (
+          match check_leg k leg_spec with
+          | Some verdict -> verdict
+          | None -> first_violation (k + 1) rest)
+      in
+      first_violation 0 (Path_model.leg_specs config)
   in
   let counterexample =
     match safety, spec_witness with
@@ -147,6 +164,17 @@ let pp_report ppf r =
     | Spec_violated msg -> "VIOLATED: " ^ msg
     | Inconclusive msg -> "inconclusive: " ^ msg
   in
+  (* On a star the leg predicates conjoin over every leg, so the
+     printed obligation quantifies N-way. *)
+  let spec_label =
+    if Path_model.leg_count r.config <= 1 then Semantics.spec_to_string r.spec
+    else
+      match r.spec with
+      | Semantics.Eventually_always_closed -> "<>[] allClosed"
+      | Semantics.Eventually_always_not_flowing -> "<>[] !allFlowing"
+      | Semantics.Always_eventually_flowing -> "[]<> allFlowing"
+      | Semantics.Closed_or_flowing -> "(<>[] allClosed) \\/ ([]<> allFlowing)"
+  in
   if r.config.Path_model.environment_ends then
     Format.fprintf ppf "%-34s %9d states %10d trans %6.2fs  safety:%s  (segment: safety lemma only)"
       (Path_model.config_name r.config)
@@ -154,24 +182,16 @@ let pp_report ppf r =
   else
     Format.fprintf ppf "%-34s %9d states %10d trans %6.2fs  safety:%s  %s: %s"
       (Path_model.config_name r.config)
-      r.states r.transitions r.time_s safety
-      (Semantics.spec_to_string r.spec)
-      spec_result
+      r.states r.transitions r.time_s safety spec_label spec_result
 
 let run_standard ?max_states ?jobs ?faults ~chaos ~modifies () =
   List.map (run ?max_states ?jobs) (Path_model.standard_configs ?faults ~chaos ~modifies ())
 
 let run_segment ?max_states ?jobs ~flowlinks ~chaos () =
   run ?max_states ?jobs
-    {
-      Path_model.left = Mediactl_core.Semantics.Hold_end;  (* unused in env mode *)
-      right = Mediactl_core.Semantics.Hold_end;
-      flowlinks;
-      chaos;
-      modifies = 0;
-      environment_ends = true;
-      faults = Path_model.no_faults;
-    }
+    (Path_model.path_config ~environment_ends:true
+       ~left:Mediactl_core.Semantics.Hold_end (* unused in env mode *)
+       ~right:Mediactl_core.Semantics.Hold_end ~flowlinks ~chaos ~modifies:0 ())
 
 let pp_counterexample ppf r =
   match r.counterexample with

@@ -7,15 +7,36 @@ type faults = { losses : int; dups : int; unrestricted : bool }
 
 let no_faults = { losses = 0; dups = 0; unrestricted = false }
 
+type topology =
+  | Path of { left : Semantics.end_kind; right : Semantics.end_kind }
+  | Star of { parties : Semantics.end_kind list }
+
 type config = {
-  left : Semantics.end_kind;
-  right : Semantics.end_kind;
+  topo : topology;
   flowlinks : int;
   chaos : int;
   modifies : int;
   environment_ends : bool;
   faults : faults;
 }
+
+let path_config ?(faults = no_faults) ?(environment_ends = false) ~left ~right ~flowlinks ~chaos
+    ~modifies () =
+  { topo = Path { left; right }; flowlinks; chaos; modifies; environment_ends; faults }
+
+let conf_config ?(faults = no_faults) ?(flowlinks = 1) ~parties ~chaos ~modifies () =
+  if List.length parties < 2 then invalid_arg "Path_model.conf_config: need at least 2 parties";
+  { topo = Star { parties }; flowlinks; chaos; modifies; environment_ends = false; faults }
+
+(* Each leg pairs an outer (participant) end kind with an inner end
+   kind: the configured pair for a path, the party against the mixer's
+   holding bridge end for a star. *)
+let leg_kinds c =
+  match c.topo with
+  | Path { left; right } -> [ (left, right) ]
+  | Star { parties } -> List.map (fun p -> (p, Semantics.Hold_end)) parties
+
+let leg_count c = match c.topo with Path _ -> 1 | Star { parties } -> List.length parties
 
 let kind_name = function
   | Semantics.Open_end -> "openslot"
@@ -31,9 +52,17 @@ let config_name c =
         (if c.faults.unrestricted then " any" else "")
   in
   if c.environment_ends then Printf.sprintf "env--%senv%s" links faults
-  else Printf.sprintf "%s--%s%s%s" (kind_name c.left) links (kind_name c.right) faults
+  else
+    match c.topo with
+    | Path { left; right } ->
+      Printf.sprintf "%s--%s%s%s" (kind_name left) links (kind_name right) faults
+    | Star { parties } ->
+      Printf.sprintf "conf%d(%s)--%smixer%s" (List.length parties)
+        (String.concat "," (List.map kind_name parties))
+        links faults
 
-let spec c = Semantics.spec_of c.left c.right
+let leg_specs c = List.map (fun (a, b) -> Semantics.spec_of a b) (leg_kinds c)
+let spec c = List.hd (leg_specs c)
 
 (* ------------------------------------------------------------------ *)
 (* State                                                               *)
@@ -57,13 +86,22 @@ type link_phase = L_chaos of int | L_goal of Flow_link.t
 
 type link = { lphase : link_phase; lslot : Slot.t; rslot : Slot.t; llocal : Local.t }
 
-type state = {
-  left : endpoint;
+(* One signaling leg: an outer (participant) end, interior flowlinks,
+   and an inner end — the far party of a path, or the mixer's bridge
+   end of a star leg.  Legs never exchange signals with each other, so
+   a star's state space is the product of its legs' spaces coupled only
+   through the shared fault budgets. *)
+type leg = {
+  outer : endpoint;
   links : link list;
   tuns : Tunnel.t list;  (* left end of every tunnel is the A (initiator) end *)
-  right : endpoint;
+  inner : endpoint;
+}
+
+type state = {
+  legs : leg list;
   err : string option;
-  losses_left : int;  (* network-fault budgets (shared across the path) *)
+  losses_left : int;  (* network-fault budgets (shared across the topology) *)
   dups_left : int;
   unrestricted : bool;  (* fault any signal, not just the idempotent ones *)
 }
@@ -76,23 +114,27 @@ let endpoint_local which =
   let owner, host, port = if which then ("L", "10.0.0.1", 5000) else ("R", "10.0.0.2", 5002) in
   Local.endpoint ~owner (Address.v host port) [ Codec.G711; Codec.G726 ]
 
-let initial c =
-  let left =
+(* Every leg reuses the same owner/address namespace ("L", "R", "FL%d")
+   — legal because legs are signal-disjoint, and required so the packed
+   codec below stays byte-identical to the two-ended encoding on the
+   path topology. *)
+let initial_leg c (outer_kind, inner_kind) =
+  let outer =
     {
       phase = Chaos c.chaos;
       slot = Slot.create ~label:"L" Slot.Channel_initiator;
       local = endpoint_local true;
-      kind = c.left;
+      kind = outer_kind;
       modifies_left = c.modifies;
       environment = c.environment_ends;
     }
   in
-  let right =
+  let inner =
     {
       phase = Chaos c.chaos;
       slot = Slot.create ~label:"R" Slot.Channel_acceptor;
       local = endpoint_local false;
-      kind = c.right;
+      kind = inner_kind;
       modifies_left = c.modifies;
       environment = c.environment_ends;
     }
@@ -107,11 +149,11 @@ let initial c =
         })
   in
   let tuns = List.init (c.flowlinks + 1) (fun _ -> Tunnel.empty) in
+  { outer; links; tuns; inner }
+
+let initial c =
   {
-    left;
-    links;
-    tuns;
-    right;
+    legs = List.map (initial_leg c) (leg_kinds c);
     err = None;
     losses_left = c.faults.losses;
     dups_left = c.faults.dups;
@@ -121,16 +163,24 @@ let initial c =
 (* ------------------------------------------------------------------ *)
 (* Predicates                                                          *)
 
-let both_closed s = Semantics.both_closed ~left:s.left.slot ~right:s.right.slot
-let both_flowing s = Semantics.both_flowing ~left:s.left.slot ~right:s.right.slot
+let closed_leg g = Semantics.both_closed ~left:g.outer.slot ~right:g.inner.slot
+let flowing_leg g = Semantics.both_flowing ~left:g.outer.slot ~right:g.inner.slot
 
-(* The structural part of [both_flowing]: both end slots are in the
+(* The structural part of [flowing_leg]: both end slots are in the
    flowing state, ignoring descriptor/selector agreement.  Losing a
    status signal cannot perturb this — describes and selects never
    change slot state — but it does leave the peers' media views stale
    until something retransmits, so the agreement refinement is only
    checkable on loss-free models. *)
-let ends_flowing s = Slot.is_flowing s.left.slot && Slot.is_flowing s.right.slot
+let ends_flowing_leg g = Slot.is_flowing g.outer.slot && Slot.is_flowing g.inner.slot
+
+let both_closed s = List.for_all closed_leg s.legs
+let both_flowing s = List.for_all flowing_leg s.legs
+let ends_flowing s = List.for_all ends_flowing_leg s.legs
+
+let leg_both_closed k s = closed_leg (List.nth s.legs k)
+let leg_both_flowing k s = flowing_leg (List.nth s.legs k)
+let leg_ends_flowing k s = ends_flowing_leg (List.nth s.legs k)
 
 let settled_end e =
   match e.phase with
@@ -142,11 +192,16 @@ let settled_link l =
   | L_chaos _ -> false
   | L_goal _ -> true
 
-let all_settled s =
-  settled_end s.left && settled_end s.right && List.for_all settled_link s.links
+let settled_leg g =
+  settled_end g.outer && settled_end g.inner && List.for_all settled_link g.links
+
+let all_settled s = List.for_all settled_leg s.legs
 
 let all_slots s =
-  (s.left.slot :: List.concat_map (fun l -> [ l.lslot; l.rslot ]) s.links) @ [ s.right.slot ]
+  List.concat_map
+    (fun g ->
+      (g.outer.slot :: List.concat_map (fun l -> [ l.lslot; l.rslot ]) g.links) @ [ g.inner.slot ])
+    s.legs
 
 let clean s =
   List.for_all (fun slot -> Slot.is_closed slot || Slot.is_flowing slot) (all_slots s)
@@ -158,58 +213,80 @@ type direction = Rightward | Leftward
 
 type which_end = L | R
 
+(* Every label names the leg it acts on (first [int]); a path topology
+   only ever produces leg 0. *)
 type label =
-  | Deliver of int * direction
-  | Lose of int * direction  (** the network drops the head signal *)
-  | Dup of int * direction  (** the network delivers the head signal twice *)
-  | Switch_end of which_end
-  | Switch_link of int
-  | Chaos_end of which_end * string
-  | Chaos_link of int * Flow_link.side * string
-  | Modify of which_end * Mute.t
+  | Deliver of int * int * direction
+  | Lose of int * int * direction  (** the network drops the head signal *)
+  | Dup of int * int * direction  (** the network delivers the head signal twice *)
+  | Switch_end of int * which_end
+  | Switch_link of int * int
+  | Chaos_end of int * which_end * string
+  | Chaos_link of int * int * Flow_link.side * string
+  | Modify of int * which_end * Mute.t
+
+(* Leg 0 prints exactly the two-ended labels, so path counterexamples
+   read as before; star legs carry a prefix. *)
+let pp_leg ppf k = if k > 0 then Format.fprintf ppf "leg%d " k
 
 let pp_label ppf = function
-  | Deliver (i, Rightward) -> Format.fprintf ppf "deliver t%d ->" i
-  | Deliver (i, Leftward) -> Format.fprintf ppf "deliver t%d <-" i
-  | Lose (i, Rightward) -> Format.fprintf ppf "lose t%d ->" i
-  | Lose (i, Leftward) -> Format.fprintf ppf "lose t%d <-" i
-  | Dup (i, Rightward) -> Format.fprintf ppf "dup t%d ->" i
-  | Dup (i, Leftward) -> Format.fprintf ppf "dup t%d <-" i
-  | Switch_end L -> Format.pp_print_string ppf "switch L"
-  | Switch_end R -> Format.pp_print_string ppf "switch R"
-  | Switch_link j -> Format.fprintf ppf "switch fl%d" j
-  | Chaos_end (L, a) -> Format.fprintf ppf "chaos L %s" a
-  | Chaos_end (R, a) -> Format.fprintf ppf "chaos R %s" a
-  | Chaos_link (j, side, a) -> Format.fprintf ppf "chaos fl%d.%a %s" j Flow_link.pp_side side a
-  | Modify (L, m) -> Format.fprintf ppf "modify L %a" Mute.pp m
-  | Modify (R, m) -> Format.fprintf ppf "modify R %a" Mute.pp m
+  | Deliver (k, i, Rightward) -> Format.fprintf ppf "%adeliver t%d ->" pp_leg k i
+  | Deliver (k, i, Leftward) -> Format.fprintf ppf "%adeliver t%d <-" pp_leg k i
+  | Lose (k, i, Rightward) -> Format.fprintf ppf "%alose t%d ->" pp_leg k i
+  | Lose (k, i, Leftward) -> Format.fprintf ppf "%alose t%d <-" pp_leg k i
+  | Dup (k, i, Rightward) -> Format.fprintf ppf "%adup t%d ->" pp_leg k i
+  | Dup (k, i, Leftward) -> Format.fprintf ppf "%adup t%d <-" pp_leg k i
+  | Switch_end (k, L) -> Format.fprintf ppf "%aswitch L" pp_leg k
+  | Switch_end (k, R) -> Format.fprintf ppf "%aswitch R" pp_leg k
+  | Switch_link (k, j) -> Format.fprintf ppf "%aswitch fl%d" pp_leg k j
+  | Chaos_end (k, L, a) -> Format.fprintf ppf "%achaos L %s" pp_leg k a
+  | Chaos_end (k, R, a) -> Format.fprintf ppf "%achaos R %s" pp_leg k a
+  | Chaos_link (k, j, side, a) ->
+    Format.fprintf ppf "%achaos fl%d.%a %s" pp_leg k j Flow_link.pp_side side a
+  | Modify (k, L, m) -> Format.fprintf ppf "%amodify L %a" pp_leg k Mute.pp m
+  | Modify (k, R, m) -> Format.fprintf ppf "%amodify R %a" pp_leg k Mute.pp m
 
 let pp_state ppf s =
   let pp_slot ppf slot = Slot_state.pp ppf slot.Slot.state in
-  Format.fprintf ppf "[%a | %a | %a]%s" pp_slot s.left.slot
-    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
-       (fun ppf l -> Format.fprintf ppf "(%a %a)" pp_slot l.lslot pp_slot l.rslot))
-    s.links pp_slot s.right.slot
+  let pp_one ppf g =
+    Format.fprintf ppf "[%a | %a | %a]" pp_slot g.outer.slot
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+         (fun ppf l -> Format.fprintf ppf "(%a %a)" pp_slot l.lslot pp_slot l.rslot))
+      g.links pp_slot g.inner.slot
+  in
+  Format.fprintf ppf "%a%s"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_one)
+    s.legs
     (match s.err with None -> "" | Some e -> " ERROR:" ^ e)
 
 (* ------------------------------------------------------------------ *)
-(* Tunnel plumbing (all tunnels have their A end on the left)          *)
+(* Tunnel plumbing (all tunnels have their A end on the outer side)    *)
 
-let set_tun s i q =
-  { s with tuns = List.mapi (fun j old -> if j = i then q else old) s.tuns }
+let get_leg s k = List.nth s.legs k
 
-let send_from_left s i signal = set_tun s i (Tunnel.send ~from:Tunnel.A signal (List.nth s.tuns i))
-let send_from_right s i signal = set_tun s i (Tunnel.send ~from:Tunnel.B signal (List.nth s.tuns i))
+let set_leg s k g =
+  { s with legs = List.mapi (fun i old -> if i = k then g else old) s.legs }
 
-let set_link s j link =
-  { s with links = List.mapi (fun k old -> if k = j then link else old) s.links }
+let set_tun s k i q =
+  let g = get_leg s k in
+  set_leg s k { g with tuns = List.mapi (fun j old -> if j = i then q else old) g.tuns }
 
-let route_link_out s j out =
+let send_from_left s k i signal =
+  set_tun s k i (Tunnel.send ~from:Tunnel.A signal (List.nth (get_leg s k).tuns i))
+
+let send_from_right s k i signal =
+  set_tun s k i (Tunnel.send ~from:Tunnel.B signal (List.nth (get_leg s k).tuns i))
+
+let set_link s k j link =
+  let g = get_leg s k in
+  set_leg s k { g with links = List.mapi (fun j' old -> if j' = j then link else old) g.links }
+
+let route_link_out s k j out =
   List.fold_left
     (fun s (side, signal) ->
       match side with
-      | Flow_link.Left -> send_from_right s j signal
-      | Flow_link.Right -> send_from_left s (j + 1) signal)
+      | Flow_link.Left -> send_from_right s k j signal
+      | Flow_link.Right -> send_from_left s k (j + 1) signal)
     s out
 
 let fail s msg = { s with err = Some msg }
@@ -225,98 +302,106 @@ let of_slot_result s f = function
 (* ------------------------------------------------------------------ *)
 (* Endpoint behaviour                                                  *)
 
-let last_tunnel s = List.length s.tuns - 1
+let last_tunnel g = List.length g.tuns - 1
 
-let endpoint_emit s which out =
+let endpoint_emit s k which out =
   match which with
-  | L -> List.fold_left (fun s signal -> send_from_left s 0 signal) s out
-  | R -> List.fold_left (fun s signal -> send_from_right s (last_tunnel s) signal) s out
+  | L -> List.fold_left (fun s signal -> send_from_left s k 0 signal) s out
+  | R ->
+    List.fold_left (fun s signal -> send_from_right s k (last_tunnel (get_leg s k)) signal) s out
 
-let get_end s = function
-  | L -> s.left
-  | R -> s.right
+let get_end s k = function
+  | L -> (get_leg s k).outer
+  | R -> (get_leg s k).inner
 
-let set_end s which e =
+let set_end s k which e =
+  let g = get_leg s k in
   match which with
-  | L -> { s with left = e }
-  | R -> { s with right = e }
+  | L -> set_leg s k { g with outer = e }
+  | R -> set_leg s k { g with inner = e }
 
-let endpoint_receive s which signal =
-  let e = get_end s which in
+let endpoint_receive s k which signal =
+  let e = get_end s k which in
   match e.phase with
   | Chaos _ ->
     (* In the chaos phase the slot updates but the object does not
        react; protocol-automatic replies (closeack) still go out. *)
     of_slot_result s
       (fun (slot, auto, _notes) ->
-        endpoint_emit (set_end s which { e with slot }) which auto)
+        endpoint_emit (set_end s k which { e with slot }) k which auto)
       (Slot.receive e.slot signal)
   | Goal_open g ->
     of_result s
       (fun (o : Open_slot.outcome) ->
         endpoint_emit
-          (set_end s which { e with phase = Goal_open o.Open_slot.goal; slot = o.Open_slot.slot })
-          which o.Open_slot.out)
+          (set_end s k which
+             { e with phase = Goal_open o.Open_slot.goal; slot = o.Open_slot.slot })
+          k which o.Open_slot.out)
       (Open_slot.on_signal g e.slot signal)
   | Goal_close g ->
     of_result s
       (fun (o : Close_slot.outcome) ->
         endpoint_emit
-          (set_end s which { e with phase = Goal_close o.Close_slot.goal; slot = o.Close_slot.slot })
-          which o.Close_slot.out)
+          (set_end s k which
+             { e with phase = Goal_close o.Close_slot.goal; slot = o.Close_slot.slot })
+          k which o.Close_slot.out)
       (Close_slot.on_signal g e.slot signal)
   | Goal_hold g ->
     of_result s
       (fun (o : Hold_slot.outcome) ->
         endpoint_emit
-          (set_end s which { e with phase = Goal_hold o.Hold_slot.goal; slot = o.Hold_slot.slot })
-          which o.Hold_slot.out)
+          (set_end s k which
+             { e with phase = Goal_hold o.Hold_slot.goal; slot = o.Hold_slot.slot })
+          k which o.Hold_slot.out)
       (Hold_slot.on_signal g e.slot signal)
 
-let switch_end s which =
-  let e = get_end s which in
+let switch_end s k which =
+  let e = get_end s k which in
   match e.kind with
   | Semantics.Open_end ->
     of_result s
       (fun (o : Open_slot.outcome) ->
         endpoint_emit
-          (set_end s which { e with phase = Goal_open o.Open_slot.goal; slot = o.Open_slot.slot })
-          which o.Open_slot.out)
+          (set_end s k which
+             { e with phase = Goal_open o.Open_slot.goal; slot = o.Open_slot.slot })
+          k which o.Open_slot.out)
       (Open_slot.assume e.local medium e.slot)
   | Semantics.Close_end ->
     of_result s
       (fun (o : Close_slot.outcome) ->
         endpoint_emit
-          (set_end s which { e with phase = Goal_close o.Close_slot.goal; slot = o.Close_slot.slot })
-          which o.Close_slot.out)
+          (set_end s k which
+             { e with phase = Goal_close o.Close_slot.goal; slot = o.Close_slot.slot })
+          k which o.Close_slot.out)
       (Close_slot.start e.slot)
   | Semantics.Hold_end ->
     of_result s
       (fun (o : Hold_slot.outcome) ->
         endpoint_emit
-          (set_end s which { e with phase = Goal_hold o.Hold_slot.goal; slot = o.Hold_slot.slot })
-          which o.Hold_slot.out)
+          (set_end s k which
+             { e with phase = Goal_hold o.Hold_slot.goal; slot = o.Hold_slot.slot })
+          k which o.Hold_slot.out)
       (Hold_slot.start e.local e.slot)
 
-let modify_end s which mute =
-  let e = get_end s which in
+let modify_end s k which mute =
+  let e = get_end s k which in
   let budgeted e = { e with modifies_left = e.modifies_left - 1 } in
   match e.phase with
   | Goal_open g ->
     of_result s
       (fun (o : Open_slot.outcome) ->
         endpoint_emit
-          (set_end s which
+          (set_end s k which
              (budgeted { e with phase = Goal_open o.Open_slot.goal; slot = o.Open_slot.slot }))
-          which o.Open_slot.out)
+          k which o.Open_slot.out)
       (Open_slot.modify g e.slot mute)
   | Goal_hold g ->
     of_result s
       (fun (o : Hold_slot.outcome) ->
         endpoint_emit
-          (set_end s which
+          (set_end s k which
              (budgeted { e with phase = Goal_hold o.Hold_slot.goal; slot = o.Hold_slot.slot }))
-          which o.Hold_slot.out)
+          k which o.Hold_slot.out)
       (Hold_slot.modify g e.slot mute)
   | Chaos _ | Goal_close _ -> s
 
@@ -346,8 +431,8 @@ let chaos_actions local slot =
 (* ------------------------------------------------------------------ *)
 (* Link behaviour                                                      *)
 
-let link_receive s j side signal =
-  let link = List.nth s.links j in
+let link_receive s k j side signal =
+  let link = List.nth (get_leg s k).links j in
   match link.lphase with
   | L_chaos _ ->
     let slot = match side with Flow_link.Left -> link.lslot | Flow_link.Right -> link.rslot in
@@ -358,7 +443,7 @@ let link_receive s j side signal =
           | Flow_link.Left -> { link with lslot = slot }
           | Flow_link.Right -> { link with rslot = slot }
         in
-        route_link_out (set_link s j link) j (List.map (fun sg -> (side, sg)) auto))
+        route_link_out (set_link s k j link) k j (List.map (fun sg -> (side, sg)) auto))
       (Slot.receive slot signal)
   | L_goal fl ->
     of_result s
@@ -366,17 +451,17 @@ let link_receive s j side signal =
         let link =
           { link with lphase = L_goal o.Flow_link.goal; lslot = o.Flow_link.left; rslot = o.Flow_link.right }
         in
-        route_link_out (set_link s j link) j o.Flow_link.out)
+        route_link_out (set_link s k j link) k j o.Flow_link.out)
       (Flow_link.on_signal fl ~left:link.lslot ~right:link.rslot side signal)
 
-let switch_link s j =
-  let link = List.nth s.links j in
+let switch_link s k j =
+  let link = List.nth (get_leg s k).links j in
   of_result s
     (fun (o : Flow_link.outcome) ->
       let link =
         { link with lphase = L_goal o.Flow_link.goal; lslot = o.Flow_link.left; rslot = o.Flow_link.right }
       in
-      route_link_out (set_link s j link) j o.Flow_link.out)
+      route_link_out (set_link s k j link) k j o.Flow_link.out)
     (Flow_link.start link.lslot link.rslot)
 
 (* ------------------------------------------------------------------ *)
@@ -385,23 +470,24 @@ let switch_link s j =
 (* With [consume = false] the head signal is dispatched but left in the
    tunnel, modeling a duplicate delivery: the same signal will be
    delivered again by a later [Deliver]. *)
-let deliver ?(consume = true) s i direction =
-  let n_links = List.length s.links in
+let deliver ?(consume = true) s k i direction =
+  let g = get_leg s k in
+  let n_links = List.length g.links in
   match direction with
   | Rightward -> (
-    match Tunnel.receive ~at:Tunnel.B (List.nth s.tuns i) with
+    match Tunnel.receive ~at:Tunnel.B (List.nth g.tuns i) with
     | None -> None
     | Some (signal, q) ->
-      let s = if consume then set_tun s i q else s in
-      if i = n_links then Some (endpoint_receive s R signal)
-      else Some (link_receive s i Flow_link.Left signal))
+      let s = if consume then set_tun s k i q else s in
+      if i = n_links then Some (endpoint_receive s k R signal)
+      else Some (link_receive s k i Flow_link.Left signal))
   | Leftward -> (
-    match Tunnel.receive ~at:Tunnel.A (List.nth s.tuns i) with
+    match Tunnel.receive ~at:Tunnel.A (List.nth g.tuns i) with
     | None -> None
     | Some (signal, q) ->
-      let s = if consume then set_tun s i q else s in
-      if i = 0 then Some (endpoint_receive s L signal)
-      else Some (link_receive s (i - 1) Flow_link.Right signal))
+      let s = if consume then set_tun s k i q else s in
+      if i = 0 then Some (endpoint_receive s k L signal)
+      else Some (link_receive s k (i - 1) Flow_link.Right signal))
 
 (* The network silently drops the head signal.  Nothing retransmits at
    this level of abstraction, so by default only the idempotent
@@ -410,11 +496,11 @@ let deliver ?(consume = true) s i direction =
    the complete current state.  Dropping a handshake signal models a
    deployment without the reliability layer, and reachably desynchronises
    the slot state machines (see [unrestricted]). *)
-let lose s i direction =
+let lose s k i direction =
   let at = match direction with Rightward -> Tunnel.B | Leftward -> Tunnel.A in
-  match Tunnel.receive ~at (List.nth s.tuns i) with
+  match Tunnel.receive ~at (List.nth (get_leg s k).tuns i) with
   | None -> None
-  | Some (_signal, q) -> Some (set_tun s i q)
+  | Some (_signal, q) -> Some (set_tun s k i q)
 
 (* The signals whose duplicate delivery the paper argues is harmless
    (section VI): describes and selects carry absolute state, so applying
@@ -424,9 +510,9 @@ let idempotent = function
   | Signal.Describe _ | Signal.Select _ -> true
   | Signal.Open _ | Signal.Oack _ | Signal.Close | Signal.Closeack -> false
 
-let head_toward s i direction =
+let head_toward s k i direction =
   let at = match direction with Rightward -> Tunnel.B | Leftward -> Tunnel.A in
-  Tunnel.peek ~at (List.nth s.tuns i)
+  Tunnel.peek ~at (List.nth (get_leg s k).tuns i)
 
 (* ------------------------------------------------------------------ *)
 (* Successor relation                                                  *)
@@ -437,33 +523,36 @@ let successors s =
   match s.err with
   | Some _ -> []
   | None ->
+    let n_legs = List.length s.legs in
     let deliveries =
       List.concat
-        (List.mapi
-           (fun i q ->
-             let rightward =
-               if Tunnel.pending ~toward:Tunnel.B q <> [] then
-                 [ (Deliver (i, Rightward), deliver s i Rightward) ]
-               else []
-             in
-             let leftward =
-               if Tunnel.pending ~toward:Tunnel.A q <> [] then
-                 [ (Deliver (i, Leftward), deliver s i Leftward) ]
-               else []
-             in
-             rightward @ leftward)
-           s.tuns)
-      |> List.filter_map (fun (label, r) ->
-             match r with
-             | Some s' -> Some (label, s')
-             | None -> None)
+        (List.init n_legs (fun k ->
+             List.concat
+               (List.mapi
+                  (fun i q ->
+                    let rightward =
+                      if Tunnel.pending ~toward:Tunnel.B q <> [] then
+                        [ (Deliver (k, i, Rightward), deliver s k i Rightward) ]
+                      else []
+                    in
+                    let leftward =
+                      if Tunnel.pending ~toward:Tunnel.A q <> [] then
+                        [ (Deliver (k, i, Leftward), deliver s k i Leftward) ]
+                      else []
+                    in
+                    rightward @ leftward)
+                  (get_leg s k).tuns)
+             |> List.filter_map (fun (label, r) ->
+                    match r with
+                    | Some s' -> Some (label, s')
+                    | None -> None)))
     in
-    let end_moves which =
-      let e = get_end s which in
+    let end_moves k which =
+      let e = get_end s k which in
       match e.phase with
       | Chaos budget ->
         let switch =
-          if e.environment then [] else [ (Switch_end which, switch_end s which) ]
+          if e.environment then [] else [ (Switch_end (k, which), switch_end s k which) ]
         in
         let chaos =
           if budget <= 0 then []
@@ -474,10 +563,10 @@ let successors s =
                   of_slot_result s
                     (fun (slot, signal) ->
                       let e' = { e with phase = Chaos (budget - 1); slot } in
-                      endpoint_emit (set_end s which e') which [ signal ])
+                      endpoint_emit (set_end s k which e') k which [ signal ])
                     (act ())
                 in
-                (Chaos_end (which, name), s'))
+                (Chaos_end (k, which, name), s'))
               (chaos_actions e.local e.slot)
         in
         switch @ chaos
@@ -487,15 +576,15 @@ let successors s =
           List.filter_map
             (fun mute ->
               if Mute.equal mute e.local.Local.mute then None
-              else Some (Modify (which, mute), modify_end s which mute))
+              else Some (Modify (k, which, mute), modify_end s k which mute))
             mute_choices
       | Goal_close _ -> []
     in
-    let link_moves j =
-      let link = List.nth s.links j in
+    let link_moves k j =
+      let link = List.nth (get_leg s k).links j in
       match link.lphase with
       | L_chaos budget ->
-        let switch = [ (Switch_link j, switch_link s j) ] in
+        let switch = [ (Switch_link (k, j), switch_link s k j) ] in
         let chaos_on side slot =
           if budget <= 0 then []
           else
@@ -510,10 +599,10 @@ let successors s =
                         | Flow_link.Left -> { link with lslot = slot' }
                         | Flow_link.Right -> { link with rslot = slot' }
                       in
-                      route_link_out (set_link s j link') j [ (side, signal) ])
+                      route_link_out (set_link s k j link') k j [ (side, signal) ])
                     (act ())
                 in
-                (Chaos_link (j, side, name), s'))
+                (Chaos_link (k, j, side, name), s'))
               (chaos_actions link.llocal slot)
         in
         switch @ chaos_on Flow_link.Left link.lslot @ chaos_on Flow_link.Right link.rslot
@@ -523,36 +612,48 @@ let successors s =
       if s.losses_left <= 0 && s.dups_left <= 0 then []
       else
         List.concat
-          (List.mapi
-             (fun i _ ->
-               List.concat_map
-                 (fun direction ->
-                   match head_toward s i direction with
-                   | None -> []
-                   | Some head ->
-                     let faultable = s.unrestricted || idempotent head in
-                     let losses =
-                       if s.losses_left <= 0 || not faultable then []
-                       else
-                         match lose s i direction with
-                         | None -> []
-                         | Some s' ->
-                           [ (Lose (i, direction), { s' with losses_left = s.losses_left - 1 }) ]
-                     in
-                     let dups =
-                       if s.dups_left <= 0 || not faultable then []
-                       else
-                         match deliver ~consume:false s i direction with
-                         | None -> []
-                         | Some s' ->
-                           [ (Dup (i, direction), { s' with dups_left = s.dups_left - 1 }) ]
-                     in
-                     losses @ dups)
-                 [ Rightward; Leftward ])
-             s.tuns)
+          (List.init n_legs (fun k ->
+               List.concat
+                 (List.mapi
+                    (fun i _ ->
+                      List.concat_map
+                        (fun direction ->
+                          match head_toward s k i direction with
+                          | None -> []
+                          | Some head ->
+                            let faultable = s.unrestricted || idempotent head in
+                            let losses =
+                              if s.losses_left <= 0 || not faultable then []
+                              else
+                                match lose s k i direction with
+                                | None -> []
+                                | Some s' ->
+                                  [
+                                    ( Lose (k, i, direction),
+                                      { s' with losses_left = s.losses_left - 1 } );
+                                  ]
+                            in
+                            let dups =
+                              if s.dups_left <= 0 || not faultable then []
+                              else
+                                match deliver ~consume:false s k i direction with
+                                | None -> []
+                                | Some s' ->
+                                  [
+                                    ( Dup (k, i, direction),
+                                      { s' with dups_left = s.dups_left - 1 } );
+                                  ]
+                            in
+                            losses @ dups)
+                        [ Rightward; Leftward ])
+                    (get_leg s k).tuns)))
     in
-    deliveries @ fault_moves @ end_moves L @ end_moves R
-    @ List.concat (List.init (List.length s.links) link_moves)
+    deliveries @ fault_moves
+    @ List.concat
+        (List.init n_legs (fun k ->
+             end_moves k L @ end_moves k R
+             @ List.concat
+                 (List.init (List.length (get_leg s k).links) (fun j -> link_moves k j))))
 
 (* ------------------------------------------------------------------ *)
 (* Packed state codec                                                  *)
@@ -564,6 +665,12 @@ let successors s =
    the [unrestricted] flag — is omitted.  The codec exists so the
    explorer can intern states under short keys instead of [Marshal]
    blobs; see {!Mediactl_mc.Explorer.SYSTEM}.
+
+   Legs are packed in order, each as (outer, links, tunnels, inner), so
+   a path topology — exactly one leg — produces byte-for-byte the same
+   encoding as the historical two-ended codec, keeping E10 baselines
+   valid.  Because every leg reuses the same owner/address namespace,
+   the per-leg codec needs no leg-qualified codes.
 
    Provenance facts the encoding relies on (exercised by the qcheck
    round-trip property in the test suite):
@@ -787,17 +894,17 @@ let put_endpoint b e =
   byte b e.modifies_left;
   put_slot b e.slot
 
-let get_endpoint r (c : config) which =
+let get_endpoint r ~kind ~environment which =
   let base = endpoint_local (which = L) in
   let phase = get_phase r base in
   let modifies_left = rd r in
-  let label, role, kind =
+  let label, role =
     match which with
-    | L -> ("L", Slot.Channel_initiator, c.left)
-    | R -> ("R", Slot.Channel_acceptor, c.right)
+    | L -> ("L", Slot.Channel_initiator)
+    | R -> ("R", Slot.Channel_acceptor)
   in
   let slot = get_slot r ~label ~role in
-  { phase; slot; local = base; kind; modifies_left; environment = c.environment_ends }
+  { phase; slot; local = base; kind; modifies_left; environment }
 
 let put_side_view b (v : Flow_link.side_view) =
   byte b
@@ -867,10 +974,13 @@ let pack_buf = Domain.DLS.new_key (fun () -> Buffer.create 256)
 let pack s =
   let b = Domain.DLS.get pack_buf in
   Buffer.clear b;
-  put_endpoint b s.left;
-  List.iter (put_link b) s.links;
-  List.iter (put_tunnel b) s.tuns;
-  put_endpoint b s.right;
+  List.iter
+    (fun g ->
+      put_endpoint b g.outer;
+      List.iter (put_link b) g.links;
+      List.iter (put_tunnel b) g.tuns;
+      put_endpoint b g.inner)
+    s.legs;
   (match s.err with
   | None -> byte b 0
   | Some msg ->
@@ -893,10 +1003,16 @@ let rec read_list j n f =
 
 let unpack (c : config) str =
   let r = { buf = str; pos = 0 } in
-  let left = get_endpoint r c L in
-  let links = read_list 0 c.flowlinks (fun j -> get_link r j) in
-  let tuns = read_list 0 (c.flowlinks + 1) (fun _ -> get_tunnel r) in
-  let right = get_endpoint r c R in
+  let kinds = Array.of_list (leg_kinds c) in
+  let legs =
+    read_list 0 (Array.length kinds) (fun k ->
+        let outer_kind, inner_kind = kinds.(k) in
+        let outer = get_endpoint r ~kind:outer_kind ~environment:c.environment_ends L in
+        let links = read_list 0 c.flowlinks (fun j -> get_link r j) in
+        let tuns = read_list 0 (c.flowlinks + 1) (fun _ -> get_tunnel r) in
+        let inner = get_endpoint r ~kind:inner_kind ~environment:c.environment_ends R in
+        { outer; links; tuns; inner })
+  in
   let err =
     match rd r with
     | 0 -> None
@@ -910,7 +1026,7 @@ let unpack (c : config) str =
   in
   let losses_left = rd r in
   let dups_left = rd r in
-  { left; links; tuns; right; err; losses_left; dups_left; unrestricted = c.faults.unrestricted }
+  { legs; err; losses_left; dups_left; unrestricted = c.faults.unrestricted }
 
 let equal_state (a : state) (b : state) = a = b
 
@@ -926,6 +1042,6 @@ let standard_configs ?(faults = no_faults) ~chaos ~modifies () =
     (fun flowlinks ->
       List.map
         (fun (left, right) ->
-          { left; right; flowlinks; chaos; modifies; environment_ends = false; faults })
+          path_config ~faults ~left ~right ~flowlinks ~chaos ~modifies ())
         pairs)
     [ 0; 1 ]

@@ -1,5 +1,8 @@
-(** The verification models of paper section VIII-A: one signaling path
-    per model, with a goal object controlling every slot.
+(** The verification models of paper section VIII-A, generalized from a
+    single signaling path to N-party topologies: one goal object
+    controlling every slot, arranged either as a linear two-ended path
+    or as a star of participant legs fanned through a central mixer
+    box.
 
     Exactly as in the paper's Promela models, each goal object has two
     phases.  In its initial {e chaos} phase the slots it controls behave
@@ -13,6 +16,14 @@
     Users at media endpoints additionally have bounded freedom to change
     their mute flags ([modify] events).  Both freedoms are budgeted so
     the state space stays finite; the budgets are parameters.
+
+    A {e star} topology models the conference box of paper Fig. 7: each
+    participant leg runs participant -- flowlinks -- mixer-bridge, where
+    the bridge end holds the leg open ({!Mediactl_core.Semantics.Hold_end}).
+    Legs exchange no signals with one another (mixing is a media-plane
+    concern), so the reachable space is the product of the per-leg
+    spaces, coupled only through the shared network-fault budgets — and
+    each leg carries its own temporal obligation ({!leg_specs}).
 
     Beyond the paper, the models can additionally give the {e network}
     bounded nondeterministic freedom to misbehave: a loss budget lets it
@@ -30,7 +41,7 @@
 
 open Mediactl_core
 
-(** Network-fault budgets shared across the whole path. *)
+(** Network-fault budgets shared across the whole topology. *)
 type faults = {
   losses : int;  (** signals the network may silently drop *)
   dups : int;  (** signals the network may deliver twice *)
@@ -41,24 +52,65 @@ type faults = {
 
 val no_faults : faults
 
+(** The shape of the model: a linear two-ended path, or a star of
+    participant legs fanned through a central mixer box whose bridge
+    end holds each leg open. *)
+type topology =
+  | Path of { left : Semantics.end_kind; right : Semantics.end_kind }
+  | Star of { parties : Semantics.end_kind list }
+
 type config = {
-  left : Semantics.end_kind;
-  right : Semantics.end_kind;
-  flowlinks : int;
+  topo : topology;
+  flowlinks : int;  (** interior flowlinks per leg *)
   chaos : int;  (** chaos actions available to each goal object *)
   modifies : int;  (** mute changes available to each endpoint *)
   environment_ends : bool;
-      (** segment-lemma mode (paper section VIII-B): the path ends are
-          pure environments — arbitrary protocol-legal actors that never
-          settle into a goal — so the model checks the interior flowlinks
-          against {e any} surrounding behaviour *)
+      (** segment-lemma mode (paper section VIII-B), path topology only:
+          the path ends are pure environments — arbitrary protocol-legal
+          actors that never settle into a goal — so the model checks the
+          interior flowlinks against {e any} surrounding behaviour *)
   faults : faults;
 }
 
+val path_config :
+  ?faults:faults ->
+  ?environment_ends:bool ->
+  left:Semantics.end_kind ->
+  right:Semantics.end_kind ->
+  flowlinks:int ->
+  chaos:int ->
+  modifies:int ->
+  unit ->
+  config
+(** The historical two-ended path model. *)
+
+val conf_config :
+  ?faults:faults ->
+  ?flowlinks:int ->
+  parties:Semantics.end_kind list ->
+  chaos:int ->
+  modifies:int ->
+  unit ->
+  config
+(** An N-party conference star: one leg per party, each fanned through
+    [flowlinks] interior flowlinks (default 1 — the mixer box itself)
+    into a holding bridge end.  Raises [Invalid_argument] on fewer than
+    two parties. *)
+
 val config_name : config -> string
-(** E.g. ["openslot--fl--holdslot"]. *)
+(** E.g. ["openslot--fl--holdslot"] or
+    ["conf3(openslot,openslot,openslot)--fl--mixer"]. *)
+
+val leg_count : config -> int
+(** Number of signaling legs: 1 for a path, the party count for a star. *)
+
+val leg_specs : config -> Semantics.spec list
+(** The temporal obligation of each leg, in leg order.  A path has
+    exactly one (its configured end pair); a star leg's obligation is
+    [spec_of party Hold_end]. *)
 
 val spec : config -> Semantics.spec
+(** The first (for a path: the only) leg's specification. *)
 
 type state
 
@@ -69,24 +121,36 @@ val error : state -> string option
     errors are safety violations. *)
 
 val both_closed : state -> bool
+(** Every leg's end slots are closed (for a path: the historical
+    bothClosed). *)
 
 val both_flowing : state -> bool
-(** Both end slots flowing {e and} their descriptor/selector views agree
-    end to end (media actually flows as both parties believe). *)
+(** Every leg's end slots are flowing {e and} their descriptor/selector
+    views agree end to end (media actually flows as all parties
+    believe). *)
 
 val ends_flowing : state -> bool
-(** The structural part of {!both_flowing}: both end slots are in the
-    flowing state.  Used as the flowing predicate under a loss budget,
-    where an unrepaired status loss legitimately leaves the agreement
-    refinement stale — repairing it is the reliability layer's job
-    ({!Mediactl_net.Reliable}, measured in experiment E9). *)
+(** The structural part of {!both_flowing}: every leg's end slots are in
+    the flowing state.  Used as the flowing predicate under a loss
+    budget, where an unrepaired status loss legitimately leaves the
+    agreement refinement stale — repairing it is the reliability layer's
+    job ({!Mediactl_net.Reliable}, measured in experiment E9). *)
+
+val leg_both_closed : int -> state -> bool
+(** Per-leg closed predicate, for checking one leg's obligation. *)
+
+val leg_both_flowing : int -> state -> bool
+(** Per-leg flowing-with-agreement predicate. *)
+
+val leg_ends_flowing : int -> state -> bool
+(** Per-leg structural flowing predicate (see {!ends_flowing}). *)
 
 val all_settled : state -> bool
 (** Every goal object has left its chaos phase. *)
 
 val clean : state -> bool
-(** Every slot on the path is closed or flowing (the paper's final-state
-    safety condition). *)
+(** Every slot on every leg is closed or flowing (the paper's
+    final-state safety condition). *)
 
 type label
 
@@ -103,8 +167,9 @@ val pack : state -> string
     {!Mediactl_mc.Explorer.SYSTEM}).  Everything derivable from the
     configuration (slot labels and roles, endpoint media faces, flowlink
     locals, the [unrestricted] flag) is omitted, so keys are tens of
-    bytes where a [Marshal] snapshot is hundreds.  The explorer interns
-    states under these keys. *)
+    bytes where a [Marshal] snapshot is hundreds.  Legs are packed in
+    order, so a path topology produces byte-for-byte the historical
+    two-ended encoding.  The explorer interns states under these keys. *)
 
 val unpack : config -> string -> state
 (** [unpack c (pack s)] rebuilds [s] exactly, for any state [s] of

@@ -81,7 +81,7 @@ let of_events events =
   let start = if !t_min = infinity then 0.0 else !t_min in
   List.iter
     (fun (r : Monitor.tunnel_report) ->
-      match r.Monitor.first_both_flowing with
+      match r.Monitor.first_all_flowing with
       | Some t -> Stats.add time_to_flowing (t -. start)
       | None -> ())
     monitor.Monitor.tunnels;
@@ -178,7 +178,7 @@ let of_packed p =
   let start = if !t_min = infinity then 0.0 else !t_min in
   List.iter
     (fun (r : Monitor.tunnel_report) ->
-      match r.Monitor.first_both_flowing with
+      match r.Monitor.first_all_flowing with
       | Some t -> Stats.add time_to_flowing (t -. start)
       | None -> ())
     monitor.Monitor.tunnels;
@@ -336,15 +336,19 @@ let stats_json s =
             (fun (lo, hi, n) -> Printf.sprintf "{\"lo\":%.3f,\"hi\":%.3f,\"n\":%d}" lo hi n)
             (Stats.histogram ~bins:8 s)))
 
+(* [time_to_all_flowing_ms] is the current name (the monitor grew N-way
+   legs); the historical [time_to_both_flowing_ms] key is emitted as a
+   duplicate so downstream JSON consumers don't break silently. *)
 let to_json m =
+  let flowing = stats_json m.time_to_flowing in
   Printf.sprintf
-    "{\"events\":%d,\"duration_ms\":%.3f,\"sends\":{%s},\"recvs\":%d,\"slot_transitions\":%d,\"goal_changes\":%d,\"open_races\":%d,\"net\":{\"drops\":%d,\"dups\":%d,\"retransmissions\":%d,\"retries_exhausted\":%d,\"dup_suppressed\":%d,\"acks\":%d},\"round_trip_ms\":%s,\"time_to_both_flowing_ms\":%s,\"violations\":%d}"
+    "{\"events\":%d,\"duration_ms\":%.3f,\"sends\":{%s},\"recvs\":%d,\"slot_transitions\":%d,\"goal_changes\":%d,\"open_races\":%d,\"net\":{\"drops\":%d,\"dups\":%d,\"retransmissions\":%d,\"retries_exhausted\":%d,\"dup_suppressed\":%d,\"acks\":%d},\"round_trip_ms\":%s,\"time_to_all_flowing_ms\":%s,\"time_to_both_flowing_ms\":%s,\"violations\":%d}"
     m.events m.duration
     (String.concat ","
        (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) m.sends_by_signal))
     m.recvs m.slot_transitions m.goal_changes m.open_races m.drops m.dups m.retransmissions
-    m.retries_exhausted m.dup_suppressed m.acks (stats_json m.round_trip)
-    (stats_json m.time_to_flowing) m.violations
+    m.retries_exhausted m.dup_suppressed m.acks (stats_json m.round_trip) flowing flowing
+    m.violations
 
 let write_json path m =
   let oc = open_out path in

@@ -279,9 +279,14 @@ type tunnel_report = {
   recvs : int;
   races : int;
   quiescent : bool;
-  first_both_flowing : float option;
+  first_all_flowing : float option;
   tunnel_violations : string list;
 }
+
+(* Deprecated accessor: the field was renamed when the monitor grew
+   N-way legs ([first_all_flowing]); the old name survives so two-sided
+   consumers keep reading the same value. *)
+let first_both_flowing r = r.first_all_flowing
 
 type report = { tunnels : tunnel_report list; violations : string list }
 
@@ -307,7 +312,7 @@ let report_of_tunnels machines =
           recvs = List.fold_left (fun acc s -> acc + s.recvd) 0 t.sides;
           races = t.races;
           quiescent = tunnel_quiescent t;
-          first_both_flowing = t.both_flowing_at;
+          first_all_flowing = t.both_flowing_at;
           tunnel_violations = List.rev t.violations;
         })
       machines
@@ -372,8 +377,14 @@ let both_flowing l r =
    quiescent cutoff, where infinite stuttering of the final state is the
    sole continuation the system itself would produce — exactly the
    terminal-state checks of the model checker ([Temporal]).  A
-   non-quiescent cutoff leaves every obligation undetermined. *)
-let verdict_of_machines ~structural obligation ~ends tunnels =
+   non-quiescent cutoff leaves every obligation undetermined.
+
+   The obligation quantifies over a list of legs — one end-slot pair per
+   leg.  A two-ended path is the one-leg case; a conference star
+   contributes one leg per participant (participant slot against the
+   mixer's bridge slot), and the N-way predicates are the conjunction
+   over legs: allClosed / allFlowing. *)
+let verdict_of_machines ~structural obligation ~legs tunnels =
   let all_violations = List.concat_map (fun (t : tunnel) -> List.rev t.violations) tunnels in
   match all_violations with
   | v :: _ -> Violated ("protocol violation: " ^ v)
@@ -388,23 +399,46 @@ let verdict_of_machines ~structural obligation ~ends tunnels =
         | Some s -> s
         | None -> fresh_side ~box ~initiator:false
       in
-      let l = side_or_initial ends.left and r = side_or_initial ends.right in
-        let flowing = if structural then ends_flowing l r else both_flowing l r in
-        let closed = both_closed l r in
-        let sat cond msg = if cond then Satisfied else Violated msg in
-        (match obligation with
-        | Eventually_always_closed -> sat closed "terminal state is not bothClosed"
-        | Eventually_always_not_flowing ->
-          sat (not flowing) "terminal state satisfies bothFlowing"
-        | Always_eventually_flowing -> sat flowing "terminal state violates bothFlowing"
-        | Closed_or_flowing ->
-          sat (closed || flowing) "terminal state is neither bothClosed nor bothFlowing"))
+      let pairs =
+        List.map (fun e -> (side_or_initial e.left, side_or_initial e.right)) legs
+      in
+      let n_legs = List.length pairs in
+      (* Name the first leg failing [pred] when there is more than one,
+         so a star violation says which participant stalled. *)
+      let where pred =
+        if n_legs <= 1 then ""
+        else
+          let rec go k = function
+            | [] -> ""
+            | (l, r) :: rest -> if pred l r then go (k + 1) rest else Printf.sprintf " (leg %d)" k
+          in
+          go 0 pairs
+      in
+      let flowing_pred l r = if structural then ends_flowing l r else both_flowing l r in
+      let flowing = List.for_all (fun (l, r) -> flowing_pred l r) pairs in
+      let closed = List.for_all (fun (l, r) -> both_closed l r) pairs in
+      let sat cond msg = if cond then Satisfied else Violated msg in
+      match obligation with
+      | Eventually_always_closed ->
+        sat closed ("terminal state is not bothClosed" ^ where both_closed)
+      | Eventually_always_not_flowing ->
+        sat (not flowing) "terminal state satisfies bothFlowing"
+      | Always_eventually_flowing ->
+        sat flowing ("terminal state violates bothFlowing" ^ where flowing_pred)
+      | Closed_or_flowing ->
+        sat (closed || flowing) "terminal state is neither bothClosed nor bothFlowing")
+
+let verdict_legs ?(structural = false) obligation ~legs events =
+  verdict_of_machines ~structural obligation ~legs (run_machines events)
+
+let verdict_packed_legs ?(structural = false) obligation ~legs p =
+  verdict_of_machines ~structural obligation ~legs (run_machines_packed p)
 
 let verdict ?(structural = false) obligation ~ends events =
-  verdict_of_machines ~structural obligation ~ends (run_machines events)
+  verdict_of_machines ~structural obligation ~legs:[ ends ] (run_machines events)
 
 let verdict_packed ?(structural = false) obligation ~ends p =
-  verdict_of_machines ~structural obligation ~ends (run_machines_packed p)
+  verdict_of_machines ~structural obligation ~legs:[ ends ] (run_machines_packed p)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -24,9 +24,16 @@ type tunnel_report = {
   recvs : int;
   races : int;  (** crossing-[open] occurrences observed *)
   quiescent : bool;  (** per direction, sends = receives at cutoff *)
-  first_both_flowing : float option;  (** time both sides first reached Flowing *)
+  first_all_flowing : float option;  (** time all sides first reached Flowing *)
   tunnel_violations : string list;
 }
+
+val first_both_flowing : tunnel_report -> float option
+[@@ocaml.deprecated "use the first_all_flowing field"]
+(** Deprecated two-sided name for the {!tunnel_report.first_all_flowing}
+    field, kept so existing consumers don't break silently.  The JSON
+    metrics export mirrors the rename the same way
+    ([time_to_all_flowing_ms], with the old key kept as a duplicate). *)
 
 type report = { tunnels : tunnel_report list; violations : string list }
 
@@ -61,19 +68,33 @@ val obligation_to_string : obligation -> string
 type verdict = Satisfied | Violated of string | Undetermined of string
 
 type ends = { left : string * string * int; right : string * string * int }
-(** The end slots the obligation speaks about, each as
-    [(box, channel, tunnel)]. *)
+(** One leg's end slots, each as [(box, channel, tunnel)].  A two-ended
+    path is a single leg; an N-party topology is a list of legs, one per
+    participant. *)
 
-val verdict : ?structural:bool -> obligation -> ends:ends -> Trace.event list -> verdict
-(** Evaluate an obligation on a finite trace.  A liveness obligation is
-    decided only at a quiescent cutoff (no signal in flight on any
-    tunnel), where infinite stuttering of the final state is the sole
+val verdict_legs :
+  ?structural:bool -> obligation -> legs:ends list -> Trace.event list -> verdict
+(** Evaluate an obligation on a finite trace, quantified over N legs:
+    the closed/flowing predicates are the conjunction over every leg's
+    end pair (allClosed / allFlowing), so a conference is satisfied only
+    when {e every} participant leg is.  A liveness obligation is decided
+    only at a quiescent cutoff (no signal in flight on any tunnel),
+    where infinite stuttering of the final state is the sole
     continuation the system itself would produce — the same
     terminal-state reading the model checker's [Temporal] module uses.
     A non-quiescent cutoff yields [Undetermined].  [structural] weakens
-    [bothFlowing] to "both end states are Flowing", dropping the
+    flowing to "both end states are Flowing" per leg, dropping the
     descriptor/selector agreement refinement — the form the model
     checker falls back to under loss budgets. *)
+
+val verdict_packed_legs :
+  ?structural:bool -> obligation -> legs:ends list -> Trace.Packed.t -> verdict
+(** [verdict_legs] over a packed ring capture, reading signal entries
+    through the flat {!Trace.Packed} accessors. *)
+
+val verdict : ?structural:bool -> obligation -> ends:ends -> Trace.event list -> verdict
+(** The historical two-sided form: [verdict ~ends] is
+    [verdict_legs ~legs:[ends]]. *)
 
 val verdict_packed :
   ?structural:bool -> obligation -> ends:ends -> Trace.Packed.t -> verdict

@@ -6,6 +6,7 @@ One gate per bench artifact family:
   bench_gate.py --gate mc    --fresh BENCH_mc.json    --baseline bench-baseline.json
   bench_gate.py --gate fleet --fresh BENCH_fleet.json --baseline fleet-baseline.json
   bench_gate.py --gate churn --fresh BENCH_churn.json --baseline churn-baseline.json
+  bench_gate.py --gate conf  --fresh BENCH_conf.json  --baseline conf-baseline.json
 
 Each gate prints what it measured and exits non-zero on the first
 regression class it finds.  Thresholds carry generous slack for runner
@@ -139,7 +140,56 @@ def gate_churn(fresh, base):
     return ok
 
 
-GATES = {"mc": gate_mc, "fleet": gate_fleet, "churn": gate_churn}
+def gate_conf(fresh, base):
+    """N-party conference bench (E17): exact 3-party state counts,
+    jobs:1/jobs:N agreement, fleet + churn digest stability."""
+    ok = True
+    # The star encoding is canonical, so the reachable-space size of
+    # each committed 3-party configuration is an exact invariant: any
+    # drift means the model (or the codec) changed semantics.
+    fresh_rows = {r["config"]: r for r in fresh["checks"]}
+    for br in base["checks"]:
+        fr = fresh_rows.get(br["config"])
+        if fr is None:
+            print(f"FAIL: config {br['config']} missing from the fresh run")
+            ok = False
+        elif (fr["states"], fr["transitions"]) != (br["states"], br["transitions"]):
+            print(f"FAIL: {br['config']} drifted: "
+                  f"{br['states']}/{br['transitions']} -> {fr['states']}/{fr['transitions']}")
+            ok = False
+        else:
+            print(f"{br['config']}: {fr['states']} states / {fr['transitions']} transitions (exact)")
+    ft, bt = fresh["check_totals"], base["check_totals"]
+    if not ft["all_agree"]:
+        print("FAIL: jobs:1 and parallel 3-party runs disagree")
+        ok = False
+    if not ft["all_passed"]:
+        print("FAIL: a 3-party configuration failed its obligation")
+        ok = False
+    ratio = ft["seq_s"] / bt["seq_s"]
+    print(f"check seq_s: fresh {ft['seq_s']:.2f}s vs committed {bt['seq_s']:.2f}s (x{ratio:.2f})")
+    if ratio > 1.25:
+        print("FAIL: 3-party check time regressed more than 25% against the committed baseline")
+        ok = False
+    for section in ("fleet", "churn"):
+        doc = fresh[section]
+        digests = {r["digest"] for r in doc["rows"]}
+        if not doc["deterministic"] or len(digests) != 1:
+            print(f"FAIL: conference {section} digests differ across jobs: {sorted(digests)}")
+            ok = False
+        else:
+            print(f"conference {section}: digest {next(iter(digests))[:12]} stable across jobs")
+    fl = fresh["fleet"]
+    bad = [r for r in fl["rows"] if r["conformant"] != fl["sessions"] or r["satisfied"] != fl["sessions"]]
+    if bad:
+        print(f"FAIL: conference fleet rows not fully conformant/satisfied: {bad}")
+        ok = False
+    else:
+        print(f"conference fleet: {fl['sessions']}/{fl['sessions']} conformant and satisfied on every row")
+    return ok
+
+
+GATES = {"mc": gate_mc, "fleet": gate_fleet, "churn": gate_churn, "conf": gate_conf}
 
 
 def main():

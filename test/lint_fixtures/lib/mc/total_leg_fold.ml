@@ -1,0 +1,14 @@
+(* Fixture: the clean twin of wildcard_leg_fold — the same N-party
+   fold with the non-flowing states enumerated, so a new slot state
+   fails to compile until this classifier handles it. *)
+
+open Mediactl_protocol
+
+let all_legs_flowing (legs : Slot_state.t list) =
+  List.for_all
+    (fun st ->
+      match st with
+      | Slot_state.Flowing -> true
+      | Slot_state.Closed | Slot_state.Opening | Slot_state.Opened | Slot_state.Closing ->
+        false)
+    legs

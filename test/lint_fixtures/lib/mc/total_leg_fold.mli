@@ -1,0 +1,1 @@
+val all_legs_flowing : Mediactl_protocol.Slot_state.t list -> bool

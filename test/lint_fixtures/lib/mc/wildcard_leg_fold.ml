@@ -1,0 +1,11 @@
+(* Fixture: an N-party verdict fold that swallows the tail of the slot
+   state set with a wildcard — on a star, "this leg is not flowing"
+   must enumerate the remaining states (or bind them), or a state
+   added later is classified silently. *)
+
+open Mediactl_protocol
+
+let all_legs_flowing (legs : Slot_state.t list) =
+  List.for_all
+    (fun st -> match st with Slot_state.Flowing -> true | _ -> false)
+    legs

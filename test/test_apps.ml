@@ -260,6 +260,54 @@ let test_mixing_whisper () =
   check tbool "trainee hears whispered coach" true (hears m "alice" "carol" = Some 0.3);
   check tbool "coach hears customer" true (hears m "carol" "bob" = Some 1.0)
 
+let test_matrix_metas () =
+  let metas = Conference.matrix_metas (Conference.Business [ "carol" ]) ~participants in
+  check tint "one row per listener" (List.length participants) (List.length metas);
+  match metas with
+  | (chan, Meta.Info row) :: _ ->
+    (* The first row belongs to the first listener and rides that
+       listener's bridge channel. *)
+    check Alcotest.string "rides the listener's bridge channel"
+      (Conference.bridge_chan "alice") chan;
+    check Alcotest.string "policy and gains rendered" "mix/business alice<-bob:1.00" row
+  | _ -> Alcotest.fail "expected Info metas on bridge channels"
+
+let test_barge_in_and_hangup () =
+  let users = Conference.default_users 2 in
+  let net = settle (Conference.build ~users) in
+  check tint "two legs flowing" 4 (List.length (Conference.flows net));
+  let joiner = List.nth (Conference.default_users 3) 2 in
+  let net = settle (fst (Conference.add_user ~user:joiner ~port:6004 net)) in
+  let u2 = fst joiner in
+  let fl = Conference.flows net in
+  check tint "three legs after barge-in" 6 (List.length fl);
+  check tbool "joiner flowing both ways" true
+    (List.mem (u2, "bridge") fl && List.mem ("bridge", u2) fl);
+  let net = settle (fst (Conference.hangup_user ~user:u2 net)) in
+  edges_equal "back to two legs after hangup"
+    [ ("u0", "bridge"); ("bridge", "u0"); ("u1", "bridge"); ("bridge", "u1") ]
+    (Conference.flows net)
+
+(* --- feature chains ------------------------------------------------------ *)
+
+let test_transfer_rewires () =
+  let net = settle (Feature.transfer_build ()) in
+  edges_equal "customer--agent established"
+    [ ("cust", "agent"); ("agent", "cust") ]
+    (Feature.flows net);
+  let net = settle (fst (Feature.transfer net)) in
+  edges_equal "customer--supervisor after transfer"
+    [ ("cust", "sup"); ("sup", "cust") ]
+    (Feature.flows net)
+
+let test_moh_hold_resume () =
+  let net = settle (Feature.moh_build ()) in
+  edges_equal "talking" [ ("cust", "agent"); ("agent", "cust") ] (Feature.flows net);
+  let net = settle (fst (Feature.hold net)) in
+  edges_equal "music while held" [ ("cust", "music"); ("music", "cust") ] (Feature.flows net);
+  let net = settle (fst (Feature.resume net)) in
+  edges_equal "talking again" [ ("cust", "agent"); ("agent", "cust") ] (Feature.flows net)
+
 (* --- collaborative tv ---------------------------------------------------- *)
 
 let test_collab_tv_streams () =
@@ -326,12 +374,19 @@ let () =
           Alcotest.test_case "business mix" `Quick test_mixing_business;
           Alcotest.test_case "emergency mix" `Quick test_mixing_emergency;
           Alcotest.test_case "whisper mix" `Quick test_mixing_whisper;
+          Alcotest.test_case "matrix meta-signals" `Quick test_matrix_metas;
+          Alcotest.test_case "barge-in and hangup" `Quick test_barge_in_and_hangup;
         ] );
       ( "collaborative tv",
         [
           Alcotest.test_case "streams" `Quick test_collab_tv_streams;
           Alcotest.test_case "pause/play" `Quick test_collab_tv_pause_play;
           Alcotest.test_case "daughter leaves" `Quick test_collab_tv_daughter_leaves;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "attended transfer rewires" `Quick test_transfer_rewires;
+          Alcotest.test_case "music on hold and resume" `Quick test_moh_hold_resume;
         ] );
       ("relink", [ Alcotest.test_case "latency formula" `Quick test_relink_matches_formula ]);
       ("interleavings", [ QCheck_alcotest.to_alcotest prop_prepaid_any_interleaving ]);

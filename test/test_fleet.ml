@@ -179,6 +179,26 @@ let test_fleet_determinism () =
   check tbool "aggregate events match outcomes" true
     (s1.Fleet.engine_events = List.fold_left (fun acc (_, _, e, _, _, _, _, _, _) -> acc + e) 0 f1)
 
+(* The same acceptance property for the N-party conference mixer: each
+   session is a star of [parties] legs judged N-way ([]<> allFlowing
+   over every leg), and per-session outcomes stay bit-identical across
+   job counts under loss. *)
+let run_conf_fleet jobs =
+  let mk ~id ~rng = Scenario.session ~loss:0.05 ~parties:4 Scenario.Conf ~id ~rng in
+  let outcomes, _ = Fleet.run ~jobs ~until:30_000.0 ~sessions:9 ~seed:13 mk in
+  List.map fingerprint outcomes
+
+let test_conf_fleet_determinism () =
+  let f1 = run_conf_fleet 1 in
+  check tint "all sessions ran" 9 (List.length f1);
+  List.iter
+    (fun (_, _, _, _, conformant, _, _, _, verdict) ->
+      check tbool "conf session conformant" true conformant;
+      check (Alcotest.string) "conf session satisfied N-way" "satisfied" verdict)
+    f1;
+  check tbool "jobs 1 = jobs 2" true (f1 = run_conf_fleet 2);
+  check tbool "jobs 1 = jobs 4" true (f1 = run_conf_fleet 4)
+
 let test_fleet_shards_cover_all_ids () =
   let mk ~id ~rng = Scenario.session Scenario.Path ~id ~rng in
   let outcomes, _ = Fleet.run ~jobs:3 ~until:10_000.0 ~sessions:7 ~seed:3 mk in
@@ -306,6 +326,12 @@ let test_churn_retires_everything () =
     Fleet.churn ~jobs:2 ~target_population:30 ~mean_holding:800.0 ~duration:2_000.0 ~seed:5
       mk
   in
+  let s4 =
+    Fleet.churn ~jobs:4 ~target_population:30 ~mean_holding:800.0 ~duration:2_000.0 ~seed:5
+      mk
+  in
+  check Alcotest.string "mixed pool (conferences included) digest independent of jobs"
+    s.Fleet.c_digest s4.Fleet.c_digest;
   check tint "every arrival retired" s.Fleet.c_started s.Fleet.c_retired;
   check tbool "turnover happened" true (s.Fleet.c_started > 30);
   check tbool "slots recycled below total arrivals" true
@@ -313,6 +339,27 @@ let test_churn_retires_everything () =
   check tbool "pool tracks peak population" true
     (s.Fleet.c_peak_resident <= s.Fleet.c_pool_slots);
   check tint "lossy mixed churn conformant" s.Fleet.c_retired s.Fleet.c_conformant
+
+(* A churned conference hangs every leg up from both ends at
+   retirement and is judged against the N-way §V disjunction; the
+   digest must not move with the job count, and every retiree must
+   satisfy it. *)
+let test_conf_churn_jobs_independent () =
+  let mk ~id ~rng = Scenario.churn_session ~loss:0.03 Scenario.Conf ~id ~rng in
+  let run jobs =
+    let s =
+      Fleet.churn ~jobs ~target_population:20 ~mean_holding:900.0 ~duration:2_500.0 ~seed:9
+        mk
+    in
+    (s.Fleet.c_digest, s.Fleet.c_started, s.Fleet.c_retired, s.Fleet.c_conformant,
+     s.Fleet.c_satisfied)
+  in
+  let ((_, started, retired, conformant, satisfied) as r1) = run 1 in
+  check tbool "jobs 1 = jobs 2" true (r1 = run 2);
+  check tbool "jobs 1 = jobs 4" true (r1 = run 4);
+  check tint "every arrival retired" started retired;
+  check tint "lossy conf churn conformant" retired conformant;
+  check tint "every retiree satisfied closed-or-flowing" retired satisfied
 
 let () =
   Alcotest.run "fleet"
@@ -329,6 +376,8 @@ let () =
       ( "fleet",
         [
           Alcotest.test_case "deterministic across jobs 1/2/4" `Quick test_fleet_determinism;
+          Alcotest.test_case "conference deterministic across jobs 1/2/4" `Quick
+            test_conf_fleet_determinism;
           Alcotest.test_case "sharding covers all ids" `Quick test_fleet_shards_cover_all_ids;
           Alcotest.test_case "block-cyclic balance and kind spread" `Quick test_shard_balance;
         ] );
@@ -340,6 +389,8 @@ let () =
       ( "churn",
         [
           QCheck_alcotest.to_alcotest prop_churn_jobs_independent;
+          Alcotest.test_case "conference churn digest independent of jobs" `Quick
+            test_conf_churn_jobs_independent;
           Alcotest.test_case "horizon drain retires everything" `Quick
             test_churn_retires_everything;
         ] );

@@ -168,16 +168,7 @@ let test_stabilize_or_recur () =
 (* --- path models ------------------------------------------------------ *)
 
 let run_config left right flowlinks =
-  Check.run
-    {
-      Path_model.left;
-      right;
-      flowlinks;
-      chaos = 0;
-      modifies = 1;
-      environment_ends = false;
-      faults = Path_model.no_faults;
-    }
+  Check.run (Path_model.path_config ~left ~right ~flowlinks ~chaos:0 ~modifies:1 ())
 
 let test_path_models_no_chaos () =
   (* With no chaos the state spaces are small; all six types must pass
@@ -228,16 +219,7 @@ let test_segment_two_flowlinks () =
 (* --- network faults --------------------------------------------------- *)
 
 let run_faulted faults left right =
-  Check.run
-    {
-      Path_model.left;
-      right;
-      flowlinks = 0;
-      chaos = 1;
-      modifies = 0;
-      environment_ends = false;
-      faults;
-    }
+  Check.run (Path_model.path_config ~faults ~left ~right ~flowlinks:0 ~chaos:1 ~modifies:0 ())
 
 let test_idempotent_faults_harmless () =
   (* The section-VI claim, mechanised: a network that may drop and
@@ -321,27 +303,29 @@ let test_parallel_determinism_unsafe () =
   (* A violating model: the parallel search must find the same verdict. *)
   let faults = { Path_model.losses = 0; dups = 1; unrestricted = true } in
   agree
-    {
-      Path_model.left = Semantics.Open_end;
-      right = Semantics.Hold_end;
-      flowlinks = 0;
-      chaos = 1;
-      modifies = 0;
-      environment_ends = false;
-      faults;
-    }
+    (Path_model.path_config ~faults ~left:Semantics.Open_end ~right:Semantics.Hold_end
+       ~flowlinks:0 ~chaos:1 ~modifies:0 ())
 
 let test_parallel_determinism_segment () =
   agree
-    {
-      Path_model.left = Semantics.Hold_end;
-      right = Semantics.Hold_end;
-      flowlinks = 1;
-      chaos = 1;
-      modifies = 0;
-      environment_ends = true;
-      faults = Path_model.no_faults;
-    }
+    (Path_model.path_config ~environment_ends:true ~left:Semantics.Hold_end
+       ~right:Semantics.Hold_end ~flowlinks:1 ~chaos:1 ~modifies:0 ())
+
+let conf3 ?faults () =
+  Path_model.conf_config ?faults
+    ~parties:[ Semantics.Open_end; Semantics.Open_end; Semantics.Open_end ]
+    ~flowlinks:1 ~chaos:0 ~modifies:0 ()
+
+let test_parallel_determinism_star () = agree (conf3 ())
+
+let test_star_exact_size () =
+  (* The star encoding is canonical, so the 3-party reachable-space
+     size is an exact invariant shared with the committed E17 baseline:
+     drift means the model or the codec changed semantics. *)
+  let r = Check.run (conf3 ()) in
+  check tint "conf3 states" 15625 r.Check.states;
+  check tint "conf3 transitions" 73125 r.Check.transitions;
+  check tbool "conf3 passed" true (Check.passed r)
 
 (* --- packed state codec ----------------------------------------------- *)
 
@@ -365,32 +349,32 @@ let walk_gen = QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 1023))
 
 let prop_pack_roundtrip =
   let config =
-    {
-      Path_model.left = Semantics.Open_end;
-      right = Semantics.Hold_end;
-      flowlinks = 1;
-      chaos = 2;
-      modifies = 1;
-      environment_ends = false;
-      faults = { Path_model.losses = 1; dups = 1; unrestricted = false };
-    }
+    Path_model.path_config
+      ~faults:{ Path_model.losses = 1; dups = 1; unrestricted = false }
+      ~left:Semantics.Open_end ~right:Semantics.Hold_end ~flowlinks:1 ~chaos:2 ~modifies:1 ()
   in
   QCheck2.Test.make ~name:"unpack (pack s) = s along random walks" ~count:400 walk_gen
+    (fun choices -> roundtrip config (state_of_walk config choices))
+
+let prop_pack_roundtrip_star =
+  (* The star codec interleaves per-leg fields; walks over a faulted
+     3-party mixer with chaos and a modify budget reach every branch. *)
+  let config =
+    Path_model.conf_config
+      ~faults:{ Path_model.losses = 1; dups = 1; unrestricted = false }
+      ~parties:[ Semantics.Open_end; Semantics.Open_end; Semantics.Hold_end ]
+      ~flowlinks:1 ~chaos:1 ~modifies:1 ()
+  in
+  QCheck2.Test.make ~name:"star round-trip along random walks" ~count:400 walk_gen
     (fun choices -> roundtrip config (state_of_walk config choices))
 
 let prop_pack_roundtrip_unrestricted =
   (* Unrestricted faults reach protocol-error states, covering the
      [err] branch of the codec. *)
   let config =
-    {
-      Path_model.left = Semantics.Close_end;
-      right = Semantics.Open_end;
-      flowlinks = 0;
-      chaos = 2;
-      modifies = 0;
-      environment_ends = false;
-      faults = { Path_model.losses = 1; dups = 1; unrestricted = true };
-    }
+    Path_model.path_config
+      ~faults:{ Path_model.losses = 1; dups = 1; unrestricted = true }
+      ~left:Semantics.Close_end ~right:Semantics.Open_end ~flowlinks:0 ~chaos:2 ~modifies:0 ()
   in
   QCheck2.Test.make ~name:"round-trip survives protocol-error states" ~count:400 walk_gen
     (fun choices -> roundtrip config (state_of_walk config choices))
@@ -400,15 +384,8 @@ let test_pack_distinguishes_states () =
      keys are pairwise distinct (they are the intern keys, so a
      collision would have merged two states during exploration). *)
   let config =
-    {
-      Path_model.left = Semantics.Open_end;
-      right = Semantics.Hold_end;
-      flowlinks = 0;
-      chaos = 1;
-      modifies = 1;
-      environment_ends = false;
-      faults = Path_model.no_faults;
-    }
+    Path_model.path_config ~left:Semantics.Open_end ~right:Semantics.Hold_end ~flowlinks:0
+      ~chaos:1 ~modifies:1 ()
   in
   let r = Check.run config in
   check tbool "nontrivial" true (r.Check.states > 10);
@@ -473,10 +450,15 @@ let () =
             test_parallel_determinism_unsafe;
           Alcotest.test_case "segment model, jobs 1 = jobs 4" `Quick
             test_parallel_determinism_segment;
+          Alcotest.test_case "3-party star, jobs 1 = jobs 4" `Quick
+            test_parallel_determinism_star;
         ] );
+      ( "star models",
+        [ Alcotest.test_case "conf3 exact reachable size" `Quick test_star_exact_size ] );
       ( "packed codec",
         [
           QCheck_alcotest.to_alcotest prop_pack_roundtrip;
+          QCheck_alcotest.to_alcotest prop_pack_roundtrip_star;
           QCheck_alcotest.to_alcotest prop_pack_roundtrip_unrestricted;
           Alcotest.test_case "intern keys distinguish states" `Quick
             test_pack_distinguishes_states;

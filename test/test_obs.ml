@@ -328,15 +328,8 @@ let test_monitor_agrees_with_checker () =
   List.iter
     (fun flowlinks ->
       let config =
-        {
-          Mediactl_mc.Path_model.left = Semantics.Open_end;
-          right = Semantics.Open_end;
-          flowlinks;
-          chaos = 0;
-          modifies = 0;
-          environment_ends = false;
-          faults = Mediactl_mc.Path_model.no_faults;
-        }
+        Mediactl_mc.Path_model.path_config ~left:Semantics.Open_end ~right:Semantics.Open_end
+          ~flowlinks ~chaos:0 ~modifies:0 ()
       in
       let mc = Mediactl_mc.Check.run config in
       check tbool
@@ -352,6 +345,73 @@ let test_monitor_agrees_with_checker () =
       check tbool "monitor reproduces the checker's verdict" true
         (verdict = Monitor.Satisfied))
     [ 0; 1 ]
+
+(* --- the monitor, N-way: the 3-party conference star ------------------ *)
+
+(* A traced run of the 3-party conference, mirroring the fleet scenario:
+   the star settles untimed, then one user is fully muted and unmuted
+   under the timed driver — each a fresh holdslot/flowlink handshake over
+   the (possibly lossy) network. *)
+let traced_conf ?(loss = 0.0) ~seed () =
+  let users = Conference.default_users 3 in
+  let names = List.map fst users in
+  ( names,
+    snd
+      (Trace.recording (fun () ->
+           let net = fst (Netsys.run (Conference.build ~users)) in
+           let sim = Timed.create ~seed ~n:34.0 ~c:20.0 net in
+           Timed.observe sim;
+           if loss > 0.0 then begin
+             let impair = Impair.create ~seed ~default:(Policy.lossy loss) () in
+             ignore (Reliable.attach impair sim)
+           end;
+           let muted = List.nth names (seed mod List.length names) in
+           Timed.apply sim (Conference.full_mute ~user:muted);
+           Timed.after sim 400.0 (fun sim ->
+               Timed.apply sim (Conference.unmute ~user:muted));
+           ignore (Timed.run ~until:60_000.0 sim))) )
+
+(* The N-way acceptance round-trip: the checker proves []<> allFlowing
+   on the 3-party star model, and the leg-quantified monitor reaches the
+   same verdict about a simulated conference run. *)
+let test_conf_monitor_agrees_with_checker () =
+  let mc =
+    Mediactl_mc.Check.run
+      (Mediactl_mc.Path_model.conf_config
+         ~parties:[ Semantics.Open_end; Semantics.Open_end; Semantics.Open_end ]
+         ~flowlinks:1 ~chaos:0 ~modifies:0 ())
+  in
+  check tbool "checker passes the 3-party star" true (Mediactl_mc.Check.passed mc);
+  let names, events = traced_conf ~seed:11 () in
+  check tbool "conference run conformant" true (Monitor.conformant (Monitor.replay events));
+  check tbool "monitor decides []<> allFlowing over all three legs" true
+    (Monitor.verdict_legs Monitor.Always_eventually_flowing
+       ~legs:(Conference.legs ~users:names) events
+    = Monitor.Satisfied)
+
+let prop_zero_loss_conf_satisfies_monitor =
+  QCheck2.Test.make
+    ~name:"zero-impairment conference run: conformant and []<> allFlowing satisfied"
+    ~count:25
+    QCheck2.Gen.(int_range 0 9999)
+    (fun seed ->
+      let names, events = traced_conf ~seed () in
+      Monitor.conformant (Monitor.replay events)
+      && Monitor.verdict_legs Monitor.Always_eventually_flowing
+           ~legs:(Conference.legs ~users:names) events
+         = Monitor.Satisfied)
+
+let prop_lossy_conf_still_satisfied =
+  QCheck2.Test.make
+    ~name:"lossy conference run: conformant, []<> allFlowing (structural) satisfied"
+    ~count:25
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 1 25))
+    (fun (seed, loss_pct) ->
+      let names, events = traced_conf ~seed ~loss:(float_of_int loss_pct /. 100.0) () in
+      Monitor.conformant (Monitor.replay events)
+      && Monitor.verdict_legs ~structural:true Monitor.Always_eventually_flowing
+           ~legs:(Conference.legs ~users:names) events
+         = Monitor.Satisfied)
 
 (* --------------------------------------------------------------------- *)
 
@@ -386,4 +446,11 @@ let () =
         ] );
       ( "round-trip",
         [ Alcotest.test_case "agrees with model checker" `Slow test_monitor_agrees_with_checker ] );
+      ( "conference",
+        [
+          Alcotest.test_case "3-party star agrees with model checker" `Quick
+            test_conf_monitor_agrees_with_checker;
+          QCheck_alcotest.to_alcotest prop_zero_loss_conf_satisfies_monitor;
+          QCheck_alcotest.to_alcotest prop_lossy_conf_still_satisfied;
+        ] );
     ]
