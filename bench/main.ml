@@ -20,6 +20,8 @@
        (--json writes BENCH_fleet.json)
    E14 the wall-clock runtime: the live select loop and a real daemon
        against the simulator's analytic latencies
+   E18 lint runtime: the whole-tree callgraph and ALLOC001 analysis
+       (--json writes BENCH_lint.json)
    micro  Bechamel micro-benchmarks of the core machinery *)
 
 open Mediactl_types
@@ -1578,6 +1580,55 @@ let e17 () =
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 
+(* ------------------------------------------------------------------ *)
+(*  E18: lint runtime — the full interprocedural analysis over the    *)
+(*  repo tree, gated in CI so the callgraph stays cheap enough to     *)
+(*  run on every push.                                                *)
+
+let e18_reps = 3
+
+let e18_write_json ~files ~wall_s ~errors ~warnings ~allowed =
+  let oc = open_out "BENCH_lint.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"experiment\": \"e18\",\n";
+  Printf.fprintf oc
+    "  \"note\": \"full mediactl_lint run (all rules; ALLOC001 parses the whole tree, \
+     builds the callgraph and walks the hot-reachable set); wall_s is the best of %d \
+     runs.\",\n"
+    e18_reps;
+  Printf.fprintf oc "  \"files\": %d,\n" files;
+  Printf.fprintf oc "  \"wall_s\": %.4f,\n" wall_s;
+  Printf.fprintf oc "  \"errors\": %d,\n" errors;
+  Printf.fprintf oc "  \"warnings\": %d,\n" warnings;
+  Printf.fprintf oc "  \"allowlisted\": %d\n" allowed;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_lint.json@."
+
+let e18 () =
+  header "E18  lint runtime: interprocedural ALLOC001 over the full tree";
+  let open Mediactl_lint_core in
+  let timed () =
+    let t0 = Unix.gettimeofday () in
+    let report = Driver.run ~root:"." () in
+    (report, Unix.gettimeofday () -. t0)
+  in
+  let report, first = timed () in
+  let best = ref first in
+  for _ = 2 to e18_reps do
+    let _, dt = timed () in
+    if dt < !best then best := dt
+  done;
+  let errors = List.length (Driver.errors report) in
+  let warnings = List.length (Driver.warnings report) in
+  let allowed = List.length report.Driver.allowed in
+  Format.printf "%-24s %9s %9s %9s %9s %9s@." "" "files" "wall_s" "errors" "warns"
+    "allowed";
+  Format.printf "%-24s %9d %9.4f %9d %9d %9d@." "full run (best of 3)"
+    report.Driver.files !best errors warnings allowed;
+  if !json_mode then
+    e18_write_json ~files:report.Driver.files ~wall_s:!best ~errors ~warnings ~allowed
+
 let micro () =
   header "Micro-benchmarks (Bechamel)";
   let open Bechamel in
@@ -1653,7 +1704,7 @@ let micro () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e14", e14);
-    ("e15", e15); ("e16", e16); ("e17", e17); ("micro", micro) ]
+    ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

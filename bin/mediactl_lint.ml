@@ -16,11 +16,11 @@ let root =
   Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR"
          ~doc:"Root of the tree to lint; scoping is by path relative to it.")
 
-let fmt_conv = Arg.enum [ ("text", `Text); ("json", `Json) ]
+let fmt_conv = Arg.enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]
 
 let format =
   Arg.(value & opt fmt_conv `Text & info [ "format" ] ~docv:"FMT"
-         ~doc:"Report format: text or json.")
+         ~doc:"Report format: text, json, or sarif (GitHub code scanning).")
 
 let out =
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
@@ -28,7 +28,7 @@ let out =
 
 let rules =
   Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"R1,R2"
-         ~doc:"Comma-separated analyzer subset: dsan, totality, hygiene, iface, marshal, fmt.               Default: all.")
+         ~doc:"Comma-separated analyzer subset: dsan, totality, hygiene, iface, marshal, fmt,               alloc. Default: all.")
 
 let lint root format out rules =
   let rules =
@@ -40,6 +40,7 @@ let lint root format out rules =
   let rendered =
     match format with
     | `Json -> Driver.to_json report ^ "\n"
+    | `Sarif -> Driver.to_sarif report ^ "\n"
     | `Text -> Format.asprintf "%a" Driver.pp_text report
   in
   print_string rendered;

@@ -1,0 +1,21 @@
+(** ALLOC001: flags syntactic allocation sites — closures (anonymous
+    and local named functions), tuples/records/constructor and variant
+    applications, list and array literals, [ref], string concatenation
+    and list append, allocating stdlib calls, partial application of
+    intra-repo functions, polymorphic compare/min/max (float boxing) —
+    inside every function reachable from a [@@lint.hotpath] root.
+
+    Subtrees under raising calls ([raise], [failwith], [invalid_arg])
+    are exempt: allocating the message on the way to an exception is
+    not hot-path allocation.  Waive with the [alloc] tag; the
+    justification should cite the E15 phase that absorbs the cost.
+    Misused [@@lint.hotpath] annotations are reported as LINT001. *)
+
+val allocating_calls : string list list
+(** The curated allocating-stdlib suffix list (documented in DESIGN
+    section 16). *)
+
+val check :
+  Ctx.t -> graph:Callgraph.t -> reach:(int, int option) Hashtbl.t -> unit
+(** Runs the rule for [ctx]'s file against the whole-tree graph and
+    reachability map. *)

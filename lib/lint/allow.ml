@@ -1,15 +1,18 @@
 open Parsetree
 
-(* Allowlist attribute grammar (DESIGN section 11):
+(* Allowlist attribute grammar (DESIGN sections 11 and 16):
 
      [@@lint.allow "<tag>: <justification>"]
+     [@@lint.allow ("<tag>: <justification>", "<tag>: <justification>")]
 
-   where <tag> is one of race | totality | hygiene | iface | marshal
-   and <justification> is a non-empty free-form string.  The attribute
-   may sit on a value binding ([@@...]), an expression or a pattern
-   ([@...]), or float at the top of a file ([@@@...], whole-file
-   scope).  A tag waives exactly one rule; the justification travels
-   into the JSON report so reviewers can audit every waiver. *)
+   where <tag> is one of race | totality | hygiene | iface | marshal |
+   alloc and <justification> is a non-empty free-form string.  The
+   attribute may sit on a value binding ([@@...]), an expression or a
+   pattern ([@...]), or float at the top of a file ([@@@...],
+   whole-file scope).  A tag waives exactly one rule; the tuple form
+   waives several rules from one attribute (each tag tracked for
+   LINT002 independently); the justification travels into the JSON
+   report so reviewers can audit every waiver. *)
 
 type tag = {
   rule : Finding.rule;
@@ -19,40 +22,77 @@ type tag = {
   mutable used : bool;
 }
 
-type parsed = Tag of tag | Malformed of string | Not_allow
+type parsed = Tags of tag list | Malformed of string | Not_allow
 
 let attr_pos (a : attribute) =
   let p = a.attr_name.Location.loc.Location.loc_start in
   (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
 
-let payload_string (a : attribute) =
+(* The payload: one string literal, or a tuple of string literals
+   (multi-rule waiver).  [None] when the shape is anything else. *)
+let payload_strings (a : attribute) =
+  let const_string e =
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+    | _ -> None
+  in
   match a.attr_payload with
-  | PStr [ { pstr_desc = Pstr_eval ({ pexp_desc = Pexp_constant c; _ }, _); _ } ] -> (
-    match c with Pconst_string (s, _, _) -> Some s | _ -> None)
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> Some [ s ]
+    | Pexp_tuple elems ->
+      let strings = List.filter_map const_string elems in
+      if List.length strings = List.length elems && strings <> [] then Some strings else None
+    | _ -> None)
   | _ -> None
+
+let parse_one ~line ~col s =
+  match String.index_opt s ':' with
+  | None ->
+    Error (Printf.sprintf "%S carries no justification; write \"<tag>: <why this is safe>\"" s)
+  | Some i -> (
+    let tag_name = String.trim (String.sub s 0 i) in
+    let justification = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    match Finding.rule_of_tag tag_name with
+    | None ->
+      Error
+        (Printf.sprintf "unknown tag %S (use race|totality|hygiene|iface|marshal|alloc)" tag_name)
+    | Some rule ->
+      if String.equal justification "" then
+        Error (Printf.sprintf "tag %S carries an empty justification" tag_name)
+      else Ok { rule; justification; attr_line = line; attr_col = col; used = false })
 
 let parse (a : attribute) =
   if not (String.equal a.attr_name.Location.txt "lint.allow") then Not_allow
   else
     let line, col = attr_pos a in
-    match payload_string a with
-    | None -> Malformed "payload must be a string literal \"<tag>: <justification>\""
-    | Some s -> (
-      match String.index_opt s ':' with
-      | None ->
-        Malformed
-          (Printf.sprintf "%S carries no justification; write \"<tag>: <why this is safe>\"" s)
-      | Some i -> (
-        let tag_name = String.trim (String.sub s 0 i) in
-        let justification = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
-        match Finding.rule_of_tag tag_name with
-        | None ->
-          Malformed
-            (Printf.sprintf "unknown tag %S (use race|totality|hygiene|iface|marshal)" tag_name)
-        | Some rule ->
-          if String.equal justification "" then
-            Malformed (Printf.sprintf "tag %S carries an empty justification" tag_name)
-          else Tag { rule; justification; attr_line = line; attr_col = col; used = false }))
+    match payload_strings a with
+    | None ->
+      Malformed
+        "payload must be a string literal \"<tag>: <justification>\" or a tuple of such strings"
+    | Some strings -> (
+      let rec collect acc = function
+        | [] -> Tags (List.rev acc)
+        | s :: rest -> (
+          match parse_one ~line ~col s with
+          | Ok t -> collect (t :: acc) rest
+          | Error msg -> Malformed msg)
+      in
+      match collect [] strings with
+      | Tags ts ->
+        (* Two tags for the same rule on one attribute would make
+           LINT002 tracking ambiguous (identity is position+rule). *)
+        let rec dup = function
+          | [] -> None
+          | (t : tag) :: rest ->
+            if List.exists (fun (u : tag) -> u.rule = t.rule) rest then
+              Some (Finding.tag_of_rule t.rule)
+            else dup rest
+        in
+        (match dup ts with
+        | Some name -> Malformed (Printf.sprintf "tag %S appears twice in one attribute" name)
+        | None -> Tags ts)
+      | other -> other)
 
 (* ------------------------------------------------------------------ *)
 (* Per-file registry                                                   *)
@@ -68,7 +108,7 @@ let sweep ~file structure =
   let record a =
     match parse a with
     | Not_allow -> ()
-    | Tag t -> reg.tags <- t :: reg.tags
+    | Tags ts -> reg.tags <- List.rev_append ts reg.tags
     | Malformed msg ->
       let line, col = attr_pos a in
       reg.malformed <-
@@ -84,11 +124,11 @@ let sweep ~file structure =
 
 (* File-scope tags: floating [@@@lint.allow "..."] structure items. *)
 let file_tags structure =
-  List.filter_map
+  List.concat_map
     (fun item ->
       match item.pstr_desc with
-      | Pstr_attribute a -> ( match parse a with Tag t -> Some t | _ -> None)
-      | _ -> None)
+      | Pstr_attribute a -> ( match parse a with Tags ts -> ts | _ -> [])
+      | _ -> [])
     structure
 
 (* Finds a registered tag matching [rule] among the given attribute
@@ -99,8 +139,8 @@ let suppressor reg ~file_scope ~rule (attr_lists : attributes list) =
     List.find_map
       (fun a ->
         match parse a with
-        | Tag t when t.rule = rule -> Some t
-        | Tag _ | Malformed _ | Not_allow -> None)
+        | Tags ts -> List.find_opt (fun (t : tag) -> t.rule = rule) ts
+        | Malformed _ | Not_allow -> None)
       attrs
   in
   let found =

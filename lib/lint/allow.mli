@@ -1,13 +1,16 @@
 (** The [\[@@lint.allow "<tag>: <justification>"\]] waiver attribute.
 
-    Grammar: the payload is a single string literal of the form
-    ["<tag>: <justification>"] where [<tag>] is one of [race],
-    [totality], [hygiene], [iface], [marshal] (each waives exactly one
-    rule — see {!Finding.rule_of_tag}) and [<justification>] is
-    non-empty.  Placement: [@@] on value bindings, [@] on expressions
-    and patterns, [@@@] floating at the top of a file (whole-file
-    scope).  Malformed attributes are themselves findings (LINT001);
-    attributes that suppress nothing are findings too (LINT002). *)
+    Grammar: the payload is a string literal of the form
+    ["<tag>: <justification>"] — or a tuple of such literals, waiving
+    several rules from one attribute — where [<tag>] is one of [race],
+    [totality], [hygiene], [iface], [marshal], [alloc] (each waives
+    exactly one rule — see {!Finding.rule_of_tag}) and
+    [<justification>] is non-empty.  Placement: [@@] on value
+    bindings, [@] on expressions and patterns, [@@@] floating at the
+    top of a file (whole-file scope).  Each tag of a tuple payload is
+    tracked independently for LINT002.  Malformed attributes are
+    themselves findings (LINT001); attributes that suppress nothing
+    are findings too (LINT002). *)
 
 type tag = {
   rule : Finding.rule;
@@ -17,7 +20,7 @@ type tag = {
   mutable used : bool;
 }
 
-type parsed = Tag of tag | Malformed of string | Not_allow
+type parsed = Tags of tag list | Malformed of string | Not_allow
 
 val parse : Parsetree.attribute -> parsed
 

@@ -79,3 +79,53 @@ let constructors_of_pattern p =
 
 let constructors_of_cases cases =
   List.concat_map (fun c -> constructors_of_pattern c.pc_lhs) cases
+
+(* ------------------------------------------------------------------ *)
+(* Function literals, portably                                         *)
+
+(* The function-literal constructors are the one part of Parsetree
+   that differs between 5.1 (Pexp_fun/Pexp_function-of-cases) and 5.2
+   (a unified Pexp_function), so this classifier is written in the
+   negative: enumerate every *other* expression constructor — all of
+   which are identical across the matrix — and let the catch-all
+   capture exactly the function-literal forms of whichever compiler is
+   running.  [Pexp_newtype] stays on the "not a closure" side: a bare
+   [fun (type a) -> e] evaluates to whatever [e] is. *)
+let is_function_literal e =
+  match e.pexp_desc with
+  | Pexp_ident _ | Pexp_constant _ | Pexp_let _ | Pexp_apply _ | Pexp_match _ | Pexp_try _
+  | Pexp_tuple _ | Pexp_construct _ | Pexp_variant _ | Pexp_record _ | Pexp_field _
+  | Pexp_setfield _ | Pexp_array _ | Pexp_ifthenelse _ | Pexp_sequence _ | Pexp_while _
+  | Pexp_for _ | Pexp_constraint _ | Pexp_coerce _ | Pexp_send _ | Pexp_new _
+  | Pexp_setinstvar _ | Pexp_override _ | Pexp_letmodule _ | Pexp_letexception _
+  | Pexp_assert _ | Pexp_lazy _ | Pexp_poly _ | Pexp_object _ | Pexp_newtype _ | Pexp_pack _
+  | Pexp_open _ | Pexp_letop _ | Pexp_extension _ | Pexp_unreachable ->
+    false
+  | _ -> true
+
+(* Syntactic arity of a function literal: the number of parameters on
+   its fun-spine, a [function] case body counting as one.  Counted by
+   iterating the literal generically — the iterator visits each
+   parameter pattern (no descent, so [fun (a, b) ->] is one parameter)
+   and stops at the first non-literal body expression or case list.
+   Feeds the ALLOC001 partial-application check. *)
+let fun_arity e0 =
+  let params = ref 0 in
+  let finished = ref false in
+  let expr it e =
+    if not !finished then
+      if is_function_literal e then Ast_iterator.default_iterator.expr it e else finished := true
+  in
+  let pat _ _ = if not !finished then incr params in
+  let case _ _ =
+    if not !finished then begin
+      incr params;
+      finished := true
+    end
+  in
+  let it = { Ast_iterator.default_iterator with expr; pat; case } in
+  if is_function_literal e0 then begin
+    it.Ast_iterator.expr it e0;
+    !params
+  end
+  else 0

@@ -20,3 +20,14 @@ val all_wildcard : Parsetree.pattern -> bool
 
 val constructors_of_pattern : Parsetree.pattern -> string list
 val constructors_of_cases : Parsetree.case list -> string list
+
+val is_function_literal : Parsetree.expression -> bool
+(** Is the expression a [fun]/[function] literal?  Classified in the
+    negative (every non-function constructor enumerated, catch-all
+    [true]) so the code never names the function-literal constructors,
+    whose shape differs between OCaml 5.1 and 5.2. *)
+
+val fun_arity : Parsetree.expression -> int
+(** Syntactic parameter count of a function literal's fun-spine (a
+    [function] body counts as one); [0] when the expression is not a
+    function literal. *)

@@ -7,6 +7,7 @@ type rule =
   | Iface  (** IFACE001: lib/ module without an [.mli] interface *)
   | Marshal  (** MARS001: [Marshal] use outside the allowlisted seed baseline *)
   | Fmt  (** FMT001: whitespace discipline (tabs, trailing space, CRLF, final newline) *)
+  | Alloc  (** ALLOC001: allocation site reachable from a [@@lint.hotpath] root *)
   | Bad_allow  (** LINT001: malformed [@@lint.allow] attribute *)
   | Unused_allow  (** LINT002: [@@lint.allow] that suppressed nothing *)
   | Parse_error  (** PARSE001: source file does not parse *)
@@ -18,11 +19,13 @@ let rule_id = function
   | Iface -> "IFACE001"
   | Marshal -> "MARS001"
   | Fmt -> "FMT001"
+  | Alloc -> "ALLOC001"
   | Bad_allow -> "LINT001"
   | Unused_allow -> "LINT002"
   | Parse_error -> "PARSE001"
 
-let all_rules = [ Dsan; Totality; Hygiene; Iface; Marshal; Fmt; Bad_allow; Unused_allow; Parse_error ]
+let all_rules =
+  [ Dsan; Totality; Hygiene; Iface; Marshal; Fmt; Alloc; Bad_allow; Unused_allow; Parse_error ]
 
 let rule_of_tag = function
   | "race" -> Some Dsan
@@ -30,6 +33,7 @@ let rule_of_tag = function
   | "hygiene" -> Some Hygiene
   | "iface" -> Some Iface
   | "marshal" -> Some Marshal
+  | "alloc" -> Some Alloc
   | _ -> None
 
 let tag_of_rule = function
@@ -38,11 +42,26 @@ let tag_of_rule = function
   | Hygiene -> "hygiene"
   | Iface -> "iface"
   | Marshal -> "marshal"
+  | Alloc -> "alloc"
   | Fmt | Bad_allow | Unused_allow | Parse_error -> "-"
 
 let severity_of_rule = function
   | Unused_allow -> Warning
-  | Dsan | Totality | Hygiene | Iface | Marshal | Fmt | Bad_allow | Parse_error -> Error
+  | Dsan | Totality | Hygiene | Iface | Marshal | Fmt | Alloc | Bad_allow | Parse_error -> Error
+
+(* One-line rule descriptions, shared by the SARIF writer and the CLI
+   help text. *)
+let rule_doc = function
+  | Dsan -> "module-toplevel mutable state in a multi-domain library"
+  | Totality -> "wildcard branch over a protocol sum type (Signal.t/Slot_state.t)"
+  | Hygiene -> "unguarded Trace/Metrics emission on a hot path"
+  | Iface -> "lib/ module without an .mli interface"
+  | Marshal -> "Marshal use outside the allowlisted seed baseline"
+  | Fmt -> "whitespace discipline (tabs, trailing space, CRLF, final newline)"
+  | Alloc -> "allocation site reachable from a [@@lint.hotpath] root"
+  | Bad_allow -> "malformed [@@lint.allow] attribute"
+  | Unused_allow -> "[@@lint.allow] that suppressed nothing"
+  | Parse_error -> "source file does not parse"
 
 type t = { rule : rule; file : string; line : int; col : int; message : string }
 

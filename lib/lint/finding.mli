@@ -18,6 +18,11 @@ type rule =
           ocamlformat profile, enforced textually because the formatter
           binary is not in the build image; no attribute waiver (the rule
           runs before parsing), the fix is always mechanical. *)
+  | Alloc
+      (** ALLOC001: syntactic allocation site inside a function reachable
+          (over the intra-repo call graph) from a [@@lint.hotpath] root.
+          Waived with the [alloc] tag; justifications cross-reference the
+          E15 allocation profile. *)
   | Bad_allow  (** LINT001: malformed [@@lint.allow] attribute *)
   | Unused_allow  (** LINT002: [@@lint.allow] that suppressed nothing *)
   | Parse_error  (** PARSE001: source file does not parse *)
@@ -27,10 +32,13 @@ val all_rules : rule list
 
 val rule_of_tag : string -> rule option
 (** Maps an allowlist tag ([race], [totality], [hygiene], [iface],
-    [marshal]) to the rule it waives. *)
+    [marshal], [alloc]) to the rule it waives. *)
 
 val tag_of_rule : rule -> string
 val severity_of_rule : rule -> severity
+
+val rule_doc : rule -> string
+(** One-line description of a rule (SARIF rule metadata, help text). *)
 
 type t = { rule : rule; file : string; line : int; col : int; message : string }
 

@@ -283,11 +283,6 @@ type tunnel_report = {
   tunnel_violations : string list;
 }
 
-(* Deprecated accessor: the field was renamed when the monitor grew
-   N-way legs ([first_all_flowing]); the old name survives so two-sided
-   consumers keep reading the same value. *)
-let first_both_flowing r = r.first_all_flowing
-
 type report = { tunnels : tunnel_report list; violations : string list }
 
 let report_of_tunnels machines =

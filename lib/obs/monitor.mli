@@ -28,13 +28,6 @@ type tunnel_report = {
   tunnel_violations : string list;
 }
 
-val first_both_flowing : tunnel_report -> float option
-[@@ocaml.deprecated "use the first_all_flowing field"]
-(** Deprecated two-sided name for the {!tunnel_report.first_all_flowing}
-    field, kept so existing consumers don't break silently.  The JSON
-    metrics export mirrors the rename the same way
-    ([time_to_all_flowing_ms], with the old key kept as a duplicate). *)
-
 type report = { tunnels : tunnel_report list; violations : string list }
 
 val replay : Trace.event list -> report

@@ -36,10 +36,15 @@ let peer_of t box =
   | Tunnel.A -> t.acceptor
   | Tunnel.B -> t.initiator
 
-let tunnel t i =
-  match List.nth_opt t.tunnels i with
-  | Some tun -> tun
-  | None -> invalid_arg (Printf.sprintf "Channel.tunnel: index %d out of range" i)
+(* Direct recursion instead of [List.nth_opt]: this lookup sits on the
+   settle loop's probe path and the option would be a box per probe. *)
+let rec nth_tunnel tunnels i =
+  match tunnels with
+  | tun :: _ when i = 0 -> tun
+  | _ :: rest when i > 0 -> nth_tunnel rest (i - 1)
+  | _ -> invalid_arg "Channel.tunnel: index out of range"
+
+let tunnel t i = nth_tunnel t.tunnels i
 
 let with_tunnel t i tun =
   if i < 0 || i >= List.length t.tunnels then

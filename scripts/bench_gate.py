@@ -7,6 +7,7 @@ One gate per bench artifact family:
   bench_gate.py --gate fleet --fresh BENCH_fleet.json --baseline fleet-baseline.json
   bench_gate.py --gate churn --fresh BENCH_churn.json --baseline churn-baseline.json
   bench_gate.py --gate conf  --fresh BENCH_conf.json  --baseline conf-baseline.json
+  bench_gate.py --gate lint  --fresh BENCH_lint.json  --baseline lint-baseline.json
 
 Each gate prints what it measured and exits non-zero on the first
 regression class it finds.  Thresholds carry generous slack for runner
@@ -189,7 +190,34 @@ def gate_conf(fresh, base):
     return ok
 
 
-GATES = {"mc": gate_mc, "fleet": gate_fleet, "churn": gate_churn, "conf": gate_conf}
+def gate_lint(fresh, base):
+    """Lint bench (E18): the tree must lint clean and the whole-tree
+    callgraph analysis must stay cheap enough to run on every push."""
+    ok = True
+    if fresh["errors"] != 0:
+        print(f"FAIL: {fresh['errors']} unwaived error-severity lint finding(s)")
+        ok = False
+    else:
+        print(f"lint clean: 0 errors, {fresh['warnings']} warning(s), "
+              f"{fresh['allowlisted']} allowlisted over {fresh['files']} files")
+    # Runtime gate: 2x the committed baseline.  The analysis is pure
+    # CPU (parse + callgraph + walks), so the slack is tighter than the
+    # throughput gates but still generous for shared runners.
+    ratio = fresh["wall_s"] / base["wall_s"]
+    print(f"wall_s: fresh {fresh['wall_s']:.3f}s vs committed {base['wall_s']:.3f}s "
+          f"(x{ratio:.2f})")
+    if ratio > 2.0:
+        print("FAIL: lint runtime regressed more than 2x against the committed baseline")
+        ok = False
+    if fresh["files"] < base["files"]:
+        print(f"FAIL: scanned file count shrank ({base['files']} -> {fresh['files']}); "
+              f"the scanner lost part of the tree")
+        ok = False
+    return ok
+
+
+GATES = {"mc": gate_mc, "fleet": gate_fleet, "churn": gate_churn, "conf": gate_conf,
+         "lint": gate_lint}
 
 
 def main():

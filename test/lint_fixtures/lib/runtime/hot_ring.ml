@@ -1,0 +1,7 @@
+(* Root half of the cross-module fixture: [spin] allocates nothing
+   itself; the finding must surface in hot_ring_util.ml with this
+   function at the head of the reported call chain — proving the
+   callgraph resolves references across compilation units. *)
+
+let spin n = Array.length (Hot_ring_util.fill n)
+[@@lint.hotpath]

@@ -1,0 +1,3 @@
+(* Interface for the cross-module hot-path root fixture. *)
+
+val spin : int -> int

@@ -1,0 +1,5 @@
+(* Callee half of the cross-module fixture: nothing here is annotated;
+   the allocation is hot only because Hot_ring.spin (another file)
+   roots it. *)
+
+let fill n = Array.make n 0

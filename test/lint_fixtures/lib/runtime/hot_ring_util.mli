@@ -1,0 +1,3 @@
+(* Interface for the cross-module hot-path callee fixture. *)
+
+val fill : int -> int array

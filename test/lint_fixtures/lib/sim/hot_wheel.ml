@@ -1,0 +1,20 @@
+(* Fixture: a hot-path drain loop with seeded allocation sites.  Every
+   allocation below — the fold closure in the helper, the counter ref,
+   the List.map call and its closure, the iteration closure, and the
+   result pair — must surface as ALLOC001 in the golden report, and
+   the misplaced [@@lint.hotpath] on a constant must surface as
+   LINT001. *)
+
+type acc = { mutable sum : int }
+
+let sum_batch xs = List.fold_left (fun a x -> a + x) 0 xs
+
+let limit = 42 [@@lint.hotpath]
+
+let drain acc xs =
+  let boxed = ref 0 in
+  let doubled = List.map (fun x -> x * 2) xs in
+  List.iter (fun x -> boxed := !boxed + x) doubled;
+  acc.sum <- acc.sum + !boxed + sum_batch xs + limit;
+  (acc.sum, List.length xs)
+[@@lint.hotpath]

@@ -1,0 +1,7 @@
+(* Interface for the seeded hot-path fixture. *)
+
+type acc = { mutable sum : int }
+
+val limit : int
+val sum_batch : int list -> int
+val drain : acc -> int list -> int * int

@@ -1,0 +1,27 @@
+(* Clean twin of hot_wheel.ml: the same drain shape written
+   allocation-free — direct recursion instead of a fold closure, an
+   in-place accumulator instead of a ref — plus one waived growth
+   site, which must land in the allowlisted section and nowhere
+   else. *)
+
+let rec sum_batch a = function [] -> a | x :: tl -> sum_batch (a + x) tl
+
+type buf = { mutable store : int array; mutable len : int }
+
+let push b x =
+  if b.len = Array.length b.store then begin
+    let store =
+      (Array.make ((2 * b.len) + 1) 0
+      [@lint.allow "alloc: fixture growth site; doubling is amortized O(1) per push"])
+    in
+    Array.blit b.store 0 store 0 b.len;
+    b.store <- store
+  end;
+  b.store.(b.len) <- x;
+  b.len <- b.len + 1
+
+let drain b xs =
+  let s = sum_batch 0 xs in
+  push b s;
+  s
+[@@lint.hotpath]

@@ -1,0 +1,7 @@
+(* Interface for the clean hot-path fixture. *)
+
+type buf = { mutable store : int array; mutable len : int }
+
+val sum_batch : int -> int list -> int
+val push : buf -> int -> unit
+val drain : buf -> int list -> int

@@ -228,6 +228,201 @@ let fmt_positions () =
   | _ -> Alcotest.fail "expected exactly one finding"
 
 (* ------------------------------------------------------------------ *)
+(* ALLOC001 and the callgraph                                          *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.equal (String.sub hay i ln) needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let alloc_flags_closure () =
+  check_rules ~msg:"anonymous closure in argument position" [ "ALLOC001" ]
+    (lint ~rel:"lib/sim/hot.ml" "let hot g = g (fun a b -> a + b)\n[@@lint.hotpath]\n")
+
+let alloc_flags_ref () =
+  check_rules ~msg:"ref cell" [ "ALLOC001" ]
+    (lint ~rel:"lib/sim/hot.ml" "let hot () = ref 0\n[@@lint.hotpath]\n")
+
+let alloc_flags_tuple () =
+  check_rules ~msg:"result pair" [ "ALLOC001" ]
+    (lint ~rel:"lib/sim/hot.ml" "let hot a b = (a, b)\n[@@lint.hotpath]\n")
+
+let alloc_flags_list_literal () =
+  check_rules ~msg:"one cons per list element" [ "ALLOC001"; "ALLOC001" ]
+    (lint ~rel:"lib/sim/hot.ml" "let hot a = [ a; a ]\n[@@lint.hotpath]\n")
+
+let alloc_flags_string_concat () =
+  check_rules ~msg:"(^) allocates" [ "ALLOC001" ]
+    (lint ~rel:"lib/sim/hot.ml" "let hot a b = a ^ b\n[@@lint.hotpath]\n")
+
+let alloc_flags_partial_application () =
+  check_rules ~msg:"under-applied intra-repo function" [ "ALLOC001" ]
+    (lint ~rel:"lib/sim/hot.ml"
+       "let add3 a b c = a + b + c\nlet hot x = ignore (add3 x 1)\n[@@lint.hotpath]\n")
+
+let alloc_flags_poly_compare () =
+  check_rules ~msg:"polymorphic min boxes floats" [ "ALLOC001" ]
+    (lint ~rel:"lib/sim/hot.ml" "let hot (a : float) (b : float) = min a b\n[@@lint.hotpath]\n")
+
+let alloc_flags_curated_call () =
+  check_rules ~msg:"Hashtbl.find_opt allocates an option per hit" [ "ALLOC001" ]
+    (lint ~rel:"lib/sim/hot.ml" "let hot t k = Hashtbl.find_opt t k\n[@@lint.hotpath]\n")
+
+let alloc_accepts_clean_loop () =
+  check_rules ~msg:"accumulator recursion allocates nothing" []
+    (lint ~rel:"lib/sim/hot.ml"
+       "let rec hot a = function [] -> a | x :: tl -> hot (a + x) tl\n[@@lint.hotpath]\n")
+
+let alloc_cold_code_exempt () =
+  check_rules ~msg:"no root, no findings" []
+    (lint ~rel:"lib/sim/hot.ml" "let cold xs = List.map (fun x -> x * 2) xs\n")
+
+let alloc_closure_parameter_is_boundary () =
+  check_rules ~msg:"dispatch received as a parameter is not followed" []
+    (lint ~rel:"lib/sim/hot.ml"
+       "let hot f x = f x\n[@@lint.hotpath]\n\nlet cold () = Array.make 4 0\n")
+
+let alloc_raising_call_exempt () =
+  check_rules ~msg:"allocating to die is fine" []
+    (lint ~rel:"lib/sim/hot.ml"
+       "let hot x = if x < 0 then failwith (Printf.sprintf \"bad %d\" x) else x\n\
+        [@@lint.hotpath]\n")
+
+let alloc_multi_param_spine_not_flagged () =
+  check_rules ~msg:"the root's own parameter spine is not an allocation site" []
+    (lint ~rel:"lib/sim/hot.ml" "let hot = fun a b -> a + b\n[@@lint.hotpath]\n")
+
+let alloc_severity_is_error () =
+  let findings, _ = lint ~rel:"lib/sim/hot.ml" "let hot () = ref 0\n[@@lint.hotpath]\n" in
+  match findings with
+  | [ f ] ->
+    Alcotest.(check string) "error severity" "error"
+      (Finding.severity_name (Finding.severity f))
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+(* The acceptance regression: a function already reachable from a hot
+   root gains a closure — the lint must catch the edit. *)
+let alloc_regression_closure_in_callee () =
+  let clean = "let helper xs = ignore xs\nlet hot xs = helper xs\n[@@lint.hotpath]\n" in
+  check_rules ~msg:"reachable helper, allocation-free" [] (lint ~rel:"lib/sim/hot.ml" clean);
+  let seeded =
+    "let helper xs = List.iter (fun x -> ignore x) xs\nlet hot xs = helper xs\n[@@lint.hotpath]\n"
+  in
+  let findings, _ = lint ~rel:"lib/sim/hot.ml" seeded in
+  match findings with
+  | [ f ] ->
+    Alcotest.(check string) "ALLOC001" "ALLOC001" (Finding.rule_id f.Finding.rule);
+    Alcotest.(check bool) "chain names the hot root" true
+      (contains f.Finding.message "Hot.helper <- Hot.hot")
+  | l -> Alcotest.failf "expected one finding, got %d" (List.length l)
+
+let alloc_cross_module_chain () =
+  let findings, _ =
+    Driver.lint_sources
+      [
+        ("lib/sim/a.ml", true, "let go n = Array.make n 0\n");
+        ("lib/sim/b.ml", true, "let hot n = A.go n\n[@@lint.hotpath]\n");
+      ]
+  in
+  match findings with
+  | [ f ] ->
+    Alcotest.(check string) "finding lands in the callee's file" "lib/sim/a.ml" f.Finding.file;
+    Alcotest.(check bool) "chain crosses the unit boundary" true
+      (contains f.Finding.message "A.go <- B.hot")
+  | l -> Alcotest.failf "expected one cross-module finding, got %d" (List.length l)
+
+let hotpath_payload_is_malformed () =
+  check_rules ~msg:"[@@lint.hotpath] takes no payload" [ "LINT001" ]
+    (lint ~rel:"lib/sim/hot.ml" "let hot () = 1 [@@lint.hotpath \"why\"]\n")
+
+let hotpath_on_value_is_malformed () =
+  check_rules ~msg:"a constant roots nothing" [ "LINT001" ]
+    (lint ~rel:"lib/sim/hot.ml" "let limit = 42 [@@lint.hotpath]\n")
+
+(* ------------------------------------------------------------------ *)
+(* Waiver grammar edge cases                                           *)
+
+let waiver_multi_rule_tuple () =
+  let findings, allowed =
+    lint ~rel:"lib/sim/hot.ml"
+      "[@@@lint.allow (\"race: fixture table, harness is single-domain\", \"alloc: fixture \
+       ref, measured elsewhere\")]\n\n\
+       let t = Hashtbl.create 8\n\n\
+       let hot () = ref 0\n\
+       [@@lint.hotpath]\n"
+  in
+  Alcotest.(check (list string)) "one attribute suppresses two rules" [] (rules findings);
+  Alcotest.(check int) "both waivers recorded" 2 (List.length allowed)
+
+let waiver_tuple_partially_used () =
+  let findings, allowed =
+    lint ~rel:"lib/sim/hot.ml"
+      "let hot () = (ref 0 [@lint.allow (\"alloc: fixture ref\", \"race: never fires \
+       here\")])\n\
+       [@@lint.hotpath]\n"
+  in
+  Alcotest.(check (list string)) "only the dead tag warns" [ "LINT002" ] (rules findings);
+  Alcotest.(check int) "the live tag is allowlisted" 1 (List.length allowed)
+
+let waiver_duplicate_tag_is_malformed () =
+  check_rules ~msg:"same rule twice in one attribute" [ "LINT001" ]
+    (lint ~rel:"lib/sim/hot.ml"
+       "let x = (1, 2) [@@lint.allow (\"alloc: once\", \"alloc: twice\")]\n")
+
+let waiver_stale_after_fix () =
+  check_rules ~msg:"waiver outlives the allocation it excused" [ "LINT002" ]
+    (lint ~rel:"lib/sim/hot.ml"
+       "let hot () = 1 + 1\n[@@lint.hotpath] [@@lint.allow \"alloc: stale — the ref is gone\"]\n")
+
+let waiver_on_root_covers_local_helpers () =
+  let findings, allowed =
+    lint ~rel:"lib/sim/hot.ml"
+      "let hot () =\n\
+      \  let local () = ref 0 in\n\
+      \  local ()\n\
+       [@@lint.hotpath] [@@lint.allow \"alloc: fixture — the enclosing waiver covers the \
+       local helper\"]\n"
+  in
+  Alcotest.(check (list string)) "suppressed through the lexical chain" [] (rules findings);
+  Alcotest.(check int) "closure and ref both allowlisted" 2 (List.length allowed)
+
+let waiver_on_root_does_not_cover_callees () =
+  check_rules ~msg:"a binding waiver stops at the call boundary" [ "ALLOC001"; "LINT002" ]
+    (lint ~rel:"lib/sim/hot.ml"
+       "let helper () = ref 0\n\n\
+        let hot () = helper ()\n\
+        [@@lint.hotpath] [@@lint.allow \"alloc: only this binding's own body\"]\n")
+
+(* ------------------------------------------------------------------ *)
+(* SARIF                                                               *)
+
+let sarif_shape () =
+  let findings, allowed =
+    lint ~rel:"lib/sim/hot.ml"
+      "let seq = ref 0\n\nlet hot () = (ref 1 [@lint.allow \"alloc: fixture ref\"])\n\
+       [@@lint.hotpath]\n"
+  in
+  let report = { Driver.root = "lint-test"; files = 1; findings; allowed } in
+  let s = Driver.to_sarif report in
+  let has msg needle = Alcotest.(check bool) msg true (contains s needle) in
+  has "SARIF version" "\"version\":\"2.1.0\"";
+  has "schema pinned" "\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\"";
+  has "driver name" "\"name\":\"mediactl_lint\"";
+  has "rule metadata carries ALLOC001" "{\"id\":\"ALLOC001\"";
+  has "the DSAN finding is an error result" "{\"ruleId\":\"DSAN001\",\"level\":\"error\"";
+  has "the waiver is a suppressed note"
+    "\"suppressions\":[{\"kind\":\"inSource\",\"justification\":\"fixture ref\"}]";
+  has "locations are SRCROOT-relative" "\"uriBaseId\":\"%SRCROOT%\""
+
+let sarif_does_not_change_json () =
+  let findings, allowed = lint ~rel:"lib/sim/hot.ml" "let seq = ref 0\n" in
+  let report = { Driver.root = "lint-test"; files = 1; findings; allowed } in
+  let before = Driver.to_json report in
+  ignore (Driver.to_sarif report);
+  Alcotest.(check string) "to_json is byte-stable alongside to_sarif" before
+    (Driver.to_json report)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "lint"
@@ -281,6 +476,46 @@ let () =
           Alcotest.test_case "unused allow warns" `Quick allow_unused_is_warning;
           Alcotest.test_case "file-scope allow" `Quick file_scope_allow;
           Alcotest.test_case "parse error is a finding" `Quick parse_error_is_finding;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "flags closure" `Quick alloc_flags_closure;
+          Alcotest.test_case "flags ref" `Quick alloc_flags_ref;
+          Alcotest.test_case "flags tuple" `Quick alloc_flags_tuple;
+          Alcotest.test_case "flags list literal" `Quick alloc_flags_list_literal;
+          Alcotest.test_case "flags string concat" `Quick alloc_flags_string_concat;
+          Alcotest.test_case "flags partial application" `Quick alloc_flags_partial_application;
+          Alcotest.test_case "flags polymorphic compare" `Quick alloc_flags_poly_compare;
+          Alcotest.test_case "flags curated allocating call" `Quick alloc_flags_curated_call;
+          Alcotest.test_case "accepts clean loop" `Quick alloc_accepts_clean_loop;
+          Alcotest.test_case "cold code exempt" `Quick alloc_cold_code_exempt;
+          Alcotest.test_case "closure parameter is the boundary" `Quick
+            alloc_closure_parameter_is_boundary;
+          Alcotest.test_case "raising calls exempt" `Quick alloc_raising_call_exempt;
+          Alcotest.test_case "root parameter spine not flagged" `Quick
+            alloc_multi_param_spine_not_flagged;
+          Alcotest.test_case "error severity" `Quick alloc_severity_is_error;
+          Alcotest.test_case "regression: closure in reachable callee" `Quick
+            alloc_regression_closure_in_callee;
+          Alcotest.test_case "cross-module chain" `Quick alloc_cross_module_chain;
+          Alcotest.test_case "hotpath payload malformed" `Quick hotpath_payload_is_malformed;
+          Alcotest.test_case "hotpath on value malformed" `Quick hotpath_on_value_is_malformed;
+        ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "multi-rule tuple attribute" `Quick waiver_multi_rule_tuple;
+          Alcotest.test_case "partially-used tuple warns once" `Quick waiver_tuple_partially_used;
+          Alcotest.test_case "duplicate tag malformed" `Quick waiver_duplicate_tag_is_malformed;
+          Alcotest.test_case "stale waiver warns after fix" `Quick waiver_stale_after_fix;
+          Alcotest.test_case "root waiver covers local helpers" `Quick
+            waiver_on_root_covers_local_helpers;
+          Alcotest.test_case "root waiver stops at call boundary" `Quick
+            waiver_on_root_does_not_cover_callees;
+        ] );
+      ( "sarif",
+        [
+          Alcotest.test_case "report shape" `Quick sarif_shape;
+          Alcotest.test_case "json stays byte-stable" `Quick sarif_does_not_change_json;
         ] );
       ( "fmt",
         [
